@@ -1,0 +1,59 @@
+//! Criterion microbench: the Fig. 4 dominance-test ablation — the paper's
+//! strict rest-dimension test vs. the complete test, and the scan-level
+//! effect of each mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{DataSpec, Distribution};
+use device_storage::{DeviceRelation, HybridRelation, LocalQuery};
+use skyline_core::dominance::{dominates, paper_strict_dominates_rest};
+use skyline_core::region::QueryRegion;
+use skyline_core::DominanceTest;
+use std::hint::black_box;
+
+fn bench_pairwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairwise_tests");
+    let data = DataSpec::local_experiment(1_000, 4, Distribution::Independent, 3).generate();
+    let pairs: Vec<(&[f64], &[f64])> = data
+        .windows(2)
+        .map(|w| (w[0].attrs.as_slice(), w[1].attrs.as_slice()))
+        .collect();
+    group.bench_function("full", |b| {
+        b.iter(|| {
+            let mut n = 0u32;
+            for (a, x) in &pairs {
+                n += u32::from(dominates(black_box(a), black_box(x)));
+            }
+            n
+        })
+    });
+    group.bench_function("paper_strict", |b| {
+        b.iter(|| {
+            let mut n = 0u32;
+            for (a, x) in &pairs {
+                n += u32::from(paper_strict_dominates_rest(black_box(a), black_box(x)));
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+fn bench_scan_modes(c: &mut Criterion) {
+    // Whole-scan effect: PaperStrict keeps supersets (cheaper test, more
+    // window entries) vs. Full (exact skylines).
+    let mut group = c.benchmark_group("fig4_scan_modes");
+    group.sample_size(10);
+    let data = DataSpec::local_experiment(20_000, 3, Distribution::Independent, 9).generate();
+    let hybrid = HybridRelation::new(data);
+    for mode in [DominanceTest::PaperStrict, DominanceTest::Full] {
+        let mut q = LocalQuery::plain(QueryRegion::unbounded());
+        q.dominance = mode;
+        group.bench_function(format!("{mode:?}"), |b| {
+            b.iter(|| black_box(hybrid.local_skyline(&q).skyline.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairwise, bench_scan_modes);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion microbench backing Fig. 5: device-local constrained skyline
+//! queries on hybrid (HS) vs. flat (FS) storage, independent and
+//! anti-correlated data, across cardinalities and dimensionalities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{DataSpec, Distribution};
+use device_storage::{DeviceRelation, FlatRelation, HybridRelation, LocalQuery};
+use skyline_core::region::QueryRegion;
+use std::hint::black_box;
+
+fn bench_cardinality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_cardinality");
+    group.sample_size(10);
+    for card in [10_000usize, 30_000] {
+        for (tag, dist) in [("IN", Distribution::Independent), ("AC", Distribution::AntiCorrelated)] {
+            let data = DataSpec::local_experiment(card, 2, dist, 5).generate();
+            let hs = HybridRelation::new(data.clone());
+            let fs = FlatRelation::new(data);
+            let q = LocalQuery::plain(QueryRegion::unbounded());
+            group.bench_with_input(BenchmarkId::new(format!("HS-{tag}"), card), &card, |b, _| {
+                b.iter(|| black_box(hs.local_skyline(&q).skyline.len()))
+            });
+            group.bench_with_input(BenchmarkId::new(format!("FS-{tag}"), card), &card, |b, _| {
+                b.iter(|| black_box(fs.local_skyline(&q).skyline.len()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_dimensionality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_dimensionality");
+    group.sample_size(10);
+    for dim in [2usize, 3, 4] {
+        let data = DataSpec::local_experiment(10_000, dim, Distribution::Independent, 5).generate();
+        let hs = HybridRelation::new(data.clone());
+        let fs = FlatRelation::new(data);
+        let q = LocalQuery::plain(QueryRegion::unbounded());
+        group.bench_with_input(BenchmarkId::new("HS", dim), &dim, |b, _| {
+            b.iter(|| black_box(hs.local_skyline(&q).skyline.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("FS", dim), &dim, |b, _| {
+            b.iter(|| black_box(fs.local_skyline(&q).skyline.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cardinality, bench_dimensionality);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! **Extension experiment** (the paper's future work, Section 7): "One
+//! research direction is to generalize the filtering idea, using more than
+//! one filtering tuple. Important questions include how many, and which,
+//! tuples should be used as filters, to achieve the best data reduction
+//! rate."
+//!
+//! This ablation answers the "how many" question in the static pre-test
+//! setting: DRR vs. the filter-bank size `k`, on independent and
+//! anti-correlated data. Each extra filter costs one tuple on the wire per
+//! device (the DRR formula charges `k` instead of 1), so the curve shows
+//! where the marginal pruning stops paying.
+//!
+//! Usage: `cargo run --release -p msq-bench --bin ext_multi_filter [--full]`
+
+use datagen::{DataSpec, Distribution, SpatialExtent};
+use dist_skyline::config::{FilterStrategy, StrategyConfig};
+use dist_skyline::metrics::DrrAccumulator;
+use dist_skyline::static_net::grid_network_from_global;
+use skyline_core::vdr::{BoundsMode, MultiFilterSelection};
+
+fn main() {
+    let scale = msq_bench::Scale::from_args();
+    let card = scale.global_fixed_cardinality();
+    println!("== Extension: multi-filter data reduction (static setting, {card} tuples, 25 devices) ==\n");
+    println!("DRR charged k tuples per device (the banked filters ride the query)\n");
+    msq_bench::print_header(
+        "k",
+        &["IN DRR".into(), "IN tuples".into(), "AC DRR".into(), "AC tuples".into()],
+    );
+
+    for k in [1usize, 2, 3, 4, 8] {
+        let mut row = Vec::new();
+        for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+            let mut drr = DrrAccumulator::default();
+            let mut tuples = 0u64;
+            let mut queries = 0u64;
+            for seed in [11u64, 22, 33] {
+                let data = DataSpec::manet_experiment(card, 2, dist, seed).generate();
+                let net = grid_network_from_global(&data, 5, SpatialExtent::PAPER);
+                let cfg = StrategyConfig {
+                    filter: FilterStrategy::MultiDynamic { k },
+                    bounds_mode: BoundsMode::Exact,
+                    exact_bounds: vec![1000.0, 1000.0],
+                    ..StrategyConfig::default()
+                };
+                for origin in 0..net.len() {
+                    let out = net.run_query(origin, f64::INFINITY, &cfg);
+                    drr.merge(&out.metrics.drr);
+                    tuples += out.metrics.tuples_transferred;
+                    queries += 1;
+                }
+            }
+            // Charge k filter tuples per participating device instead of 1.
+            let charged = drr.sum_unreduced as i64
+                - drr.sum_sent as i64
+                - (drr.participants * k as u64) as i64;
+            let drr_k = charged as f64 / drr.sum_unreduced.max(1) as f64;
+            row.push(drr_k);
+            row.push(tuples as f64 / queries as f64);
+        }
+        msq_bench::print_row(k, &row);
+    }
+    println!("\nexpected shape: DRR improves for small k (complementary filters prune");
+    println!("what the corner filter misses), then flattens or dips once the per-device");
+    println!("k-tuple charge outweighs the marginal pruning — the paper's open question.");
+
+    // --- The "which" half: compare selection policies at the sweet spot.
+    let k = 3;
+    println!("\n== Which tuples? Selector comparison at k = {k} ==\n");
+    msq_bench::print_header(
+        "selector",
+        &["IN DRR".into(), "AC DRR".into()],
+    );
+    for (name, sel) in [
+        ("top-vdr", MultiFilterSelection::TopVdr),
+        ("coverage", MultiFilterSelection::GreedyCoverage),
+        ("max-spread", MultiFilterSelection::MaxSpread),
+    ] {
+        let mut row = Vec::new();
+        for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+            let mut drr = DrrAccumulator::default();
+            for seed in [11u64, 22, 33] {
+                let data = DataSpec::manet_experiment(card, 2, dist, seed).generate();
+                let net = grid_network_from_global(&data, 5, SpatialExtent::PAPER);
+                let cfg = StrategyConfig {
+                    filter: FilterStrategy::MultiDynamic { k },
+                    bounds_mode: BoundsMode::Exact,
+                    exact_bounds: vec![1000.0, 1000.0],
+                    multi_selection: sel,
+                    ..StrategyConfig::default()
+                };
+                for origin in 0..net.len() {
+                    drr.merge(&net.run_query(origin, f64::INFINITY, &cfg).metrics.drr);
+                }
+            }
+            let charged = drr.sum_unreduced as i64
+                - drr.sum_sent as i64
+                - (drr.participants * k as u64) as i64;
+            row.push(charged as f64 / drr.sum_unreduced.max(1) as f64);
+        }
+        msq_bench::print_row(name, &row);
+    }
+    println!("\nexpected: coverage ≥ spread ≥ top-vdr — complements beat clones.");
+}

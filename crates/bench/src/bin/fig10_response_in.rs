@@ -1,0 +1,16 @@
+//! Regenerates the paper's **Fig. 10** (response time, independent data).
+//! Usage: `cargo run --release --bin fig10_response_in [--full]`
+
+use datagen::Distribution;
+use msq_bench::manet_figs::{panel_a, panel_b, panel_c, Metric};
+
+fn main() {
+    let scale = msq_bench::Scale::from_args();
+    println!("== Fig. 10: response time (s) in MANET simulation, independent data ==");
+    println!("(BF: time to 80% responses; DF: token return; device CPU via cost model)");
+    panel_a(scale, Distribution::Independent, Metric::ResponseTime, "Fig. 10");
+    panel_b(scale, Distribution::Independent, Metric::ResponseTime, "Fig. 10");
+    panel_c(scale, Distribution::Independent, Metric::ResponseTime, "Fig. 10");
+    println!("\nexpected shape: BF below DF; DF deteriorates much faster with");
+    println!("dimensionality; BF improves as devices increase (more parallelism).");
+}

@@ -1,0 +1,14 @@
+//! Regenerates the paper's **Fig. 11** (response time, anti-correlated
+//! data). Usage: `cargo run --release --bin fig11_response_ac [--full]`
+
+use datagen::Distribution;
+use msq_bench::manet_figs::{panel_a, panel_b, panel_c, Metric};
+
+fn main() {
+    let scale = msq_bench::Scale::from_args();
+    println!("== Fig. 11: response time (s) in MANET simulation, anti-correlated data ==");
+    panel_a(scale, Distribution::AntiCorrelated, Metric::ResponseTime, "Fig. 11");
+    panel_b(scale, Distribution::AntiCorrelated, Metric::ResponseTime, "Fig. 11");
+    panel_c(scale, Distribution::AntiCorrelated, Metric::ResponseTime, "Fig. 11");
+    println!("\nexpected shape: like Fig. 10 but slower overall (larger AC skylines).");
+}

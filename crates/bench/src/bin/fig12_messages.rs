@@ -1,0 +1,9 @@
+//! Regenerates the paper's **Fig. 12** (query message count vs. devices).
+//! Usage: `cargo run --release --bin fig12_messages [--full]`
+
+fn main() {
+    let scale = msq_bench::Scale::from_args();
+    println!("== Fig. 12: query message count, BF vs. DF ==");
+    msq_bench::messages::run(scale);
+    println!("\nexpected shape: BF well above DF, both growing with device count.");
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's **Fig. 5** (local processing time, HS vs. FS).
+//! Usage: `cargo run --release --bin fig5_local [--full]`
+
+fn main() {
+    let scale = msq_bench::Scale::from_args();
+    let reps = 3;
+    println!("== Fig. 5: local skyline processing on a mobile device ==");
+    msq_bench::fig5::panel_a(scale, reps);
+    msq_bench::fig5::panel_b(scale, reps);
+    println!("\nexpected shape: HS below FS everywhere; both grow with cardinality");
+    println!("and (sharply) with dimensionality; AC above IN at equal size.");
+}

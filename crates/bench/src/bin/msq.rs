@@ -1,0 +1,115 @@
+//! `msq` — the command-line front end: one-off distributed queries, MANET
+//! simulations, and relation-image generation.
+//!
+//! ```text
+//! msq query    --cardinality 50000 --grid 5 --origin 12 --d 250 --strategy dynamic
+//! msq simulate --grid 5 --forwarding df --seconds 1800
+//! msq datagen  --cardinality 100000 --dist ac --out /tmp/rel.msq
+//! ```
+
+use datagen::{DataSpec, SpatialExtent};
+use dist_skyline::config::StrategyConfig;
+use dist_skyline::runtime::{run_experiment, ManetExperiment};
+use dist_skyline::static_net::grid_network_from_global;
+use msq_bench::cli::{self, Command, DataArgs};
+use skyline_core::vdr::BoundsMode;
+
+fn spec_of(d: &DataArgs) -> DataSpec {
+    DataSpec::manet_experiment(d.cardinality, d.dim, d.distribution, d.seed)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::parse(&args) {
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cli::HELP);
+            std::process::exit(2);
+        }
+        Ok(Command::Help) => print!("{}", cli::HELP),
+        Ok(Command::Query(q)) => {
+            let spec = spec_of(&q.data);
+            let net = grid_network_from_global(&spec.generate(), q.g, SpatialExtent::PAPER);
+            let cfg = StrategyConfig {
+                filter: q.strategy,
+                bounds_mode: BoundsMode::Exact,
+                exact_bounds: spec.global_upper_bounds(),
+                ..StrategyConfig::default()
+            };
+            let out = net.run_query(q.origin, q.d, &cfg);
+            println!(
+                "skyline of {} sites within d={} of device {} ({} devices):",
+                out.result.len(),
+                q.d,
+                q.origin,
+                net.len()
+            );
+            for t in &out.result {
+                println!("  ({:8.2}, {:8.2})  {:?}", t.x, t.y, t.attrs);
+            }
+            let m = &out.metrics;
+            println!(
+                "\ntuples {}  bytes {}  forwards {}  DRR {:.3}",
+                m.tuples_transferred,
+                m.bytes_transferred,
+                m.forward_messages,
+                m.drr.drr(true)
+            );
+        }
+        Ok(Command::Simulate(s)) => {
+            let mut exp = ManetExperiment::paper_defaults(
+                s.g,
+                s.data.cardinality,
+                s.data.dim,
+                s.data.distribution,
+                s.d,
+                s.data.seed,
+            );
+            exp.forwarding = s.forwarding;
+            exp.sim_seconds = s.seconds;
+            exp.frozen = s.frozen;
+            let out = run_experiment(&exp);
+            println!(
+                "{} queries ({} timed out), DRR {:.3}",
+                out.records.len(),
+                (out.timeout_fraction * out.records.len() as f64).round() as usize,
+                out.drr
+            );
+            if let Some(rt) = out.mean_response_seconds {
+                println!(
+                    "response time: mean {rt:.3} s, p50 {:.3} s, p95 {:.3} s",
+                    out.p50_response_seconds.unwrap_or(f64::NAN),
+                    out.p95_response_seconds.unwrap_or(f64::NAN)
+                );
+            }
+            println!(
+                "forward msgs/query {:.1}, result msgs/query {:.1}, {:.4} J/query",
+                out.mean_forward_messages, out.mean_result_messages, out.energy_per_query_joules
+            );
+            let n = out.net;
+            println!(
+                "network: {} frames ({} AODV / {} data / {} bcast), {:.1} kB, {:.0}% delivery",
+                n.frames_sent,
+                n.aodv_frames,
+                n.data_frames,
+                n.bcast_frames,
+                n.bytes_sent as f64 / 1024.0,
+                n.unicast_delivery_ratio() * 100.0
+            );
+        }
+        Ok(Command::Datagen(d)) => {
+            let data = spec_of(&d.data).generate();
+            let img = device_storage::encode_relation(&data);
+            if let Err(e) = std::fs::write(&d.out, &img) {
+                eprintln!("error: cannot write {}: {e}", d.out);
+                std::process::exit(1);
+            }
+            println!(
+                "wrote {} tuples ({} B image, {:.1}% of raw) to {}",
+                data.len(),
+                img.len(),
+                100.0 * img.len() as f64 / (data.len().max(1) * 8 * (d.data.dim + 2)) as f64,
+                d.out
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Runs every figure regeneration in sequence (the full benchmark
+//! harness). Usage: `cargo run --release --bin run_all [--full]`
+
+use datagen::Distribution;
+use msq_bench::manet_figs::Metric;
+
+fn main() {
+    let scale = msq_bench::Scale::from_args();
+    let t0 = std::time::Instant::now();
+
+    msq_bench::fig5::panel_a(scale, 3);
+    msq_bench::fig5::panel_b(scale, 3);
+
+    msq_bench::static_drr::panel_a(scale, Distribution::Independent, "Fig. 6");
+    msq_bench::static_drr::panel_b(scale, Distribution::Independent, "Fig. 6");
+    msq_bench::static_drr::panel_c(scale, Distribution::Independent, "Fig. 6");
+    msq_bench::static_drr::panel_a(scale, Distribution::AntiCorrelated, "Fig. 7");
+    msq_bench::static_drr::panel_b(scale, Distribution::AntiCorrelated, "Fig. 7");
+    msq_bench::static_drr::panel_c(scale, Distribution::AntiCorrelated, "Fig. 7");
+
+    for (dist, drr_fig, rt_fig) in [
+        (Distribution::Independent, "Fig. 8", "Fig. 10"),
+        (Distribution::AntiCorrelated, "Fig. 9", "Fig. 11"),
+    ] {
+        msq_bench::manet_figs::panel_a(scale, dist, Metric::Drr, drr_fig);
+        msq_bench::manet_figs::panel_b(scale, dist, Metric::Drr, drr_fig);
+        msq_bench::manet_figs::panel_c(scale, dist, Metric::Drr, drr_fig);
+        msq_bench::manet_figs::panel_a(scale, dist, Metric::ResponseTime, rt_fig);
+        msq_bench::manet_figs::panel_b(scale, dist, Metric::ResponseTime, rt_fig);
+        msq_bench::manet_figs::panel_c(scale, dist, Metric::ResponseTime, rt_fig);
+    }
+
+    msq_bench::messages::run(scale);
+
+    println!("\nall figures regenerated in {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,127 @@
+//! Fig. 5 — local skyline processing time, hybrid storage (HS) vs. flat
+//! storage (FS), on independent (IN) and anti-correlated (AC) data.
+//!
+//! Panel (a): time vs. local cardinality (2 attributes).
+//! Panel (b): time vs. dimensionality (fixed cardinality, averaged over
+//! IN and AC as in the paper).
+//!
+//! Two time columns are reported per configuration:
+//! * `host ms` — measured wall time of this Rust implementation;
+//! * `iPAQ s` — the calibrated device cost model applied to the scan's
+//!   work counters, i.e. the number the MANET response-time figures use.
+
+use datagen::{DataSpec, Distribution};
+use device_storage::{DeviceRelation, FlatRelation, HybridRelation, LocalQuery};
+use dist_skyline::cost_model::DeviceCostModel;
+use skyline_core::region::QueryRegion;
+use skyline_core::Tuple;
+use std::time::Instant;
+
+use crate::table::{csv_dir_from_args, Table};
+use crate::Scale;
+
+/// One measurement: host wall milliseconds and modelled device seconds.
+pub struct Measurement {
+    /// Host wall time (ms), median of the repetitions.
+    pub host_ms: f64,
+    /// Modelled iPAQ-class device time (s).
+    pub device_s: f64,
+    /// Skyline size (sanity check: must agree between models).
+    pub skyline_len: usize,
+}
+
+/// Runs one local skyline query `reps` times, reporting the median.
+pub fn measure<R: DeviceRelation>(rel: &R, reps: usize) -> Measurement {
+    let q = LocalQuery::plain(QueryRegion::unbounded());
+    let cost = DeviceCostModel::default();
+    let mut times = Vec::with_capacity(reps);
+    let mut out = rel.local_skyline(&q);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        out = rel.local_skyline(&q);
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Measurement {
+        host_ms: times[times.len() / 2],
+        device_s: cost.query_time(&out.stats).as_secs_f64(),
+        skyline_len: out.skyline.len(),
+    }
+}
+
+fn dataset(card: usize, dim: usize, dist: Distribution) -> Vec<Tuple> {
+    DataSpec::local_experiment(card, dim, dist, 0xF165).generate()
+}
+
+/// Panel (a): cardinality sweep.
+pub fn panel_a(scale: Scale, reps: usize) {
+    let series: Vec<String> = ["HS-IN", "FS-IN", "HS-AC", "FS-AC"]
+        .iter()
+        .flat_map(|s| [format!("{s} host ms"), format!("{s} iPAQ s")])
+        .collect();
+    let mut t = Table::new(
+        "fig5a",
+        "Fig. 5(a) — local processing time vs. cardinality (2 attrs)\n         columns: HS/FS × IN/AC; host = this machine, iPAQ = cost model",
+        "cardinality",
+        series,
+    );
+    for card in scale.local_cardinalities() {
+        let mut row = Vec::new();
+        for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+            let data = dataset(card, 2, dist);
+            let hs = measure(&HybridRelation::new(data.clone()), reps);
+            let fs = measure(&FlatRelation::new(data), reps);
+            assert_eq!(hs.skyline_len, fs.skyline_len, "models disagree");
+            row.extend([hs.host_ms, hs.device_s, fs.host_ms, fs.device_s]);
+        }
+        t.push(card, row);
+    }
+    t.emit(csv_dir_from_args().as_deref());
+}
+
+/// Panel (b): dimensionality sweep (averaged over IN and AC, as in the
+/// paper: "we show the average costs of both distributions").
+pub fn panel_b(scale: Scale, reps: usize) {
+    let card = scale.local_dim_cardinality();
+    let mut t = Table::new(
+        "fig5b",
+        format!(
+            "Fig. 5(b) — local processing time vs. dimensionality ({card} tuples)\naverage of IN and AC"
+        ),
+        "dims",
+        vec!["HS host ms".into(), "HS iPAQ s".into(), "FS host ms".into(), "FS iPAQ s".into()],
+    );
+    for dim in scale.dimensionalities() {
+        let mut hs_host = 0.0;
+        let mut hs_dev = 0.0;
+        let mut fs_host = 0.0;
+        let mut fs_dev = 0.0;
+        for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+            let data = dataset(card, dim, dist);
+            let hs = measure(&HybridRelation::new(data.clone()), reps);
+            let fs = measure(&FlatRelation::new(data), reps);
+            hs_host += hs.host_ms / 2.0;
+            hs_dev += hs.device_s / 2.0;
+            fs_host += fs.host_ms / 2.0;
+            fs_dev += fs.device_s / 2.0;
+        }
+        t.push(dim, vec![hs_host, hs_dev, fs_host, fs_dev]);
+    }
+    t.emit(csv_dir_from_args().as_deref());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hybrid_is_not_slower_in_model_terms() {
+        // The cost-model time of HS must beat FS (byte-ID comparisons +
+        // presorting beat raw-value BNL) — the core Fig. 5 claim.
+        let data = dataset(5_000, 2, Distribution::Independent);
+        let hs = measure(&HybridRelation::new(data.clone()), 1);
+        let fs = measure(&FlatRelation::new(data), 1);
+        assert!(hs.device_s < fs.device_s, "HS {} vs FS {}", hs.device_s, fs.device_s);
+        assert_eq!(hs.skyline_len, fs.skyline_len);
+    }
+}

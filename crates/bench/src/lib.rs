@@ -1,0 +1,38 @@
+//! Shared harness code for the experiment binaries that regenerate every
+//! table and figure of the paper's evaluation (Section 5).
+//!
+//! Each `src/bin/fig*.rs` binary is a thin `main` over the sweep functions
+//! here. All binaries accept `--full` to run at the paper's original scale
+//! (1M tuples, 100 devices, 2 h simulations); the default is a scaled-down
+//! configuration with the same *shape* that finishes in seconds to minutes.
+//! Output is a plain text table per figure panel, mirroring the paper's
+//! series.
+
+pub mod cli;
+pub mod fig5;
+pub mod manet_figs;
+pub mod messages;
+pub mod scale;
+pub mod static_drr;
+pub mod table;
+
+pub use scale::Scale;
+pub use table::Table;
+
+/// Prints a table header: first column label then series names.
+pub fn print_header(first: &str, series: &[String]) {
+    print!("{first:>12}");
+    for s in series {
+        print!(" {s:>14}");
+    }
+    println!();
+}
+
+/// Prints one table row.
+pub fn print_row(x: impl std::fmt::Display, values: &[f64]) {
+    print!("{x:>12}");
+    for v in values {
+        print!(" {v:>14.4}");
+    }
+    println!();
+}

@@ -1,0 +1,138 @@
+//! Figs. 8–11 — data reduction rate and response time in the simulated
+//! MANET (Section 5.2.2-II and 5.2.3).
+//!
+//! Per the paper's pre-test conclusion, the simulation uses
+//! under-estimated dominating regions with dynamic filter updates. The six
+//! series per panel are {DF, BF} forwarding × distances {100, 250, 500}.
+
+use datagen::Distribution;
+use dist_skyline::config::Forwarding;
+use dist_skyline::runtime::{run_experiment, ManetExperiment, ManetOutcome};
+
+use crate::table::{csv_dir_from_args, Table};
+use crate::Scale;
+
+/// What a panel reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Data reduction rate (Figs. 8–9).
+    Drr,
+    /// Response time in seconds (Figs. 10–11).
+    ResponseTime,
+}
+
+/// The six series of Figs. 8–11.
+pub fn series_names(scale: Scale) -> Vec<String> {
+    ["DF", "BF"]
+        .iter()
+        .flat_map(|f| scale.distances().into_iter().map(move |d| format!("{f}-{d:.0}")))
+        .collect()
+}
+
+fn experiment(
+    scale: Scale,
+    g: usize,
+    card: usize,
+    dim: usize,
+    dist: Distribution,
+    fwd: Forwarding,
+    d: f64,
+) -> ManetExperiment {
+    let mut exp = ManetExperiment::paper_defaults(g, card, dim, dist, d, 0x8_11);
+    exp.forwarding = fwd;
+    exp.sim_seconds = scale.sim_seconds();
+    exp
+}
+
+fn metric_of(out: &ManetOutcome, metric: Metric) -> f64 {
+    match metric {
+        Metric::Drr => out.drr,
+        Metric::ResponseTime => out.mean_response_seconds.unwrap_or(f64::NAN),
+    }
+}
+
+fn row(scale: Scale, g: usize, card: usize, dim: usize, dist: Distribution, metric: Metric) -> Vec<f64> {
+    let mut vals = Vec::new();
+    for fwd in [Forwarding::DepthFirst, Forwarding::BreadthFirst] {
+        for d in scale.distances() {
+            let out = run_experiment(&experiment(scale, g, card, dim, dist, fwd, d));
+            vals.push(metric_of(&out, metric));
+        }
+    }
+    vals
+}
+
+/// Panel (a): metric vs. global cardinality.
+pub fn panel_a(scale: Scale, dist: Distribution, metric: Metric, fig: &str) {
+    let g = scale.manet_grid();
+    let mut t = Table::new(
+        format!("{}a_{metric:?}_{dist:?}", fig.to_lowercase().replace([' ', '.'], "")),
+        format!("{fig}(a) — {metric:?} vs. cardinality ({dist:?}, 2 attrs, {} devices)", g * g),
+        "cardinality",
+        series_names(scale),
+    );
+    for card in scale.manet_cardinalities() {
+        t.push(card, row(scale, g, card, 2, dist, metric));
+    }
+    t.emit(csv_dir_from_args().as_deref());
+}
+
+/// Panel (b): metric vs. dimensionality. The quick scale shrinks the
+/// relation as dimensionality grows (see [`Scale`]); the row label shows
+/// the cardinality actually used.
+pub fn panel_b(scale: Scale, dist: Distribution, metric: Metric, fig: &str) {
+    let g = scale.manet_grid();
+    let mut t = Table::new(
+        format!("{}b_{metric:?}_{dist:?}", fig.to_lowercase().replace([' ', '.'], "")),
+        format!("{fig}(b) — {metric:?} vs. dimensionality ({dist:?}, {} devices)", g * g),
+        "dims@card",
+        series_names(scale),
+    );
+    for dim in scale.dimensionalities() {
+        let card = scale.manet_cardinality_for_dim(dim);
+        t.push(format!("{dim}@{card}"), row(scale, g, card, dim, dist, metric));
+    }
+    t.emit(csv_dir_from_args().as_deref());
+}
+
+/// Panel (c): metric vs. number of devices.
+pub fn panel_c(scale: Scale, dist: Distribution, metric: Metric, fig: &str) {
+    let card = scale.manet_fixed_cardinality();
+    let mut t = Table::new(
+        format!("{}c_{metric:?}_{dist:?}", fig.to_lowercase().replace([' ', '.'], "")),
+        format!("{fig}(c) — {metric:?} vs. devices ({dist:?}, {card} tuples, 2 attrs)"),
+        "devices",
+        series_names(scale),
+    );
+    for g in scale.grid_sides() {
+        t.push(g * g, row(scale, g, card, 2, dist, metric));
+    }
+    t.emit(csv_dir_from_args().as_deref());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_series_per_scale() {
+        assert_eq!(series_names(Scale::Quick).len(), 6);
+    }
+
+    #[test]
+    fn tiny_manet_run_produces_finite_drr() {
+        let mut exp = experiment(
+            Scale::Quick,
+            3,
+            5_000,
+            2,
+            Distribution::Independent,
+            Forwarding::BreadthFirst,
+            250.0,
+        );
+        exp.sim_seconds = 300.0;
+        let out = run_experiment(&exp);
+        assert!(out.drr.is_finite());
+        assert!(out.drr <= 1.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Fig. 12 — query message count vs. number of mobile devices, BF vs. DF.
+//!
+//! The paper found cardinality, dimensionality, and distribution have
+//! little impact on the message count, so a single sweep over the device
+//! count suffices. Counts are app-level query-forward messages per query
+//! (BF counted per recipient; see `dist-skyline::runtime`).
+
+use datagen::Distribution;
+use dist_skyline::config::Forwarding;
+use dist_skyline::runtime::{run_experiment, ManetExperiment};
+
+use crate::table::{csv_dir_from_args, Table};
+use crate::Scale;
+
+/// Runs the Fig. 12 sweep.
+pub fn run(scale: Scale) {
+    let card = scale.manet_fixed_cardinality();
+    let mut t = Table::new(
+        "fig12",
+        format!("Fig. 12 — query message count vs. devices ({card} tuples, 2 attrs, d = 250)"),
+        "devices",
+        vec!["BF".into(), "DF".into(), "BF aodv".into(), "DF aodv".into()],
+    );
+    for g in scale.grid_sides() {
+        let mut vals = Vec::new();
+        let mut aodv = Vec::new();
+        for fwd in [Forwarding::BreadthFirst, Forwarding::DepthFirst] {
+            let mut exp = ManetExperiment::paper_defaults(
+                g,
+                card,
+                2,
+                Distribution::Independent,
+                250.0,
+                0x000F_1612,
+            );
+            exp.forwarding = fwd;
+            exp.sim_seconds = scale.sim_seconds();
+            let out = run_experiment(&exp);
+            vals.push(out.mean_forward_messages);
+            let nq = out.records.len().max(1) as f64;
+            aodv.push(out.net.aodv_frames as f64 / nq);
+        }
+        t.push(g * g, vec![vals[0], vals[1], aodv[0], aodv[1]]);
+    }
+    t.emit(csv_dir_from_args().as_deref());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dist_skyline::cost_model::DeviceCostModel;
+
+    #[test]
+    fn bf_floods_more_than_df_on_a_frozen_grid() {
+        let mk = |fwd| {
+            let mut exp = ManetExperiment::paper_defaults(
+                4,
+                5_000,
+                2,
+                Distribution::Independent,
+                f64::INFINITY,
+                3,
+            );
+            exp.forwarding = fwd;
+            exp.frozen = true;
+            exp.radio.range_m = 300.0;
+            exp.sim_seconds = 400.0;
+            exp.queries_per_device = (1, 1);
+            exp.cost = DeviceCostModel::free();
+            run_experiment(&exp)
+        };
+        let bf = mk(Forwarding::BreadthFirst);
+        let df = mk(Forwarding::DepthFirst);
+        assert!(
+            bf.mean_forward_messages > df.mean_forward_messages,
+            "BF {} should exceed DF {}",
+            bf.mean_forward_messages,
+            df.mean_forward_messages
+        );
+    }
+}

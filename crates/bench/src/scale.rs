@@ -1,0 +1,144 @@
+//! Experiment scale: scaled-down defaults vs. the paper's full parameters
+//! (Tables 6 and 7).
+
+/// Which parameter grid to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Scaled-down grid (same shape, minutes of wall time).
+    Quick,
+    /// The paper's parameters (1M tuples, 100 devices, 2 h simulations).
+    Full,
+}
+
+impl Scale {
+    /// Parses process arguments: `--full` selects [`Scale::Full`].
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Fig. 5(a): local-relation cardinalities (paper: 10K … 100K).
+    pub fn local_cardinalities(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![10_000, 20_000, 30_000, 40_000, 50_000],
+            Scale::Full => (1..=10).map(|k| k * 10_000).collect(),
+        }
+    }
+
+    /// Fig. 5(b): local cardinality for the dimensionality sweep
+    /// (paper: 50K).
+    pub fn local_dim_cardinality(self) -> usize {
+        match self {
+            Scale::Quick => 20_000,
+            Scale::Full => 50_000,
+        }
+    }
+
+    /// Figs. 6–7(a): global cardinalities (paper: 100K … 1M).
+    pub fn global_cardinalities(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![100_000, 200_000, 300_000],
+            Scale::Full => (1..=10).map(|k| k * 100_000).collect(),
+        }
+    }
+
+    /// Figs. 6–7(b,c): global cardinality for the dimensionality and
+    /// device-count sweeps (paper: 500K).
+    pub fn global_fixed_cardinality(self) -> usize {
+        match self {
+            Scale::Quick => 200_000,
+            Scale::Full => 500_000,
+        }
+    }
+
+    /// Attribute dimensionalities (paper: 2 … 5).
+    pub fn dimensionalities(self) -> Vec<usize> {
+        vec![2, 3, 4, 5]
+    }
+
+    /// Cardinality for the *static* dimensionality panels. Skyline sizes
+    /// explode with dimensionality (especially anti-correlated), so the
+    /// quick grid uses one smaller constant cardinality across all
+    /// dimensionalities — small enough that even the 5-attribute
+    /// anti-correlated case stays tractable on one core, constant so the
+    /// DRR-vs-dims trend is not confounded. `Full` uses the paper's 500K.
+    pub fn global_cardinality_for_dim(self, _dim: usize) -> usize {
+        match self {
+            Scale::Quick => 50_000,
+            Scale::Full => 500_000,
+        }
+    }
+
+    /// Cardinality for the *MANET* dimensionality panels (same rationale).
+    pub fn manet_cardinality_for_dim(self, _dim: usize) -> usize {
+        match self {
+            Scale::Quick => 50_000,
+            Scale::Full => 500_000,
+        }
+    }
+
+    /// Grid sides; `m = g²` devices (paper: 3 … 10).
+    pub fn grid_sides(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![3, 5, 7, 10],
+            Scale::Full => (3..=10).collect(),
+        }
+    }
+
+    /// Figs. 8–11: MANET global cardinalities.
+    pub fn manet_cardinalities(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![50_000, 100_000, 200_000],
+            Scale::Full => (1..=10).map(|k| k * 100_000).collect(),
+        }
+    }
+
+    /// Figs. 8–11(b,c): fixed MANET cardinality.
+    pub fn manet_fixed_cardinality(self) -> usize {
+        match self {
+            Scale::Quick => 100_000,
+            Scale::Full => 500_000,
+        }
+    }
+
+    /// MANET simulation horizon in seconds (paper: 7200).
+    pub fn sim_seconds(self) -> f64 {
+        match self {
+            Scale::Quick => 1_800.0,
+            Scale::Full => 7_200.0,
+        }
+    }
+
+    /// Default grid side for MANET cardinality/dimensionality sweeps
+    /// (paper: 5 → 25 devices).
+    pub fn manet_grid(self) -> usize {
+        5
+    }
+
+    /// Distances of interest (paper: 100, 250, 500).
+    pub fn distances(self) -> Vec<f64> {
+        vec![100.0, 250.0, 500.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper_grid() {
+        assert_eq!(Scale::Full.local_cardinalities().len(), 10);
+        assert_eq!(Scale::Full.global_cardinalities().last(), Some(&1_000_000));
+        assert_eq!(Scale::Full.grid_sides(), vec![3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(Scale::Full.sim_seconds(), 7200.0);
+    }
+
+    #[test]
+    fn quick_scale_is_smaller() {
+        assert!(Scale::Quick.global_cardinalities().len() < 10);
+        assert!(Scale::Quick.sim_seconds() < Scale::Full.sim_seconds());
+    }
+}

@@ -1,0 +1,218 @@
+//! The Bitmap skyline algorithm [Tan, Eng, Ooi — VLDB 2001], one of the
+//! progressive algorithms the paper's related work cites.
+//!
+//! Every point's dimension values are rank-encoded; per dimension and per
+//! distinct value the algorithm keeps a bit-slice marking the points whose
+//! value is `≤` that value. A point `t` is then a skyline member iff
+//!
+//! ```text
+//! D(t) = (∧_k LE_k(t)) ∧ (∨_k LT_k(t)) = ∅
+//! ```
+//!
+//! where `LE_k(t)` is the slice of points no worse than `t` on dimension
+//! `k` and `LT_k(t)` the strictly-better slice. `D(t)` is exactly the set
+//! of points dominating `t`, so emptiness decides membership with pure
+//! bitwise operations — fast per test, but the slices cost
+//! `O(n · Σ_k distinct_k)` bits, which is the space trade-off the original
+//! paper acknowledges (and one more reason lightweight devices prefer the
+//! ID-based scan).
+
+use crate::tuple::Tuple;
+
+/// A dense bitset over point indices, in 64-bit words.
+#[derive(Clone)]
+struct Bits {
+    words: Vec<u64>,
+}
+
+impl Bits {
+    fn zeros(n: usize) -> Self {
+        Bits { words: vec![0; n.div_ceil(64)] }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// `self &= other`
+    fn and_assign(&mut self, other: &Bits) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self |= other & mask` — used to accumulate `∨_k LT_k` under the
+    /// running `∧ LE` mask cheaply.
+    fn or_assign(&mut self, other: &Bits) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    fn any_and(&self, other: &Bits) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+}
+
+/// Per-dimension rank structure: sorted distinct values plus one prefix
+/// bit-slice per distinct value (`slice[r]` = points with rank ≤ r).
+struct Dimension {
+    /// `ranks[i]` — rank of point `i`'s value among the sorted distinct
+    /// values of this dimension.
+    ranks: Vec<usize>,
+    /// `le_slices[r]` — bitset of points with rank ≤ r.
+    le_slices: Vec<Bits>,
+}
+
+impl Dimension {
+    fn build(values: &[f64]) -> Self {
+        let n = values.len();
+        let mut distinct: Vec<f64> = values.to_vec();
+        distinct.sort_by(|a, b| a.partial_cmp(b).expect("NaN attribute value"));
+        distinct.dedup();
+        let rank_of = |v: f64| -> usize {
+            distinct
+                .binary_search_by(|d| d.partial_cmp(&v).expect("NaN attribute value"))
+                .expect("value must be present")
+        };
+        let ranks: Vec<usize> = values.iter().map(|&v| rank_of(v)).collect();
+
+        // Build prefix slices: slice[r] = slice[r-1] | {points with rank r}.
+        let mut le_slices: Vec<Bits> = Vec::with_capacity(distinct.len());
+        let mut acc = Bits::zeros(n);
+        let mut by_rank: Vec<Vec<usize>> = vec![Vec::new(); distinct.len()];
+        for (i, &r) in ranks.iter().enumerate() {
+            by_rank[r].push(i);
+        }
+        for members in &by_rank {
+            for &i in members {
+                acc.set(i);
+            }
+            le_slices.push(acc.clone());
+        }
+        Dimension { ranks, le_slices }
+    }
+
+    /// Points with value ≤ point `i`'s value.
+    fn le(&self, i: usize) -> &Bits {
+        &self.le_slices[self.ranks[i]]
+    }
+
+    /// Points with value < point `i`'s value (`None` when `i` has the
+    /// smallest value).
+    fn lt(&self, i: usize) -> Option<&Bits> {
+        let r = self.ranks[i];
+        if r == 0 {
+            None
+        } else {
+            Some(&self.le_slices[r - 1])
+        }
+    }
+}
+
+/// Exact skyline via the bitmap technique. Returns indices into `data`,
+/// ascending.
+pub fn skyline_indices(data: &[Tuple]) -> Vec<usize> {
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let dim = data[0].dim();
+    let dims: Vec<Dimension> = (0..dim)
+        .map(|k| Dimension::build(&data.iter().map(|t| t.attrs[k]).collect::<Vec<_>>()))
+        .collect();
+
+    let mut out = Vec::new();
+    for i in 0..n {
+        // E = ∧_k LE_k(i): points no worse than i everywhere.
+        let mut e = dims[0].le(i).clone();
+        for d in &dims[1..] {
+            e.and_assign(d.le(i));
+        }
+        // S = ∨_k LT_k(i): points strictly better than i somewhere.
+        let mut s = Bits::zeros(n);
+        for d in &dims {
+            if let Some(lt) = d.lt(i) {
+                s.or_assign(lt);
+            }
+        }
+        // Dominators of i: E ∧ S. Empty ⇒ skyline.
+        if !e.any_and(&s) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::oracle;
+
+    fn tuples(rows: &[&[f64]]) -> Vec<Tuple> {
+        rows.iter()
+            .enumerate()
+            .map(|(i, r)| Tuple::new(i as f64, 0.0, r.to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_oracle_on_table2() {
+        let data = tuples(&[
+            &[20.0, 7.0],
+            &[40.0, 5.0],
+            &[80.0, 7.0],
+            &[80.0, 4.0],
+            &[100.0, 7.0],
+            &[100.0, 3.0],
+        ]);
+        assert_eq!(skyline_indices(&data), oracle::skyline_indices(&data));
+    }
+
+    #[test]
+    fn handles_ties_and_duplicates() {
+        let data = tuples(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 2.0], &[2.0, 1.0]]);
+        // Duplicates dominate nobody and are dominated by nobody.
+        assert_eq!(skyline_indices(&data), vec![0, 1]);
+    }
+
+    #[test]
+    fn matches_oracle_on_pseudorandom_3d() {
+        let data: Vec<Tuple> = (0..300)
+            .map(|i| {
+                let f = |m: usize| ((i * m) % 31) as f64;
+                Tuple::new(i as f64, 0.0, vec![f(7), f(13), f(29)])
+            })
+            .collect();
+        assert_eq!(skyline_indices(&data), oracle::skyline_indices(&data));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(skyline_indices(&[]).is_empty());
+        let one = tuples(&[&[5.0, 5.0]]);
+        assert_eq!(skyline_indices(&one), vec![0]);
+    }
+
+    #[test]
+    fn single_dimension() {
+        let data = tuples(&[&[3.0], &[1.0], &[1.0], &[2.0]]);
+        assert_eq!(skyline_indices(&data), vec![1, 2]);
+    }
+
+    #[test]
+    fn bits_operations() {
+        let mut a = Bits::zeros(130);
+        a.set(0);
+        a.set(64);
+        a.set(129);
+        let mut b = Bits::zeros(130);
+        b.set(64);
+        assert!(a.any_and(&b));
+        let mut c = a.clone();
+        c.and_assign(&b);
+        assert!(c.any_and(&a));
+        assert!(!Bits::zeros(130).any_and(&a));
+    }
+}

@@ -1,0 +1,175 @@
+//! Block-Nested-Loops skyline [Börzsönyi, Kossmann, Stocker, ICDE 2001].
+//!
+//! This is the algorithm the paper runs on **flat storage** ("For the FS
+//! scheme, we use the simple BNL algorithm since no multi-dimensional index
+//! or sort order is assumed to be available on a mobile device").
+//!
+//! Two variants:
+//!
+//! * [`skyline_indices`] — the common in-memory formulation with an
+//!   unbounded window (one pass);
+//! * [`skyline_indices_windowed`] — the faithful multi-pass formulation with
+//!   a bounded window, modelling a device whose working memory holds only
+//!   `window` candidate tuples. Overflowing tuples are deferred to the next
+//!   pass, exactly as BNL spills to a temp file. Used by the memory-pressure
+//!   ablation bench.
+
+use crate::dominance::dominates;
+use crate::tuple::Tuple;
+
+/// One-pass BNL with an unbounded window. Returns indices in input order of
+/// first qualification.
+pub fn skyline_indices(data: &[Tuple]) -> Vec<usize> {
+    let mut window: Vec<usize> = Vec::new();
+    for (i, t) in data.iter().enumerate() {
+        let mut dominated = false;
+        // retain() both prunes window members the newcomer dominates and
+        // detects whether the newcomer is itself dominated.
+        window.retain(|&w| {
+            if dominated {
+                return true;
+            }
+            if dominates(&data[w].attrs, &t.attrs) {
+                dominated = true;
+                true
+            } else {
+                !dominates(&t.attrs, &data[w].attrs)
+            }
+        });
+        if !dominated {
+            window.push(i);
+        }
+    }
+    window.sort_unstable();
+    window
+}
+
+/// Multi-pass BNL with a window of at most `window` candidates.
+///
+/// Tuples that are incomparable to a full window are written to the
+/// "overflow" set and reconsidered in the next pass; window members that
+/// survive a whole pass in which they were inserted before any overflow
+/// tuple was read are confirmed skyline points. We use the simple
+/// timestamping scheme from the original paper.
+///
+/// # Panics
+/// Panics when `window == 0`.
+pub fn skyline_indices_windowed(data: &[Tuple], window: usize) -> Vec<usize> {
+    assert!(window > 0, "BNL window must hold at least one tuple");
+    let mut result: Vec<usize> = Vec::new();
+    // Current input for this pass: indices into `data`.
+    let mut input: Vec<usize> = (0..data.len()).collect();
+
+    while !input.is_empty() {
+        // (index, timestamp) pairs; the timestamp is the position in the
+        // pass at which the tuple entered the window.
+        let mut win: Vec<(usize, usize)> = Vec::with_capacity(window);
+        let mut overflow: Vec<usize> = Vec::new();
+        let mut first_overflow_pos: Option<usize> = None;
+
+        for (pos, &idx) in input.iter().enumerate() {
+            let t = &data[idx];
+            let mut dominated = false;
+            win.retain(|&(w, _)| {
+                if dominated {
+                    return true;
+                }
+                if dominates(&data[w].attrs, &t.attrs) {
+                    dominated = true;
+                    true
+                } else {
+                    !dominates(&t.attrs, &data[w].attrs)
+                }
+            });
+            if dominated {
+                continue;
+            }
+            if win.len() < window {
+                win.push((idx, pos));
+            } else {
+                if first_overflow_pos.is_none() {
+                    first_overflow_pos = Some(pos);
+                }
+                overflow.push(idx);
+            }
+        }
+
+        // Window members inserted before the first overflow tuple was read
+        // have been compared against every surviving tuple of the pass: they
+        // are skyline points. Later insertions must be replayed with the
+        // overflow (they may be dominated by a tuple that overflowed before
+        // they entered). Replayed members go *in front* so they are seen
+        // before the tuples they have not yet been compared with.
+        let cutoff = first_overflow_pos.unwrap_or(usize::MAX);
+        let mut next_input: Vec<usize> = Vec::new();
+        for &(idx, ts) in &win {
+            if ts < cutoff {
+                result.push(idx);
+            } else {
+                next_input.push(idx);
+            }
+        }
+        next_input.extend(overflow);
+        input = next_input;
+    }
+
+    result.sort_unstable();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::oracle;
+
+    fn anti_correlated(n: usize) -> Vec<Tuple> {
+        // Deterministic pseudo-random anti-correlated points: x + y ~ const.
+        (0..n)
+            .map(|i| {
+                let a = ((i * 2654435761) % 1000) as f64;
+                let b = 1000.0 - a + ((i * 40503) % 17) as f64;
+                Tuple::new(i as f64, 0.0, vec![a, b])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_oracle_on_anti_correlated() {
+        let data = anti_correlated(300);
+        assert_eq!(skyline_indices(&data), oracle::skyline_indices(&data));
+    }
+
+    #[test]
+    fn windowed_matches_unbounded_for_various_windows() {
+        let data = anti_correlated(200);
+        let expect = skyline_indices(&data);
+        for w in [1, 2, 3, 7, 16, 64, 1024] {
+            assert_eq!(skyline_indices_windowed(&data, w), expect, "window {w}");
+        }
+    }
+
+    #[test]
+    fn windowed_handles_all_skyline_input() {
+        // Every tuple is a skyline point; forces maximal overflow churn.
+        let data: Vec<Tuple> = (0..50)
+            .map(|i| Tuple::new(i as f64, 0.0, vec![i as f64, (49 - i) as f64]))
+            .collect();
+        let expect: Vec<usize> = (0..50).collect();
+        assert_eq!(skyline_indices_windowed(&data, 4), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn windowed_rejects_zero_window() {
+        skyline_indices_windowed(&[], 0);
+    }
+
+    #[test]
+    fn dominated_prefix_is_pruned() {
+        let data = vec![
+            Tuple::new(0.0, 0.0, vec![5.0, 5.0]),
+            Tuple::new(1.0, 0.0, vec![1.0, 1.0]),
+        ];
+        assert_eq!(skyline_indices(&data), vec![1]);
+    }
+}

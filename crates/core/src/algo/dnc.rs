@@ -1,0 +1,118 @@
+//! Divide-and-Conquer skyline [Börzsönyi, Kossmann, Stocker, ICDE 2001].
+//!
+//! Practical formulation: split on the median of the first attribute,
+//! recurse, then cross-filter the two partial skylines. Because the split is
+//! on one attribute only (with ties landing on either side), the merge
+//! filters **both** directions, which keeps the algorithm exact for any
+//! dimensionality at the cost of a slightly larger merge.
+
+use crate::dominance::dominates;
+use crate::tuple::Tuple;
+
+/// Below this size the recursion bottoms out into a quadratic scan.
+const LEAF_SIZE: usize = 32;
+
+/// Exact skyline via divide & conquer. Returns indices into `data`,
+/// ascending.
+pub fn skyline_indices(data: &[Tuple]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    let mut out = solve(data, &mut idx);
+    out.sort_unstable();
+    out
+}
+
+fn solve(data: &[Tuple], idx: &mut [usize]) -> Vec<usize> {
+    if idx.len() <= LEAF_SIZE {
+        return leaf(data, idx);
+    }
+    // Median split on attribute 0 (any attribute works; 0 keeps it simple
+    // and matches the textbook description).
+    let mid = idx.len() / 2;
+    idx.select_nth_unstable_by(mid, |&a, &b| {
+        data[a].attrs[0]
+            .partial_cmp(&data[b].attrs[0])
+            .expect("NaN attribute value")
+            .then(a.cmp(&b))
+    });
+    let (lo, hi) = idx.split_at_mut(mid);
+    let left = solve(data, lo);
+    let right = solve(data, hi);
+    merge(data, left, right)
+}
+
+fn leaf(data: &[Tuple], idx: &[usize]) -> Vec<usize> {
+    let mut out: Vec<usize> = Vec::new();
+    for &i in idx {
+        let mut dominated = false;
+        out.retain(|&o| {
+            if dominated {
+                return true;
+            }
+            if dominates(&data[o].attrs, &data[i].attrs) {
+                dominated = true;
+                true
+            } else {
+                !dominates(&data[i].attrs, &data[o].attrs)
+            }
+        });
+        if !dominated {
+            out.push(i);
+        }
+    }
+    out
+}
+
+fn merge(data: &[Tuple], left: Vec<usize>, right: Vec<usize>) -> Vec<usize> {
+    // Keep right members not dominated by any left member, and vice versa.
+    // (Left members *can* be dominated by right members when attribute-0
+    // values tie across the split.)
+    let survives = |i: usize, others: &[usize]| {
+        others.iter().all(|&o| !dominates(&data[o].attrs, &data[i].attrs))
+    };
+    let mut out: Vec<usize> =
+        left.iter().copied().filter(|&i| survives(i, &right)).collect();
+    out.extend(right.iter().copied().filter(|&i| survives(i, &left)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::oracle;
+
+    fn clustered(n: usize) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                let a = ((i * 2246822519u64 as usize) % 50) as f64; // few distinct values → many ties
+                let b = ((i * 374761393) % 500) as f64;
+                Tuple::new(i as f64, 0.0, vec![a, b])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_oracle_with_heavy_ties() {
+        let data = clustered(500);
+        assert_eq!(skyline_indices(&data), oracle::skyline_indices(&data));
+    }
+
+    #[test]
+    fn matches_oracle_above_leaf_size_4d() {
+        let data: Vec<Tuple> = (0..300)
+            .map(|i| {
+                let f = |m: usize| ((i * m) % 211) as f64;
+                Tuple::new(i as f64, 0.0, vec![f(7), f(13), f(31), f(101)])
+            })
+            .collect();
+        assert_eq!(skyline_indices(&data), oracle::skyline_indices(&data));
+    }
+
+    #[test]
+    fn all_equal_first_attribute() {
+        // Degenerate split: every tuple ties on attribute 0.
+        let data: Vec<Tuple> = (0..100)
+            .map(|i| Tuple::new(i as f64, 0.0, vec![1.0, (i % 10) as f64]))
+            .collect();
+        assert_eq!(skyline_indices(&data), oracle::skyline_indices(&data));
+    }
+}

@@ -1,0 +1,168 @@
+//! The Index skyline algorithm [Tan, Eng, Ooi — VLDB 2001], the second
+//! progressive algorithm the paper's related work cites.
+//!
+//! Data transformation: every point is assigned to the *list* of the
+//! dimension holding its minimum value and ordered within that list by that
+//! minimum. The lists are consumed in lock-step by ascending minimum value;
+//! a point's minimum value lower-bounds all of its coordinates, so once the
+//! current scan value `v` satisfies `v ≥ max_k(candidate_k)` for every
+//! current skyline candidate … more precisely, the batch structure lets the
+//! scan stop as soon as every remaining list's next minimum is no smaller
+//! than some candidate's *maximum* coordinate, because any remaining point
+//! is then dominated. Within the scan, each batch of equal-minimum points
+//! is checked against the running skyline only.
+//!
+//! This formulation keeps the published algorithm's two key properties —
+//! progressiveness (skyline points are confirmed during the scan) and
+//! early termination — without the B⁺-tree machinery (our lists are sorted
+//! vectors, which a bulk-loaded B⁺-tree degenerates to for a static
+//! relation).
+
+use crate::dominance::dominates;
+use crate::tuple::Tuple;
+
+/// Exact skyline via the index method. Returns indices into `data`,
+/// ascending.
+pub fn skyline_indices(data: &[Tuple]) -> Vec<usize> {
+    let n = data.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let dim = data[0].dim();
+
+    // Transformation: list per dimension, entries (min_value, index),
+    // sorted ascending by min_value.
+    let mut lists: Vec<Vec<(f64, usize)>> = vec![Vec::new(); dim];
+    for (i, t) in data.iter().enumerate() {
+        let (k, v) = t
+            .attrs
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN attribute value"))
+            .expect("non-zero dimensionality");
+        lists[k].push((v, i));
+    }
+    for l in &mut lists {
+        l.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN attribute value"));
+    }
+
+    let mut cursors = vec![0usize; dim];
+    let mut skyline: Vec<usize> = Vec::new();
+    // Early-termination bound: the smallest over current skyline members of
+    // their maximum coordinate. Any point whose *minimum* coordinate is ≥
+    // this bound is dominated (the member is ≤ it on every dimension, and
+    // strictly on at least the member's max-coordinate dimension unless the
+    // point ties everywhere — ties are handled by the explicit check).
+    let mut stop_bound = f64::INFINITY;
+
+    loop {
+        // Pick the list whose next entry has the smallest min value.
+        let mut best: Option<(f64, usize)> = None;
+        for (k, l) in lists.iter().enumerate() {
+            if let Some(&(v, _)) = l.get(cursors[k]) {
+                if best.is_none_or(|(bv, _)| v < bv) {
+                    best = Some((v, k));
+                }
+            }
+        }
+        let Some((v, k)) = best else { break };
+        if v > stop_bound {
+            break; // everything left is dominated
+        }
+
+        // Process the whole equal-value batch of list k. Members of one
+        // batch share their minimum value and can dominate *each other*
+        // (e.g. (1,1,1) dominates (1,1,14)), so the batch is first reduced
+        // against the running skyline and then against itself.
+        let l = &lists[k];
+        let mut end = cursors[k];
+        while end < l.len() && l[end].0 == v {
+            end += 1;
+        }
+        let candidates: Vec<usize> = l[cursors[k]..end]
+            .iter()
+            .filter(|&&(_, i)| {
+                !skyline.iter().any(|&s| dominates(&data[s].attrs, &data[i].attrs))
+            })
+            .map(|&(_, i)| i)
+            .collect();
+        for &i in &candidates {
+            let dominated_in_batch = candidates
+                .iter()
+                .any(|&j| j != i && dominates(&data[j].attrs, &data[i].attrs));
+            if dominated_in_batch {
+                continue;
+            }
+            skyline.push(i);
+            let max_coord = data[i].attrs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            stop_bound = stop_bound.min(max_coord);
+        }
+        cursors[k] = end;
+    }
+
+    skyline.sort_unstable();
+    skyline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::oracle;
+
+    fn pseudo(n: usize, dim: usize) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                let attrs = (0..dim).map(|k| ((i * (2 * k + 7)) % 53) as f64).collect();
+                Tuple::new(i as f64, 0.0, attrs)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_oracle_2d() {
+        let data = pseudo(400, 2);
+        assert_eq!(skyline_indices(&data), oracle::skyline_indices(&data));
+    }
+
+    #[test]
+    fn matches_oracle_4d() {
+        let data = pseudo(300, 4);
+        assert_eq!(skyline_indices(&data), oracle::skyline_indices(&data));
+    }
+
+    #[test]
+    fn handles_all_equal_points() {
+        let data: Vec<Tuple> =
+            (0..5).map(|i| Tuple::new(i as f64, 0.0, vec![2.0, 2.0])).collect();
+        assert_eq!(skyline_indices(&data), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn early_termination_is_safe_with_ties_on_bound() {
+        // A point whose minimum equals the stop bound exactly must still be
+        // examined (it may tie rather than be dominated).
+        let data = vec![
+            Tuple::new(0.0, 0.0, vec![1.0, 3.0]), // max 3 → bound 3
+            Tuple::new(1.0, 0.0, vec![3.0, 3.0]), // min 3: dominated by #0
+            Tuple::new(2.0, 0.0, vec![3.0, 1.0]), // min 1: incomparable
+        ];
+        assert_eq!(skyline_indices(&data), oracle::skyline_indices(&data));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(skyline_indices(&[]).is_empty());
+    }
+
+    #[test]
+    fn anti_correlated_stress() {
+        let data: Vec<Tuple> = (0..500)
+            .map(|i| {
+                let a = ((i * 2654435761usize) % 997) as f64;
+                Tuple::new(i as f64, 0.0, vec![a, 997.0 - a])
+            })
+            .collect();
+        assert_eq!(skyline_indices(&data), oracle::skyline_indices(&data));
+    }
+}

@@ -1,0 +1,189 @@
+//! The Nearest-Neighbor skyline algorithm [Kossmann, Ramsak, Rost — VLDB
+//! 2002], cited by the paper's related work: "It identifies skyline points
+//! by recursively invoking R*-tree based depth-first NN search over
+//! different data portions."
+//!
+//! The algorithm keeps a *to-do list* of regions (axis-aligned boxes open
+//! at the origin, described by per-dimension upper bounds). For each
+//! region it finds the nearest point to the origin (L1 metric) among the
+//! points strictly inside; that point is a skyline member, and the region
+//! is split into `n` subregions, the `k`-th bounding dimension `k` by the
+//! found point's coordinate. Points discovered through different regions
+//! can repeat, so results are deduplicated — the original paper's
+//! "laisser-faire" strategy.
+//!
+//! NN searches run over the same bulk-loaded [R-tree](crate::rtree) BBS
+//! uses, with box-intersection pruning. BBS is the better algorithm (one
+//! traversal, no duplicates) — NN is here because the paper cites it and
+//! the `algorithms` bench quantifies exactly why BBS superseded it.
+
+use crate::dominance::dominates;
+use crate::rtree::{RTree, Step};
+use crate::tuple::Tuple;
+
+/// Exact skyline via the NN method. Returns indices into `data`,
+/// ascending.
+pub fn skyline_indices(data: &[Tuple]) -> Vec<usize> {
+    let points: Vec<Vec<f64>> = data.iter().map(|t| t.attrs.clone()).collect();
+    let tree = RTree::bulk_load(&points);
+    skyline_indices_with_tree(data, &tree)
+}
+
+/// NN method over a pre-built tree (must index exactly `data`'s
+/// attributes).
+pub fn skyline_indices_with_tree(data: &[Tuple], tree: &RTree) -> Vec<usize> {
+    let Some(first) = data.first() else {
+        return Vec::new();
+    };
+    let dim = first.dim();
+
+    // A region: points p with p_k < bounds[k] on every dimension (the
+    // strictness keeps the found NN itself out of its subregions). The
+    // initial region is unbounded.
+    let mut todo: Vec<Vec<f64>> = vec![vec![f64::INFINITY; dim]];
+    let mut skyline: Vec<usize> = Vec::new();
+
+    while let Some(bounds) = todo.pop() {
+        let Some(nn) = nearest_in_region(data, tree, &bounds) else {
+            continue;
+        };
+        // The NN of a region is not dominated by anything inside the
+        // region, but a point from a *different* region may dominate it
+        // through ties; the final dedup/dominance pass settles that. Dedup
+        // against already-found members first (regions overlap).
+        if !skyline.contains(&nn) {
+            skyline.push(nn);
+        }
+        // Split: subregion k caps dimension k at the NN's value.
+        for k in 0..dim {
+            let cap = data[nn].attrs[k];
+            if cap <= 0.0 && bounds[k] <= 0.0 {
+                continue;
+            }
+            let mut sub = bounds.clone();
+            if cap < sub[k] {
+                sub[k] = cap;
+                todo.push(sub);
+            }
+        }
+    }
+
+    // Overlapping subregions can admit points that are dominated only by
+    // members found in sibling regions through attribute ties; one final
+    // pairwise pass removes them (mirrors the original paper's cleanup).
+    let mut survivors: Vec<usize> = skyline
+        .iter()
+        .copied()
+        .filter(|&i| {
+            !skyline
+                .iter()
+                .any(|&j| j != i && dominates(&data[j].attrs, &data[i].attrs))
+        })
+        .collect();
+
+    // The strict region bounds admit only one representative of a set of
+    // attribute-identical tuples; recover the twins so the result matches
+    // skyline semantics (equal vectors are mutually non-dominating).
+    let mut extra: Vec<usize> = Vec::new();
+    for (i, t) in data.iter().enumerate() {
+        if !survivors.contains(&i) && survivors.iter().any(|&s| data[s].attrs == t.attrs) {
+            extra.push(i);
+        }
+    }
+    survivors.extend(extra);
+    survivors.sort_unstable();
+    survivors.dedup();
+    survivors
+}
+
+/// Index of the L1-nearest point to the origin strictly inside the open
+/// region `p_k < bounds[k] ∀k`, or `None` when the region holds no point.
+fn nearest_in_region(data: &[Tuple], tree: &RTree, bounds: &[f64]) -> Option<usize> {
+    let inside =
+        |attrs: &[f64]| attrs.iter().zip(bounds).all(|(&v, &b)| v < b);
+    let mut bf = tree.best_first_iter();
+    while let Some(step) = bf.next_step() {
+        match step {
+            Step::Node(bbox, token) => {
+                // A node can contain region points only if its lower corner
+                // is inside the (downward-closed) region.
+                if inside(&bbox.min) {
+                    bf.expand(token);
+                }
+            }
+            Step::Point { index, .. } => {
+                let i = index as usize;
+                if inside(&data[i].attrs) {
+                    return Some(i); // first hit in mindist order = NN
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::oracle;
+
+    fn pseudo(n: usize, dim: usize) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                let attrs = (0..dim).map(|k| ((i * (3 * k + 17)) % 71) as f64).collect();
+                Tuple::new(i as f64, 0.0, attrs)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_oracle_2d() {
+        let data = pseudo(300, 2);
+        assert_eq!(skyline_indices(&data), oracle::skyline_indices(&data));
+    }
+
+    #[test]
+    fn matches_oracle_3d() {
+        let data = pseudo(200, 3);
+        assert_eq!(skyline_indices(&data), oracle::skyline_indices(&data));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(skyline_indices(&[]).is_empty());
+        assert_eq!(skyline_indices(&pseudo(1, 2)), vec![0]);
+    }
+
+    #[test]
+    fn anti_correlated() {
+        let data: Vec<Tuple> = (0..300)
+            .map(|i| {
+                let a = ((i * 48271) % 293) as f64;
+                Tuple::new(i as f64, 0.0, vec![a, 293.0 - a])
+            })
+            .collect();
+        assert_eq!(skyline_indices(&data), oracle::skyline_indices(&data));
+    }
+
+    #[test]
+    fn ties_on_attributes() {
+        let data = vec![
+            Tuple::new(0.0, 0.0, vec![1.0, 2.0]),
+            Tuple::new(1.0, 0.0, vec![1.0, 2.0]), // duplicate attrs
+            Tuple::new(2.0, 0.0, vec![2.0, 1.0]),
+            Tuple::new(3.0, 0.0, vec![1.0, 3.0]), // dominated via tie
+            Tuple::new(4.0, 0.0, vec![2.0, 2.0]), // dominated
+        ];
+        assert_eq!(skyline_indices(&data), oracle::skyline_indices(&data));
+    }
+
+    #[test]
+    fn zero_valued_attributes() {
+        let data = vec![
+            Tuple::new(0.0, 0.0, vec![0.0, 5.0]),
+            Tuple::new(1.0, 0.0, vec![5.0, 0.0]),
+            Tuple::new(2.0, 0.0, vec![3.0, 3.0]),
+        ];
+        assert_eq!(skyline_indices(&data), oracle::skyline_indices(&data));
+    }
+}

@@ -1,0 +1,52 @@
+//! Brute-force reference skyline: the oracle every other algorithm is
+//! tested against.
+//!
+//! `O(n²)` all-pairs dominance, no cleverness, no shared state — the whole
+//! point is that its correctness is obvious.
+
+use crate::dominance::dominates;
+use crate::tuple::Tuple;
+
+/// Indices of all tuples not dominated by any other tuple.
+pub fn skyline_indices(data: &[Tuple]) -> Vec<usize> {
+    (0..data.len())
+        .filter(|&i| {
+            data.iter()
+                .enumerate()
+                .all(|(j, other)| j == i || !dominates(&other.attrs, &data[i].attrs))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_on_tiny_input() {
+        let data = vec![
+            Tuple::new(0.0, 0.0, vec![1.0, 9.0]),
+            Tuple::new(1.0, 0.0, vec![9.0, 1.0]),
+            Tuple::new(2.0, 0.0, vec![9.0, 9.0]),
+        ];
+        assert_eq!(skyline_indices(&data), vec![0, 1]);
+    }
+
+    #[test]
+    fn oracle_keeps_equal_vectors() {
+        let data = vec![
+            Tuple::new(0.0, 0.0, vec![2.0]),
+            Tuple::new(1.0, 0.0, vec![2.0]),
+        ];
+        assert_eq!(skyline_indices(&data), vec![0, 1]);
+    }
+
+    #[test]
+    fn oracle_on_chain() {
+        // A totally ordered chain: only the minimum survives.
+        let data: Vec<Tuple> = (0..10)
+            .map(|i| Tuple::new(i as f64, 0.0, vec![i as f64, i as f64]))
+            .collect();
+        assert_eq!(skyline_indices(&data), vec![0]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Incremental skyline assembly (Section 4.3 of the paper).
+//!
+//! The query originator merges each incoming local result `SK'_i` into its
+//! running result `SK_org` with a nested loop that (a) removes duplicates —
+//! identified by the `(x, y)` values alone, since no two sites share a
+//! location — and (b) resolves dominance in *both* directions: an incoming
+//! tuple may evict previously accepted tuples and vice versa.
+
+use crate::dominance::dominates;
+use crate::tuple::Tuple;
+
+/// Running merge state on the query originator.
+///
+/// ```
+/// use skyline_core::{SkylineMerger, Tuple};
+///
+/// let mut m = SkylineMerger::new();
+/// m.insert(Tuple::new(0.0, 0.0, vec![5.0, 5.0]));
+/// m.insert(Tuple::new(1.0, 1.0, vec![1.0, 1.0])); // evicts the first
+/// assert_eq!(m.result().len(), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SkylineMerger {
+    current: Vec<Tuple>,
+    /// Duplicates dropped so far (for metrics: overlap between partitions).
+    pub duplicates_removed: u64,
+    /// Tuples rejected or evicted because they were dominated.
+    pub dominated_removed: u64,
+}
+
+impl SkylineMerger {
+    /// Empty merger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merger seeded with the originator's own local skyline. The seed is
+    /// inserted tuple by tuple, so it need not be internally minimal.
+    pub fn with_seed(seed: Vec<Tuple>) -> Self {
+        let mut m = Self::new();
+        m.insert_batch(seed);
+        m
+    }
+
+    /// Inserts one incoming tuple. Returns `true` when the tuple was
+    /// accepted into the current skyline.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        // Duplicate site check first: an exact copy of an already accepted
+        // site must not be compared for dominance with itself.
+        if self.current.iter().any(|c| c.same_site(&t)) {
+            self.duplicates_removed += 1;
+            return false;
+        }
+        let mut dominated = false;
+        let before = self.current.len();
+        self.current.retain(|c| {
+            if dominated {
+                return true;
+            }
+            if dominates(&c.attrs, &t.attrs) {
+                dominated = true;
+                true
+            } else {
+                !dominates(&t.attrs, &c.attrs)
+            }
+        });
+        self.dominated_removed += (before - self.current.len()) as u64;
+        if dominated {
+            self.dominated_removed += 1;
+            false
+        } else {
+            self.current.push(t);
+            true
+        }
+    }
+
+    /// Inserts every tuple of an incoming local result.
+    pub fn insert_batch<I: IntoIterator<Item = Tuple>>(&mut self, batch: I) {
+        for t in batch {
+            self.insert(t);
+        }
+    }
+
+    /// Current merged skyline.
+    pub fn result(&self) -> &[Tuple] {
+        &self.current
+    }
+
+    /// Consumes the merger, returning the final skyline.
+    pub fn into_result(self) -> Vec<Tuple> {
+        self.current
+    }
+
+    /// Number of tuples currently held.
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// `true` when no tuple has been accepted.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{self, Algorithm};
+
+    #[test]
+    fn duplicates_counted_and_dropped() {
+        let mut m = SkylineMerger::new();
+        let t = Tuple::new(1.0, 2.0, vec![3.0, 4.0]);
+        assert!(m.insert(t.clone()));
+        assert!(!m.insert(t));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.duplicates_removed, 1);
+    }
+
+    #[test]
+    fn incoming_tuple_evicts_dominated_members() {
+        let mut m = SkylineMerger::new();
+        m.insert(Tuple::new(0.0, 0.0, vec![5.0, 5.0]));
+        m.insert(Tuple::new(1.0, 0.0, vec![6.0, 4.0]));
+        assert!(m.insert(Tuple::new(2.0, 0.0, vec![1.0, 1.0])));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.dominated_removed, 2);
+    }
+
+    #[test]
+    fn dominated_incoming_tuple_is_rejected() {
+        let mut m = SkylineMerger::new();
+        m.insert(Tuple::new(0.0, 0.0, vec![1.0, 1.0]));
+        assert!(!m.insert(Tuple::new(1.0, 0.0, vec![2.0, 2.0])));
+        assert_eq!(m.dominated_removed, 1);
+    }
+
+    #[test]
+    fn batched_merge_equals_centralized_skyline() {
+        // Merging partition-local skylines must reproduce the skyline of the
+        // deduplicated union, in any arrival order.
+        let shared = Tuple::new(50.0, 50.0, vec![3.0, 3.0]);
+        let p1 = vec![
+            Tuple::new(0.0, 0.0, vec![1.0, 9.0]),
+            shared.clone(),
+            Tuple::new(1.0, 0.0, vec![8.0, 8.0]),
+        ];
+        let p2 = vec![
+            Tuple::new(2.0, 0.0, vec![9.0, 1.0]),
+            shared.clone(),
+            Tuple::new(3.0, 0.0, vec![2.0, 8.5]),
+        ];
+
+        let mut union: Vec<Tuple> = p1.clone();
+        union.extend(p2.iter().filter(|t| !t.same_site(&shared)).cloned());
+        let expect_idx = Algorithm::Bnl.skyline_indices(&union);
+        let mut expect = algo::materialize(&union, &expect_idx);
+
+        for order in [[0usize, 1], [1, 0]] {
+            let parts = [&p1, &p2];
+            let mut m = SkylineMerger::new();
+            for &i in &order {
+                m.insert_batch(parts[i].iter().cloned());
+            }
+            let mut got = m.into_result();
+            let key = |t: &Tuple| (t.x.to_bits(), t.y.to_bits());
+            got.sort_by_key(key);
+            expect.sort_by_key(key);
+            assert_eq!(got, expect, "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_merger_minimizes_seed() {
+        let seed = vec![
+            Tuple::new(0.0, 0.0, vec![5.0]),
+            Tuple::new(1.0, 0.0, vec![1.0]),
+        ];
+        let m = SkylineMerger::with_seed(seed);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.result()[0].attrs, vec![1.0]);
+    }
+
+    #[test]
+    fn empty_state_queries() {
+        let m = SkylineMerger::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert!(m.result().is_empty());
+    }
+}

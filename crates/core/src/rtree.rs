@@ -1,0 +1,534 @@
+//! An n-dimensional point R-tree, bulk-loaded with Sort-Tile-Recursive
+//! (STR) packing — the index substrate for the BBS skyline algorithm
+//! [Papadias et al., SIGMOD 2003] that the paper's related work cites as
+//! the optimal centralized method.
+//!
+//! The tree indexes *points in attribute space* (not geography): BBS
+//! searches it best-first by `mindist` to the origin. It is deliberately
+//! read-only — relations on devices are static between queries, so a
+//! packed, arena-allocated tree is both simpler and faster than a dynamic
+//! R*-tree, and bulk loading produces near-optimal node utilization.
+
+/// Maximum entries per node.
+pub const NODE_CAPACITY: usize = 32;
+
+/// An axis-aligned n-dimensional bounding box.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NdBox {
+    /// Lower corner (componentwise minimum).
+    pub min: Vec<f64>,
+    /// Upper corner (componentwise maximum).
+    pub max: Vec<f64>,
+}
+
+impl NdBox {
+    /// Box covering exactly one point.
+    pub fn of_point(p: &[f64]) -> Self {
+        NdBox { min: p.to_vec(), max: p.to_vec() }
+    }
+
+    /// Grows the box to cover `p`.
+    pub fn extend_point(&mut self, p: &[f64]) {
+        for ((mn, mx), &v) in self.min.iter_mut().zip(&mut self.max).zip(p) {
+            if v < *mn {
+                *mn = v;
+            }
+            if v > *mx {
+                *mx = v;
+            }
+        }
+    }
+
+    /// Grows the box to cover `other`.
+    pub fn extend_box(&mut self, other: &NdBox) {
+        self.extend_point(&other.min.clone());
+        self.extend_point(&other.max.clone());
+    }
+
+    /// L1 distance from the all-minima origin to the lower corner — the
+    /// BBS priority ("mindist").
+    pub fn mindist(&self) -> f64 {
+        self.min.iter().sum()
+    }
+
+    /// `true` when `p` lies inside the box.
+    pub fn contains(&self, p: &[f64]) -> bool {
+        self.min.iter().zip(&self.max).zip(p).all(|((mn, mx), v)| v >= mn && v <= mx)
+    }
+}
+
+/// Node payload: child nodes or point entries.
+#[derive(Debug)]
+enum NodeKind {
+    /// (index into the point array, point mindist) pairs.
+    Leaf(Vec<(u32, f64)>),
+    /// Indices into the node arena.
+    Inner(Vec<u32>),
+}
+
+/// One tree node.
+#[derive(Debug)]
+struct Node {
+    bbox: NdBox,
+    kind: NodeKind,
+}
+
+/// A packed, immutable n-dimensional point R-tree.
+#[derive(Debug)]
+pub struct RTree {
+    nodes: Vec<Node>,
+    root: Option<u32>,
+    dim: usize,
+    len: usize,
+}
+
+impl RTree {
+    /// Bulk-loads the tree over `points` (each of equal dimensionality).
+    pub fn bulk_load(points: &[Vec<f64>]) -> Self {
+        let dim = points.first().map_or(0, Vec::len);
+        assert!(points.iter().all(|p| p.len() == dim), "mixed dimensionality");
+        let mut tree = RTree { nodes: Vec::new(), root: None, dim, len: points.len() };
+        if points.is_empty() {
+            return tree;
+        }
+
+        // Leaf level: STR-tile the point indices.
+        let idx: Vec<u32> = (0..points.len() as u32).collect();
+        let leaf_groups = str_tile(idx, 0, dim, NODE_CAPACITY, &|i| &points[*i as usize]);
+        let mut level: Vec<u32> = leaf_groups
+            .into_iter()
+            .map(|group| {
+                let mut bbox = NdBox::of_point(&points[group[0] as usize]);
+                for &i in &group[1..] {
+                    bbox.extend_point(&points[i as usize]);
+                }
+                let entries: Vec<(u32, f64)> = group
+                    .into_iter()
+                    .map(|i| (i, points[i as usize].iter().sum()))
+                    .collect();
+                tree.push(Node { bbox, kind: NodeKind::Leaf(entries) })
+            })
+            .collect();
+
+        // Upper levels: STR-tile node lower corners until one root remains.
+        while level.len() > 1 {
+            let corners: Vec<Vec<f64>> =
+                level.iter().map(|&n| tree.nodes[n as usize].bbox.min.clone()).collect();
+            let positions: Vec<u32> = (0..level.len() as u32).collect();
+            let groups = str_tile(positions, 0, dim, NODE_CAPACITY, &|i| &corners[*i as usize]);
+            level = groups
+                .into_iter()
+                .map(|group| {
+                    let children: Vec<u32> = group.iter().map(|&g| level[g as usize]).collect();
+                    let mut bbox = tree.nodes[children[0] as usize].bbox.clone();
+                    for &c in &children[1..] {
+                        let b = tree.nodes[c as usize].bbox.clone();
+                        bbox.extend_box(&b);
+                    }
+                    tree.push(Node { bbox, kind: NodeKind::Inner(children) })
+                })
+                .collect();
+        }
+        tree.root = Some(level[0]);
+        tree
+    }
+
+    fn push(&mut self, node: Node) -> u32 {
+        self.nodes.push(node);
+        (self.nodes.len() - 1) as u32
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no point is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of the indexed points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The root's bounding box (None when empty).
+    pub fn bounds(&self) -> Option<&NdBox> {
+        self.root.map(|r| &self.nodes[r as usize].bbox)
+    }
+
+    /// Visits the tree best-first by `mindist`. The callback receives every
+    /// node box (before expansion) and every point entry in global mindist
+    /// order; returning `false` on a node prunes its whole subtree, on a
+    /// point it merely drops that point. Used by BBS.
+    pub fn best_first<F>(&self, mut visit: F)
+    where
+        F: FnMut(Visit<'_>) -> bool,
+    {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        /// Heap entry: (mindist, tie-break seq, payload).
+        #[derive(PartialEq)]
+        struct Entry {
+            key: f64,
+            seq: u64,
+            node: Option<u32>,
+            point: Option<u32>,
+        }
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.key
+                    .partial_cmp(&other.key)
+                    .expect("NaN mindist")
+                    .then(self.seq.cmp(&other.seq))
+            }
+        }
+
+        let Some(root) = self.root else { return };
+        let mut seq = 0u64;
+        let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+        heap.push(Reverse(Entry {
+            key: self.nodes[root as usize].bbox.mindist(),
+            seq,
+            node: Some(root),
+            point: None,
+        }));
+
+        while let Some(Reverse(e)) = heap.pop() {
+            if let Some(p) = e.point {
+                visit(Visit::Point { index: p, mindist: e.key });
+                continue;
+            }
+            let node = &self.nodes[e.node.expect("node entry") as usize];
+            if !visit(Visit::Node(&node.bbox)) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    for &(p, key) in entries {
+                        seq += 1;
+                        heap.push(Reverse(Entry { key, seq, node: None, point: Some(p) }));
+                    }
+                }
+                NodeKind::Inner(children) => {
+                    for &c in children {
+                        seq += 1;
+                        heap.push(Reverse(Entry {
+                            key: self.nodes[c as usize].bbox.mindist(),
+                            seq,
+                            node: Some(c),
+                            point: None,
+                        }));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl RTree {
+    /// Depth-first traversal pruned by a box predicate: descends into a
+    /// node only when `intersects(box)` holds and calls `visit(point
+    /// index)` for every point whose leaf survived. The classic R-tree
+    /// range query, generic over the region shape (the box test is the
+    /// caller's, so circles, rectangles, and half-spaces all work).
+    ///
+    /// Note: `intersects` prunes *subtrees*; points inside a surviving leaf
+    /// are reported without an individual test — the caller filters exact
+    /// membership.
+    pub fn visit_intersecting<I, V>(&self, mut intersects: I, mut visit: V)
+    where
+        I: FnMut(&NdBox) -> bool,
+        V: FnMut(u32),
+    {
+        let Some(root) = self.root else { return };
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n as usize];
+            if !intersects(&node.bbox) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    for &(p, _) in entries {
+                        visit(p);
+                    }
+                }
+                NodeKind::Inner(children) => stack.extend(children.iter().copied()),
+            }
+        }
+    }
+}
+
+/// A pull-based best-first traversal: the caller pops [`Step`]s one at a
+/// time and decides per node whether to expand it — the engine behind
+/// progressive skyline iterators (BBS yields results as they are found).
+pub struct BestFirst<'a> {
+    tree: &'a RTree,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<HeapEntry>>,
+    seq: u64,
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    key: f64,
+    seq: u64,
+    node: Option<u32>,
+    point: Option<u32>,
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key
+            .partial_cmp(&other.key)
+            .expect("NaN mindist")
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// What a [`BestFirst`] pop produced.
+pub enum Step<'a> {
+    /// A node in mindist order; pass the token to [`BestFirst::expand`] to
+    /// descend, or drop it to prune the subtree.
+    Node(&'a NdBox, NodeToken),
+    /// A point entry in global mindist order.
+    Point {
+        /// Index into the bulk-loaded point array.
+        index: u32,
+        /// The point's L1 distance from the origin.
+        mindist: f64,
+    },
+}
+
+/// Opaque ticket identifying a poppped node; consumed by
+/// [`BestFirst::expand`].
+pub struct NodeToken(u32);
+
+impl<'a> BestFirst<'a> {
+    /// Pops the next entry in mindist order (None when exhausted).
+    pub fn next_step(&mut self) -> Option<Step<'a>> {
+        let std::cmp::Reverse(e) = self.heap.pop()?;
+        if let Some(p) = e.point {
+            return Some(Step::Point { index: p, mindist: e.key });
+        }
+        let id = e.node.expect("node entry");
+        Some(Step::Node(&self.tree.nodes[id as usize].bbox, NodeToken(id)))
+    }
+
+    /// Expands a previously popped node, pushing its children.
+    pub fn expand(&mut self, token: NodeToken) {
+        match &self.tree.nodes[token.0 as usize].kind {
+            NodeKind::Leaf(entries) => {
+                for &(p, key) in entries {
+                    self.seq += 1;
+                    self.heap.push(std::cmp::Reverse(HeapEntry {
+                        key,
+                        seq: self.seq,
+                        node: None,
+                        point: Some(p),
+                    }));
+                }
+            }
+            NodeKind::Inner(children) => {
+                for &c in children {
+                    self.seq += 1;
+                    self.heap.push(std::cmp::Reverse(HeapEntry {
+                        key: self.tree.nodes[c as usize].bbox.mindist(),
+                        seq: self.seq,
+                        node: Some(c),
+                        point: None,
+                    }));
+                }
+            }
+        }
+    }
+}
+
+impl RTree {
+    /// Starts a pull-based best-first traversal.
+    pub fn best_first_iter(&self) -> BestFirst<'_> {
+        let mut heap = std::collections::BinaryHeap::new();
+        if let Some(root) = self.root {
+            heap.push(std::cmp::Reverse(HeapEntry {
+                key: self.nodes[root as usize].bbox.mindist(),
+                seq: 0,
+                node: Some(root),
+                point: None,
+            }));
+        }
+        BestFirst { tree: self, heap, seq: 0 }
+    }
+}
+
+/// One best-first traversal event.
+#[derive(Debug)]
+pub enum Visit<'a> {
+    /// A node box is about to be expanded; return `false` to prune it.
+    Node(&'a NdBox),
+    /// A point entry popped in global mindist order.
+    Point {
+        /// Index into the bulk-loaded point array.
+        index: u32,
+        /// The point's L1 distance from the origin.
+        mindist: f64,
+    },
+}
+
+/// Recursively STR-tiles `items` into groups of at most `cap`, cycling
+/// through the sort dimensions.
+fn str_tile<'a, T: Copy, F>(mut items: Vec<T>, axis: usize, dim: usize, cap: usize, coord: &'a F) -> Vec<Vec<T>>
+where
+    F: Fn(&T) -> &'a [f64] + 'a,
+{
+    if items.len() <= cap {
+        return vec![items];
+    }
+    items.sort_by(|a, b| {
+        coord(a)[axis]
+            .partial_cmp(&coord(b)[axis])
+            .expect("NaN coordinate")
+    });
+    // Number of vertical slabs ≈ ⌈(n/cap)^(1/remaining_dims)⌉ per STR; with
+    // recursion over axes a simple square-root split per level works well.
+    let groups_needed = items.len().div_ceil(cap);
+    let slabs = (groups_needed as f64).sqrt().ceil() as usize;
+    let per_slab = items.len().div_ceil(slabs);
+    let next_axis = (axis + 1) % dim.max(1);
+    items
+        .chunks(per_slab)
+        .flat_map(|slab| str_tile(slab.to_vec(), next_axis, dim, cap, coord))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points(n: usize, dim: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..dim).map(|k| ((i * (3 * k + 11)) % 101) as f64).collect())
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_covers_all_points() {
+        let pts = points(500, 3);
+        let tree = RTree::bulk_load(&pts);
+        assert_eq!(tree.len(), 500);
+        let bounds = tree.bounds().unwrap();
+        for p in &pts {
+            assert!(bounds.contains(p), "root box must cover every point");
+        }
+    }
+
+    #[test]
+    fn best_first_emits_points_in_mindist_order_without_pruning() {
+        let pts = points(300, 2);
+        let tree = RTree::bulk_load(&pts);
+        let mut seen: Vec<u32> = Vec::new();
+        tree.best_first(|v| {
+            if let Visit::Point { index, .. } = v {
+                seen.push(index);
+            }
+            true
+        });
+        assert_eq!(seen.len(), 300, "every point visited exactly once");
+        let dists: Vec<f64> = seen.iter().map(|&i| pts[i as usize].iter().sum()).collect();
+        for w in dists.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "mindist order violated: {w:?}");
+        }
+    }
+
+    #[test]
+    fn node_pruning_skips_subtrees() {
+        let pts = points(400, 2);
+        let tree = RTree::bulk_load(&pts);
+        let mut visited_points = 0usize;
+        // Prune every node whose lower corner is beyond a threshold.
+        tree.best_first(|v| match v {
+            Visit::Node(b) => b.mindist() < 60.0,
+            Visit::Point { .. } => {
+                visited_points += 1;
+                true
+            }
+        });
+        assert!(visited_points < 400, "pruning must cut some points");
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = RTree::bulk_load(&[]);
+        assert!(tree.is_empty());
+        assert!(tree.bounds().is_none());
+        tree.best_first(|v| match v {
+            Visit::Node(_) => true,
+            Visit::Point { .. } => panic!("no points to visit"),
+        });
+    }
+
+    #[test]
+    fn single_point() {
+        let tree = RTree::bulk_load(&[vec![3.0, 4.0]]);
+        let mut got = Vec::new();
+        tree.best_first(|v| {
+            if let Visit::Point { index, mindist } = v {
+                got.push((index, mindist));
+            }
+            true
+        });
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn visit_intersecting_finds_exactly_the_range() {
+        let pts = points(400, 2);
+        let tree = RTree::bulk_load(&pts);
+        // Rectangle query [20, 60] × [10, 50].
+        let (lo, hi) = ([20.0, 10.0], [60.0, 50.0]);
+        let mut got: Vec<u32> = Vec::new();
+        tree.visit_intersecting(
+            |b| b.min[0] <= hi[0] && b.max[0] >= lo[0] && b.min[1] <= hi[1] && b.max[1] >= lo[1],
+            |p| got.push(p),
+        );
+        // Candidates are a superset; exact filtering is the caller's job.
+        let exact: Vec<u32> = (0..pts.len() as u32)
+            .filter(|&i| {
+                let p = &pts[i as usize];
+                p[0] >= lo[0] && p[0] <= hi[0] && p[1] >= lo[1] && p[1] <= hi[1]
+            })
+            .collect();
+        for e in &exact {
+            assert!(got.contains(e), "range query lost point {e}");
+        }
+        // And pruning actually happened.
+        assert!(got.len() < pts.len());
+    }
+
+    #[test]
+    fn ndbox_operations() {
+        let mut b = NdBox::of_point(&[1.0, 5.0]);
+        b.extend_point(&[3.0, 2.0]);
+        assert_eq!(b.min, vec![1.0, 2.0]);
+        assert_eq!(b.max, vec![3.0, 5.0]);
+        assert_eq!(b.mindist(), 3.0);
+        assert!(b.contains(&[2.0, 3.0]));
+        assert!(!b.contains(&[0.0, 3.0]));
+        let mut c = NdBox::of_point(&[10.0, 10.0]);
+        c.extend_box(&b);
+        assert_eq!(c.min, vec![1.0, 2.0]);
+        assert_eq!(c.max, vec![10.0, 10.0]);
+    }
+}

@@ -1,0 +1,126 @@
+//! The tuple model shared by every crate in the workspace.
+//!
+//! A [`Tuple`] is one row of a device's local relation `R_i`: a site location
+//! `(x, y)` plus `n` non-spatial attributes `p_1 … p_n` (smaller is better).
+
+use crate::region::Point;
+
+/// One row of schema `⟨x, y, p_1 … p_n⟩`.
+///
+/// `attrs` holds the non-spatial attributes only; the location is kept apart
+/// because it never takes part in dominance comparisons (Section 2 of the
+/// paper: spatial constraints are *not* involved in the skyline operation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    /// Site x-coordinate.
+    pub x: f64,
+    /// Site y-coordinate.
+    pub y: f64,
+    /// Non-spatial attributes `p_1 … p_n`, all minimized.
+    pub attrs: Vec<f64>,
+}
+
+impl Tuple {
+    /// Creates a tuple at `(x, y)` with the given non-spatial attributes.
+    pub fn new(x: f64, y: f64, attrs: Vec<f64>) -> Self {
+        Tuple { x, y, attrs }
+    }
+
+    /// Number of non-spatial attributes (`n` in the paper).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Site location as a [`Point`].
+    #[inline]
+    pub fn location(&self) -> Point {
+        Point::new(self.x, self.y)
+    }
+
+    /// Squared Euclidean distance from the site to `p`.
+    ///
+    /// Kept squared so range checks can avoid the `sqrt` (compare against
+    /// `d²`), which matters on the lightweight devices the paper targets.
+    #[inline]
+    pub fn dist2(&self, p: Point) -> f64 {
+        let dx = self.x - p.x;
+        let dy = self.y - p.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance from the site to `p`.
+    #[inline]
+    pub fn dist(&self, p: Point) -> f64 {
+        self.dist2(p).sqrt()
+    }
+
+    /// `true` when both tuples describe the same site.
+    ///
+    /// The paper assumes no two distinct sites share a location, so location
+    /// equality identifies duplicates introduced by overlapping partitions
+    /// (`R_i ∩ R_j ≠ ∅`). Exact float comparison is intentional: duplicated
+    /// rows are bit-for-bit copies of the same site record.
+    #[inline]
+    pub fn same_site(&self, other: &Tuple) -> bool {
+        self.x == other.x && self.y == other.y
+    }
+
+    /// Bytes this tuple occupies on the wireless link.
+    ///
+    /// The paper never states a wire format; we charge 8 bytes per field
+    /// (two coordinates + `n` attributes), the size of an uncompressed f64
+    /// column value. Configurable framing overhead is added by the transport
+    /// layer, not here.
+    #[inline]
+    pub fn wire_size(&self) -> usize {
+        8 * (self.attrs.len() + 2)
+    }
+}
+
+/// Wire size of a batch of tuples (no framing).
+pub fn batch_wire_size(tuples: &[Tuple]) -> usize {
+    tuples.iter().map(Tuple::wire_size).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_reports_attribute_count() {
+        let t = Tuple::new(1.0, 2.0, vec![3.0, 4.0, 5.0]);
+        assert_eq!(t.dim(), 3);
+    }
+
+    #[test]
+    fn dist_and_dist2_agree() {
+        let t = Tuple::new(3.0, 4.0, vec![]);
+        let origin = Point::new(0.0, 0.0);
+        assert_eq!(t.dist2(origin), 25.0);
+        assert_eq!(t.dist(origin), 5.0);
+    }
+
+    #[test]
+    fn same_site_ignores_attributes() {
+        let a = Tuple::new(1.0, 2.0, vec![10.0]);
+        let b = Tuple::new(1.0, 2.0, vec![99.0]);
+        let c = Tuple::new(1.0, 2.5, vec![10.0]);
+        assert!(a.same_site(&b));
+        assert!(!a.same_site(&c));
+    }
+
+    #[test]
+    fn wire_size_counts_location_and_attrs() {
+        let t = Tuple::new(0.0, 0.0, vec![1.0, 2.0]);
+        assert_eq!(t.wire_size(), 8 * 4);
+        assert_eq!(batch_wire_size(&[t.clone(), t]), 64);
+    }
+
+    #[test]
+    fn location_round_trips() {
+        let t = Tuple::new(7.0, -2.0, vec![]);
+        let p = t.location();
+        assert_eq!((p.x, p.y), (7.0, -2.0));
+    }
+}

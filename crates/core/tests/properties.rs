@@ -1,0 +1,258 @@
+//! Property-based tests for the core skyline machinery.
+//!
+//! These pin down the algebraic laws the rest of the workspace relies on:
+//! dominance is a strict partial order, every algorithm equals the
+//! brute-force oracle, incremental merging is order-insensitive, and the
+//! VDR estimation modes are ordered.
+
+use proptest::prelude::*;
+use skyline_core::algo::{self, oracle, Algorithm};
+use skyline_core::dominance::{dominates, paper_strict_dominates_rest};
+use skyline_core::region::{Mbr, Point, QueryRegion};
+use skyline_core::vdr::{select_filter, vdr_volume, FilterTest, UpperBounds};
+use skyline_core::{constrained, SkylineMerger, Tuple};
+
+/// Strategy: a relation of up to `max` tuples with `dim` attributes drawn
+/// from a small integer grid (ties are the interesting case).
+fn relation(max: usize, dim: usize) -> impl Strategy<Value = Vec<Tuple>> {
+    prop::collection::vec(prop::collection::vec(0u16..40, dim), 0..max).prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, attrs)| {
+                // Unique locations: sites are identified by (x, y).
+                Tuple::new(i as f64, (i * 7 % 13) as f64, attrs.into_iter().map(f64::from).collect())
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn dominance_is_a_strict_partial_order(
+        a in prop::collection::vec(0u8..20, 3),
+        b in prop::collection::vec(0u8..20, 3),
+        c in prop::collection::vec(0u8..20, 3),
+    ) {
+        let (a, b, c): (Vec<f64>, Vec<f64>, Vec<f64>) = (
+            a.into_iter().map(f64::from).collect(),
+            b.into_iter().map(f64::from).collect(),
+            c.into_iter().map(f64::from).collect(),
+        );
+        // Irreflexive.
+        prop_assert!(!dominates(&a, &a));
+        // Asymmetric.
+        if dominates(&a, &b) {
+            prop_assert!(!dominates(&b, &a));
+        }
+        // Transitive.
+        if dominates(&a, &b) && dominates(&b, &c) {
+            prop_assert!(dominates(&a, &c));
+        }
+    }
+
+    #[test]
+    fn paper_strict_test_is_sound(
+        a in prop::collection::vec(0u8..20, 3),
+        b in prop::collection::vec(0u8..20, 3),
+    ) {
+        let (a, b): (Vec<f64>, Vec<f64>) = (
+            a.into_iter().map(f64::from).collect(),
+            b.into_iter().map(f64::from).collect(),
+        );
+        // Under the scan invariant a.p1 <= b.p1, the strict rest-test never
+        // claims dominance that the full test denies.
+        if a[0] <= b[0] && paper_strict_dominates_rest(&a, &b) {
+            prop_assert!(dominates(&a, &b));
+        }
+    }
+
+    #[test]
+    fn all_algorithms_match_oracle(data in relation(60, 3)) {
+        let expect = oracle::skyline_indices(&data);
+        for a in Algorithm::ALL {
+            prop_assert_eq!(algo::normalize(a.skyline_indices(&data)), expect.clone(), "{:?}", a);
+        }
+    }
+
+    #[test]
+    fn windowed_bnl_matches_for_any_window(data in relation(40, 2), window in 1usize..8) {
+        let expect = skyline_core::algo::bnl::skyline_indices(&data);
+        prop_assert_eq!(
+            skyline_core::algo::bnl::skyline_indices_windowed(&data, window),
+            expect
+        );
+    }
+
+    #[test]
+    fn skyline_members_are_mutually_non_dominating(data in relation(60, 3)) {
+        let sky = Algorithm::Bnl.skyline_indices(&data);
+        for &i in &sky {
+            for &j in &sky {
+                if i != j {
+                    prop_assert!(!dominates(&data[i].attrs, &data[j].attrs));
+                }
+            }
+        }
+        // And every non-member is dominated by some member.
+        for k in 0..data.len() {
+            if !sky.contains(&k) {
+                prop_assert!(sky.iter().any(|&s| dominates(&data[s].attrs, &data[k].attrs)));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_order_insensitive(data in relation(40, 2), seed in any::<u64>()) {
+        let mut a = SkylineMerger::new();
+        a.insert_batch(data.iter().cloned());
+
+        // A cheap deterministic shuffle.
+        let mut shuffled = data.clone();
+        let n = shuffled.len();
+        if n > 1 {
+            let mut s = seed;
+            for i in (1..n).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (s >> 33) as usize % (i + 1);
+                shuffled.swap(i, j);
+            }
+        }
+        let mut b = SkylineMerger::new();
+        b.insert_batch(shuffled);
+
+        let key = |t: &Tuple| (t.x.to_bits(), t.y.to_bits());
+        let mut ra = a.into_result();
+        let mut rb = b.into_result();
+        ra.sort_by_key(key);
+        rb.sort_by_key(key);
+        prop_assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn merging_local_skylines_reproduces_global(data in relation(60, 3), cut in 0usize..60) {
+        let cut = cut.min(data.len());
+        let (p1, p2) = data.split_at(cut);
+        let s1 = algo::materialize(p1, &Algorithm::Sfs.skyline_indices(p1));
+        let s2 = algo::materialize(p2, &Algorithm::Sfs.skyline_indices(p2));
+        let mut m = SkylineMerger::new();
+        m.insert_batch(s1);
+        m.insert_batch(s2);
+        let mut got = m.into_result();
+
+        let mut expect = algo::materialize(&data, &Algorithm::Bnl.skyline_indices(&data));
+        let key = |t: &Tuple| (t.x.to_bits(), t.y.to_bits());
+        got.sort_by_key(key);
+        expect.sort_by_key(key);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn vdr_estimation_modes_are_ordered(
+        attrs in prop::collection::vec(0u16..100, 2..5),
+        slack in 1u16..50,
+    ) {
+        let attrs: Vec<f64> = attrs.into_iter().map(f64::from).collect();
+        let exact = UpperBounds::new(vec![100.0; attrs.len()]);
+        let over = UpperBounds::new(vec![100.0 + f64::from(slack); attrs.len()]);
+        // Local maxima never exceed the global bound.
+        let under = UpperBounds::new(attrs.iter().map(|&a| a.max(100.0 - f64::from(slack))).collect());
+        let (vu, ve, vo) = (
+            vdr_volume(&attrs, &under),
+            vdr_volume(&attrs, &exact),
+            vdr_volume(&attrs, &over),
+        );
+        prop_assert!(vu <= ve, "{} <= {}", vu, ve);
+        prop_assert!(ve <= vo, "{} <= {}", ve, vo);
+    }
+
+    #[test]
+    fn filtering_is_sound(data in relation(60, 2)) {
+        // Whatever filter gets picked, applying it to a local skyline only
+        // removes tuples the filter dominates — i.e. tuples that cannot be
+        // in the global skyline that contains the filter tuple itself.
+        let bounds = UpperBounds::new(vec![50.0, 50.0]);
+        let sky = algo::materialize(&data, &Algorithm::Bnl.skyline_indices(&data));
+        if let Some(f) = select_filter(&sky, &bounds) {
+            for t in &sky {
+                for test in [FilterTest::StrictAll, FilterTest::Dominance] {
+                    if test.eliminates(&f.attrs, &t.attrs) {
+                        prop_assert!(dominates(&f.attrs, &t.attrs));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_skyline_is_subset_of_range(data in relation(60, 2), r in 1.0f64..40.0) {
+        let region = QueryRegion::new(Point::new(10.0, 5.0), r);
+        let sky = constrained::skyline_indices(&data, &region, Algorithm::Bnl);
+        for &i in &sky {
+            prop_assert!(region.contains(data[i].location()));
+        }
+    }
+
+    #[test]
+    fn rtree_best_first_emits_all_points_in_l1_order(data in relation(80, 3)) {
+        use skyline_core::rtree::{RTree, Visit};
+        let points: Vec<Vec<f64>> = data.iter().map(|t| t.attrs.clone()).collect();
+        let tree = RTree::bulk_load(&points);
+        let mut order: Vec<(u32, f64)> = Vec::new();
+        tree.best_first(|v| {
+            if let Visit::Point { index, mindist } = v {
+                order.push((index, mindist));
+            }
+            true
+        });
+        prop_assert_eq!(order.len(), points.len());
+        for w in order.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1 + 1e-9);
+        }
+        // Every index exactly once, and keys are the true L1 sums.
+        let mut seen: Vec<u32> = order.iter().map(|&(i, _)| i).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..points.len() as u32).collect::<Vec<_>>());
+        for (i, d) in order {
+            let sum: f64 = points[i as usize].iter().sum();
+            prop_assert!((sum - d).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rtree_root_box_covers_everything(data in relation(80, 4)) {
+        use skyline_core::rtree::RTree;
+        prop_assume!(!data.is_empty());
+        let points: Vec<Vec<f64>> = data.iter().map(|t| t.attrs.clone()).collect();
+        let tree = RTree::bulk_load(&points);
+        let bounds = tree.bounds().expect("non-empty");
+        for p in &points {
+            prop_assert!(bounds.contains(p));
+        }
+    }
+
+    #[test]
+    fn greedy_multi_filter_first_pick_is_max_vdr(data in relation(60, 2), k in 1usize..5) {
+        use skyline_core::vdr::select_filters_greedy;
+        let bounds = UpperBounds::new(vec![50.0, 50.0]);
+        let sky = algo::materialize(&data, &Algorithm::Sfs.skyline_indices(&data));
+        let picks = select_filters_greedy(&sky, &bounds, k, &data, FilterTest::Dominance);
+        prop_assert!(picks.len() <= k);
+        if let (Some(first), Some(single)) = (picks.first(), select_filter(&sky, &bounds)) {
+            prop_assert_eq!(&first.attrs, &single.attrs, "k-first pick must equal the paper's choice");
+        }
+        // All picks come from the skyline.
+        for p in &picks {
+            prop_assert!(sky.iter().any(|t| t.attrs == p.attrs));
+        }
+    }
+
+    #[test]
+    fn mbr_mindist_lower_bounds_member_distance(data in relation(40, 2), px in 0f64..100.0, py in 0f64..100.0) {
+        prop_assume!(!data.is_empty());
+        let mbr = Mbr::of_points(data.iter().map(Tuple::location));
+        let p = Point::new(px, py);
+        for t in &data {
+            prop_assert!(mbr.mindist2(p) <= t.dist2(p) + 1e-9);
+        }
+    }
+}

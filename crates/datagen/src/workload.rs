@@ -1,0 +1,117 @@
+//! Query workload generation for the MANET simulations.
+//!
+//! Section 5.2.1: "Every mobile device issues 1 to 5 queries at random times
+//! during the simulation. Queries of different devices can coexist, while a
+//! single device does not issue a new query if it has one in progress."
+//!
+//! The workload generator emits *desired issue times*; the runtime defers a
+//! request while the device's previous query is still in flight, which
+//! implements the one-in-progress rule.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One query a device wants to issue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryRequest {
+    /// Issuing device.
+    pub device: usize,
+    /// Desired issue time, seconds from simulation start.
+    pub at_seconds: f64,
+    /// Distance of interest `d`.
+    pub radius: f64,
+}
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Number of devices.
+    pub num_devices: usize,
+    /// Simulation horizon in seconds (paper: 2 h = 7200 s).
+    pub horizon_seconds: f64,
+    /// Minimum queries per device (paper: 1).
+    pub min_queries: usize,
+    /// Maximum queries per device (paper: 5).
+    pub max_queries: usize,
+    /// Distance of interest, same for all queries of one experiment
+    /// (paper: 100 / 250 / 500).
+    pub radius: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's simulation workload with a given radius.
+    pub fn paper(num_devices: usize, radius: f64, seed: u64) -> Self {
+        WorkloadSpec {
+            num_devices,
+            horizon_seconds: 7200.0,
+            min_queries: 1,
+            max_queries: 5,
+            radius,
+            seed,
+        }
+    }
+
+    /// Generates the workload, sorted by issue time.
+    pub fn generate(&self) -> Vec<QueryRequest> {
+        assert!(self.min_queries >= 1 && self.max_queries >= self.min_queries);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut out = Vec::new();
+        for device in 0..self.num_devices {
+            let k = rng.random_range(self.min_queries..=self.max_queries);
+            for _ in 0..k {
+                out.push(QueryRequest {
+                    device,
+                    at_seconds: rng.random_range(0.0..self.horizon_seconds),
+                    radius: self.radius,
+                });
+            }
+        }
+        out.sort_by(|a, b| a.at_seconds.partial_cmp(&b.at_seconds).unwrap());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_device_counts_within_bounds() {
+        let w = WorkloadSpec::paper(20, 250.0, 4).generate();
+        for d in 0..20 {
+            let k = w.iter().filter(|q| q.device == d).count();
+            assert!((1..=5).contains(&k), "device {d} issued {k} queries");
+        }
+    }
+
+    #[test]
+    fn sorted_by_time_and_within_horizon() {
+        let w = WorkloadSpec::paper(10, 100.0, 8).generate();
+        for pair in w.windows(2) {
+            assert!(pair[0].at_seconds <= pair[1].at_seconds);
+        }
+        assert!(w.iter().all(|q| (0.0..7200.0).contains(&q.at_seconds)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = WorkloadSpec::paper(10, 500.0, 77).generate();
+        let b = WorkloadSpec::paper(10, 500.0, 77).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn radius_is_propagated() {
+        let w = WorkloadSpec::paper(5, 250.0, 1).generate();
+        assert!(w.iter().all(|q| q.radius == 250.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_bounds_rejected() {
+        WorkloadSpec { min_queries: 2, max_queries: 1, ..WorkloadSpec::paper(3, 100.0, 0) }
+            .generate();
+    }
+}

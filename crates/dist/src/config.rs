@@ -1,0 +1,159 @@
+//! Strategy configuration: which of the paper's knobs a run uses.
+
+use skyline_core::vdr::{BoundsMode, FilterTest, MultiFilterSelection, UpperBounds};
+use skyline_core::DominanceTest;
+
+/// How filtering tuples are used (Sections 3.1–3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterStrategy {
+    /// Straightforward strategy: ship the query only, return local
+    /// skylines unfiltered.
+    NoFilter,
+    /// `SF`: one filter picked by the originator, used everywhere.
+    Single,
+    /// `DF` (filtering sense): the filter is upgraded en route whenever a
+    /// device's local skyline holds a tuple with larger VDR.
+    #[default]
+    Dynamic,
+    /// The paper's future-work extension: up to `k` filtering tuples,
+    /// selected greedily for complementary coverage at the originator and
+    /// upgraded (weakest-out) en route. `k = 1` behaves like
+    /// [`FilterStrategy::Dynamic`]
+    /// with the VDR-only selection.
+    MultiDynamic {
+        /// Maximum number of filters in flight.
+        k: usize,
+    },
+}
+
+/// Query-forwarding strategy in the MANET runtime (Section 5.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Forwarding {
+    /// Breadth-first: flood the query; every device replies straight to the
+    /// originator; parallel processing.
+    #[default]
+    BreadthFirst,
+    /// Depth-first: a single query token walks the network, accumulating
+    /// the merged result along the reverse path; serial processing.
+    DepthFirst,
+    /// Probabilistic flood (gossip): like [`Forwarding::BreadthFirst`] but
+    /// a non-originator re-broadcasts only with the given probability (in
+    /// percent). An ablation between BF's full flood and no relaying —
+    /// trades coverage for message count.
+    Gossip {
+        /// Re-broadcast probability, 0–100.
+        rebroadcast_percent: u8,
+    },
+}
+
+/// Everything a device needs to know about the active strategy.
+#[derive(Debug, Clone)]
+pub struct StrategyConfig {
+    /// Filtering strategy.
+    pub filter: FilterStrategy,
+    /// How dominating-region bounds are derived (EXT / OVE / UNE).
+    pub bounds_mode: BoundsMode,
+    /// Exact global upper bounds `b_k` (needed for `Exact`, and as the base
+    /// for `Over`).
+    pub exact_bounds: Vec<f64>,
+    /// `Over` multiplies the exact bounds by this factor (paper: "a
+    /// pre-specified value larger than the global domain upper bound").
+    pub over_factor: f64,
+    /// The filter elimination test. The default is full dominance: although
+    /// Fig. 4's pseudocode writes strict `<` on every dimension, the
+    /// paper's own worked example ("this tuple eliminates h14 **and h16**",
+    /// where h16 ties the filter on one attribute) requires dominance
+    /// semantics, and on integer domains the strict test loses most of the
+    /// filter's power. `StrictAll` remains available for the ablation.
+    pub filter_test: FilterTest,
+    /// The scan dominance test (paper default on hybrid storage:
+    /// [`DominanceTest::PaperStrict`]).
+    pub dominance: DominanceTest,
+    /// When `true`, a device that skips its scan because the filter
+    /// dominates its domain minima still computes the unreduced skyline
+    /// *for accounting only*, so DRR has its `|SK_i|` term. Costs nothing
+    /// in virtual time.
+    pub shadow_accounting: bool,
+    /// Which tuples the `MultiDynamic` originator picks (the "which" half
+    /// of the paper's open question).
+    pub multi_selection: MultiFilterSelection,
+}
+
+impl Default for StrategyConfig {
+    fn default() -> Self {
+        StrategyConfig {
+            filter: FilterStrategy::Dynamic,
+            bounds_mode: BoundsMode::Under,
+            exact_bounds: Vec::new(),
+            over_factor: 2.0,
+            filter_test: FilterTest::Dominance,
+            dominance: DominanceTest::PaperStrict,
+            shadow_accounting: true,
+            multi_selection: MultiFilterSelection::GreedyCoverage,
+        }
+    }
+}
+
+impl StrategyConfig {
+    /// The straightforward (no-filter) strategy.
+    pub fn straightforward() -> Self {
+        StrategyConfig { filter: FilterStrategy::NoFilter, ..Self::default() }
+    }
+
+    /// Bounds a device should plug into VDR selection, given its own local
+    /// maxima (`UNE` knowledge). Returns `None` when filtering is off or the
+    /// device has no data for `Under`.
+    pub fn vdr_bounds(&self, local_maxima: Option<&UpperBounds>) -> Option<UpperBounds> {
+        if self.filter == FilterStrategy::NoFilter {
+            return None;
+        }
+        match self.bounds_mode {
+            BoundsMode::Exact => Some(UpperBounds::new(self.exact_bounds.clone())),
+            BoundsMode::Over => {
+                Some(UpperBounds::new(self.exact_bounds.clone()).scaled(self.over_factor))
+            }
+            BoundsMode::Under => local_maxima.cloned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_filter_has_no_bounds() {
+        let cfg = StrategyConfig::straightforward();
+        assert!(cfg.vdr_bounds(Some(&UpperBounds::new(vec![1.0]))).is_none());
+    }
+
+    #[test]
+    fn exact_bounds_ignore_local_knowledge() {
+        let cfg = StrategyConfig {
+            bounds_mode: BoundsMode::Exact,
+            exact_bounds: vec![100.0, 10.0],
+            ..StrategyConfig::default()
+        };
+        let b = cfg.vdr_bounds(None).unwrap();
+        assert_eq!(b.0, vec![100.0, 10.0]);
+    }
+
+    #[test]
+    fn over_scales_exact() {
+        let cfg = StrategyConfig {
+            bounds_mode: BoundsMode::Over,
+            exact_bounds: vec![100.0],
+            over_factor: 2.0,
+            ..StrategyConfig::default()
+        };
+        assert_eq!(cfg.vdr_bounds(None).unwrap().0, vec![200.0]);
+    }
+
+    #[test]
+    fn under_uses_local_maxima() {
+        let cfg = StrategyConfig { bounds_mode: BoundsMode::Under, ..StrategyConfig::default() };
+        let local = UpperBounds::new(vec![55.0]);
+        assert_eq!(cfg.vdr_bounds(Some(&local)).unwrap().0, vec![55.0]);
+        assert!(cfg.vdr_bounds(None).is_none(), "empty device has no UNE bounds");
+    }
+}

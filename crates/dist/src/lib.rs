@@ -1,0 +1,32 @@
+//! # dist-skyline
+//!
+//! The paper's distributed constrained-skyline query processing (Sections 3
+//! and 5.2): query specification, the straightforward and filtering-tuple
+//! strategies, exact/over/under dominating-region estimation, dynamic filter
+//! updates on multi-hop relays, duplicate-query suppression, breadth-first
+//! and depth-first query forwarding, result assembly, and the metrics the
+//! paper reports (data reduction rate, response time, message counts).
+//!
+//! Two runtimes execute the protocol:
+//!
+//! * [`static_net::StaticGridNetwork`] — the idealized static setting of
+//!   the paper's pre-tests (Figs. 6–7): devices on a grid, recursive
+//!   outward forwarding, no mobility, optional distance constraint.
+//! * [`runtime`] — the full MANET runtime on top of `manet-sim`
+//!   (Figs. 8–12): random-waypoint mobility, AODV routing, BF/DF
+//!   forwarding, the 80 % response-time rule, and per-query accounting.
+
+pub mod config;
+pub mod cost_model;
+pub mod device;
+pub mod metrics;
+pub mod query;
+pub mod runtime;
+pub mod static_net;
+pub mod verify;
+
+pub use config::{FilterStrategy, Forwarding, StrategyConfig};
+pub use device::Device;
+pub use metrics::{DrrAccumulator, QueryMetrics};
+pub use query::{QueryKey, QuerySpec};
+pub use verify::{diff_against_truth, verify_static_query, VerificationReport};

@@ -1,0 +1,1219 @@
+//! The full MANET runtime: devices as simulator applications, BF/DF query
+//! forwarding, the 80 % response-time rule, per-query accounting, and the
+//! experiment harness (Section 5.2 of the paper).
+//!
+//! ## Protocol summary
+//!
+//! **Breadth-first (BF)** — the originator floods the query (with the
+//! filtering tuple) as one-hop broadcasts; every device that sees a fresh
+//! query processes it locally, unicasts its reduced local skyline straight
+//! back to the originator via AODV, and re-broadcasts the query (with the
+//! possibly upgraded filter) to its own neighbours. The originator's
+//! response time is the moment 80 % of the other devices have answered.
+//!
+//! **Depth-first (DF)** — a single token walks the network. Each first-time
+//! visitor processes the query, merges its reduced local skyline into the
+//! token's partial result, optionally upgrades the filter, and forwards the
+//! token to one unvisited physical neighbour; with none available the token
+//! backtracks along its path. The query ends when the token returns to the
+//! originator and no unvisited neighbour remains.
+//!
+//! Local processing costs are charged to virtual time through
+//! [`DeviceCostModel`]; replies and forwards leave a device only after its
+//! simulated CPU time has elapsed (implemented with a stash + timer).
+//!
+//! Mobility can strand either protocol (a lost token, unreachable
+//! replies), so every query also carries an originator-side timeout; a
+//! timed-out query is recorded with `timed_out = true` and excluded from
+//! response-time averages by the harness.
+
+use std::collections::HashMap;
+
+use device_storage::{DeviceRelation, HybridRelation};
+use manet_sim::engine::{Application, MsgMeta, NeighborMode, NodeCtx, Simulator};
+use manet_sim::mobility::MobilityConfig;
+use manet_sim::radio::RadioConfig;
+use manet_sim::{NetStats, NodeId, Pos, SimDuration, SimTime};
+use skyline_core::region::Point;
+use skyline_core::vdr::FilterTuple;
+use skyline_core::{SkylineMerger, Tuple};
+
+use crate::config::{Forwarding, StrategyConfig};
+use crate::cost_model::DeviceCostModel;
+use crate::device::Device;
+use crate::metrics::DrrAccumulator;
+use crate::query::{QueryKey, QuerySpec};
+
+/// Protocol messages exchanged between devices.
+#[derive(Debug, Clone)]
+pub enum ProtoMsg {
+    /// BF: the flooded query.
+    BfQuery {
+        /// The query specification.
+        spec: QuerySpec,
+        /// The filter bank as of the sending device (empty, one, or `k`
+        /// tuples depending on the strategy).
+        filters: Vec<FilterTuple>,
+    },
+    /// BF: a device's local result, unicast to the originator.
+    BfResult {
+        /// Which query this answers.
+        key: QueryKey,
+        /// `SK'_i`.
+        tuples: Vec<Tuple>,
+        /// `|SK_i|` for DRR accounting.
+        unreduced: usize,
+        /// Whether the device had in-range data.
+        participated: bool,
+    },
+    /// DF: the walking query token.
+    DfToken(DfToken),
+    /// Redistribution extension: "I am far from my data; anyone closer?"
+    HandoffProbe {
+        /// Prober's current position.
+        pos: Point,
+        /// Centroid of the prober's relation (MBR centre).
+        centroid: Point,
+        /// Tuples the prober would ship.
+        n_tuples: usize,
+    },
+    /// Redistribution extension: a neighbour volunteers to host the data.
+    HandoffAccept,
+    /// Redistribution extension: the relation itself, migrating.
+    HandoffTransfer {
+        /// The migrating tuples.
+        tuples: Vec<Tuple>,
+    },
+    /// Redistribution extension: the transfer arrived; the sender may drop
+    /// its copy.
+    HandoffAck,
+}
+
+/// The depth-first token.
+#[derive(Debug, Clone)]
+pub struct DfToken {
+    /// The query specification.
+    pub spec: QuerySpec,
+    /// Current filter bank.
+    pub filters: Vec<FilterTuple>,
+    /// Devices that have processed the query.
+    pub visited: Vec<NodeId>,
+    /// DFS path stack; `path[0]` is the originator.
+    pub path: Vec<NodeId>,
+    /// Partial result merged along the way.
+    pub partial: Vec<Tuple>,
+    /// DRR terms accumulated over visited devices.
+    pub drr: DrrAccumulator,
+}
+
+impl ProtoMsg {
+    /// Payload wire size (bytes).
+    pub fn wire_size(&self) -> usize {
+        match self {
+            ProtoMsg::BfQuery { spec, filters } => {
+                spec.wire_size() + filters.iter().map(FilterTuple::wire_size).sum::<usize>()
+            }
+            ProtoMsg::BfResult { tuples, .. } => {
+                5 + 8 + skyline_core::tuple::batch_wire_size(tuples)
+            }
+            ProtoMsg::DfToken(t) => {
+                t.spec.wire_size()
+                    + t.filters.iter().map(FilterTuple::wire_size).sum::<usize>()
+                    + 4 * (t.visited.len() + t.path.len())
+                    + skyline_core::tuple::batch_wire_size(&t.partial)
+                    + 24
+            }
+            ProtoMsg::HandoffProbe { .. } => 36,
+            ProtoMsg::HandoffAccept | ProtoMsg::HandoffAck => 4,
+            ProtoMsg::HandoffTransfer { tuples } => {
+                8 + skyline_core::tuple::batch_wire_size(tuples)
+            }
+        }
+    }
+}
+
+/// Configuration of the **mobility-driven data redistribution** extension —
+/// the paper's second future-work direction ("extend the current strategies
+/// to retain good performance while incorporating the redistribution of
+/// local relations due to device mobility").
+///
+/// Mechanism: every `interval`, a device that has drifted away from its
+/// data (distance from its position to its relation's MBR centre above
+/// `min_gain_m`) probes its one-hop neighbours; a neighbour that is at
+/// least `min_gain_m` closer to that data centre — and whose own load stays
+/// under `capacity_factor ×` the network-average partition size — offers to
+/// host. The relation then *migrates* with a two-phase transfer (keep until
+/// acked), so radio loss can duplicate data (harmless: partitions may
+/// overlap) but never destroy it.
+#[derive(Debug, Clone, Copy)]
+pub struct HandoffConfig {
+    /// Probe period.
+    pub interval: SimDuration,
+    /// A host's tuple count may not exceed this multiple of the average
+    /// initial partition size.
+    pub capacity_factor: f64,
+    /// Minimum locality improvement (metres) worth a migration.
+    pub min_gain_m: f64,
+}
+
+impl Default for HandoffConfig {
+    fn default() -> Self {
+        HandoffConfig {
+            interval: SimDuration::from_secs_f64(300.0),
+            capacity_factor: 3.0,
+            min_gain_m: 150.0,
+        }
+    }
+}
+
+/// Handoff protocol state on one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum HandoffState {
+    Idle,
+    /// Probed; waiting for the first volunteer until the deadline.
+    AwaitAccept(SimTime),
+    /// Volunteered; waiting for the relation until the deadline.
+    AwaitTransfer(SimTime),
+    /// Shipped the relation; waiting for the ack until the deadline.
+    AwaitAck(SimTime),
+}
+
+/// Timer-token encoding (kind in the top byte).
+mod token {
+    pub const ISSUE: u64 = 1 << 56;
+    pub const TIMEOUT: u64 = 2 << 56;
+    pub const STASH: u64 = 3 << 56;
+    pub const HANDOFF_TICK: u64 = 4 << 56;
+    pub const HANDOFF_TIMEOUT: u64 = 5 << 56;
+    pub const LOCALITY_SAMPLE: u64 = 6 << 56;
+    pub const KIND_MASK: u64 = 0xFF << 56;
+}
+
+/// A query this device originated, in flight.
+#[derive(Debug)]
+struct ActiveQuery {
+    key: QueryKey,
+    issued: SimTime,
+    merger: SkylineMerger,
+    drr: DrrAccumulator,
+    responded: usize,
+    /// BF: responses needed for the 80 % rule.
+    needed: usize,
+    completed: Option<SimTime>,
+}
+
+/// The record kept for every query a device originated.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// Query identity.
+    pub key: QueryKey,
+    /// Issue time.
+    pub issued: SimTime,
+    /// Completion time per the protocol's rule, when reached.
+    pub completed: Option<SimTime>,
+    /// `true` when the query was closed by the safety timeout instead.
+    pub timed_out: bool,
+    /// Devices that answered (BF) / were visited (DF).
+    pub responded: usize,
+    /// DRR terms for this query.
+    pub drr: DrrAccumulator,
+    /// Size of the assembled result.
+    pub result_len: usize,
+    /// Response time in seconds, when completed normally.
+    pub response_seconds: Option<f64>,
+}
+
+/// Deferred sends awaiting the device's simulated CPU time.
+#[derive(Debug)]
+enum Stashed {
+    Unicast(NodeId, ProtoMsg),
+    Broadcast(ProtoMsg),
+}
+
+/// The application running on every device node.
+pub struct DeviceApp {
+    device: Device<HybridRelation>,
+    cfg: StrategyConfig,
+    forwarding: Forwarding,
+    cost: DeviceCostModel,
+    /// This device's workload: (issue time, radius), sorted by time.
+    requests: Vec<(SimTime, f64)>,
+    next_request: usize,
+    next_cnt: u8,
+    active: Option<ActiveQuery>,
+    /// Completed queries this device originated.
+    pub records: Vec<QueryRecord>,
+    /// App-level query-forward messages sent, per query key (Fig. 12).
+    pub forwards_by_key: HashMap<QueryKey, u64>,
+    /// Result messages sent, per query key.
+    pub results_by_key: HashMap<QueryKey, u64>,
+    stash: HashMap<u64, Vec<Stashed>>,
+    next_stash: u64,
+    /// Total devices in the network (for the 80 % rule).
+    m: usize,
+    query_timeout: SimDuration,
+    /// Redistribution extension, when enabled.
+    handoff: Option<HandoffConfig>,
+    handoff_state: HandoffState,
+    /// Maximum tuples this device may host (handoff capacity guard).
+    handoff_capacity: usize,
+    /// Completed outbound migrations (relation shipped and acked away).
+    pub handoff_migrations_out: u64,
+    /// Bytes of relation payload shipped in transfers.
+    pub handoff_bytes_sent: u64,
+    /// Cached centroid of the current relation (None = empty relation).
+    centroid: Option<Point>,
+    /// Accumulated device↔data distance samples (time-averaged locality).
+    pub locality_sum_m: f64,
+    /// Number of locality samples taken.
+    pub locality_samples: u64,
+}
+
+impl DeviceApp {
+    /// Creates the app for device `id`.
+    pub fn new(
+        id: usize,
+        relation: HybridRelation,
+        cfg: StrategyConfig,
+        forwarding: Forwarding,
+        cost: DeviceCostModel,
+        m: usize,
+    ) -> Self {
+        let mut app = DeviceApp {
+            device: Device::new(id, relation),
+            cfg,
+            forwarding,
+            cost,
+            requests: Vec::new(),
+            next_request: 0,
+            next_cnt: 0,
+            active: None,
+            records: Vec::new(),
+            forwards_by_key: HashMap::new(),
+            results_by_key: HashMap::new(),
+            stash: HashMap::new(),
+            next_stash: 0,
+            m,
+            query_timeout: SimDuration::from_secs_f64(180.0),
+            handoff: None,
+            handoff_state: HandoffState::Idle,
+            handoff_capacity: usize::MAX,
+            handoff_migrations_out: 0,
+            handoff_bytes_sent: 0,
+            centroid: None,
+            locality_sum_m: 0.0,
+            locality_samples: 0,
+        };
+        app.recompute_centroid();
+        app
+    }
+
+    /// Installs this device's workload (must be sorted by time).
+    pub fn set_requests(&mut self, requests: Vec<(SimTime, f64)>) {
+        self.requests = requests;
+    }
+
+    /// Enables the redistribution extension with the given capacity (max
+    /// tuples this device will volunteer to host).
+    pub fn enable_handoff(&mut self, cfg: HandoffConfig, capacity: usize) {
+        self.handoff = Some(cfg);
+        self.handoff_capacity = capacity;
+    }
+
+    /// Centre of this device's relation MBR, if it holds data (cached;
+    /// invalidated when the relation migrates).
+    pub fn data_centroid(&self) -> Option<Point> {
+        self.centroid
+    }
+
+    fn recompute_centroid(&mut self) {
+        let n = self.device.relation.len();
+        if n == 0 {
+            self.centroid = None;
+            return;
+        }
+        let mut mbr = skyline_core::region::Mbr::empty();
+        for i in 0..n {
+            mbr.extend(self.device.relation.tuple(i).location());
+        }
+        self.centroid =
+            Some(Point::new((mbr.x_min + mbr.x_max) / 2.0, (mbr.y_min + mbr.y_max) / 2.0));
+    }
+
+    fn sample_locality(&mut self, ctx: &NodeCtx<ProtoMsg>) {
+        if let Some(c) = self.centroid {
+            self.locality_sum_m += Point::new(ctx.position.x, ctx.position.y).dist(c);
+            self.locality_samples += 1;
+        }
+    }
+
+    /// Number of tuples currently hosted (diagnostics).
+    pub fn relation_len(&self) -> usize {
+        self.device.relation.len()
+    }
+
+    fn relation_tuples(&self) -> Vec<Tuple> {
+        (0..self.device.relation.len())
+            .map(|i| self.device.relation.tuple(i))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Redistribution extension (future work #2)
+    // ------------------------------------------------------------------
+
+    fn handoff_tick(&mut self, ctx: &mut NodeCtx<ProtoMsg>) {
+        let Some(cfg) = self.handoff else { return };
+        // Re-arm the periodic tick first.
+        ctx.set_timer(cfg.interval, token::HANDOFF_TICK);
+        if self.handoff_state != HandoffState::Idle || self.active.is_some() {
+            return;
+        }
+        let Some(centroid) = self.data_centroid() else { return };
+        let here = Point::new(ctx.position.x, ctx.position.y);
+        if here.dist(centroid) < cfg.min_gain_m {
+            return; // still close enough to our data
+        }
+        let msg = ProtoMsg::HandoffProbe {
+            pos: here,
+            centroid,
+            n_tuples: self.device.relation.len(),
+        };
+        let bytes = msg.wire_size();
+        ctx.broadcast(msg, bytes);
+        let deadline = ctx.now + SimDuration::from_secs_f64(5.0);
+        self.handoff_state = HandoffState::AwaitAccept(deadline);
+        ctx.set_timer(SimDuration::from_secs_f64(5.0), token::HANDOFF_TIMEOUT);
+    }
+
+    fn on_handoff_probe(
+        &mut self,
+        ctx: &mut NodeCtx<ProtoMsg>,
+        from: NodeId,
+        pos: Point,
+        centroid: Point,
+        n_tuples: usize,
+    ) {
+        let Some(cfg) = self.handoff else { return };
+        if self.handoff_state != HandoffState::Idle {
+            return;
+        }
+        if self.device.relation.len() + n_tuples > self.handoff_capacity {
+            return; // would overload this host
+        }
+        let here = Point::new(ctx.position.x, ctx.position.y);
+        let gain = pos.dist(centroid) - here.dist(centroid);
+        if gain < cfg.min_gain_m {
+            return; // not meaningfully closer to the data
+        }
+        let msg = ProtoMsg::HandoffAccept;
+        let bytes = msg.wire_size();
+        ctx.send_unicast(from, msg, bytes);
+        let deadline = ctx.now + SimDuration::from_secs_f64(30.0);
+        self.handoff_state = HandoffState::AwaitTransfer(deadline);
+        ctx.set_timer(SimDuration::from_secs_f64(30.0), token::HANDOFF_TIMEOUT);
+    }
+
+    fn on_handoff_accept(&mut self, ctx: &mut NodeCtx<ProtoMsg>, from: NodeId) {
+        if !matches!(self.handoff_state, HandoffState::AwaitAccept(_)) {
+            return; // late volunteer; someone else won or we timed out
+        }
+        let tuples = self.relation_tuples();
+        let msg = ProtoMsg::HandoffTransfer { tuples };
+        let bytes = msg.wire_size();
+        self.handoff_bytes_sent += bytes as u64;
+        ctx.send_unicast(from, msg, bytes);
+        // Keep our copy until the ack: loss may duplicate data (partitions
+        // are allowed to overlap) but never destroys it.
+        let deadline = ctx.now + SimDuration::from_secs_f64(60.0);
+        self.handoff_state = HandoffState::AwaitAck(deadline);
+        ctx.set_timer(SimDuration::from_secs_f64(60.0), token::HANDOFF_TIMEOUT);
+    }
+
+    fn on_handoff_transfer(&mut self, ctx: &mut NodeCtx<ProtoMsg>, from: NodeId, tuples: Vec<Tuple>) {
+        if !matches!(self.handoff_state, HandoffState::AwaitTransfer(_)) {
+            return; // unsolicited or timed out — refuse silently
+        }
+        let mut mine = self.relation_tuples();
+        // Drop exact duplicates (a retransmitted migration).
+        for t in tuples {
+            if !mine.iter().any(|m| m.same_site(&t)) {
+                mine.push(t);
+            }
+        }
+        self.device.relation = HybridRelation::new(mine);
+        self.recompute_centroid();
+        self.handoff_state = HandoffState::Idle;
+        let msg = ProtoMsg::HandoffAck;
+        let bytes = msg.wire_size();
+        ctx.send_unicast(from, msg, bytes);
+    }
+
+    fn on_handoff_ack(&mut self) {
+        if matches!(self.handoff_state, HandoffState::AwaitAck(_)) {
+            self.device.relation = HybridRelation::new(Vec::new());
+            self.recompute_centroid();
+            self.handoff_migrations_out += 1;
+            self.handoff_state = HandoffState::Idle;
+        }
+    }
+
+    fn handoff_timeout(&mut self, now: SimTime) {
+        let expired = match self.handoff_state {
+            HandoffState::Idle => false,
+            HandoffState::AwaitAccept(d)
+            | HandoffState::AwaitTransfer(d)
+            | HandoffState::AwaitAck(d) => now >= d,
+        };
+        if expired {
+            self.handoff_state = HandoffState::Idle;
+        }
+    }
+
+    fn count_forward(&mut self, key: QueryKey) {
+        *self.forwards_by_key.entry(key).or_insert(0) += 1;
+    }
+
+    /// BF forwarding is "send the query to all neighbours" — the paper's
+    /// Fig. 12 counts one message per recipient, which is what makes
+    /// flooding costlier than the token walk.
+    fn count_forward_per_neighbor(&mut self, key: QueryKey, neighbors: usize) {
+        *self.forwards_by_key.entry(key).or_insert(0) += neighbors as u64;
+    }
+
+    fn count_result(&mut self, key: QueryKey) {
+        *self.results_by_key.entry(key).or_insert(0) += 1;
+    }
+
+    /// Defers `sends` by the device's CPU time for `stats`.
+    fn send_after_cost(
+        &mut self,
+        ctx: &mut NodeCtx<ProtoMsg>,
+        stats: &device_storage::LocalStats,
+        sends: Vec<Stashed>,
+    ) {
+        let delay = self.cost.query_time(stats);
+        let id = self.next_stash;
+        self.next_stash += 1;
+        self.stash.insert(id, sends);
+        ctx.set_timer(delay, token::STASH | id);
+    }
+
+
+    // ------------------------------------------------------------------
+    // Query origination
+    // ------------------------------------------------------------------
+
+    fn try_issue(&mut self, ctx: &mut NodeCtx<ProtoMsg>) {
+        if self.next_request >= self.requests.len() {
+            return;
+        }
+        if self.active.is_some() {
+            // One query in progress: re-check shortly (the paper's "does
+            // not issue a new query if it has one in progress").
+            ctx.set_timer(SimDuration::from_secs_f64(10.0), token::ISSUE);
+            return;
+        }
+        let (_, radius) = self.requests[self.next_request];
+        self.next_request += 1;
+        let cnt = self.next_cnt;
+        self.next_cnt = self.next_cnt.wrapping_add(1);
+        let spec = QuerySpec::new(ctx.id, cnt, Point::new(ctx.position.x, ctx.position.y), radius);
+        // Mark our own query as seen so flood echoes are ignored.
+        self.device.log.check_and_record(spec.key);
+
+        let (sk_org, filters) = self.device.originate(&spec, &self.cfg);
+        let mut aq = ActiveQuery {
+            key: spec.key,
+            issued: ctx.now,
+            merger: SkylineMerger::with_seed(sk_org),
+            drr: DrrAccumulator::default(),
+            responded: 0,
+            needed: (0.8 * (self.m.saturating_sub(1)) as f64).ceil() as usize,
+            completed: None,
+        };
+        ctx.set_timer(self.query_timeout, token::TIMEOUT | u64::from(cnt));
+
+        match self.forwarding {
+            // The originator always floods, gossip or not (otherwise a
+            // low-probability gossip query could die instantly).
+            Forwarding::BreadthFirst | Forwarding::Gossip { .. } => {
+                self.count_forward_per_neighbor(spec.key, ctx.neighbors().len());
+                let msg = ProtoMsg::BfQuery { spec, filters };
+                let bytes = msg.wire_size();
+                ctx.broadcast(msg, bytes);
+                self.active = Some(aq);
+            }
+            Forwarding::DepthFirst => {
+                let token = DfToken {
+                    spec,
+                    filters,
+                    visited: vec![ctx.id],
+                    path: vec![ctx.id],
+                    partial: aq.merger.result().to_vec(),
+                    drr: DrrAccumulator::default(),
+                };
+                // Count own processing as a response in DF bookkeeping.
+                aq.responded = 0;
+                self.active = Some(aq);
+                self.df_route(ctx, token);
+            }
+        }
+    }
+
+    fn finalize(&mut self, ctx: &mut NodeCtx<ProtoMsg>, timed_out: bool) {
+        let Some(aq) = self.active.take() else { return };
+        let completed = aq.completed.or(if timed_out { None } else { Some(ctx.now) });
+        self.records.push(QueryRecord {
+            key: aq.key,
+            issued: aq.issued,
+            completed,
+            timed_out: completed.is_none(),
+            responded: aq.responded,
+            drr: aq.drr,
+            result_len: aq.merger.len(),
+            response_seconds: completed.map(|c| c.since(aq.issued).as_secs_f64()),
+        });
+        // Ready for the next queued request.
+        if self.next_request < self.requests.len() {
+            ctx.set_timer(SimDuration::from_secs_f64(1.0), token::ISSUE);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Breadth-first handlers
+    // ------------------------------------------------------------------
+
+    fn on_bf_query(
+        &mut self,
+        ctx: &mut NodeCtx<ProtoMsg>,
+        spec: QuerySpec,
+        filters: Vec<FilterTuple>,
+    ) {
+        if !self.device.log.check_and_record(spec.key) {
+            return; // duplicate (or our own echo)
+        }
+        let out = self.device.process(&spec, &filters, &self.cfg);
+        let reply = ProtoMsg::BfResult {
+            key: spec.key,
+            tuples: out.reply,
+            unreduced: out.unreduced_len,
+            participated: out.participated,
+        };
+        self.count_result(spec.key);
+        let mut sends = vec![Stashed::Unicast(spec.key.origin, reply)];
+        if self.should_rebroadcast(spec.key) {
+            let fwd = ProtoMsg::BfQuery { spec, filters: out.forward_filters };
+            sends.push(Stashed::Broadcast(fwd));
+        }
+        self.send_after_cost(ctx, &out.stats, sends);
+    }
+
+    /// Gossip decision: deterministic pseudo-random coin per (device,
+    /// query), so runs stay reproducible. Plain BF always re-broadcasts.
+    fn should_rebroadcast(&self, key: QueryKey) -> bool {
+        match self.forwarding {
+            Forwarding::Gossip { rebroadcast_percent } => {
+                let mut h = (self.device.id as u64) << 32
+                    | (key.origin as u64) << 8
+                    | u64::from(key.cnt);
+                // splitmix64 scramble.
+                h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                h ^= h >> 31;
+                (h % 100) < u64::from(rebroadcast_percent)
+            }
+            _ => true,
+        }
+    }
+
+    fn on_bf_result(
+        &mut self,
+        ctx: &mut NodeCtx<ProtoMsg>,
+        key: QueryKey,
+        tuples: Vec<Tuple>,
+        unreduced: usize,
+        participated: bool,
+    ) {
+        let Some(aq) = self.active.as_mut() else { return };
+        if aq.key != key {
+            return; // stale reply for an earlier query
+        }
+        if participated {
+            aq.drr.add(unreduced, tuples.len());
+        }
+        aq.merger.insert_batch(tuples);
+        aq.responded += 1;
+        // The 80 % rule stamps the response time …
+        if aq.responded >= aq.needed && aq.completed.is_none() {
+            aq.completed = Some(ctx.now);
+        }
+        // … but the originator keeps merging stragglers until everyone has
+        // answered (or the timeout closes the query).
+        if aq.responded >= self.m.saturating_sub(1) {
+            self.finalize(ctx, false);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Depth-first handlers
+    // ------------------------------------------------------------------
+
+    fn on_df_token(&mut self, ctx: &mut NodeCtx<ProtoMsg>, mut token: DfToken) {
+        if token.visited.contains(&ctx.id) {
+            // Backtrack arrival: just keep routing.
+            self.df_route(ctx, token);
+            return;
+        }
+        // First visit: process locally, merge into the token.
+        self.device.log.check_and_record(token.spec.key);
+        let out = self.device.process(&token.spec, &token.filters, &self.cfg);
+        if out.participated {
+            token.drr.add(out.unreduced_len, out.reply.len());
+        }
+        let mut merger = SkylineMerger::with_seed(std::mem::take(&mut token.partial));
+        merger.insert_batch(out.reply);
+        token.partial = merger.into_result();
+        // `process` already applied the strategy's forwarding rule.
+        token.filters = out.forward_filters;
+        token.visited.push(ctx.id);
+        token.path.push(ctx.id);
+
+        // Route after paying the processing cost: stash the token against a
+        // pseudo-destination decided at flush time? Routing depends on the
+        // neighbour set at *send* time, so defer the decision itself via a
+        // dedicated stash that re-enters df_route.
+        let delay = self.cost.query_time(&out.stats);
+        let id = self.next_stash;
+        self.next_stash += 1;
+        self.stash.insert(id, vec![Stashed::Unicast(usize::MAX, ProtoMsg::DfToken(token))]);
+        ctx.set_timer(delay, token::STASH | id);
+    }
+
+    /// Decides where the token goes next from this device.
+    fn df_route(&mut self, ctx: &mut NodeCtx<ProtoMsg>, mut token: DfToken) {
+        // Trim the path above this device (returning from a completed
+        // branch).
+        if let Some(pos) = token.path.iter().rposition(|&n| n == ctx.id) {
+            token.path.truncate(pos + 1);
+        } else {
+            // We are not on the path (shouldn't happen) — push ourselves to
+            // keep the walk consistent.
+            token.path.push(ctx.id);
+        }
+
+        // Forward to an unvisited physical neighbour, if any.
+        let next = ctx
+            .neighbors()
+            .iter()
+            .copied()
+            .find(|n| !token.visited.contains(n));
+        if let Some(n) = next {
+            self.count_forward(token.spec.key);
+            let msg = ProtoMsg::DfToken(token);
+            let bytes = msg.wire_size();
+            ctx.send_unicast(n, msg, bytes);
+            return;
+        }
+
+        // No unvisited neighbour: backtrack.
+        if token.path.len() >= 2 {
+            let prev = token.path[token.path.len() - 2];
+            token.path.pop();
+            self.count_forward(token.spec.key);
+            let msg = ProtoMsg::DfToken(token);
+            let bytes = msg.wire_size();
+            ctx.send_unicast(prev, msg, bytes);
+            return;
+        }
+
+        // Path exhausted: we are the originator — the query is complete.
+        if token.spec.key.origin == ctx.id {
+            if let Some(aq) = self.active.as_mut() {
+                if aq.key == token.spec.key {
+                    aq.merger.insert_batch(token.partial);
+                    aq.drr.merge(&token.drr);
+                    aq.responded = token.visited.len().saturating_sub(1);
+                    aq.completed = Some(ctx.now);
+                    self.finalize(ctx, false);
+                }
+            }
+        }
+        // A stranded token at a non-originator dies here; the originator's
+        // timeout closes the query.
+    }
+}
+
+impl Application<ProtoMsg> for DeviceApp {
+    fn on_message(&mut self, ctx: &mut NodeCtx<ProtoMsg>, meta: MsgMeta, payload: ProtoMsg) {
+        match payload {
+            ProtoMsg::BfQuery { spec, filters } => self.on_bf_query(ctx, spec, filters),
+            ProtoMsg::BfResult { key, tuples, unreduced, participated } => {
+                self.on_bf_result(ctx, key, tuples, unreduced, participated)
+            }
+            ProtoMsg::DfToken(t) => self.on_df_token(ctx, t),
+            ProtoMsg::HandoffProbe { pos, centroid, n_tuples } => {
+                self.on_handoff_probe(ctx, meta.src, pos, centroid, n_tuples)
+            }
+            ProtoMsg::HandoffAccept => self.on_handoff_accept(ctx, meta.src),
+            ProtoMsg::HandoffTransfer { tuples } => {
+                self.on_handoff_transfer(ctx, meta.src, tuples)
+            }
+            ProtoMsg::HandoffAck => self.on_handoff_ack(),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<ProtoMsg>, tok: u64) {
+        match tok & token::KIND_MASK {
+            token::ISSUE => self.try_issue(ctx),
+            token::HANDOFF_TICK => self.handoff_tick(ctx),
+            token::HANDOFF_TIMEOUT => self.handoff_timeout(ctx.now),
+            token::LOCALITY_SAMPLE => {
+                self.sample_locality(ctx);
+                ctx.set_timer(SimDuration::from_secs_f64(60.0), token::LOCALITY_SAMPLE);
+            }
+            token::TIMEOUT => {
+                let cnt = (tok & 0xFF) as u8;
+                if self.active.as_ref().is_some_and(|a| a.key.cnt == cnt && a.completed.is_none())
+                {
+                    self.finalize(ctx, true);
+                }
+            }
+            token::STASH => {
+                let id = tok & !token::KIND_MASK;
+                // DF tokens stashed for routing use dst = usize::MAX.
+                if let Some(sends) = self.stash.remove(&id) {
+                    for s in sends {
+                        match s {
+                            Stashed::Unicast(dst, ProtoMsg::DfToken(t)) if dst == usize::MAX => {
+                                self.df_route(ctx, t);
+                            }
+                            Stashed::Unicast(dst, msg) => {
+                                let bytes = msg.wire_size();
+                                ctx.send_unicast(dst, msg, bytes);
+                            }
+                            Stashed::Broadcast(msg) => {
+                                if let ProtoMsg::BfQuery { spec, .. } = &msg {
+                                    self.count_forward_per_neighbor(
+                                        spec.key,
+                                        ctx.neighbors().len(),
+                                    );
+                                }
+                                let bytes = msg.wire_size();
+                                ctx.broadcast(msg, bytes);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_delivery_failed(&mut self, ctx: &mut NodeCtx<ProtoMsg>, dst: NodeId, payload: ProtoMsg) {
+        // A lost DF token comes back to its sender: mark the unreachable
+        // device as visited (it cannot be reached now) and route on.
+        if let ProtoMsg::DfToken(mut t) = payload {
+            if !t.visited.contains(&dst) {
+                t.visited.push(dst);
+            }
+            // Also drop it from the path if it was the backtrack target.
+            if t.path.last() == Some(&dst) {
+                t.path.pop();
+            }
+            self.df_route(ctx, t);
+        }
+        // Lost BF results are tolerated (the 80 % rule / timeout absorb
+        // them).
+    }
+}
+
+// ----------------------------------------------------------------------
+// Experiment harness
+// ----------------------------------------------------------------------
+
+/// Parameters of one MANET experiment run.
+#[derive(Debug, Clone)]
+pub struct ManetExperiment {
+    /// Grid side; `m = g²` devices.
+    pub g: usize,
+    /// Global relation specification.
+    pub data: datagen::DataSpec,
+    /// Strategy configuration.
+    pub strategy: StrategyConfig,
+    /// Query forwarding.
+    pub forwarding: Forwarding,
+    /// Distance of interest for all queries.
+    pub radius: f64,
+    /// Simulation horizon in seconds (paper: 7200).
+    pub sim_seconds: f64,
+    /// Freeze mobility (static topology).
+    pub frozen: bool,
+    /// Radio model.
+    pub radio: RadioConfig,
+    /// Device CPU model.
+    pub cost: DeviceCostModel,
+    /// Queries per device: `min..=max` (paper: 1..=5).
+    pub queries_per_device: (usize, usize),
+    /// The mobility-driven data-redistribution extension (off by default —
+    /// the paper's protocols keep relations pinned to devices).
+    pub handoff: Option<HandoffConfig>,
+    /// Neighbour discovery: idealized oracle (default, as in the paper's
+    /// simulator usage) or periodic HELLO beacons with realistic staleness.
+    pub neighbor_mode: NeighborMode,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ManetExperiment {
+    /// The paper's Table 6/7 defaults for a given scale.
+    pub fn paper_defaults(g: usize, cardinality: usize, dim: usize, distribution: datagen::Distribution, radius: f64, seed: u64) -> Self {
+        ManetExperiment {
+            g,
+            data: datagen::DataSpec::manet_experiment(cardinality, dim, distribution, seed),
+            strategy: StrategyConfig {
+                exact_bounds: vec![1000.0; dim],
+                ..StrategyConfig::default()
+            },
+            forwarding: Forwarding::BreadthFirst,
+            radius,
+            sim_seconds: 7200.0,
+            frozen: false,
+            radio: RadioConfig::default(),
+            cost: DeviceCostModel::default(),
+            queries_per_device: (1, 5),
+            handoff: None,
+            neighbor_mode: NeighborMode::Oracle,
+            seed,
+        }
+    }
+}
+
+/// Aggregated outcome of one experiment run.
+#[derive(Debug)]
+pub struct ManetOutcome {
+    /// Every query record from every originator.
+    pub records: Vec<QueryRecord>,
+    /// Aggregate DRR across all completed queries.
+    pub drr: f64,
+    /// Mean response time over queries completed by their protocol rule.
+    pub mean_response_seconds: Option<f64>,
+    /// Median response time (same population).
+    pub p50_response_seconds: Option<f64>,
+    /// 95th-percentile response time (same population).
+    pub p95_response_seconds: Option<f64>,
+    /// Mean query-forward messages per query (Fig. 12).
+    pub mean_forward_messages: f64,
+    /// Mean result messages per query.
+    pub mean_result_messages: f64,
+    /// Fraction of issued queries that timed out.
+    pub timeout_fraction: f64,
+    /// Mean distance (m) between a data-holding device and its relation's
+    /// centroid at the end of the run — the redistribution extension's
+    /// locality metric.
+    pub mean_data_locality_m: f64,
+    /// Completed data migrations (redistribution extension).
+    pub handoff_migrations: u64,
+    /// Total radio energy consumed across all devices (joules).
+    pub total_energy_joules: f64,
+    /// Mean radio energy per issued query (joules) — the paper's
+    /// energy-constrained-device motivation, quantified.
+    pub energy_per_query_joules: f64,
+    /// Raw network counters.
+    pub net: NetStats,
+}
+
+/// Runs one MANET experiment end to end.
+pub fn run_experiment(exp: &ManetExperiment) -> ManetOutcome {
+    let global = exp.data.generate();
+    let part = datagen::GridPartitioner::new(exp.g, exp.data.space).partition(&global);
+    let m = part.num_devices();
+
+    let workload = datagen::WorkloadSpec {
+        num_devices: m,
+        horizon_seconds: exp.sim_seconds,
+        min_queries: exp.queries_per_device.0,
+        max_queries: exp.queries_per_device.1,
+        radius: exp.radius,
+        seed: exp.seed ^ 0xDEAD_BEEF,
+    }
+    .generate();
+
+    let mobility = if exp.frozen {
+        MobilityConfig::frozen()
+    } else {
+        MobilityConfig {
+            width: exp.data.space.width,
+            height: exp.data.space.height,
+            ..MobilityConfig::paper()
+        }
+    };
+
+    let mut sim: Simulator<ProtoMsg, DeviceApp> = Simulator::new(exp.radio, exp.seed);
+    sim.set_neighbor_mode(exp.neighbor_mode);
+    let avg_partition = exp.data.cardinality / m.max(1);
+    for i in 0..m {
+        let rel = HybridRelation::new(part.parts[i].clone());
+        let mut app = DeviceApp::new(
+            i,
+            rel,
+            exp.strategy.clone(),
+            exp.forwarding,
+            exp.cost,
+            m,
+        );
+        if let Some(h) = exp.handoff {
+            let capacity = (avg_partition as f64 * h.capacity_factor).ceil() as usize;
+            app.enable_handoff(h, capacity.max(1));
+        }
+        let reqs: Vec<(SimTime, f64)> = workload
+            .iter()
+            .filter(|q| q.device == i)
+            .map(|q| (SimTime::from_secs_f64(q.at_seconds), q.radius))
+            .collect();
+        app.set_requests(reqs);
+        let c = part.cell_center(i);
+        sim.add_node(Pos::new(c.x, c.y), mobility, app, exp.seed ^ 0xA5A5);
+    }
+    // Kick each device's first request at its desired time.
+    for q in &workload {
+        // Only the first timer per device matters for ordering; extra ISSUE
+        // timers are harmless (try_issue pops from its own list).
+        sim.schedule_app_timer(q.device, SimTime::from_secs_f64(q.at_seconds), token::ISSUE);
+    }
+    // Start the handoff ticks, staggered per device to avoid probe storms,
+    // and the locality sampling (always on — it also measures pinned runs).
+    for i in 0..m {
+        if exp.handoff.is_some() {
+            let offset = 10.0 + i as f64 * 7.0;
+            sim.schedule_app_timer(i, SimTime::from_secs_f64(offset), token::HANDOFF_TICK);
+        }
+        sim.schedule_app_timer(
+            i,
+            SimTime::from_secs_f64(30.0 + i as f64 * 1.3),
+            token::LOCALITY_SAMPLE,
+        );
+    }
+
+    // Run past the horizon so in-flight queries can drain.
+    sim.run_until(SimTime::from_secs_f64(exp.sim_seconds + 400.0));
+
+    // Eq. 1 charges one tuple per device for the filter — only when a
+    // filter was actually shipped.
+    let charge_filter = exp.strategy.filter != crate::config::FilterStrategy::NoFilter;
+
+    // Time-averaged locality over the whole run (sampled every 60 s on
+    // every data-holding device).
+    let (mut loc_sum, mut loc_n) = (0.0, 0u64);
+    for i in 0..m {
+        loc_sum += sim.app(i).locality_sum_m;
+        loc_n += sim.app(i).locality_samples;
+    }
+    let mean_data_locality_m = if loc_n == 0 { 0.0 } else { loc_sum / loc_n as f64 };
+
+    let mut out = collect_outcome(&sim, m, charge_filter);
+    out.mean_data_locality_m = mean_data_locality_m;
+    out
+}
+
+fn collect_outcome(
+    sim: &Simulator<ProtoMsg, DeviceApp>,
+    m: usize,
+    charge_filter: bool,
+) -> ManetOutcome {
+    let mut records = Vec::new();
+    let mut drr = DrrAccumulator::default();
+    let mut forwards: HashMap<QueryKey, u64> = HashMap::new();
+    let mut results: HashMap<QueryKey, u64> = HashMap::new();
+    for i in 0..m {
+        let app = sim.app(i);
+        records.extend(app.records.iter().cloned());
+        for (k, v) in &app.forwards_by_key {
+            *forwards.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &app.results_by_key {
+            *results.entry(*k).or_insert(0) += v;
+        }
+    }
+    for r in &records {
+        drr.merge(&r.drr);
+    }
+    let completed: Vec<&QueryRecord> = records.iter().filter(|r| !r.timed_out).collect();
+    let mut rts: Vec<f64> = completed.iter().filter_map(|r| r.response_seconds).collect();
+    rts.sort_by(|a, b| a.partial_cmp(b).expect("NaN response time"));
+    let percentile = |q: f64| -> Option<f64> {
+        if rts.is_empty() {
+            None
+        } else {
+            let idx = ((rts.len() - 1) as f64 * q).round() as usize;
+            Some(rts[idx])
+        }
+    };
+    let mean_response_seconds = if rts.is_empty() {
+        None
+    } else {
+        Some(rts.iter().sum::<f64>() / rts.len() as f64)
+    };
+    let p50_response_seconds = percentile(0.5);
+    let p95_response_seconds = percentile(0.95);
+    let nq = records.len().max(1) as f64;
+    let mean_forward_messages = forwards.values().sum::<u64>() as f64 / nq;
+    let mean_result_messages = results.values().sum::<u64>() as f64 / nq;
+    let timeout_fraction =
+        records.iter().filter(|r| r.timed_out).count() as f64 / records.len().max(1) as f64;
+
+    let handoff_migrations = (0..m).map(|i| sim.app(i).handoff_migrations_out).sum();
+    let total_energy_joules = sim.total_energy_joules();
+    let energy_per_query_joules = total_energy_joules / records.len().max(1) as f64;
+
+    ManetOutcome {
+        drr: drr.drr(charge_filter),
+        mean_response_seconds,
+        p50_response_seconds,
+        p95_response_seconds,
+        mean_forward_messages,
+        mean_result_messages,
+        timeout_fraction,
+        mean_data_locality_m: 0.0, // filled by run_experiment
+        handoff_migrations,
+        total_energy_joules,
+        energy_per_query_joules,
+        net: *sim.stats(),
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::vdr::UpperBounds;
+
+    fn sample_filters(n: usize) -> Vec<FilterTuple> {
+        let b = UpperBounds::new(vec![100.0, 100.0]);
+        (0..n)
+            .map(|i| FilterTuple::new(vec![i as f64, i as f64], &b))
+            .collect()
+    }
+
+    #[test]
+    fn bf_query_wire_size_counts_filters() {
+        let spec = QuerySpec::new(0, 0, Point::new(0.0, 0.0), 100.0);
+        let bare = ProtoMsg::BfQuery { spec, filters: Vec::new() }.wire_size();
+        let with2 = ProtoMsg::BfQuery { spec, filters: sample_filters(2) }.wire_size();
+        assert_eq!(bare, spec.wire_size());
+        assert_eq!(with2, bare + 2 * 24, "two 2-attr filters at 24 B each");
+    }
+
+    #[test]
+    fn result_wire_size_scales_with_tuples() {
+        let empty = ProtoMsg::BfResult {
+            key: QueryKey { origin: 0, cnt: 0 },
+            tuples: Vec::new(),
+            unreduced: 0,
+            participated: false,
+        }
+        .wire_size();
+        let two = ProtoMsg::BfResult {
+            key: QueryKey { origin: 0, cnt: 0 },
+            tuples: vec![
+                Tuple::new(0.0, 0.0, vec![1.0, 2.0]),
+                Tuple::new(1.0, 0.0, vec![3.0, 4.0]),
+            ],
+            unreduced: 2,
+            participated: true,
+        }
+        .wire_size();
+        assert_eq!(two, empty + 2 * 32);
+    }
+
+    #[test]
+    fn df_token_wire_size_includes_bookkeeping() {
+        let spec = QuerySpec::new(0, 0, Point::new(0.0, 0.0), 100.0);
+        let t = DfToken {
+            spec,
+            filters: sample_filters(1),
+            visited: vec![0, 1, 2],
+            path: vec![0, 1],
+            partial: vec![Tuple::new(0.0, 0.0, vec![1.0, 2.0])],
+            drr: DrrAccumulator::default(),
+        };
+        let sz = ProtoMsg::DfToken(t).wire_size();
+        assert_eq!(sz, spec.wire_size() + 24 + 4 * 5 + 32 + 24);
+    }
+
+    #[test]
+    fn handoff_message_sizes() {
+        assert_eq!(
+            ProtoMsg::HandoffProbe {
+                pos: Point::new(0.0, 0.0),
+                centroid: Point::new(1.0, 1.0),
+                n_tuples: 7
+            }
+            .wire_size(),
+            36
+        );
+        assert_eq!(ProtoMsg::HandoffAccept.wire_size(), 4);
+        assert_eq!(ProtoMsg::HandoffAck.wire_size(), 4);
+        let xfer = ProtoMsg::HandoffTransfer {
+            tuples: vec![Tuple::new(0.0, 0.0, vec![1.0])],
+        };
+        assert_eq!(xfer.wire_size(), 8 + 24);
+    }
+
+    #[test]
+    fn gossip_coin_is_deterministic_and_calibrated() {
+        let rel = HybridRelation::new(Vec::new());
+        let mk = |percent| {
+            let mut app = DeviceApp::new(
+                3,
+                HybridRelation::new(Vec::new()),
+                StrategyConfig::default(),
+                Forwarding::Gossip { rebroadcast_percent: percent },
+                DeviceCostModel::free(),
+                10,
+            );
+            app.device = Device::new(3, rel.clone());
+            app
+        };
+        let app50 = mk(50);
+        // Determinism: same key → same answer.
+        let key = QueryKey { origin: 1, cnt: 7 };
+        assert_eq!(app50.should_rebroadcast(key), app50.should_rebroadcast(key));
+        // Calibration: over many keys roughly half re-broadcast.
+        let hits = (0..=255u8)
+            .flat_map(|cnt| (0..40usize).map(move |o| QueryKey { origin: o, cnt }))
+            .filter(|&k| app50.should_rebroadcast(k))
+            .count();
+        assert!(
+            (3500..6500).contains(&hits),
+            "50% coin landed {hits}/10000 times"
+        );
+        // Extremes.
+        let app0 = mk(0);
+        let app100 = mk(100);
+        assert!(!app0.should_rebroadcast(key));
+        assert!(app100.should_rebroadcast(key));
+        // Plain BF always re-broadcasts.
+        let mut bf = mk(0);
+        bf.forwarding = Forwarding::BreadthFirst;
+        assert!(bf.should_rebroadcast(key));
+    }
+
+    #[test]
+    fn paper_defaults_match_tables_6_and_7() {
+        let exp = ManetExperiment::paper_defaults(
+            5,
+            500_000,
+            2,
+            datagen::Distribution::Independent,
+            250.0,
+            1,
+        );
+        assert_eq!(exp.sim_seconds, 7200.0);
+        assert_eq!(exp.queries_per_device, (1, 5));
+        assert_eq!(exp.data.attr_min, 1.0);
+        assert_eq!(exp.data.attr_max, 1000.0);
+        assert!(exp.handoff.is_none());
+    }
+}

@@ -1,0 +1,158 @@
+//! Systematic correctness verification: compare a distributed answer with
+//! the centralized constrained skyline of the deduplicated union.
+//!
+//! The integration and property tests use this; it is public because a
+//! downstream deployment will want the same audit — run a query both ways
+//! on a testbed snapshot and diff.
+
+use device_storage::DeviceRelation;
+use skyline_core::region::QueryRegion;
+use skyline_core::{SkylineMerger, Tuple};
+
+use crate::config::StrategyConfig;
+use crate::static_net::StaticGridNetwork;
+
+/// The outcome of one verification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerificationReport {
+    /// Sites in the distributed answer missing from the truth.
+    pub spurious: Vec<Tuple>,
+    /// Sites in the truth missing from the distributed answer.
+    pub missing: Vec<Tuple>,
+    /// Size of the centralized ground truth.
+    pub truth_len: usize,
+    /// Size of the distributed answer.
+    pub answer_len: usize,
+}
+
+impl VerificationReport {
+    /// `true` when the answers match exactly.
+    pub fn is_exact(&self) -> bool {
+        self.spurious.is_empty() && self.missing.is_empty()
+    }
+
+    /// Fraction of the truth the answer covered (1.0 = complete).
+    pub fn coverage(&self) -> f64 {
+        if self.truth_len == 0 {
+            1.0
+        } else {
+            (self.truth_len - self.missing.len()) as f64 / self.truth_len as f64
+        }
+    }
+}
+
+/// Diffs a distributed `answer` against the centralized skyline of the
+/// deduplicated union of `partitions`, restricted to `region`. Sites are
+/// identified by location.
+pub fn diff_against_truth(
+    answer: &[Tuple],
+    partitions: &[Vec<Tuple>],
+    region: &QueryRegion,
+) -> VerificationReport {
+    let mut merger = SkylineMerger::new();
+    for p in partitions {
+        for t in p {
+            if region.contains(t.location()) {
+                merger.insert(t.clone());
+            }
+        }
+    }
+    let truth = merger.into_result();
+
+    let key = |t: &Tuple| (t.x.to_bits(), t.y.to_bits());
+    let truth_keys: std::collections::HashSet<_> = truth.iter().map(key).collect();
+    let answer_keys: std::collections::HashSet<_> = answer.iter().map(key).collect();
+
+    VerificationReport {
+        spurious: answer.iter().filter(|t| !truth_keys.contains(&key(t))).cloned().collect(),
+        missing: truth.iter().filter(|t| !answer_keys.contains(&key(t))).cloned().collect(),
+        truth_len: truth.len(),
+        answer_len: answer.len(),
+    }
+}
+
+/// Runs a query on a static network and verifies it in one call.
+pub fn verify_static_query<R: DeviceRelation>(
+    net: &StaticGridNetwork<R>,
+    origin: usize,
+    d: f64,
+    cfg: &StrategyConfig,
+) -> VerificationReport {
+    let out = net.run_query(origin, d, cfg);
+    let truth = net.ground_truth(origin, d);
+    let key = |t: &Tuple| (t.x.to_bits(), t.y.to_bits());
+    let truth_keys: std::collections::HashSet<_> = truth.iter().map(key).collect();
+    let answer_keys: std::collections::HashSet<_> = out.result.iter().map(key).collect();
+    VerificationReport {
+        spurious: out
+            .result
+            .iter()
+            .filter(|t| !truth_keys.contains(&key(t)))
+            .cloned()
+            .collect(),
+        missing: truth.iter().filter(|t| !answer_keys.contains(&key(t))).cloned().collect(),
+        truth_len: truth.len(),
+        answer_len: out.result.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::static_net::grid_network_from_global;
+    use datagen::{DataSpec, Distribution, SpatialExtent};
+    use skyline_core::region::Point;
+    use skyline_core::vdr::BoundsMode;
+
+    #[test]
+    fn exact_answers_verify_clean() {
+        let spec = DataSpec::manet_experiment(3_000, 2, Distribution::Independent, 9);
+        let net = grid_network_from_global(&spec.generate(), 3, SpatialExtent::PAPER);
+        let cfg = StrategyConfig {
+            bounds_mode: BoundsMode::Exact,
+            exact_bounds: spec.global_upper_bounds(),
+            ..StrategyConfig::default()
+        };
+        let report = verify_static_query(&net, 4, 300.0, &cfg);
+        assert!(report.is_exact(), "{report:?}");
+        assert_eq!(report.coverage(), 1.0);
+        assert_eq!(report.truth_len, report.answer_len);
+    }
+
+    #[test]
+    fn diff_flags_spurious_and_missing() {
+        let a = Tuple::new(0.0, 0.0, vec![1.0, 9.0]);
+        let b = Tuple::new(1.0, 0.0, vec![9.0, 1.0]);
+        let wrong = Tuple::new(2.0, 0.0, vec![5.0, 5.0]); // not in truth
+        let partitions = vec![vec![a.clone(), b.clone()]];
+        let region = QueryRegion::unbounded();
+
+        let report = diff_against_truth(&[a.clone(), wrong.clone()], &partitions, &region);
+        assert_eq!(report.truth_len, 2);
+        assert_eq!(report.spurious, vec![wrong]);
+        assert_eq!(report.missing, vec![b]);
+        assert_eq!(report.coverage(), 0.5);
+        assert!(!report.is_exact());
+    }
+
+    #[test]
+    fn empty_truth_counts_as_full_coverage() {
+        let report = diff_against_truth(
+            &[],
+            &[vec![]],
+            &QueryRegion::new(Point::new(0.0, 0.0), 1.0),
+        );
+        assert!(report.is_exact());
+        assert_eq!(report.coverage(), 1.0);
+    }
+
+    #[test]
+    fn duplicate_sites_across_partitions_counted_once() {
+        let shared = Tuple::new(5.0, 5.0, vec![1.0, 1.0]);
+        let partitions = vec![vec![shared.clone()], vec![shared.clone()]];
+        let report =
+            diff_against_truth(&[shared], &partitions, &QueryRegion::unbounded());
+        assert!(report.is_exact());
+        assert_eq!(report.truth_len, 1);
+    }
+}

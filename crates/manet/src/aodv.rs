@@ -1,0 +1,517 @@
+//! Ad hoc On-Demand Distance Vector routing — the RFC 3561 core, which is
+//! the wireless routing protocol the paper's simulations use (Table 7).
+//!
+//! Implemented behaviour:
+//!
+//! * on-demand route discovery: RREQ flooding with (origin, rreq_id)
+//!   duplicate suppression, reverse-route setup at every forwarder, RREP
+//!   unicast back along the reverse path (destination-only reply);
+//! * destination sequence numbers with freshest-route-wins updates;
+//! * hop-count metric;
+//! * active-route timeout with lazy expiry;
+//! * RREQ retries with exponential back-off, then delivery-failure
+//!   reporting to the application;
+//! * link-break handling at forwarding time: route invalidation plus a
+//!   one-hop RERR broadcast so neighbours drop the stale route too.
+//!
+//! Omitted (not needed for the paper's workloads): gratuitous RREPs,
+//! intermediate-node replies, precursor lists with targeted RERR delivery,
+//! local repair, and hello messages (neighbourhood sensing is physical —
+//! the engine answers "is X in range" directly, modelling an idealized
+//! beacon protocol).
+//!
+//! The state machine is engine-agnostic: every handler returns
+//! [`LinkCmd`]s that the engine turns into frames, timers, and
+//! application up-calls. That keeps AODV unit-testable without a radio.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+use crate::packet::{AodvMessage, DataPacket, Frame, NodeId};
+use crate::time::{SimDuration, SimTime};
+
+/// AODV tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct AodvConfig {
+    /// How long a route stays valid after its last use.
+    pub active_route_timeout: SimDuration,
+    /// Time to wait for an RREP before retrying the flood.
+    pub rreq_timeout: SimDuration,
+    /// Total RREQ attempts before giving up (RFC: RREQ_RETRIES + 1 = 3).
+    pub max_rreq_attempts: u32,
+}
+
+impl Default for AodvConfig {
+    fn default() -> Self {
+        AodvConfig {
+            active_route_timeout: SimDuration::from_secs_f64(3.0),
+            rreq_timeout: SimDuration::from_millis(200),
+            max_rreq_attempts: 3,
+        }
+    }
+}
+
+/// A routing-table entry.
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    next_hop: NodeId,
+    hop_count: u32,
+    dst_seq: u64,
+    expires: SimTime,
+    valid: bool,
+}
+
+/// AODV timers (scheduled through the engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AodvTimer {
+    /// RREQ for `dst` may have been lost; `attempt` floods done so far.
+    RreqTimeout {
+        /// Destination being searched.
+        dst: NodeId,
+        /// Attempts already made.
+        attempt: u32,
+    },
+}
+
+/// What the engine should do on behalf of this node.
+#[derive(Debug)]
+pub enum LinkCmd<P> {
+    /// Transmit a frame to a specific neighbour.
+    SendTo(NodeId, Frame<P>),
+    /// Transmit a frame to everyone in range.
+    Broadcast(Frame<P>),
+    /// Arm an AODV timer.
+    SetTimer(SimDuration, AodvTimer),
+    /// The packet reached this node: hand it to the application.
+    DeliverUp(DataPacket<P>),
+    /// The packet is undeliverable: tell the application it failed.
+    DropFailed(DataPacket<P>),
+}
+
+/// Per-node AODV state.
+#[derive(Debug)]
+pub struct AodvState<P> {
+    me: NodeId,
+    cfg: AodvConfig,
+    seq: u64,
+    next_rreq_id: u64,
+    next_packet_id: u64,
+    routes: HashMap<NodeId, Route>,
+    seen_rreq: HashSet<(NodeId, u64)>,
+    /// Packets waiting for a route, per destination.
+    pending: HashMap<NodeId, Vec<DataPacket<P>>>,
+    /// Statistics: control messages originated or forwarded by this node.
+    pub control_messages: u64,
+}
+
+impl<P: Clone> AodvState<P> {
+    /// Fresh state for node `me`.
+    pub fn new(me: NodeId, cfg: AodvConfig) -> Self {
+        AodvState {
+            me,
+            cfg,
+            seq: 0,
+            next_rreq_id: 0,
+            next_packet_id: 0,
+            routes: HashMap::new(),
+            seen_rreq: HashSet::new(),
+            pending: HashMap::new(),
+            control_messages: 0,
+        }
+    }
+
+    /// Does this node currently hold a live route to `dst`?
+    pub fn has_route(&self, dst: NodeId, now: SimTime) -> bool {
+        self.routes
+            .get(&dst)
+            .is_some_and(|r| r.valid && r.expires > now)
+    }
+
+    /// Next hop toward `dst`, when a live route exists.
+    pub fn next_hop(&self, dst: NodeId, now: SimTime) -> Option<NodeId> {
+        self.routes
+            .get(&dst)
+            .filter(|r| r.valid && r.expires > now)
+            .map(|r| r.next_hop)
+    }
+
+    fn refresh(&mut self, dst: NodeId, now: SimTime) {
+        if let Some(r) = self.routes.get_mut(&dst) {
+            r.expires = now + self.cfg.active_route_timeout;
+        }
+    }
+
+    /// Installs/updates a route if it is fresher (higher seq) or equally
+    /// fresh but shorter.
+    fn offer_route(&mut self, dst: NodeId, next_hop: NodeId, hop_count: u32, dst_seq: u64, now: SimTime) {
+        let expires = now + self.cfg.active_route_timeout;
+        let candidate = Route { next_hop, hop_count, dst_seq, expires, valid: true };
+        match self.routes.get(&dst) {
+            Some(r) if r.valid && r.expires > now => {
+                if dst_seq > r.dst_seq || (dst_seq == r.dst_seq && hop_count < r.hop_count) {
+                    self.routes.insert(dst, candidate);
+                }
+            }
+            _ => {
+                self.routes.insert(dst, candidate);
+            }
+        }
+    }
+
+    /// Application entry point: send `payload` of `bytes` bytes to `dst`.
+    pub fn send(&mut self, dst: NodeId, payload: P, bytes: usize, now: SimTime) -> Vec<LinkCmd<P>> {
+        let pkt = DataPacket { src: self.me, dst, id: self.next_packet_id, payload, bytes };
+        self.next_packet_id += 1;
+        if dst == self.me {
+            return vec![LinkCmd::DeliverUp(pkt)];
+        }
+        if let Some(nh) = self.next_hop(dst, now) {
+            self.refresh(dst, now);
+            return vec![LinkCmd::SendTo(nh, Frame::Data(pkt))];
+        }
+        // No route: buffer and (maybe) start discovery.
+        let discovering = self.pending.contains_key(&dst);
+        self.pending.entry(dst).or_default().push(pkt);
+        if discovering {
+            return Vec::new();
+        }
+        self.start_discovery(dst, 1)
+    }
+
+    fn start_discovery(&mut self, dst: NodeId, attempt: u32) -> Vec<LinkCmd<P>> {
+        self.seq += 1;
+        let rreq_id = self.next_rreq_id;
+        self.next_rreq_id += 1;
+        self.seen_rreq.insert((self.me, rreq_id));
+        self.control_messages += 1;
+        let msg = AodvMessage::Rreq {
+            rreq_id,
+            origin: self.me,
+            origin_seq: self.seq,
+            dst,
+            hop_count: 0,
+        };
+        // Exponential back-off per RFC (binary, capped by attempts).
+        let timeout = self.cfg.rreq_timeout.mul_f64(f64::from(1 << (attempt - 1).min(4)));
+        vec![
+            LinkCmd::Broadcast(Frame::Aodv(msg)),
+            LinkCmd::SetTimer(timeout, AodvTimer::RreqTimeout { dst, attempt }),
+        ]
+    }
+
+    /// Handles a received frame. `is_neighbor` answers whether a node is
+    /// currently within radio range (idealized beaconing).
+    pub fn on_frame(
+        &mut self,
+        link_from: NodeId,
+        frame: Frame<P>,
+        now: SimTime,
+        is_neighbor: &dyn Fn(NodeId) -> bool,
+    ) -> Vec<LinkCmd<P>> {
+        // Hearing any frame from a neighbour is evidence of a 1-hop route.
+        self.offer_route(link_from, link_from, 1, 0, now);
+        match frame {
+            Frame::Aodv(msg) => self.on_aodv(link_from, msg, now),
+            Frame::Data(pkt) => self.on_data(pkt, now, is_neighbor),
+            Frame::Bcast { .. } | Frame::Hello => {
+                unreachable!("broadcasts and beacons are delivered by the engine, not AODV")
+            }
+        }
+    }
+
+    fn on_aodv(&mut self, from: NodeId, msg: AodvMessage, now: SimTime) -> Vec<LinkCmd<P>> {
+        match msg {
+            AodvMessage::Rreq { rreq_id, origin, origin_seq, dst, hop_count } => {
+                if origin == self.me || !self.seen_rreq.insert((origin, rreq_id)) {
+                    return Vec::new(); // my own flood, or already processed
+                }
+                // Reverse route toward the origin.
+                self.offer_route(origin, from, hop_count + 1, origin_seq, now);
+                if dst == self.me {
+                    // Destination replies. Bump own seq (RFC §6.6.1).
+                    self.seq = self.seq.max(origin_seq) + 1;
+                    self.control_messages += 1;
+                    let rrep = AodvMessage::Rrep {
+                        origin,
+                        dst: self.me,
+                        dst_seq: self.seq,
+                        hop_count: 0,
+                    };
+                    return vec![LinkCmd::SendTo(from, Frame::Aodv(rrep))];
+                }
+                self.control_messages += 1;
+                let fwd = AodvMessage::Rreq {
+                    rreq_id,
+                    origin,
+                    origin_seq,
+                    dst,
+                    hop_count: hop_count + 1,
+                };
+                vec![LinkCmd::Broadcast(Frame::Aodv(fwd))]
+            }
+            AodvMessage::Rrep { origin, dst, dst_seq, hop_count } => {
+                // Forward route toward the replying destination.
+                self.offer_route(dst, from, hop_count + 1, dst_seq, now);
+                if origin == self.me {
+                    // Discovery finished: flush buffered packets.
+                    return self.flush_pending(dst, now);
+                }
+                // Relay the RREP along the reverse route.
+                match self.next_hop(origin, now) {
+                    Some(nh) => {
+                        self.control_messages += 1;
+                        let fwd = AodvMessage::Rrep { origin, dst, dst_seq, hop_count: hop_count + 1 };
+                        vec![LinkCmd::SendTo(nh, Frame::Aodv(fwd))]
+                    }
+                    None => Vec::new(), // reverse route evaporated; flood will retry
+                }
+            }
+            AodvMessage::Rerr { dst, dst_seq } => {
+                // Invalidate our route if it goes through the sender.
+                if let Some(r) = self.routes.get_mut(&dst) {
+                    if r.valid && r.next_hop == from && r.dst_seq <= dst_seq {
+                        r.valid = false;
+                    }
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    fn on_data(
+        &mut self,
+        pkt: DataPacket<P>,
+        now: SimTime,
+        is_neighbor: &dyn Fn(NodeId) -> bool,
+    ) -> Vec<LinkCmd<P>> {
+        if pkt.dst == self.me {
+            return vec![LinkCmd::DeliverUp(pkt)];
+        }
+        // Forward along the route; detect broken links at forwarding time
+        // (modelling link-layer feedback).
+        if let Some(nh) = self.next_hop(pkt.dst, now) {
+            if is_neighbor(nh) {
+                self.refresh(pkt.dst, now);
+                return vec![LinkCmd::SendTo(nh, Frame::Data(pkt))];
+            }
+            // Link break: invalidate, warn neighbours, drop the packet.
+            let seq = self.routes.get(&pkt.dst).map_or(0, |r| r.dst_seq);
+            if let Some(r) = self.routes.get_mut(&pkt.dst) {
+                r.valid = false;
+            }
+            self.control_messages += 1;
+            return vec![LinkCmd::Broadcast(Frame::Aodv(AodvMessage::Rerr {
+                dst: pkt.dst,
+                dst_seq: seq,
+            }))];
+        }
+        // No route at an intermediate hop (expired underway): drop.
+        Vec::new()
+    }
+
+    /// Handles an AODV timer.
+    pub fn on_timer(&mut self, timer: AodvTimer, now: SimTime) -> Vec<LinkCmd<P>> {
+        match timer {
+            AodvTimer::RreqTimeout { dst, attempt } => {
+                if self.has_route(dst, now) || !self.pending.contains_key(&dst) {
+                    return Vec::new(); // discovery succeeded (or nothing waits)
+                }
+                if attempt < self.cfg.max_rreq_attempts {
+                    return self.start_discovery(dst, attempt + 1);
+                }
+                // Give up: fail every buffered packet.
+                let pkts = self.pending.remove(&dst).unwrap_or_default();
+                pkts.into_iter().map(LinkCmd::DropFailed).collect()
+            }
+        }
+    }
+
+    fn flush_pending(&mut self, dst: NodeId, now: SimTime) -> Vec<LinkCmd<P>> {
+        let Some(pkts) = self.pending.remove(&dst) else {
+            return Vec::new();
+        };
+        let Some(nh) = self.next_hop(dst, now) else {
+            // Route vanished between RREP receipt and flush; re-buffer.
+            self.pending.insert(dst, pkts);
+            return Vec::new();
+        };
+        self.refresh(dst, now);
+        pkts.into_iter()
+            .map(|p| LinkCmd::SendTo(nh, Frame::Data(p)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(me: NodeId) -> AodvState<u32> {
+        AodvState::new(me, AodvConfig::default())
+    }
+
+    const ALWAYS: fn(NodeId) -> bool = |_| true;
+    const NEVER: fn(NodeId) -> bool = |_| false;
+
+    #[test]
+    fn send_without_route_floods_rreq() {
+        let mut a = state(0);
+        let cmds = a.send(5, 42, 100, SimTime::ZERO);
+        assert!(matches!(cmds[0], LinkCmd::Broadcast(Frame::Aodv(AodvMessage::Rreq { dst: 5, .. }))));
+        assert!(matches!(cmds[1], LinkCmd::SetTimer(_, AodvTimer::RreqTimeout { dst: 5, attempt: 1 })));
+    }
+
+    #[test]
+    fn second_send_while_discovering_only_buffers() {
+        let mut a = state(0);
+        a.send(5, 1, 10, SimTime::ZERO);
+        let cmds = a.send(5, 2, 10, SimTime::ZERO);
+        assert!(cmds.is_empty(), "no second flood while one is outstanding");
+    }
+
+    #[test]
+    fn self_send_delivers_up() {
+        let mut a = state(3);
+        let cmds = a.send(3, 9, 10, SimTime::ZERO);
+        assert!(matches!(&cmds[0], LinkCmd::DeliverUp(p) if p.payload == 9));
+    }
+
+    #[test]
+    fn destination_replies_with_rrep() {
+        let mut d = state(5);
+        let rreq = Frame::Aodv(AodvMessage::Rreq {
+            rreq_id: 0,
+            origin: 0,
+            origin_seq: 1,
+            dst: 5,
+            hop_count: 2,
+        });
+        let cmds = d.on_frame(4, rreq, SimTime::ZERO, &ALWAYS);
+        assert!(
+            matches!(cmds[0], LinkCmd::SendTo(4, Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, .. })))
+        );
+        // Reverse route to the origin was installed.
+        assert_eq!(d.next_hop(0, SimTime::ZERO), Some(4));
+    }
+
+    #[test]
+    fn intermediate_rebroadcasts_once() {
+        let mut i = state(2);
+        let rreq = AodvMessage::Rreq { rreq_id: 7, origin: 0, origin_seq: 1, dst: 5, hop_count: 0 };
+        let c1 = i.on_frame(0, Frame::Aodv(rreq.clone()), SimTime::ZERO, &ALWAYS);
+        assert!(matches!(
+            c1[0],
+            LinkCmd::Broadcast(Frame::Aodv(AodvMessage::Rreq { hop_count: 1, .. }))
+        ));
+        // Duplicate flood member is suppressed.
+        let c2 = i.on_frame(1, Frame::Aodv(rreq), SimTime::ZERO, &ALWAYS);
+        assert!(c2.is_empty());
+    }
+
+    #[test]
+    fn rrep_completes_discovery_and_flushes() {
+        let mut a = state(0);
+        a.send(5, 42, 100, SimTime::ZERO);
+        let rrep = Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, dst_seq: 2, hop_count: 1 });
+        let cmds = a.on_frame(3, rrep, SimTime::ZERO, &ALWAYS);
+        assert_eq!(cmds.len(), 1);
+        assert!(matches!(&cmds[0], LinkCmd::SendTo(3, Frame::Data(p)) if p.payload == 42));
+        assert_eq!(a.next_hop(5, SimTime::ZERO), Some(3));
+    }
+
+    #[test]
+    fn rrep_relays_along_reverse_route() {
+        let mut i = state(2);
+        // Reverse route to origin 0 exists via node 1 (learned from an RREQ).
+        let rreq = AodvMessage::Rreq { rreq_id: 0, origin: 0, origin_seq: 1, dst: 5, hop_count: 0 };
+        i.on_frame(1, Frame::Aodv(rreq), SimTime::ZERO, &ALWAYS);
+        let rrep = Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, dst_seq: 2, hop_count: 0 });
+        let cmds = i.on_frame(3, rrep, SimTime::ZERO, &ALWAYS);
+        assert!(matches!(
+            cmds[0],
+            LinkCmd::SendTo(1, Frame::Aodv(AodvMessage::Rrep { hop_count: 1, .. }))
+        ));
+        // Forward route to 5 installed via 3.
+        assert_eq!(i.next_hop(5, SimTime::ZERO), Some(3));
+    }
+
+    #[test]
+    fn forwarding_with_broken_link_emits_rerr() {
+        let mut i = state(2);
+        // Install a route to 5 via 3.
+        let rrep = Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, dst_seq: 2, hop_count: 0 });
+        i.on_frame(3, rrep, SimTime::ZERO, &ALWAYS);
+        let pkt = DataPacket { src: 0, dst: 5, id: 0, payload: 1u32, bytes: 10 };
+        let cmds = i.on_data(pkt, SimTime::ZERO, &NEVER);
+        assert!(matches!(
+            cmds[0],
+            LinkCmd::Broadcast(Frame::Aodv(AodvMessage::Rerr { dst: 5, .. }))
+        ));
+        assert!(!i.has_route(5, SimTime::ZERO));
+    }
+
+    #[test]
+    fn rerr_invalidates_matching_route() {
+        let mut a = state(0);
+        let rrep = Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, dst_seq: 2, hop_count: 0 });
+        a.on_frame(3, rrep, SimTime::ZERO, &ALWAYS);
+        assert!(a.has_route(5, SimTime::ZERO));
+        a.on_frame(3, Frame::Aodv(AodvMessage::Rerr { dst: 5, dst_seq: 2 }), SimTime::ZERO, &ALWAYS);
+        assert!(!a.has_route(5, SimTime::ZERO));
+    }
+
+    #[test]
+    fn routes_expire_lazily() {
+        let mut a = state(0);
+        let rrep = Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, dst_seq: 2, hop_count: 0 });
+        a.on_frame(3, rrep, SimTime::ZERO, &ALWAYS);
+        let later = SimTime::ZERO + SimDuration::from_secs_f64(10.0);
+        assert!(!a.has_route(5, later), "route must expire after 3 s idle");
+    }
+
+    #[test]
+    fn rreq_retry_then_give_up() {
+        let mut a = state(0);
+        a.send(5, 42, 100, SimTime::ZERO);
+        // First timeout: retry.
+        let c1 = a.on_timer(AodvTimer::RreqTimeout { dst: 5, attempt: 1 }, SimTime(1));
+        assert!(matches!(c1[0], LinkCmd::Broadcast(_)));
+        let c2 = a.on_timer(AodvTimer::RreqTimeout { dst: 5, attempt: 2 }, SimTime(2));
+        assert!(matches!(c2[0], LinkCmd::Broadcast(_)));
+        // Third (== max_rreq_attempts) timeout: give up and fail the packet.
+        let c3 = a.on_timer(AodvTimer::RreqTimeout { dst: 5, attempt: 3 }, SimTime(3));
+        assert!(matches!(&c3[0], LinkCmd::DropFailed(p) if p.payload == 42));
+    }
+
+    #[test]
+    fn timer_after_success_is_inert() {
+        let mut a = state(0);
+        a.send(5, 42, 100, SimTime::ZERO);
+        let rrep = Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, dst_seq: 2, hop_count: 0 });
+        a.on_frame(3, rrep, SimTime::ZERO, &ALWAYS);
+        let cmds = a.on_timer(AodvTimer::RreqTimeout { dst: 5, attempt: 1 }, SimTime(1));
+        assert!(cmds.is_empty());
+    }
+
+    #[test]
+    fn fresher_seq_replaces_route_longer_hops_do_not() {
+        let mut a = state(0);
+        let now = SimTime::ZERO;
+        let mk = |dst_seq, hop_count| {
+            Frame::Aodv(AodvMessage::Rrep { origin: 9, dst: 5, dst_seq, hop_count })
+        };
+        a.on_frame(3, mk(2, 1), now, &ALWAYS); // via 3, 2 hops, seq 2
+        assert_eq!(a.next_hop(5, now), Some(3));
+        a.on_frame(4, mk(2, 5), now, &ALWAYS); // same seq, longer → ignored
+        assert_eq!(a.next_hop(5, now), Some(3));
+        a.on_frame(4, mk(3, 5), now, &ALWAYS); // fresher seq → wins
+        assert_eq!(a.next_hop(5, now), Some(4));
+    }
+
+    #[test]
+    fn hearing_a_frame_installs_one_hop_route() {
+        let mut a = state(0);
+        a.on_frame(7, Frame::Aodv(AodvMessage::Rerr { dst: 99, dst_seq: 0 }), SimTime::ZERO, &ALWAYS);
+        assert_eq!(a.next_hop(7, SimTime::ZERO), Some(7));
+    }
+}

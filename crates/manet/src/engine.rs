@@ -1,0 +1,470 @@
+//! The discrete-event simulation engine: nodes, radio, AODV, and the
+//! application layer, driven by one event queue.
+//!
+//! The engine owns every per-node component. Applications interact with the
+//! world exclusively through a [`NodeCtx`] handed into their callbacks; the
+//! context records commands (send, broadcast, timers) that the engine
+//! executes after the callback returns, which keeps borrows simple and the
+//! event order deterministic.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::aodv::{AodvConfig, AodvState, AodvTimer, LinkCmd};
+use crate::events::EventQueue;
+use crate::mobility::{MobilityConfig, MobilityState, Pos};
+use crate::packet::{DataPacket, Frame, NodeId};
+use crate::radio::RadioConfig;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{EventTrace, FrameTag, NetStats, TraceEvent};
+
+/// How nodes learn who their one-hop neighbours are.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NeighborMode {
+    /// Idealized oracle: `neighbors()` reflects true positions instantly
+    /// (models perfect beaconing with zero overhead; the default).
+    Oracle,
+    /// Periodic HELLO beacons: each node broadcasts a tiny frame every
+    /// `period`; a neighbour entry expires `expiry` after its last beacon.
+    /// Costs real frames and energy, and neighbour views lag mobility —
+    /// stale entries and late discoveries become possible, as in a real
+    /// 802.11 MANET.
+    Beacon {
+        /// Beacon period.
+        period: SimDuration,
+        /// Entry lifetime after the last heard beacon.
+        expiry: SimDuration,
+    },
+}
+
+/// Metadata accompanying an application message delivery.
+#[derive(Debug, Clone, Copy)]
+pub struct MsgMeta {
+    /// End-to-end source node.
+    pub src: NodeId,
+    /// Node the frame was physically received from (last hop).
+    pub link_from: NodeId,
+    /// `true` when the message arrived as a one-hop broadcast.
+    pub broadcast: bool,
+}
+
+/// The application running on every node. One type per simulation;
+/// per-node behaviour is data inside the implementor.
+pub trait Application<P> {
+    /// A routed unicast or one-hop broadcast arrived.
+    fn on_message(&mut self, ctx: &mut NodeCtx<P>, meta: MsgMeta, payload: P);
+
+    /// An application timer armed via [`NodeCtx::set_timer`] fired.
+    fn on_timer(&mut self, ctx: &mut NodeCtx<P>, token: u64);
+
+    /// A unicast previously submitted could not be delivered (route
+    /// discovery exhausted its retries).
+    fn on_delivery_failed(&mut self, _ctx: &mut NodeCtx<P>, _dst: NodeId, _payload: P) {}
+}
+
+/// Commands an application can issue from inside a callback.
+enum AppCmd<P> {
+    Unicast { dst: NodeId, payload: P, bytes: usize },
+    Broadcast { payload: P, bytes: usize },
+    Timer { delay: SimDuration, token: u64 },
+}
+
+/// The application's window into the simulation during a callback.
+pub struct NodeCtx<'a, P> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// This node's id.
+    pub id: NodeId,
+    /// This node's current position.
+    pub position: Pos,
+    neighbors: &'a [NodeId],
+    cmds: Vec<AppCmd<P>>,
+}
+
+impl<'a, P> NodeCtx<'a, P> {
+    /// Nodes currently within radio range (idealized beaconing).
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.neighbors
+    }
+
+    /// Sends `payload` to `dst` via AODV multi-hop routing. `bytes` is the
+    /// payload's wire size.
+    pub fn send_unicast(&mut self, dst: NodeId, payload: P, bytes: usize) {
+        self.cmds.push(AppCmd::Unicast { dst, payload, bytes });
+    }
+
+    /// One-hop broadcast to every current neighbour (not routed, not
+    /// retransmitted).
+    pub fn broadcast(&mut self, payload: P, bytes: usize) {
+        self.cmds.push(AppCmd::Broadcast { payload, bytes });
+    }
+
+    /// Arms an application timer delivering `token` after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.cmds.push(AppCmd::Timer { delay, token });
+    }
+}
+
+enum Event<P> {
+    Deliver { to: NodeId, link_from: NodeId, frame: Frame<P> },
+    AppTimer { node: NodeId, token: u64 },
+    AodvTimer { node: NodeId, timer: AodvTimer },
+    Beacon { node: NodeId },
+}
+
+struct NodeEntry<P, A> {
+    mobility: MobilityState,
+    aodv: AodvState<P>,
+    app: A,
+    /// Beacon mode: neighbour id → last-heard time.
+    heard: std::collections::HashMap<NodeId, SimTime>,
+}
+
+/// The simulator.
+pub struct Simulator<P, A> {
+    nodes: Vec<NodeEntry<P, A>>,
+    queue: EventQueue<Event<P>>,
+    radio: RadioConfig,
+    rng: StdRng,
+    stats: NetStats,
+    /// Cached positions, refreshed at each event dispatch.
+    positions: Vec<Pos>,
+    /// Joules consumed by each node's radio (tx + rx).
+    energy_j: Vec<f64>,
+    neighbor_mode: NeighborMode,
+    beacons_started: bool,
+    trace: Option<EventTrace>,
+}
+
+impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
+    /// Creates a simulator with the given radio model and RNG seed.
+    pub fn new(radio: RadioConfig, seed: u64) -> Self {
+        Simulator {
+            nodes: Vec::new(),
+            queue: EventQueue::new(),
+            radio,
+            rng: StdRng::seed_from_u64(seed),
+            stats: NetStats::default(),
+            positions: Vec::new(),
+            energy_j: Vec::new(),
+            neighbor_mode: NeighborMode::Oracle,
+            beacons_started: false,
+            trace: None,
+        }
+    }
+
+    /// Enables the bounded event trace (see [`EventTrace`]).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(EventTrace::new(capacity));
+    }
+
+    /// The event trace, when enabled.
+    pub fn trace(&self) -> Option<&EventTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Selects the neighbour-discovery mode (before running).
+    pub fn set_neighbor_mode(&mut self, mode: NeighborMode) {
+        self.neighbor_mode = mode;
+    }
+
+    /// Adds a node at `start`, returning its id. Mobility randomness is
+    /// derived from `seed` and the node id, so node sets are reproducible.
+    pub fn add_node(&mut self, start: Pos, mobility: MobilityConfig, app: A, seed: u64) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(NodeEntry {
+            mobility: MobilityState::new(mobility, start, seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+            aodv: AodvState::new(id, AodvConfig::default()),
+            app,
+            heard: std::collections::HashMap::new(),
+        });
+        self.positions.push(start);
+        self.energy_j.push(0.0);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Network statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Radio energy (joules) node `node` has consumed so far.
+    pub fn energy_joules(&self, node: NodeId) -> f64 {
+        self.energy_j[node]
+    }
+
+    /// Total radio energy (joules) across all nodes.
+    pub fn total_energy_joules(&self) -> f64 {
+        self.energy_j.iter().sum()
+    }
+
+    /// Immutable access to a node's application (for result collection).
+    pub fn app(&self, node: NodeId) -> &A {
+        &self.nodes[node].app
+    }
+
+    /// Mutable access to a node's application (test injection only; do not
+    /// send from here — use timers).
+    pub fn app_mut(&mut self, node: NodeId) -> &mut A {
+        &mut self.nodes[node].app
+    }
+
+    /// Position of `node` at the current time.
+    pub fn position(&mut self, node: NodeId) -> Pos {
+        let now = self.queue.now();
+        self.nodes[node].mobility.position_at(now)
+    }
+
+    /// Schedules an application timer for `node` at absolute time `at`.
+    /// This is how external workloads (query issue times) enter the system.
+    pub fn schedule_app_timer(&mut self, node: NodeId, at: SimTime, token: u64) {
+        self.queue.schedule(at, Event::AppTimer { node, token });
+    }
+
+    /// Runs until the queue is empty or the clock passes `horizon`.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        if !self.beacons_started {
+            self.beacons_started = true;
+            if let NeighborMode::Beacon { period, .. } = self.neighbor_mode {
+                // Stagger initial beacons across one period.
+                let n = self.nodes.len().max(1) as f64;
+                for i in 0..self.nodes.len() {
+                    let offset = period.mul_f64(i as f64 / n);
+                    self.queue.schedule(self.queue.now() + offset, Event::Beacon { node: i });
+                }
+            }
+        }
+        let mut processed = 0;
+        while let Some(at) = self.queue.peek_time() {
+            if at > horizon {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            self.dispatch(now, ev);
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Runs until no events remain.
+    pub fn run_to_completion(&mut self) -> u64 {
+        self.run_until(SimTime(u64::MAX))
+    }
+
+    fn refresh_positions(&mut self, now: SimTime) {
+        for (i, n) in self.nodes.iter_mut().enumerate() {
+            self.positions[i] = n.mobility.position_at(now);
+        }
+    }
+
+    fn neighbors_of(&self, node: NodeId) -> Vec<NodeId> {
+        match self.neighbor_mode {
+            NeighborMode::Oracle => {
+                let p = self.positions[node];
+                (0..self.nodes.len())
+                    .filter(|&j| j != node && self.radio.in_range(p, self.positions[j]))
+                    .collect()
+            }
+            NeighborMode::Beacon { expiry, .. } => {
+                let now = self.queue.now();
+                let mut out: Vec<NodeId> = self.nodes[node]
+                    .heard
+                    .iter()
+                    .filter(|(_, &heard)| heard + expiry > now)
+                    .map(|(&n, _)| n)
+                    .collect();
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Event<P>) {
+        self.refresh_positions(now);
+        match ev {
+            Event::Deliver { to, link_from, frame } => {
+                self.trace_event(
+                    now,
+                    TraceEvent::FrameDelivered { to, from: link_from, tag: Self::tag_of(&frame) },
+                );
+                match frame {
+                Frame::Hello => {
+                    self.nodes[to].heard.insert(link_from, now);
+                }
+                Frame::Bcast { src, payload, bytes: _ } => {
+                    self.stats.app_broadcasts_received += 1;
+                    let meta = MsgMeta { src, link_from, broadcast: true };
+                    self.run_app(to, now, |app, ctx| app.on_message(ctx, meta, payload));
+                }
+                other => {
+                    let is_nbr_list = self.neighbors_of(to);
+                    let cmds = {
+                        let is_neighbor = |n: NodeId| is_nbr_list.contains(&n);
+                        self.nodes[to].aodv.on_frame(link_from, other, now, &is_neighbor)
+                    };
+                    self.execute_link_cmds(to, now, cmds);
+                }
+                }
+            }
+            Event::AppTimer { node, token } => {
+                self.run_app(node, now, |app, ctx| app.on_timer(ctx, token));
+            }
+            Event::AodvTimer { node, timer } => {
+                let cmds = self.nodes[node].aodv.on_timer(timer, now);
+                self.execute_link_cmds(node, now, cmds);
+            }
+            Event::Beacon { node } => {
+                self.transmit_broadcast(node, now, Frame::Hello);
+                if let NeighborMode::Beacon { period, .. } = self.neighbor_mode {
+                    self.queue.schedule(now + period, Event::Beacon { node });
+                }
+            }
+        }
+    }
+
+    /// Runs an application callback and then executes its queued commands.
+    fn run_app<F>(&mut self, node: NodeId, now: SimTime, f: F)
+    where
+        F: FnOnce(&mut A, &mut NodeCtx<P>),
+    {
+        let neighbors = self.neighbors_of(node);
+        let mut ctx = NodeCtx {
+            now,
+            id: node,
+            position: self.positions[node],
+            neighbors: &neighbors,
+            cmds: Vec::new(),
+        };
+        // `ctx` borrows only locals, so borrowing the app out of self is
+        // a plain disjoint borrow.
+        f(&mut self.nodes[node].app, &mut ctx);
+        let cmds = ctx.cmds;
+        for cmd in cmds {
+            match cmd {
+                AppCmd::Unicast { dst, payload, bytes } => {
+                    self.stats.app_unicasts_submitted += 1;
+                    let link = self.nodes[node].aodv.send(dst, payload, bytes, now);
+                    self.execute_link_cmds(node, now, link);
+                }
+                AppCmd::Broadcast { payload, bytes } => {
+                    self.stats.app_broadcasts_sent += 1;
+                    let frame = Frame::Bcast { src: node, payload, bytes };
+                    self.transmit_broadcast(node, now, frame);
+                }
+                AppCmd::Timer { delay, token } => {
+                    self.queue.schedule(now + delay, Event::AppTimer { node, token });
+                }
+            }
+        }
+    }
+
+    fn execute_link_cmds(&mut self, node: NodeId, now: SimTime, cmds: Vec<LinkCmd<P>>) {
+        for cmd in cmds {
+            match cmd {
+                LinkCmd::SendTo(nbr, frame) => self.transmit_unicast(node, nbr, now, frame),
+                LinkCmd::Broadcast(frame) => self.transmit_broadcast(node, now, frame),
+                LinkCmd::SetTimer(delay, timer) => {
+                    self.queue.schedule(now + delay, Event::AodvTimer { node, timer });
+                }
+                LinkCmd::DeliverUp(pkt) => {
+                    self.stats.app_unicasts_delivered += 1;
+                    let meta = MsgMeta { src: pkt.src, link_from: node, broadcast: false };
+                    self.run_app(node, now, |app, ctx| app.on_message(ctx, meta, pkt.payload));
+                }
+                LinkCmd::DropFailed(pkt) => {
+                    self.stats.app_unicasts_failed += 1;
+                    let DataPacket { dst, payload, .. } = pkt;
+                    self.run_app(node, now, |app, ctx| {
+                        app.on_delivery_failed(ctx, dst, payload)
+                    });
+                }
+            }
+        }
+    }
+
+    fn transmit_unicast(&mut self, from: NodeId, to: NodeId, now: SimTime, frame: Frame<P>) {
+        self.count_frame(&frame);
+        self.trace_event(
+            now,
+            TraceEvent::FrameSent { from, tag: Self::tag_of(&frame), bytes: frame.bytes() },
+        );
+        self.energy_j[from] += self.radio.energy.tx_joules(frame.bytes());
+        if !self
+            .radio
+            .frame_received(self.positions[from], self.positions[to], &mut self.rng)
+            || self.radio.lost(&mut self.rng)
+        {
+            self.stats.frames_lost += 1;
+            self.trace_event(now, TraceEvent::FrameLost { from, tag: Self::tag_of(&frame) });
+            return;
+        }
+        self.energy_j[to] += self.radio.energy.rx_joules(frame.bytes());
+        let delay = self.radio.tx_delay(frame.bytes(), &mut self.rng);
+        self.queue
+            .schedule(now + delay, Event::Deliver { to, link_from: from, frame });
+    }
+
+    fn transmit_broadcast(&mut self, from: NodeId, now: SimTime, frame: Frame<P>) {
+        self.count_frame(&frame);
+        self.trace_event(
+            now,
+            TraceEvent::FrameSent { from, tag: Self::tag_of(&frame), bytes: frame.bytes() },
+        );
+        // One transmission regardless of receiver count; every in-range
+        // node pays reception.
+        self.energy_j[from] += self.radio.energy.tx_joules(frame.bytes());
+        let delay = self.radio.tx_delay(frame.bytes(), &mut self.rng);
+        let p = self.positions[from];
+        for to in 0..self.nodes.len() {
+            if to == from || !self.radio.frame_received(p, self.positions[to], &mut self.rng) {
+                continue;
+            }
+            if self.radio.lost(&mut self.rng) {
+                self.stats.frames_lost += 1;
+                continue;
+            }
+            self.energy_j[to] += self.radio.energy.rx_joules(frame.bytes());
+            self.queue.schedule(
+                now + delay,
+                Event::Deliver { to, link_from: from, frame: frame.clone() },
+            );
+        }
+    }
+
+    fn count_frame(&mut self, frame: &Frame<P>) {
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += frame.bytes() as u64;
+        match frame {
+            Frame::Aodv(_) => self.stats.aodv_frames += 1,
+            Frame::Data(_) => self.stats.data_frames += 1,
+            Frame::Bcast { .. } => self.stats.bcast_frames += 1,
+            Frame::Hello => self.stats.hello_frames += 1,
+        }
+    }
+
+    fn tag_of(frame: &Frame<P>) -> FrameTag {
+        match frame {
+            Frame::Aodv(_) => FrameTag::Aodv,
+            Frame::Data(_) => FrameTag::Data,
+            Frame::Bcast { .. } => FrameTag::Bcast,
+            Frame::Hello => FrameTag::Hello,
+        }
+    }
+
+    fn trace_event(&mut self, at: SimTime, ev: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(at, ev);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The simulator's event queue: a binary heap keyed on (time, sequence
+//! number), so simultaneous events fire in insertion order — the property
+//! that makes runs reproducible.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event carrying a payload of type `E`.
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest event pops first.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-queue of timestamped events with stable FIFO tie-breaking.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics when `at` lies in the past — scheduling backwards is always a
+    /// logic error in a discrete-event simulation.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        assert!(at >= self.now, "event scheduled in the past ({at} < {})", self.now);
+        self.heap.push(Scheduled { at, seq: self.next_seq, payload });
+        self.next_seq += 1;
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.payload))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(30), "c");
+        q.schedule(SimTime(10), "a");
+        q.schedule(SimTime(20), "b");
+        assert_eq!(q.pop().unwrap(), (SimTime(10), "a"));
+        assert_eq!(q.pop().unwrap(), (SimTime(20), "b"));
+        assert_eq!(q.pop().unwrap(), (SimTime(30), "c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs_f64(1.0), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs_f64(1.0));
+        // Scheduling relative to now works.
+        q.schedule(q.now() + SimDuration::from_millis(1), ());
+        assert_eq!(q.peek_time().unwrap(), SimTime(1_001_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime(100), ());
+        q.pop();
+        q.schedule(SimTime(50), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime(1), ());
+        assert_eq!(q.len(), 1);
+    }
+}

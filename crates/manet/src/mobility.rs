@@ -1,0 +1,227 @@
+//! Random-waypoint mobility (Broch et al., MOBICOM 1998) — the model the
+//! paper uses: "every device moves towards its own destination with its own
+//! speed, and when it reaches that destination it will stop there for a
+//! period of time (holding time) and then move to another destination with
+//! a new random speed."
+//!
+//! Positions are interpolated analytically on each movement leg, so the
+//! simulator never needs per-tick position events: [`MobilityState::position_at`]
+//! lazily advances through legs up to the queried time. Each node owns a
+//! seeded RNG, so trajectories are independent of event interleaving.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::{SimDuration, SimTime};
+
+/// A 2-D position in metres. (The simulator keeps its own lightweight type
+/// to stay independent of the skyline crates.)
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Pos {
+    /// x-coordinate (m).
+    pub x: f64,
+    /// y-coordinate (m).
+    pub y: f64,
+}
+
+impl Pos {
+    /// Creates a position.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Pos { x, y }
+    }
+
+    /// Euclidean distance to `o` (m).
+    pub fn dist(&self, o: Pos) -> f64 {
+        self.dist2(o).sqrt()
+    }
+
+    /// Squared distance to `o`.
+    pub fn dist2(&self, o: Pos) -> f64 {
+        let dx = self.x - o.x;
+        let dy = self.y - o.y;
+        dx * dx + dy * dy
+    }
+}
+
+/// Random-waypoint parameters (Table 7 of the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct MobilityConfig {
+    /// Area width (m).
+    pub width: f64,
+    /// Area height (m).
+    pub height: f64,
+    /// Minimum speed (m/s). Paper: 2.
+    pub speed_min: f64,
+    /// Maximum speed (m/s). Paper: 10.
+    pub speed_max: f64,
+    /// Holding (pause) time at each waypoint. Paper: 120 s.
+    pub pause: SimDuration,
+    /// When `true`, nodes never move (the paper's static pre-tests).
+    pub frozen: bool,
+}
+
+impl MobilityConfig {
+    /// The paper's Table 7 settings on the 1000 × 1000 m area.
+    pub fn paper() -> Self {
+        MobilityConfig {
+            width: 1000.0,
+            height: 1000.0,
+            speed_min: 2.0,
+            speed_max: 10.0,
+            pause: SimDuration::from_secs_f64(120.0),
+            frozen: false,
+        }
+    }
+
+    /// A static variant (nodes pinned at their start positions).
+    pub fn frozen() -> Self {
+        MobilityConfig { frozen: true, ..Self::paper() }
+    }
+}
+
+/// One movement leg: pause at `from` until `depart`, then travel to `to`
+/// at `speed`, arriving at `arrive`.
+#[derive(Debug, Clone, Copy)]
+struct Leg {
+    from: Pos,
+    to: Pos,
+    depart: SimTime,
+    arrive: SimTime,
+}
+
+/// Per-node mobility state.
+#[derive(Debug)]
+pub struct MobilityState {
+    cfg: MobilityConfig,
+    rng: StdRng,
+    leg: Leg,
+}
+
+impl MobilityState {
+    /// New state for a node starting at `start`; the first pause begins at
+    /// time zero.
+    pub fn new(cfg: MobilityConfig, start: Pos, seed: u64) -> Self {
+        let mut s = MobilityState {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            leg: Leg { from: start, to: start, depart: SimTime::ZERO, arrive: SimTime::ZERO },
+        };
+        s.leg = s.next_leg(start, SimTime::ZERO);
+        s
+    }
+
+    /// Draws the next waypoint leg, beginning with a pause at `at`.
+    fn next_leg(&mut self, from: Pos, at: SimTime) -> Leg {
+        if self.cfg.frozen {
+            // A "leg" that never ends: the node stays put forever.
+            return Leg { from, to: from, depart: SimTime(u64::MAX), arrive: SimTime(u64::MAX) };
+        }
+        let depart = at + self.cfg.pause;
+        let to = Pos::new(
+            self.rng.random_range(0.0..self.cfg.width),
+            self.rng.random_range(0.0..self.cfg.height),
+        );
+        let speed = self.rng.random_range(self.cfg.speed_min..=self.cfg.speed_max);
+        let travel = SimDuration::from_secs_f64(from.dist(to) / speed);
+        Leg { from, to, depart, arrive: depart + travel }
+    }
+
+    /// Position at time `t` (must not go backwards across calls further
+    /// than the current leg start — the simulator's clock is monotone, so
+    /// in practice `t` is non-decreasing; queries inside the current leg
+    /// are always exact).
+    pub fn position_at(&mut self, t: SimTime) -> Pos {
+        // Advance completed legs.
+        while t >= self.leg.arrive {
+            let (to, arrive) = (self.leg.to, self.leg.arrive);
+            if arrive == SimTime(u64::MAX) {
+                return to; // frozen
+            }
+            self.leg = self.next_leg(to, arrive);
+        }
+        if t <= self.leg.depart {
+            return self.leg.from;
+        }
+        // Linear interpolation along the current leg.
+        let total = self.leg.arrive.since(self.leg.depart).as_secs_f64();
+        let done = t.since(self.leg.depart).as_secs_f64();
+        let f = if total > 0.0 { done / total } else { 1.0 };
+        Pos::new(
+            self.leg.from.x + (self.leg.to.x - self.leg.from.x) * f,
+            self.leg.from.y + (self.leg.to.y - self.leg.from.y) * f,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_fast() -> MobilityConfig {
+        MobilityConfig { pause: SimDuration::from_secs_f64(1.0), ..MobilityConfig::paper() }
+    }
+
+    #[test]
+    fn stays_inside_area() {
+        let mut m = MobilityState::new(cfg_fast(), Pos::new(500.0, 500.0), 42);
+        for k in 0..5000 {
+            let p = m.position_at(SimTime::from_secs_f64(k as f64));
+            assert!((0.0..=1000.0).contains(&p.x), "x out of area at {k}s: {p:?}");
+            assert!((0.0..=1000.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn pauses_at_waypoints() {
+        let start = Pos::new(100.0, 100.0);
+        let mut m = MobilityState::new(cfg_fast(), start, 7);
+        // During the initial pause the node has not moved.
+        assert_eq!(m.position_at(SimTime::from_secs_f64(0.5)), start);
+        assert_eq!(m.position_at(SimTime::from_secs_f64(1.0)), start);
+    }
+
+    #[test]
+    fn moves_monotonically_along_leg() {
+        let start = Pos::new(0.0, 0.0);
+        let mut m = MobilityState::new(cfg_fast(), start, 3);
+        let p1 = m.position_at(SimTime::from_secs_f64(2.0));
+        let p2 = m.position_at(SimTime::from_secs_f64(3.0));
+        // Distance from start grows while travelling (speed ≥ 2 m/s and the
+        // area is big, so the first leg very likely lasts > 3 s).
+        assert!(start.dist(p2) >= start.dist(p1));
+    }
+
+    #[test]
+    fn speed_is_within_bounds() {
+        let mut m = MobilityState::new(cfg_fast(), Pos::new(500.0, 500.0), 11);
+        // Sample positions every 100 ms; displacement per second never
+        // exceeds speed_max.
+        let mut prev = m.position_at(SimTime::ZERO);
+        for k in 1..2000 {
+            let t = SimTime(k * 100_000);
+            let p = m.position_at(t);
+            let v = prev.dist(p) / 0.1;
+            assert!(v <= 10.0 + 1e-6, "instantaneous speed {v} m/s at {t}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn frozen_nodes_never_move() {
+        let start = Pos::new(123.0, 456.0);
+        let mut m = MobilityState::new(MobilityConfig::frozen(), start, 9);
+        for k in [0.0, 100.0, 7200.0] {
+            assert_eq!(m.position_at(SimTime::from_secs_f64(k)), start);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = MobilityState::new(cfg_fast(), Pos::new(0.0, 0.0), 5);
+        let mut b = MobilityState::new(cfg_fast(), Pos::new(0.0, 0.0), 5);
+        for k in 0..100 {
+            let t = SimTime::from_secs_f64(k as f64 * 7.3);
+            assert_eq!(a.position_at(t), b.position_at(t));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Frame and packet types shared by the link layer, AODV, and the
+//! application interface.
+
+/// Node identifier (dense, assigned by insertion order).
+pub type NodeId = usize;
+
+/// An application payload travelling end-to-end.
+#[derive(Debug, Clone)]
+pub struct DataPacket<P> {
+    /// Originating node.
+    pub src: NodeId,
+    /// Final destination.
+    pub dst: NodeId,
+    /// Per-source packet id (diagnostics).
+    pub id: u64,
+    /// The application payload.
+    pub payload: P,
+    /// Payload size on the wire (bytes).
+    pub bytes: usize,
+}
+
+/// AODV control messages (RFC 3561 core fields).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AodvMessage {
+    /// Route request, flooded.
+    Rreq {
+        /// (origin, rreq_id) uniquely identifies a flood.
+        rreq_id: u64,
+        /// Node searching for a route.
+        origin: NodeId,
+        /// Origin's sequence number at flood time.
+        origin_seq: u64,
+        /// Node being searched for.
+        dst: NodeId,
+        /// Hops travelled so far.
+        hop_count: u32,
+    },
+    /// Route reply, unicast hop-by-hop back along the reverse path.
+    Rrep {
+        /// The node that asked (RREQ origin).
+        origin: NodeId,
+        /// The node the route leads to.
+        dst: NodeId,
+        /// Destination sequence number.
+        dst_seq: u64,
+        /// Hops from `dst` so far.
+        hop_count: u32,
+    },
+    /// Route error: `dst` became unreachable through the sender.
+    Rerr {
+        /// The now-unreachable destination.
+        dst: NodeId,
+        /// Destination sequence number to invalidate up to.
+        dst_seq: u64,
+    },
+}
+
+impl AodvMessage {
+    /// Wire size (RFC 3561 message sizes).
+    pub fn bytes(&self) -> usize {
+        match self {
+            AodvMessage::Rreq { .. } => 24,
+            AodvMessage::Rrep { .. } => 20,
+            AodvMessage::Rerr { .. } => 12,
+        }
+    }
+}
+
+/// A link-layer frame.
+#[derive(Debug, Clone)]
+pub enum Frame<P> {
+    /// AODV control traffic.
+    Aodv(AodvMessage),
+    /// Routed application data.
+    Data(DataPacket<P>),
+    /// One-hop application broadcast (not routed).
+    Bcast {
+        /// Originating (and transmitting) node.
+        src: NodeId,
+        /// Application payload.
+        payload: P,
+        /// Payload size (bytes).
+        bytes: usize,
+    },
+    /// Link-layer hello beacon (neighbour discovery, no payload).
+    Hello,
+}
+
+/// Link-layer header charged on top of every frame's payload bytes.
+pub const FRAME_HEADER_BYTES: usize = 20;
+
+impl<P> Frame<P> {
+    /// Total bytes on the air.
+    pub fn bytes(&self) -> usize {
+        FRAME_HEADER_BYTES
+            + match self {
+                Frame::Aodv(m) => m.bytes(),
+                Frame::Data(p) => p.bytes,
+                Frame::Bcast { bytes, .. } => *bytes,
+                Frame::Hello => 4,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_sizes_include_header() {
+        let f: Frame<()> = Frame::Aodv(AodvMessage::Rreq {
+            rreq_id: 1,
+            origin: 0,
+            origin_seq: 1,
+            dst: 2,
+            hop_count: 0,
+        });
+        assert_eq!(f.bytes(), 44);
+        let d: Frame<()> =
+            Frame::Data(DataPacket { src: 0, dst: 1, id: 0, payload: (), bytes: 100 });
+        assert_eq!(d.bytes(), 120);
+        let b: Frame<()> = Frame::Bcast { src: 0, payload: (), bytes: 50 };
+        assert_eq!(b.bytes(), 70);
+        let h: Frame<()> = Frame::Hello;
+        assert_eq!(h.bytes(), 24);
+    }
+
+    #[test]
+    fn control_message_sizes() {
+        assert_eq!(
+            AodvMessage::Rrep { origin: 0, dst: 1, dst_seq: 0, hop_count: 0 }.bytes(),
+            20
+        );
+        assert_eq!(AodvMessage::Rerr { dst: 0, dst_seq: 0 }.bytes(), 12);
+    }
+}

@@ -1,0 +1,248 @@
+//! The wireless link model: unit-disk connectivity with a
+//! bandwidth + latency + jitter delay model.
+//!
+//! The paper does not state radio parameters; the defaults follow common
+//! 802.11b MANET-simulation practice (250 m nominal range, ~1 Mbit/s
+//! effective payload rate) and are fully configurable. See DESIGN.md for the
+//! substitution note.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::mobility::Pos;
+use crate::time::SimDuration;
+
+/// Per-frame energy model, after the point-to-point 802.11 measurements of
+/// Feeney & Nilsson (INFOCOM 2001): linear in frame size with a fixed
+/// per-frame component, different for send and receive. The paper motivates
+/// its techniques with the devices' energy constraints; this model makes
+/// the saving measurable.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyConfig {
+    /// Energy to transmit one byte (µJ).
+    pub tx_uj_per_byte: f64,
+    /// Fixed per-transmission cost (µJ).
+    pub tx_fixed_uj: f64,
+    /// Energy to receive one byte (µJ).
+    pub rx_uj_per_byte: f64,
+    /// Fixed per-reception cost (µJ).
+    pub rx_fixed_uj: f64,
+}
+
+impl Default for EnergyConfig {
+    fn default() -> Self {
+        EnergyConfig {
+            tx_uj_per_byte: 1.9,
+            tx_fixed_uj: 450.0,
+            rx_uj_per_byte: 0.5,
+            rx_fixed_uj: 350.0,
+        }
+    }
+}
+
+impl EnergyConfig {
+    /// Joules to transmit a frame of `bytes` bytes.
+    pub fn tx_joules(&self, bytes: usize) -> f64 {
+        (self.tx_fixed_uj + self.tx_uj_per_byte * bytes as f64) * 1e-6
+    }
+
+    /// Joules to receive a frame of `bytes` bytes.
+    pub fn rx_joules(&self, bytes: usize) -> f64 {
+        (self.rx_fixed_uj + self.rx_uj_per_byte * bytes as f64) * 1e-6
+    }
+}
+
+/// How reception success depends on distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Propagation {
+    /// Binary unit-disk: every frame within `range_m` arrives, nothing
+    /// beyond. The JiST/SWANS default and this simulator's default.
+    UnitDisk,
+    /// Log-distance path loss with log-normal shadowing: the received
+    /// margin is `10·n·log10(range/d) + N(0, σ)` dB and the frame arrives
+    /// iff the margin is non-negative. Smooths the disk edge: frames
+    /// slightly beyond nominal range sometimes arrive, frames inside
+    /// sometimes fade. `σ = 0` degenerates to the unit disk.
+    LogDistance {
+        /// Path-loss exponent `n` (2 = free space, 3–4 = urban).
+        exponent: f64,
+        /// Shadowing standard deviation in dB.
+        sigma_db: f64,
+    },
+}
+
+/// Radio and link-layer parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RadioConfig {
+    /// Transmission range (m). Two nodes are neighbours iff within range.
+    pub range_m: f64,
+    /// Effective payload bandwidth (bits/s).
+    pub bandwidth_bps: f64,
+    /// Fixed per-frame latency (propagation + MAC overhead).
+    pub latency: SimDuration,
+    /// Uniform extra delay in `[0, jitter)` modelling MAC contention.
+    pub jitter: SimDuration,
+    /// Independent per-frame loss probability (besides range failures).
+    pub loss_probability: f64,
+    /// Energy accounting model.
+    pub energy: EnergyConfig,
+    /// Propagation model deciding per-frame reception.
+    pub propagation: Propagation,
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        RadioConfig {
+            range_m: 250.0,
+            bandwidth_bps: 1.0e6,
+            latency: SimDuration::from_millis(2),
+            jitter: SimDuration::from_micros(500),
+            loss_probability: 0.0,
+            energy: EnergyConfig::default(),
+            propagation: Propagation::UnitDisk,
+        }
+    }
+}
+
+impl RadioConfig {
+    /// `true` when two positions can hear each other.
+    #[inline]
+    pub fn in_range(&self, a: Pos, b: Pos) -> bool {
+        a.dist2(b) <= self.range_m * self.range_m
+    }
+
+    /// Air time for a frame of `bytes` bytes, including jitter.
+    pub fn tx_delay(&self, bytes: usize, rng: &mut StdRng) -> SimDuration {
+        let serialization = SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps);
+        let jitter = if self.jitter.0 > 0 {
+            SimDuration(rng.random_range(0..self.jitter.0))
+        } else {
+            SimDuration::ZERO
+        };
+        self.latency + serialization + jitter
+    }
+
+    /// `true` when the frame is dropped by random loss.
+    pub fn lost(&self, rng: &mut StdRng) -> bool {
+        self.loss_probability > 0.0 && rng.random_range(0.0..1.0) < self.loss_probability
+    }
+
+    /// Per-frame reception decision between two positions, under the
+    /// configured propagation model. Neighbour *discovery* keeps using the
+    /// deterministic [`RadioConfig::in_range`]; this gate applies to actual
+    /// frames, so under shadowing a "neighbour" can still fade.
+    pub fn frame_received(&self, a: Pos, b: Pos, rng: &mut StdRng) -> bool {
+        match self.propagation {
+            Propagation::UnitDisk => self.in_range(a, b),
+            Propagation::LogDistance { exponent, sigma_db } => {
+                let d = a.dist(b).max(1.0);
+                let margin = 10.0 * exponent * (self.range_m / d).log10()
+                    + gaussian(rng) * sigma_db;
+                margin >= 0.0
+            }
+        }
+    }
+}
+
+/// Standard-normal sample via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn range_check_is_symmetric() {
+        let r = RadioConfig::default();
+        let a = Pos::new(0.0, 0.0);
+        let b = Pos::new(250.0, 0.0);
+        let c = Pos::new(250.1, 0.0);
+        assert!(r.in_range(a, b) && r.in_range(b, a));
+        assert!(!r.in_range(a, c));
+    }
+
+    #[test]
+    fn tx_delay_scales_with_size() {
+        let cfg = RadioConfig { jitter: SimDuration::ZERO, ..RadioConfig::default() };
+        let mut rng = StdRng::seed_from_u64(0);
+        let small = cfg.tx_delay(100, &mut rng);
+        let large = cfg.tx_delay(10_000, &mut rng);
+        assert!(large > small);
+        // 10 kB at 1 Mbit/s = 80 ms + 2 ms latency.
+        assert_eq!(large.as_secs_f64(), 0.082);
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let cfg = RadioConfig::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let d = cfg.tx_delay(0, &mut rng);
+            assert!(d >= cfg.latency);
+            assert!(d < cfg.latency + cfg.jitter);
+        }
+    }
+
+    #[test]
+    fn loss_probability_zero_never_drops() {
+        let cfg = RadioConfig::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!((0..1000).all(|_| !cfg.lost(&mut rng)));
+    }
+
+    #[test]
+    fn unit_disk_frame_reception_equals_range() {
+        let cfg = RadioConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Pos::new(0.0, 0.0);
+        assert!(cfg.frame_received(a, Pos::new(249.0, 0.0), &mut rng));
+        assert!(!cfg.frame_received(a, Pos::new(251.0, 0.0), &mut rng));
+    }
+
+    #[test]
+    fn log_distance_without_shadowing_matches_unit_disk() {
+        let cfg = RadioConfig {
+            propagation: Propagation::LogDistance { exponent: 3.0, sigma_db: 0.0 },
+            ..RadioConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Pos::new(0.0, 0.0);
+        assert!(cfg.frame_received(a, Pos::new(249.0, 0.0), &mut rng));
+        assert!(!cfg.frame_received(a, Pos::new(251.0, 0.0), &mut rng));
+    }
+
+    #[test]
+    fn shadowing_softens_the_disk_edge() {
+        let cfg = RadioConfig {
+            propagation: Propagation::LogDistance { exponent: 3.0, sigma_db: 6.0 },
+            ..RadioConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Pos::new(0.0, 0.0);
+        let rate = |d: f64, rng: &mut StdRng| {
+            (0..2000)
+                .filter(|_| cfg.frame_received(a, Pos::new(d, 0.0), rng))
+                .count() as f64
+                / 2000.0
+        };
+        let near = rate(100.0, &mut rng);
+        let edge = rate(250.0, &mut rng);
+        let far = rate(600.0, &mut rng);
+        assert!(near > 0.9, "close frames almost always arrive ({near})");
+        assert!((0.3..0.7).contains(&edge), "the nominal edge is a coin flip ({edge})");
+        assert!(far < 0.1, "far frames rarely arrive ({far})");
+        assert!(near > edge && edge > far);
+    }
+
+    #[test]
+    fn loss_probability_one_always_drops() {
+        let cfg = RadioConfig { loss_probability: 1.0, ..RadioConfig::default() };
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!((0..100).all(|_| cfg.lost(&mut rng)));
+    }
+}

@@ -1,0 +1,201 @@
+//! Network-level counters for experiment accounting (the raw material for
+//! the paper's Fig. 12 message counts and for sanity-checking the radio
+//! model).
+
+/// Aggregate counters maintained by the engine.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames handed to the radio (any kind, including lost ones).
+    pub frames_sent: u64,
+    /// Total bytes handed to the radio.
+    pub bytes_sent: u64,
+    /// AODV control frames (RREQ/RREP/RERR), originated or forwarded.
+    pub aodv_frames: u64,
+    /// Routed data frames (per hop).
+    pub data_frames: u64,
+    /// One-hop application broadcast frames.
+    pub bcast_frames: u64,
+    /// Hello beacon frames (beacon neighbour mode only).
+    pub hello_frames: u64,
+    /// Frames dropped by range or random loss.
+    pub frames_lost: u64,
+    /// Application unicasts submitted via [`NodeCtx::send_unicast`](crate::engine::NodeCtx::send_unicast).
+    pub app_unicasts_submitted: u64,
+    /// Application unicasts that reached their destination.
+    pub app_unicasts_delivered: u64,
+    /// Application unicasts that failed (no route after retries).
+    pub app_unicasts_failed: u64,
+    /// Application broadcasts submitted.
+    pub app_broadcasts_sent: u64,
+    /// Per-receiver deliveries of application broadcasts.
+    pub app_broadcasts_received: u64,
+}
+
+impl NetStats {
+    /// Delivery ratio of application unicasts (1.0 when none were sent).
+    pub fn unicast_delivery_ratio(&self) -> f64 {
+        if self.app_unicasts_submitted == 0 {
+            1.0
+        } else {
+            self.app_unicasts_delivered as f64 / self.app_unicasts_submitted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivery_ratio_defaults_to_one() {
+        assert_eq!(NetStats::default().unicast_delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn delivery_ratio_counts() {
+        let s = NetStats {
+            app_unicasts_submitted: 4,
+            app_unicasts_delivered: 3,
+            ..NetStats::default()
+        };
+        assert_eq!(s.unicast_delivery_ratio(), 0.75);
+    }
+}
+
+/// Kinds of traced events (compact, no payloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A frame was handed to the radio.
+    FrameSent {
+        /// Transmitting node.
+        from: usize,
+        /// Frame kind tag (see [`FrameTag`]).
+        tag: FrameTag,
+        /// Bytes on the air.
+        bytes: usize,
+    },
+    /// A frame arrived at a node.
+    FrameDelivered {
+        /// Receiving node.
+        to: usize,
+        /// Link-layer sender.
+        from: usize,
+        /// Frame kind tag.
+        tag: FrameTag,
+    },
+    /// A frame was lost (range, fading, or random loss).
+    FrameLost {
+        /// Transmitting node.
+        from: usize,
+        /// Frame kind tag.
+        tag: FrameTag,
+    },
+}
+
+/// Which layer a traced frame belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameTag {
+    /// AODV control.
+    Aodv,
+    /// Routed application data.
+    Data,
+    /// One-hop application broadcast.
+    Bcast,
+    /// Hello beacon.
+    Hello,
+}
+
+/// A bounded ring buffer of recent simulator events, for post-mortem
+/// debugging ("what did the radio do around t = 512 s?"). Disabled by
+/// default; enable via `Simulator::enable_trace`.
+#[derive(Debug)]
+pub struct EventTrace {
+    capacity: usize,
+    entries: std::collections::VecDeque<(crate::time::SimTime, TraceEvent)>,
+    /// Events dropped because the ring was full.
+    pub dropped: u64,
+}
+
+impl EventTrace {
+    /// A trace holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        EventTrace {
+            capacity,
+            entries: std::collections::VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Records one event at `at`.
+    pub fn record(&mut self, at: crate::time::SimTime, ev: TraceEvent) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back((at, ev));
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &(crate::time::SimTime, TraceEvent)> {
+        self.entries.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Renders the retained events as one line per event.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (at, ev) in &self.entries {
+            let _ = writeln!(out, "{at} {ev:?}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = EventTrace::new(2);
+        for i in 0..5u64 {
+            t.record(SimTime(i), TraceEvent::FrameLost { from: i as usize, tag: FrameTag::Data });
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped, 3);
+        let first = t.entries().next().unwrap();
+        assert_eq!(first.0, SimTime(3), "oldest retained is the 4th event");
+    }
+
+    #[test]
+    fn dump_renders_lines() {
+        let mut t = EventTrace::new(4);
+        t.record(SimTime(1_000_000), TraceEvent::FrameSent { from: 0, tag: FrameTag::Aodv, bytes: 44 });
+        t.record(
+            SimTime(2_000_000),
+            TraceEvent::FrameDelivered { to: 1, from: 0, tag: FrameTag::Aodv },
+        );
+        let d = t.dump();
+        assert!(d.contains("1.000000s"));
+        assert!(d.contains("FrameDelivered"));
+        assert_eq!(d.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        EventTrace::new(0);
+    }
+}

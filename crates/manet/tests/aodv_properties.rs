@@ -1,0 +1,114 @@
+//! Property tests of AODV over random static topologies: delivery succeeds
+//! exactly on connected source–destination pairs, and failure reporting
+//! fires otherwise.
+
+use proptest::prelude::*;
+
+use manet_sim::engine::{Application, MsgMeta, NodeCtx, Simulator};
+use manet_sim::mobility::{MobilityConfig, Pos};
+use manet_sim::radio::RadioConfig;
+use manet_sim::{NodeId, SimTime};
+
+#[derive(Default)]
+struct Probe {
+    received: Vec<u64>,
+    failed: Vec<NodeId>,
+}
+
+impl Application<u64> for Probe {
+    fn on_message(&mut self, _ctx: &mut NodeCtx<u64>, _meta: MsgMeta, payload: u64) {
+        self.received.push(payload);
+    }
+    fn on_timer(&mut self, ctx: &mut NodeCtx<u64>, token: u64) {
+        ctx.send_unicast(token as NodeId, 7, 32);
+    }
+    fn on_delivery_failed(&mut self, _ctx: &mut NodeCtx<u64>, dst: NodeId, _payload: u64) {
+        self.failed.push(dst);
+    }
+}
+
+/// Is `b` reachable from `a` over the unit-disk graph?
+fn connected(positions: &[(f64, f64)], range: f64, a: usize, b: usize) -> bool {
+    let n = positions.len();
+    let mut seen = vec![false; n];
+    let mut stack = vec![a];
+    seen[a] = true;
+    while let Some(i) = stack.pop() {
+        if i == b {
+            return true;
+        }
+        for j in 0..n {
+            if !seen[j] {
+                let dx = positions[i].0 - positions[j].0;
+                let dy = positions[i].1 - positions[j].1;
+                if dx * dx + dy * dy <= range * range {
+                    seen[j] = true;
+                    stack.push(j);
+                }
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn aodv_delivers_iff_connected(
+        // Random static node placements on a 1000 m line-ish strip.
+        raw in prop::collection::vec((0.0f64..1000.0, 0.0f64..300.0), 2..12),
+        src_sel in any::<prop::sample::Index>(),
+        dst_sel in any::<prop::sample::Index>(),
+    ) {
+        let positions: Vec<(f64, f64)> = raw;
+        let n = positions.len();
+        let src = src_sel.index(n);
+        let dst = dst_sel.index(n);
+        prop_assume!(src != dst);
+
+        let mut sim: Simulator<u64, Probe> = Simulator::new(RadioConfig::default(), 7);
+        for &(x, y) in &positions {
+            sim.add_node(Pos::new(x, y), MobilityConfig::frozen(), Probe::default(), 3);
+        }
+        sim.schedule_app_timer(src, SimTime::ZERO, dst as u64);
+        sim.run_to_completion();
+
+        let reachable = connected(&positions, 250.0, src, dst);
+        if reachable {
+            prop_assert_eq!(
+                &sim.app(dst).received, &vec![7u64],
+                "connected pair {}→{} must deliver", src, dst
+            );
+            prop_assert!(sim.app(src).failed.is_empty());
+        } else {
+            prop_assert!(sim.app(dst).received.is_empty(),
+                "unreachable pair {}→{} must not deliver", src, dst);
+            prop_assert_eq!(&sim.app(src).failed, &vec![dst],
+                "sender must learn about the failure");
+        }
+    }
+
+    #[test]
+    fn repeated_sends_all_deliver_on_connected_chains(
+        hops in 1usize..7,
+        sends in 1usize..5,
+    ) {
+        // A guaranteed-connected chain; every send must arrive exactly once.
+        let mut sim: Simulator<u64, Probe> = Simulator::new(RadioConfig::default(), 9);
+        for i in 0..=hops {
+            sim.add_node(
+                Pos::new(i as f64 * 200.0, 0.0),
+                MobilityConfig::frozen(),
+                Probe::default(),
+                5,
+            );
+        }
+        for k in 0..sends {
+            sim.schedule_app_timer(0, SimTime::from_secs_f64(k as f64), hops as u64);
+        }
+        sim.run_to_completion();
+        prop_assert_eq!(sim.app(hops).received.len(), sends);
+        prop_assert!(sim.app(0).failed.is_empty());
+    }
+}

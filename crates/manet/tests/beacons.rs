@@ -1,0 +1,111 @@
+//! Tests of beacon-based neighbour discovery (`NeighborMode::Beacon`):
+//! tables populate from HELLO frames, lag mobility, expire, and the whole
+//! stack still routes end-to-end on top of them.
+
+use manet_sim::engine::{Application, MsgMeta, NeighborMode, NodeCtx, Simulator};
+use manet_sim::mobility::{MobilityConfig, Pos};
+use manet_sim::radio::RadioConfig;
+use manet_sim::time::{SimDuration, SimTime};
+use manet_sim::NodeId;
+
+#[derive(Default)]
+struct Peek {
+    received: Vec<u64>,
+    neighbor_snapshots: Vec<Vec<NodeId>>,
+}
+
+impl Application<u64> for Peek {
+    fn on_message(&mut self, _ctx: &mut NodeCtx<u64>, _meta: MsgMeta, payload: u64) {
+        self.received.push(payload);
+    }
+    fn on_timer(&mut self, ctx: &mut NodeCtx<u64>, token: u64) {
+        match token {
+            0 => self.neighbor_snapshots.push(ctx.neighbors().to_vec()),
+            dst => ctx.send_unicast((dst - 1) as NodeId, 5, 16),
+        }
+    }
+}
+
+fn beacon_sim(positions: &[(f64, f64)]) -> Simulator<u64, Peek> {
+    let mut sim = Simulator::new(RadioConfig::default(), 11);
+    sim.set_neighbor_mode(NeighborMode::Beacon {
+        period: SimDuration::from_secs_f64(1.0),
+        expiry: SimDuration::from_secs_f64(3.0),
+    });
+    for &(x, y) in positions {
+        sim.add_node(Pos::new(x, y), MobilityConfig::frozen(), Peek::default(), 3);
+    }
+    sim
+}
+
+#[test]
+fn tables_start_empty_then_fill() {
+    let mut sim = beacon_sim(&[(0.0, 0.0), (200.0, 0.0), (400.0, 0.0)]);
+    // Snapshot neighbours of node 1 before any beacon and after one period.
+    sim.schedule_app_timer(1, SimTime::from_secs_f64(0.01), 0);
+    sim.schedule_app_timer(1, SimTime::from_secs_f64(2.0), 0);
+    sim.run_until(SimTime::from_secs_f64(5.0));
+    let snaps = &sim.app(1).neighbor_snapshots;
+    assert_eq!(snaps.len(), 2);
+    assert!(
+        snaps[0].len() < 2,
+        "before beaconing finishes the table is incomplete: {:?}",
+        snaps[0]
+    );
+    assert_eq!(snaps[1], vec![0, 2], "after a period both neighbours are known");
+    assert!(sim.stats().hello_frames > 0);
+}
+
+#[test]
+fn routing_works_over_beacon_neighbors() {
+    let mut sim = beacon_sim(&[(0.0, 0.0), (200.0, 0.0), (400.0, 0.0), (600.0, 0.0)]);
+    // Send after the tables have settled.
+    sim.schedule_app_timer(0, SimTime::from_secs_f64(3.0), 4); // to node 3
+    sim.run_until(SimTime::from_secs_f64(30.0));
+    assert_eq!(sim.app(3).received, vec![5]);
+}
+
+#[test]
+fn entries_expire_when_a_node_departs() {
+    // Node 1 moves away fast; node 0 is frozen. After node 1 leaves range,
+    // node 0's table must eventually empty.
+    let mut sim: Simulator<u64, Peek> = Simulator::new(RadioConfig::default(), 5);
+    sim.set_neighbor_mode(NeighborMode::Beacon {
+        period: SimDuration::from_secs_f64(1.0),
+        expiry: SimDuration::from_secs_f64(2.5),
+    });
+    sim.add_node(Pos::new(0.0, 0.0), MobilityConfig::frozen(), Peek::default(), 1);
+    // A "mover" that sprints right at 10 m/s without pausing.
+    let sprint = MobilityConfig {
+        width: 100_000.0,
+        height: 1.0,
+        speed_min: 10.0,
+        speed_max: 10.0,
+        pause: SimDuration::ZERO,
+        frozen: false,
+    };
+    sim.add_node(Pos::new(100.0, 0.0), sprint, Peek::default(), 2);
+    // Snapshot node 0's neighbours periodically.
+    for k in 1..60 {
+        sim.schedule_app_timer(0, SimTime::from_secs_f64(k as f64 * 5.0), 0);
+    }
+    sim.run_until(SimTime::from_secs_f64(300.0));
+    let snaps = &sim.app(0).neighbor_snapshots;
+    assert!(snaps.iter().any(|s| s.contains(&1)), "initially heard");
+    assert!(
+        snaps.last().expect("snapshots taken").is_empty(),
+        "departed neighbour must expire: {:?}",
+        snaps.last()
+    );
+}
+
+#[test]
+fn beacons_consume_energy_and_frames() {
+    let mut sim = beacon_sim(&[(0.0, 0.0), (100.0, 0.0)]);
+    sim.schedule_app_timer(0, SimTime::from_secs_f64(20.0), 0); // keep clock alive
+    sim.run_until(SimTime::from_secs_f64(20.0));
+    let s = sim.stats();
+    // ~20 beacons per node over 20 s at 1 Hz.
+    assert!(s.hello_frames >= 30, "{} hello frames", s.hello_frames);
+    assert!(sim.total_energy_joules() > 0.0);
+}

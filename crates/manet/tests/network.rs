@@ -1,0 +1,257 @@
+//! End-to-end tests of the simulator: routing over chains and grids,
+//! broadcast scope, mobility-induced failures, and determinism.
+
+use manet_sim::engine::{Application, MsgMeta, NodeCtx, Simulator};
+use manet_sim::mobility::{MobilityConfig, Pos};
+use manet_sim::radio::RadioConfig;
+use manet_sim::time::{SimDuration, SimTime};
+use manet_sim::NodeId;
+
+/// Test app: records everything it receives; supports scripted sends via
+/// timer tokens (token = destination id + 1; token 0 = broadcast).
+#[derive(Default)]
+struct Recorder {
+    received: Vec<(NodeId, u64, bool)>, // (src, payload, broadcast)
+    failed: Vec<(NodeId, u64)>,
+    received_at: Vec<SimTime>,
+}
+
+impl Application<u64> for Recorder {
+    fn on_message(&mut self, ctx: &mut NodeCtx<u64>, meta: MsgMeta, payload: u64) {
+        self.received.push((meta.src, payload, meta.broadcast));
+        self.received_at.push(ctx.now);
+    }
+    fn on_timer(&mut self, ctx: &mut NodeCtx<u64>, token: u64) {
+        if token == u64::MAX {
+            // No-op tick: used by tests to advance the clock.
+        } else if token == 0 {
+            ctx.broadcast(7, 16);
+        } else {
+            ctx.send_unicast((token - 1) as NodeId, 99, 64);
+        }
+    }
+    fn on_delivery_failed(&mut self, _ctx: &mut NodeCtx<u64>, dst: NodeId, payload: u64) {
+        self.failed.push((dst, payload));
+    }
+}
+
+fn chain(n: usize, spacing: f64) -> Simulator<u64, Recorder> {
+    let mut sim = Simulator::new(RadioConfig::default(), 42);
+    for i in 0..n {
+        sim.add_node(
+            Pos::new(i as f64 * spacing, 0.0),
+            MobilityConfig::frozen(),
+            Recorder::default(),
+            9,
+        );
+    }
+    sim
+}
+
+#[test]
+fn unicast_across_long_chain() {
+    // 8 nodes, 200 m apart; only consecutive nodes are in range (250 m).
+    let mut sim = chain(8, 200.0);
+    sim.schedule_app_timer(0, SimTime::ZERO, 8); // send to node 7
+    sim.run_to_completion();
+    assert_eq!(sim.app(7).received, vec![(0, 99, false)]);
+    // Intermediates forwarded but did not deliver up.
+    for i in 1..7 {
+        assert!(sim.app(i).received.is_empty());
+    }
+    let s = sim.stats();
+    assert_eq!(s.app_unicasts_delivered, 1);
+    assert!(s.aodv_frames > 0, "route discovery must have run");
+    assert!(s.data_frames >= 7, "seven hops of data forwarding");
+}
+
+#[test]
+fn broadcast_reaches_only_one_hop_neighbors() {
+    let mut sim = chain(5, 200.0);
+    sim.schedule_app_timer(2, SimTime::ZERO, 0); // node 2 broadcasts
+    sim.run_to_completion();
+    for i in [1, 3] {
+        assert_eq!(sim.app(i).received, vec![(2, 7, true)], "neighbor {i}");
+    }
+    for i in [0, 4] {
+        assert!(sim.app(i).received.is_empty(), "two hops away {i}");
+    }
+}
+
+#[test]
+fn unreachable_destination_reports_failure() {
+    let mut sim = chain(2, 200.0);
+    // Node far outside anyone's range.
+    sim.add_node(Pos::new(10_000.0, 0.0), MobilityConfig::frozen(), Recorder::default(), 9);
+    sim.schedule_app_timer(0, SimTime::ZERO, 3); // send to the island node
+    sim.run_to_completion();
+    assert_eq!(sim.app(0).failed, vec![(2, 99)]);
+    assert!(sim.app(2).received.is_empty());
+    assert_eq!(sim.stats().app_unicasts_failed, 1);
+}
+
+#[test]
+fn second_message_reuses_cached_route() {
+    let mut sim = chain(4, 200.0);
+    sim.schedule_app_timer(0, SimTime::ZERO, 4);
+    // Well within the 3 s active-route timeout.
+    sim.schedule_app_timer(0, SimTime::from_secs_f64(1.0), 4);
+    sim.run_to_completion();
+    assert_eq!(sim.app(3).received.len(), 2);
+    let s = *sim.stats();
+
+    // Compare against two cold sends: the warm pair must use fewer AODV
+    // frames than two discoveries would.
+    let mut cold = chain(4, 200.0);
+    cold.schedule_app_timer(0, SimTime::ZERO, 4);
+    cold.schedule_app_timer(0, SimTime::from_secs_f64(100.0), 4); // expired
+    cold.run_to_completion();
+    assert!(s.aodv_frames < cold.stats().aodv_frames);
+}
+
+#[test]
+fn delivery_latency_reflects_size_and_hops() {
+    let mut sim = chain(3, 200.0);
+    sim.schedule_app_timer(0, SimTime::ZERO, 3);
+    sim.run_to_completion();
+    let t = sim.app(2).received_at[0];
+    // Two hops with ~2 ms latency each plus discovery: at least 4 ms,
+    // and with an idle network well under a second.
+    assert!(t >= SimTime::from_secs_f64(0.004), "{t}");
+    assert!(t <= SimTime::from_secs_f64(1.0), "{t}");
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run = || {
+        let mut sim = chain(6, 200.0);
+        sim.schedule_app_timer(0, SimTime::ZERO, 6);
+        sim.schedule_app_timer(5, SimTime::from_secs_f64(0.5), 1);
+        sim.run_to_completion();
+        (*sim.stats(), sim.app(5).received_at.clone())
+    };
+    assert_eq!(run().0, run().0);
+    assert_eq!(run().1, run().1);
+}
+
+#[test]
+fn grid_any_to_any_connectivity() {
+    // 4×4 grid, 220 m spacing: connected via the grid edges.
+    let mut sim = Simulator::new(RadioConfig::default(), 3);
+    for r in 0..4 {
+        for c in 0..4 {
+            sim.add_node(
+                Pos::new(c as f64 * 220.0, r as f64 * 220.0),
+                MobilityConfig::frozen(),
+                Recorder::default(),
+                5,
+            );
+        }
+    }
+    sim.schedule_app_timer(0, SimTime::ZERO, 16); // corner to corner
+    sim.run_to_completion();
+    assert_eq!(sim.app(15).received, vec![(0, 99, false)]);
+}
+
+#[test]
+fn mobility_changes_topology_over_time() {
+    // Two nodes that start in range; with mobility they will (very likely)
+    // drift out of range at some point within 2 h — verified via positions.
+    let cfg = MobilityConfig { pause: SimDuration::from_secs_f64(5.0), ..MobilityConfig::paper() };
+    let mut sim: Simulator<u64, Recorder> = Simulator::new(RadioConfig::default(), 11);
+    sim.add_node(Pos::new(400.0, 500.0), cfg, Recorder::default(), 21);
+    sim.add_node(Pos::new(600.0, 500.0), cfg, Recorder::default(), 22);
+    // Drive the clock with no-op ticks and sample the distance.
+    for k in 0..720 {
+        sim.schedule_app_timer(0, SimTime::from_secs_f64(k as f64 * 10.0), u64::MAX);
+    }
+    let mut apart = false;
+    for k in 0..720 {
+        let t = SimTime::from_secs_f64(k as f64 * 10.0);
+        sim.run_until(t);
+        let a = sim.position(0);
+        let b = sim.position(1);
+        if a.dist(b) > 250.0 {
+            apart = true;
+            break;
+        }
+    }
+    assert!(apart, "random waypoint never separated the nodes in 2 h");
+}
+
+#[test]
+fn stats_track_bytes_and_frames() {
+    let mut sim = chain(2, 100.0);
+    sim.schedule_app_timer(0, SimTime::ZERO, 2);
+    sim.run_to_completion();
+    let s = sim.stats();
+    assert!(s.bytes_sent > 0);
+    assert_eq!(
+        s.frames_sent,
+        s.aodv_frames + s.data_frames + s.bcast_frames + s.hello_frames
+    );
+}
+
+#[test]
+fn energy_is_charged_to_senders_and_receivers() {
+    let mut sim = chain(3, 200.0);
+    assert_eq!(sim.total_energy_joules(), 0.0);
+    sim.schedule_app_timer(0, SimTime::ZERO, 3); // 0 → 2 via 1
+    sim.run_to_completion();
+    // Everyone participated: 0 sent RREQ+data, 1 relayed, 2 replied RREP.
+    for n in 0..3 {
+        assert!(sim.energy_joules(n) > 0.0, "node {n} consumed no energy");
+    }
+    // The relay both receives and transmits the data frame: its share is
+    // substantial.
+    assert!(sim.total_energy_joules() > sim.energy_joules(2));
+}
+
+#[test]
+fn transmissions_cost_more_than_receptions() {
+    // One broadcast: sender pays tx once, both neighbours pay rx.
+    let mut sim = chain(3, 200.0);
+    sim.schedule_app_timer(1, SimTime::ZERO, 0); // node 1 broadcasts
+    sim.run_to_completion();
+    let tx = sim.energy_joules(1);
+    let rx = sim.energy_joules(0);
+    assert!(tx > rx, "tx ({tx}) must exceed rx ({rx}) for equal frames");
+    assert_eq!(sim.energy_joules(0), sim.energy_joules(2));
+}
+
+#[test]
+fn event_trace_captures_radio_activity() {
+    let mut sim = chain(3, 200.0);
+    sim.enable_trace(256);
+    sim.schedule_app_timer(0, SimTime::ZERO, 3);
+    sim.run_to_completion();
+    let trace = sim.trace().expect("enabled");
+    assert!(!trace.is_empty());
+    use manet_sim::trace::TraceEvent;
+    let sends = trace
+        .entries()
+        .filter(|(_, e)| matches!(e, TraceEvent::FrameSent { .. }))
+        .count();
+    let delivers = trace
+        .entries()
+        .filter(|(_, e)| matches!(e, TraceEvent::FrameDelivered { .. }))
+        .count();
+    assert!(sends > 0 && delivers > 0);
+    // The dump is line-per-event and mentions both directions.
+    let dump = trace.dump();
+    assert!(dump.contains("FrameSent"));
+    assert!(dump.contains("FrameDelivered"));
+}
+
+#[test]
+fn app_state_is_inspectable_and_injectable() {
+    let mut sim = chain(2, 100.0);
+    // Inject state directly (test-only API) and observe it after a run.
+    sim.app_mut(0).received.push((9, 123, false));
+    sim.schedule_app_timer(0, SimTime::ZERO, 2);
+    sim.run_to_completion();
+    assert_eq!(sim.app(0).received[0], (9, 123, false));
+    assert_eq!(sim.app(1).received.len(), 1);
+    assert_eq!(sim.num_nodes(), 2);
+    assert!(sim.now() > SimTime::ZERO);
+}

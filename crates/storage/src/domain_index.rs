@@ -1,0 +1,238 @@
+//! Sorted attribute domains and adaptive-width ID columns — the building
+//! blocks of the paper's ID-based hybrid storage.
+//!
+//! Every non-spatial attribute keeps its distinct values in a **sorted**
+//! array ([`AttributeDomain`]); a tuple stores, per attribute, the *index*
+//! of its value in that array. Because the array is sorted, comparing two
+//! IDs is equivalent to comparing the underlying values
+//! (`v_a < v_b ⟺ id_a < id_b`), which is the property the Fig. 4 scan
+//! exploits: dominance can be decided on small integers without touching the
+//! value arrays at all.
+//!
+//! The paper stores byte IDs when a domain has ≤ 256 distinct values ("Since
+//! each domain contains 100 distinct values, we use byte type IDs");
+//! [`IdArray`] picks u8/u16/u32 automatically.
+
+/// The sorted distinct values of one attribute on one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeDomain {
+    values: Vec<f64>,
+}
+
+impl AttributeDomain {
+    /// Builds the domain from an iterator of attribute values (need not be
+    /// unique or sorted). NaN values are rejected by a panic: the data model
+    /// forbids them.
+    pub fn build<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let mut v: Vec<f64> = values.into_iter().collect();
+        assert!(v.iter().all(|x| !x.is_nan()), "NaN attribute value");
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN attribute value"));
+        v.dedup();
+        AttributeDomain { values: v }
+    }
+
+    /// Number of distinct values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the domain is empty (empty relation).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Smallest value `l_j` — O(1) thanks to the sort, exactly the access
+    /// the paper's skip check relies on.
+    #[inline]
+    pub fn min(&self) -> Option<f64> {
+        self.values.first().copied()
+    }
+
+    /// Largest value `h_j` — O(1); these are the `UNE` bounds.
+    #[inline]
+    pub fn max(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// ID (rank) of `value`, which must be present in the domain.
+    ///
+    /// # Panics
+    /// Panics when `value` was never inserted — IDs only exist for stored
+    /// values, so a miss is a construction bug.
+    #[inline]
+    pub fn id_of(&self, value: f64) -> u32 {
+        self.values
+            .binary_search_by(|v| v.partial_cmp(&value).expect("NaN attribute value"))
+            .expect("value not present in attribute domain") as u32
+    }
+
+    /// Value stored under `id`.
+    #[inline]
+    pub fn value_of(&self, id: u32) -> f64 {
+        self.values[id as usize]
+    }
+
+    /// Number of domain values strictly smaller than `v` — the rank a
+    /// *foreign* value (e.g. a filter-tuple attribute that this device never
+    /// stored) would occupy. Used to translate filter comparisons into ID
+    /// space if desired.
+    #[inline]
+    pub fn rank_of(&self, v: f64) -> u32 {
+        self.values.partition_point(|&x| x < v) as u32
+    }
+
+    /// Bytes used by the value array.
+    pub fn storage_bytes(&self) -> usize {
+        self.values.len() * 8
+    }
+}
+
+/// A column of attribute IDs with adaptive width.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IdArray {
+    /// Domains with ≤ 256 distinct values (the paper's byte IDs).
+    U8(Vec<u8>),
+    /// Domains with ≤ 65 536 distinct values.
+    U16(Vec<u16>),
+    /// Anything larger.
+    U32(Vec<u32>),
+}
+
+impl IdArray {
+    /// Packs `ids` using the narrowest width that fits `domain_size`
+    /// distinct values.
+    pub fn pack(ids: &[u32], domain_size: usize) -> Self {
+        if domain_size <= (u8::MAX as usize) + 1 {
+            IdArray::U8(ids.iter().map(|&i| i as u8).collect())
+        } else if domain_size <= (u16::MAX as usize) + 1 {
+            IdArray::U16(ids.iter().map(|&i| i as u16).collect())
+        } else {
+            IdArray::U32(ids.to_vec())
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            IdArray::U8(v) => v.len(),
+            IdArray::U16(v) => v.len(),
+            IdArray::U32(v) => v.len(),
+        }
+    }
+
+    /// `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// ID of row `i`, widened to u32.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        match self {
+            IdArray::U8(v) => u32::from(v[i]),
+            IdArray::U16(v) => u32::from(v[i]),
+            IdArray::U32(v) => v[i],
+        }
+    }
+
+    /// Bytes used by the packed column.
+    pub fn storage_bytes(&self) -> usize {
+        match self {
+            IdArray::U8(v) => v.len(),
+            IdArray::U16(v) => v.len() * 2,
+            IdArray::U32(v) => v.len() * 4,
+        }
+    }
+
+    /// Width in bytes of one ID.
+    pub fn id_width(&self) -> usize {
+        match self {
+            IdArray::U8(_) => 1,
+            IdArray::U16(_) => 2,
+            IdArray::U32(_) => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_sorts_and_dedups() {
+        let d = AttributeDomain::build(vec![3.0, 1.0, 3.0, 2.0]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.min(), Some(1.0));
+        assert_eq!(d.max(), Some(3.0));
+    }
+
+    #[test]
+    fn ids_reflect_value_order() {
+        let d = AttributeDomain::build(vec![0.5, 9.9, 4.2]);
+        let (a, b, c) = (d.id_of(0.5), d.id_of(4.2), d.id_of(9.9));
+        assert!(a < b && b < c);
+        assert_eq!(d.value_of(a), 0.5);
+        assert_eq!(d.value_of(c), 9.9);
+    }
+
+    #[test]
+    fn id_round_trip_for_every_value() {
+        let vals = [7.0, 1.0, 3.5, 3.5, 100.0];
+        let d = AttributeDomain::build(vals);
+        for &v in &vals {
+            assert_eq!(d.value_of(d.id_of(v)), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not present")]
+    fn id_of_missing_value_panics() {
+        AttributeDomain::build(vec![1.0]).id_of(2.0);
+    }
+
+    #[test]
+    fn rank_of_handles_foreign_values() {
+        let d = AttributeDomain::build(vec![10.0, 20.0, 30.0]);
+        assert_eq!(d.rank_of(5.0), 0);
+        assert_eq!(d.rank_of(10.0), 0, "rank counts strictly smaller values");
+        assert_eq!(d.rank_of(15.0), 1);
+        assert_eq!(d.rank_of(31.0), 3);
+    }
+
+    #[test]
+    fn empty_domain() {
+        let d = AttributeDomain::build(std::iter::empty());
+        assert!(d.is_empty());
+        assert_eq!(d.min(), None);
+        assert_eq!(d.max(), None);
+    }
+
+    #[test]
+    fn pack_picks_narrowest_width() {
+        let ids: Vec<u32> = (0..10).collect();
+        assert_eq!(IdArray::pack(&ids, 100).id_width(), 1);
+        assert_eq!(IdArray::pack(&ids, 256).id_width(), 1);
+        assert_eq!(IdArray::pack(&ids, 257).id_width(), 2);
+        assert_eq!(IdArray::pack(&ids, 70_000).id_width(), 4);
+    }
+
+    #[test]
+    fn packed_get_widens_correctly() {
+        let ids = vec![0u32, 5, 255];
+        for size in [256, 1000, 100_000] {
+            let col = IdArray::pack(&ids, size);
+            for (i, &id) in ids.iter().enumerate() {
+                assert_eq!(col.get(i), id, "width {}", col.id_width());
+            }
+        }
+    }
+
+    #[test]
+    fn storage_bytes_scale_with_width() {
+        let ids = vec![1u32; 100];
+        assert_eq!(IdArray::pack(&ids, 10).storage_bytes(), 100);
+        assert_eq!(IdArray::pack(&ids, 1000).storage_bytes(), 200);
+        assert_eq!(IdArray::pack(&ids, 100_000).storage_bytes(), 400);
+    }
+}

@@ -1,0 +1,528 @@
+//! Hybrid ID-based storage (HS) — the paper's Section 4 proposal — and the
+//! Fig. 4 device-local skyline algorithm.
+//!
+//! Layout per relation `R_i`:
+//!
+//! * spatial coordinates stored **inline** per row (locations are rarely
+//!   shared, so factoring them out would not save space);
+//! * each non-spatial attribute ID-encoded against a **sorted**
+//!   [`AttributeDomain`] (byte IDs when the domain fits in 256 values);
+//! * the minimum bounding rectangle kept as four constants for the O(1)
+//!   `mindist` early exit;
+//! * rows sorted ascending on the ID of the attribute with the most
+//!   distinct values (the paper's SFS-inspired presort). We additionally
+//!   break ties by the sum of all IDs so that a dominating row is *always*
+//!   scanned before every row it dominates — this makes the scan exact even
+//!   under the full dominance test (the paper's strict test does not need
+//!   it, but costs nothing).
+//!
+//! The Fig. 4 query pipeline: MBR miss check → filter-dominates-domain-minima
+//! check (skip the whole relation in O(n) attribute comparisons) → ID-based
+//! sorted scan with inline spatial filtering → post-scan filter application
+//! and best-VDR candidate pick.
+
+use skyline_core::region::{Mbr, Point};
+use skyline_core::vdr::{select_filter, FilterTuple};
+use skyline_core::{DominanceTest, Tuple};
+
+use crate::domain_index::{AttributeDomain, IdArray};
+use crate::traits::{DeviceRelation, LocalQuery, LocalSkylineOutcome, LocalStats, StorageModel};
+
+/// A local relation in the paper's hybrid storage model.
+///
+/// ```
+/// use device_storage::{DeviceRelation, HybridRelation, LocalQuery};
+/// use skyline_core::{QueryRegion, Tuple};
+///
+/// let rel = HybridRelation::new(vec![
+///     Tuple::new(0.0, 0.0, vec![20.0, 7.0]),
+///     Tuple::new(1.0, 0.0, vec![40.0, 5.0]),
+///     Tuple::new(2.0, 0.0, vec![80.0, 7.0]), // dominated by the first
+/// ]);
+/// let out = rel.local_skyline(&LocalQuery::plain(QueryRegion::unbounded()));
+/// assert_eq!(out.skyline.len(), 2);
+/// assert_eq!(rel.lower_bounds().unwrap(), vec![20.0, 5.0]); // O(1) domain minima
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridRelation {
+    /// Site locations in row (sorted) order.
+    locs: Vec<Point>,
+    /// One packed ID column per attribute, row order.
+    columns: Vec<IdArray>,
+    /// Sorted distinct values per attribute.
+    domains: Vec<AttributeDomain>,
+    /// MBR of all sites (the `x/y min/max` constants).
+    mbr: Mbr,
+    /// Attribute whose ID the rows are sorted on.
+    sort_attr: usize,
+    rows: usize,
+    dim: usize,
+}
+
+impl HybridRelation {
+    /// Builds hybrid storage from a set of tuples.
+    pub fn new(tuples: Vec<Tuple>) -> Self {
+        let dim = tuples.first().map_or(0, Tuple::dim);
+        assert!(
+            tuples.iter().all(|t| t.dim() == dim),
+            "mixed dimensionality in relation"
+        );
+        let rows = tuples.len();
+
+        let domains: Vec<AttributeDomain> = (0..dim)
+            .map(|j| AttributeDomain::build(tuples.iter().map(|t| t.attrs[j])))
+            .collect();
+
+        // Raw (unsorted) id matrix, row-major.
+        let raw_ids: Vec<Vec<u32>> = tuples
+            .iter()
+            .map(|t| {
+                (0..dim)
+                    .map(|j| domains[j].id_of(t.attrs[j]))
+                    .collect()
+            })
+            .collect();
+
+        // "We choose the attribute with the largest number of distinct
+        // values as the attribute to be sorted on."
+        let sort_attr = (0..dim)
+            .max_by_key(|&j| domains[j].len())
+            .unwrap_or(0);
+
+        let mut order: Vec<usize> = (0..rows).collect();
+        order.sort_by_key(|&r| {
+            let primary = if dim > 0 { raw_ids[r][sort_attr] } else { 0 };
+            let sum: u64 = raw_ids[r].iter().map(|&v| u64::from(v)).sum();
+            (primary, sum, r)
+        });
+
+        let locs: Vec<Point> = order.iter().map(|&r| tuples[r].location()).collect();
+        let columns: Vec<IdArray> = (0..dim)
+            .map(|j| {
+                let ids: Vec<u32> = order.iter().map(|&r| raw_ids[r][j]).collect();
+                IdArray::pack(&ids, domains[j].len())
+            })
+            .collect();
+        let mbr = Mbr::of_points(locs.iter().copied());
+
+        HybridRelation { locs, columns, domains, mbr, sort_attr, rows, dim }
+    }
+
+    /// The relation's MBR.
+    pub fn mbr(&self) -> &Mbr {
+        &self.mbr
+    }
+
+    /// Which attribute the rows are sorted on.
+    pub fn sort_attribute(&self) -> usize {
+        self.sort_attr
+    }
+
+    /// The sorted domain of attribute `j`.
+    pub fn domain(&self, j: usize) -> &AttributeDomain {
+        &self.domains[j]
+    }
+
+    /// IDs of row `r` collected into a fresh vector (diagnostics/tests).
+    pub fn row_ids(&self, r: usize) -> Vec<u32> {
+        self.columns.iter().map(|c| c.get(r)).collect()
+    }
+
+    /// Materializes row `r` back into value space.
+    fn materialize(&self, r: usize) -> Tuple {
+        let attrs = self
+            .columns
+            .iter()
+            .zip(&self.domains)
+            .map(|(col, dom)| dom.value_of(col.get(r)))
+            .collect();
+        Tuple::new(self.locs[r].x, self.locs[r].y, attrs)
+    }
+
+    /// `a` dominates `b` in ID space under the given test. IDs are rank
+    /// positions in sorted domains, so ID dominance ⟺ value dominance.
+    #[inline]
+    fn id_dominates(&self, a: usize, b: usize, test: DominanceTest) -> bool {
+        match test {
+            DominanceTest::Full => {
+                let mut strict = false;
+                for col in &self.columns {
+                    let (ia, ib) = (col.get(a), col.get(b));
+                    if ia > ib {
+                        return false;
+                    }
+                    if ia < ib {
+                        strict = true;
+                    }
+                }
+                strict
+            }
+            // Fig. 4: skip the sorted attribute, require strict `<` on the
+            // rest. Sound because the scan guarantees a.id_sort <= b.id_sort.
+            DominanceTest::PaperStrict => {
+                for (j, col) in self.columns.iter().enumerate() {
+                    if j == self.sort_attr {
+                        continue;
+                    }
+                    if col.get(a) >= col.get(b) {
+                        return false;
+                    }
+                }
+                // A 1-attribute relation has no "rest": fall back to a
+                // strict comparison on the sorted attribute itself.
+                if self.dim == 1 {
+                    return self.columns[0].get(a) < self.columns[0].get(b);
+                }
+                true
+            }
+        }
+    }
+}
+
+impl DeviceRelation for HybridRelation {
+    fn model(&self) -> StorageModel {
+        StorageModel::Hybrid
+    }
+
+    fn len(&self) -> usize {
+        self.rows
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn tuple(&self, i: usize) -> Tuple {
+        self.materialize(i)
+    }
+
+    fn lower_bounds(&self) -> Option<Vec<f64>> {
+        if self.rows == 0 {
+            return None;
+        }
+        Some(self.domains.iter().map(|d| d.min().expect("non-empty")).collect())
+    }
+
+    fn upper_bounds(&self) -> Option<skyline_core::vdr::UpperBounds> {
+        if self.rows == 0 {
+            return None;
+        }
+        Some(skyline_core::vdr::UpperBounds::new(
+            self.domains.iter().map(|d| d.max().expect("non-empty")).collect(),
+        ))
+    }
+
+    fn storage_bytes(&self) -> usize {
+        let locs = self.locs.len() * 16;
+        let ids: usize = self.columns.iter().map(IdArray::storage_bytes).sum();
+        let domains: usize = self.domains.iter().map(AttributeDomain::storage_bytes).sum();
+        locs + ids + domains + 4 * 8 // + the MBR constants
+    }
+
+    fn local_skyline(&self, query: &LocalQuery) -> LocalSkylineOutcome {
+        let mut stats = LocalStats::default();
+
+        // Guard 1: MBR vs query region (O(1)).
+        if query.region.misses(&self.mbr) {
+            return LocalSkylineOutcome::skipped();
+        }
+
+        // Guard 2: does any filter dominate the virtual best corner? (O(n)
+        // attribute comparisons per filter thanks to the sorted domains.)
+        if query.has_filters() {
+            if let Some(lower) = self.lower_bounds() {
+                stats.value_comparisons += self.dim as u64;
+                if query.skips_relation(&lower) {
+                    return LocalSkylineOutcome::skipped();
+                }
+            }
+        }
+
+        // ID-based SFS scan in the presorted row order.
+        let r2 = query.region.radius * query.region.radius;
+        let center = query.region.center;
+        let mut window: Vec<usize> = Vec::new();
+        for row in 0..self.rows {
+            stats.tuples_scanned += 1;
+            if !query.region.radius.is_infinite() && self.locs[row].dist2(center) > r2 {
+                continue;
+            }
+            stats.in_range += 1;
+            let mut dominated = false;
+            for &w in &window {
+                stats.id_comparisons += 1;
+                if self.id_dominates(w, row, query.dominance) {
+                    dominated = true;
+                    break;
+                }
+            }
+            if !dominated {
+                window.push(row);
+            }
+        }
+
+        let unreduced: Vec<Tuple> = window.iter().map(|&r| self.materialize(r)).collect();
+        let unreduced_len = unreduced.len();
+
+        let reduced: Vec<Tuple> = if query.has_filters() {
+            unreduced
+                .into_iter()
+                .filter(|t| {
+                    stats.value_comparisons += 1;
+                    !query.eliminates(&t.attrs)
+                })
+                .collect()
+        } else {
+            unreduced
+        };
+        let filter_candidate: Option<FilterTuple> = query
+            .vdr_bounds
+            .as_ref()
+            .and_then(|b| select_filter(&reduced, b));
+
+        LocalSkylineOutcome {
+            skyline: reduced,
+            unreduced_len,
+            skipped: false,
+            filter_candidate,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skyline_core::algo::{self, Algorithm};
+    use skyline_core::region::QueryRegion;
+    use skyline_core::vdr::{FilterTest, UpperBounds};
+    use skyline_core::SkylineMerger;
+
+    fn table2() -> Vec<Tuple> {
+        vec![
+            Tuple::new(0.0, 0.0, vec![20.0, 7.0]),
+            Tuple::new(1.0, 0.0, vec![40.0, 5.0]),
+            Tuple::new(2.0, 0.0, vec![80.0, 7.0]),
+            Tuple::new(3.0, 0.0, vec![80.0, 4.0]),
+            Tuple::new(4.0, 0.0, vec![100.0, 7.0]),
+            Tuple::new(5.0, 0.0, vec![100.0, 3.0]),
+        ]
+    }
+
+    fn sorted_attrs(mut v: Vec<Tuple>) -> Vec<Vec<f64>> {
+        v.sort_by(|a, b| a.attrs.partial_cmp(&b.attrs).unwrap());
+        v.into_iter().map(|t| t.attrs).collect()
+    }
+
+    #[test]
+    fn sort_attribute_has_most_distinct_values() {
+        // price has 4 distinct values, rating has 4 as well → tie keeps
+        // the first; add a tuple to break the tie.
+        let mut data = table2();
+        data.push(Tuple::new(6.0, 0.0, vec![120.0, 7.0])); // price now 5 distinct
+        let h = HybridRelation::new(data);
+        assert_eq!(h.sort_attribute(), 0);
+        assert_eq!(h.domain(0).len(), 5);
+        assert_eq!(h.domain(1).len(), 4);
+    }
+
+    #[test]
+    fn rows_are_sorted_by_sort_attribute_id() {
+        let h = HybridRelation::new(table2());
+        let col = &h.columns[h.sort_attr];
+        for r in 1..h.rows {
+            assert!(col.get(r - 1) <= col.get(r));
+        }
+    }
+
+    #[test]
+    fn materialization_round_trips() {
+        let data = table2();
+        let h = HybridRelation::new(data.clone());
+        let got: Vec<Vec<f64>> = sorted_attrs((0..h.len()).map(|r| h.tuple(r)).collect());
+        let expect = sorted_attrs(data);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn local_skyline_matches_centralized_table2() {
+        let h = HybridRelation::new(table2());
+        let out = h.local_skyline(&LocalQuery::plain(QueryRegion::unbounded()));
+        // Paper: skyline of R_1 is {h11, h12, h14, h16}.
+        let got = sorted_attrs(out.skyline);
+        assert_eq!(
+            got,
+            vec![
+                vec![20.0, 7.0],
+                vec![40.0, 5.0],
+                vec![80.0, 4.0],
+                vec![100.0, 3.0]
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_strict_mode_yields_superset() {
+        // Construct ties the strict test misses: (1, 2) dominates (1, 3)
+        // only through a tie on the sorted attribute.
+        let data = vec![
+            Tuple::new(0.0, 0.0, vec![1.0, 2.0]),
+            Tuple::new(1.0, 0.0, vec![1.0, 3.0]),
+            Tuple::new(2.0, 0.0, vec![2.0, 2.5]),
+        ];
+        let h = HybridRelation::new(data);
+        let mut q = LocalQuery::plain(QueryRegion::unbounded());
+        q.dominance = DominanceTest::Full;
+        let full = h.local_skyline(&q).skyline.len();
+        q.dominance = DominanceTest::PaperStrict;
+        let strict = h.local_skyline(&q).skyline.len();
+        assert_eq!(full, 1);
+        assert!(strict >= full, "strict test may keep dominated ties");
+        // Every full-mode member must also appear in strict mode.
+        assert!(strict >= 1);
+    }
+
+    #[test]
+    fn strict_superset_still_contains_true_skyline() {
+        let data: Vec<Tuple> = (0..200)
+            .map(|i| {
+                let a = ((i * 37) % 20) as f64;
+                let b = ((i * 91) % 20) as f64;
+                Tuple::new(i as f64, 0.0, vec![a, b])
+            })
+            .collect();
+        let h = HybridRelation::new(data.clone());
+        let mut q = LocalQuery::plain(QueryRegion::unbounded());
+        q.dominance = DominanceTest::PaperStrict;
+        let strict = h.local_skyline(&q).skyline;
+
+        let true_sky = algo::materialize(&data, &Algorithm::Bnl.skyline_indices(&data));
+        for t in &true_sky {
+            assert!(
+                strict.iter().any(|s| s.attrs == t.attrs),
+                "strict scan lost true skyline member {:?}",
+                t.attrs
+            );
+        }
+        // And a merger fixes the superset up to the exact skyline.
+        let merged = SkylineMerger::with_seed(strict).into_result();
+        assert_eq!(sorted_attrs(merged), sorted_attrs(true_sky));
+    }
+
+    #[test]
+    fn mbr_miss_skips_everything() {
+        let h = HybridRelation::new(table2());
+        let q = LocalQuery::plain(QueryRegion::new(Point::new(1000.0, 1000.0), 5.0));
+        let out = h.local_skyline(&q);
+        assert!(out.skipped);
+        assert_eq!(out.stats.tuples_scanned, 0);
+    }
+
+    #[test]
+    fn dominating_filter_skips_relation() {
+        let h = HybridRelation::new(table2());
+        let bounds = UpperBounds::new(vec![200.0, 10.0]);
+        let q = LocalQuery {
+            filter: Some(FilterTuple::new(vec![10.0, 1.0], &bounds)),
+            filter_test: FilterTest::StrictAll,
+            ..LocalQuery::plain(QueryRegion::unbounded())
+        };
+        let out = h.local_skyline(&q);
+        assert!(out.skipped, "filter (10,1) beats domain minima (20,3)");
+    }
+
+    #[test]
+    fn non_dominating_filter_does_not_skip() {
+        let h = HybridRelation::new(table2());
+        let bounds = UpperBounds::new(vec![200.0, 10.0]);
+        let q = LocalQuery {
+            filter: Some(FilterTuple::new(vec![60.0, 3.0], &bounds)), // h21
+            filter_test: FilterTest::StrictAll,
+            vdr_bounds: Some(bounds),
+            ..LocalQuery::plain(QueryRegion::unbounded())
+        };
+        let out = h.local_skyline(&q);
+        assert!(!out.skipped);
+        // h21 = (60, 3) strictly eliminates h14 = (80, 4) but not h16 =
+        // (100, 3) (rating ties) under the paper's strict test.
+        assert_eq!(out.unreduced_len, 4);
+        assert_eq!(out.skyline.len(), 3);
+    }
+
+    #[test]
+    fn scan_uses_id_comparisons_not_values() {
+        let h = HybridRelation::new(table2());
+        let out = h.local_skyline(&LocalQuery::plain(QueryRegion::unbounded()));
+        assert!(out.stats.id_comparisons > 0);
+        assert_eq!(out.stats.value_comparisons, 0);
+    }
+
+    #[test]
+    fn byte_ids_for_small_domains() {
+        let h = HybridRelation::new(table2());
+        for c in &h.columns {
+            assert_eq!(c.id_width(), 1, "100-value domains fit byte IDs");
+        }
+    }
+
+    #[test]
+    fn hybrid_storage_is_smaller_than_flat_when_domains_shared() {
+        // 1000 rows, only 10 distinct values per attribute.
+        let data: Vec<Tuple> = (0..1000)
+            .map(|i| Tuple::new(i as f64, 0.0, vec![(i % 10) as f64, ((i / 10) % 10) as f64]))
+            .collect();
+        let flat = crate::FlatRelation::new(data.clone());
+        let hybrid = HybridRelation::new(data);
+        assert!(hybrid.storage_bytes() < flat.storage_bytes());
+    }
+
+    #[test]
+    fn bounds_accessors() {
+        let h = HybridRelation::new(table2());
+        assert_eq!(h.lower_bounds().unwrap(), vec![20.0, 3.0]);
+        assert_eq!(h.upper_bounds().unwrap().0, vec![100.0, 7.0]);
+        let empty = HybridRelation::new(vec![]);
+        assert!(empty.lower_bounds().is_none());
+        assert!(empty.upper_bounds().is_none());
+    }
+
+    #[test]
+    fn spatial_filter_inside_scan() {
+        let data = vec![
+            Tuple::new(0.0, 0.0, vec![5.0, 5.0]),
+            Tuple::new(100.0, 0.0, vec![1.0, 1.0]),
+        ];
+        let h = HybridRelation::new(data);
+        let q = LocalQuery::plain(QueryRegion::new(Point::new(0.0, 0.0), 10.0));
+        let out = h.local_skyline(&q);
+        assert_eq!(out.skyline.len(), 1);
+        assert_eq!(out.skyline[0].attrs, vec![5.0, 5.0]);
+        assert_eq!(out.stats.in_range, 1);
+    }
+
+    #[test]
+    fn row_ids_are_consistent_with_domains() {
+        let h = HybridRelation::new(table2());
+        for r in 0..h.len() {
+            let t = h.tuple(r);
+            for (j, id) in h.row_ids(r).into_iter().enumerate() {
+                assert_eq!(h.domain(j).value_of(id), t.attrs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn one_dimensional_relation_paper_strict() {
+        let data = vec![
+            Tuple::new(0.0, 0.0, vec![3.0]),
+            Tuple::new(1.0, 0.0, vec![1.0]),
+            Tuple::new(2.0, 0.0, vec![1.0]),
+        ];
+        let h = HybridRelation::new(data);
+        let mut q = LocalQuery::plain(QueryRegion::unbounded());
+        q.dominance = DominanceTest::PaperStrict;
+        let out = h.local_skyline(&q);
+        // Both 1.0-tuples survive (ties), 3.0 is dominated.
+        assert_eq!(out.skyline.len(), 2);
+    }
+}

@@ -1,0 +1,305 @@
+//! Compact binary images of device relations — the flash-card face of the
+//! storage story.
+//!
+//! A lightweight device receives its partition as a file (sync over USB,
+//! download over the cellular link, a handoff transfer); this module
+//! defines that wire/flash format. It uses the same insight as the hybrid
+//! storage model: non-spatial values are dictionary-encoded against sorted
+//! per-attribute domains with adaptive ID width, so an image is typically a
+//! fraction of the raw tuple size while decoding losslessly back to the
+//! exact tuples.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "MSQ1" | dim u8 | count u32
+//! per attribute: domain_len u32, domain values f64…, id_width u8
+//! per row: x f64, y f64, then one id per attribute at its width
+//! ```
+//!
+//! Decoding validates every length and index and fails loudly — a device
+//! must never trust a truncated or corrupted image.
+
+use skyline_core::Tuple;
+
+/// Image header magic.
+const MAGIC: &[u8; 4] = b"MSQ1";
+
+/// Why an image failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The magic bytes are wrong — not a relation image.
+    BadMagic,
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// A stored ID points outside its attribute domain.
+    IdOutOfRange {
+        /// Attribute index.
+        attr: usize,
+        /// The offending ID.
+        id: u32,
+    },
+    /// Trailing garbage after the declared content.
+    TrailingBytes(usize),
+    /// A stored float is NaN (forbidden by the data model).
+    NanValue,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a relation image (bad magic)"),
+            DecodeError::Truncated => write!(f, "image truncated"),
+            DecodeError::IdOutOfRange { attr, id } => {
+                write!(f, "id {id} out of range for attribute {attr}")
+            }
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after image"),
+            DecodeError::NanValue => write!(f, "NaN value in image"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serializes a relation into its compact image.
+pub fn encode_relation(tuples: &[Tuple]) -> Vec<u8> {
+    let dim = tuples.first().map_or(0, Tuple::dim);
+    assert!(tuples.iter().all(|t| t.dim() == dim), "mixed dimensionality");
+    assert!(dim <= u8::MAX as usize, "dimensionality exceeds format limit");
+    assert!(tuples.len() <= u32::MAX as usize, "relation exceeds format limit");
+
+    // Build sorted distinct domains.
+    let domains: Vec<Vec<f64>> = (0..dim)
+        .map(|j| {
+            let mut v: Vec<f64> = tuples.iter().map(|t| t.attrs[j]).collect();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("NaN attribute value"));
+            v.dedup();
+            v
+        })
+        .collect();
+    let widths: Vec<u8> = domains.iter().map(|d| id_width(d.len())).collect();
+
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(dim as u8);
+    out.extend_from_slice(&(tuples.len() as u32).to_le_bytes());
+    for (d, &w) in domains.iter().zip(&widths) {
+        out.extend_from_slice(&(d.len() as u32).to_le_bytes());
+        for &v in d {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.push(w);
+    }
+    for t in tuples {
+        out.extend_from_slice(&t.x.to_le_bytes());
+        out.extend_from_slice(&t.y.to_le_bytes());
+        for j in 0..dim {
+            let id = domains[j]
+                .binary_search_by(|v| v.partial_cmp(&t.attrs[j]).expect("NaN"))
+                .expect("value present") as u32;
+            match widths[j] {
+                1 => out.push(id as u8),
+                2 => out.extend_from_slice(&(id as u16).to_le_bytes()),
+                _ => out.extend_from_slice(&id.to_le_bytes()),
+            }
+        }
+    }
+    out
+}
+
+/// Deserializes an image back into tuples.
+pub fn decode_relation(bytes: &[u8]) -> Result<Vec<Tuple>, DecodeError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let dim = r.u8()? as usize;
+    let count = r.u32()? as usize;
+
+    let mut domains: Vec<Vec<f64>> = Vec::with_capacity(dim);
+    let mut widths: Vec<u8> = Vec::with_capacity(dim);
+    for _ in 0..dim {
+        let len = r.u32()? as usize;
+        let mut d = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            let v = r.f64()?;
+            if v.is_nan() {
+                return Err(DecodeError::NanValue);
+            }
+            d.push(v);
+        }
+        domains.push(d);
+        widths.push(r.u8()?);
+    }
+
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let x = r.f64()?;
+        let y = r.f64()?;
+        if x.is_nan() || y.is_nan() {
+            return Err(DecodeError::NanValue);
+        }
+        let mut attrs = Vec::with_capacity(dim);
+        for (j, (&w, d)) in widths.iter().zip(&domains).enumerate() {
+            let id = match w {
+                1 => u32::from(r.u8()?),
+                2 => u32::from(r.u16()?),
+                _ => r.u32()?,
+            };
+            let v = *d
+                .get(id as usize)
+                .ok_or(DecodeError::IdOutOfRange { attr: j, id })?;
+            attrs.push(v);
+        }
+        out.push(Tuple::new(x, y, attrs));
+    }
+    if r.pos != bytes.len() {
+        return Err(DecodeError::TrailingBytes(bytes.len() - r.pos));
+    }
+    Ok(out)
+}
+
+fn id_width(domain_len: usize) -> u8 {
+    if domain_len <= (u8::MAX as usize) + 1 {
+        1
+    } else if domain_len <= (u16::MAX as usize) + 1 {
+        2
+    } else {
+        4
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        let s = self.bytes.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                Tuple::new(
+                    i as f64,
+                    (i * 3 % 17) as f64,
+                    vec![((i * 7) % 50) as f64 / 10.0, ((i * 13) % 30) as f64],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_tuples_exactly() {
+        let src = sample(500);
+        let img = encode_relation(&src);
+        let back = decode_relation(&img).expect("valid image");
+        assert_eq!(src, back);
+    }
+
+    #[test]
+    fn empty_relation_round_trips() {
+        let img = encode_relation(&[]);
+        assert_eq!(decode_relation(&img).unwrap(), Vec::<Tuple>::new());
+    }
+
+    #[test]
+    fn image_is_smaller_than_raw_for_shared_values() {
+        let src = sample(2000); // 50- and 30-value domains → byte IDs
+        let img = encode_relation(&src);
+        let raw = src.len() * 8 * 4; // x, y, two f64 attrs
+        assert!(
+            img.len() < raw,
+            "image {} B should beat raw {} B",
+            img.len(),
+            raw
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut img = encode_relation(&sample(3));
+        img[0] = b'X';
+        assert_eq!(decode_relation(&img), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let img = encode_relation(&sample(10));
+        for cut in 0..img.len() {
+            let r = decode_relation(&img[..cut]);
+            assert!(
+                matches!(r, Err(DecodeError::Truncated) | Err(DecodeError::BadMagic)),
+                "cut at {cut} gave {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut img = encode_relation(&sample(4));
+        img.push(0);
+        assert_eq!(decode_relation(&img), Err(DecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn out_of_range_id_is_rejected() {
+        // Single tuple with a 1-value domain → id must be 0. Corrupt it.
+        let src = vec![Tuple::new(0.0, 0.0, vec![5.0])];
+        let mut img = encode_relation(&src);
+        let last = img.len() - 1;
+        img[last] = 9;
+        assert_eq!(
+            decode_relation(&img),
+            Err(DecodeError::IdOutOfRange { attr: 0, id: 9 })
+        );
+    }
+
+    #[test]
+    fn nan_is_rejected() {
+        let src = vec![Tuple::new(0.0, 0.0, vec![5.0])];
+        let mut img = encode_relation(&src);
+        // Corrupt the domain value (offset: magic 4 + dim 1 + count 4 +
+        // domain_len 4 = 13) with a NaN bit pattern.
+        img[13..21].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(decode_relation(&img), Err(DecodeError::NanValue));
+    }
+
+    #[test]
+    fn wide_domains_use_wider_ids() {
+        // > 256 distinct values forces u16 IDs; still exact.
+        let src: Vec<Tuple> =
+            (0..1000).map(|i| Tuple::new(i as f64, 0.0, vec![i as f64])).collect();
+        let img = encode_relation(&src);
+        assert_eq!(decode_relation(&img).unwrap(), src);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DecodeError::IdOutOfRange { attr: 2, id: 7 };
+        assert!(e.to_string().contains("attribute 2"));
+        assert!(DecodeError::Truncated.to_string().contains("truncated"));
+    }
+}
