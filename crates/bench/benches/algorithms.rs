@@ -13,11 +13,9 @@ fn bench_algorithms(c: &mut Criterion) {
     for (tag, dist) in [("IN", Distribution::Independent), ("AC", Distribution::AntiCorrelated)] {
         let data = DataSpec::local_experiment(20_000, 2, dist, 11).generate();
         for algo in Algorithm::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{algo:?}"), tag),
-                &data,
-                |b, d| b.iter(|| black_box(algo.skyline_indices(d).len())),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{algo:?}"), tag), &data, |b, d| {
+                b.iter(|| black_box(algo.skyline_indices(d).len()))
+            });
         }
     }
     group.finish();

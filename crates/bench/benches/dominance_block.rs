@@ -1,0 +1,81 @@
+//! Criterion microbench for the contiguous dominance kernels: pairwise
+//! `Vec<f64>`-chasing (`dominance::dominates` over per-tuple heap
+//! allocations) vs. the row-major [`TupleBlock`] with
+//! dimension-specialized kernels, at d = 2..=5, plus a whole-scan BNL
+//! local-skyline comparison on 50K tuples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datagen::{DataSpec, Distribution};
+use skyline_core::algo::bnl;
+use skyline_core::dominance::dominates;
+use skyline_core::{Tuple, TupleBlock};
+use std::hint::black_box;
+
+fn gen(tuples: usize, dims: usize) -> Vec<Tuple> {
+    DataSpec::local_experiment(tuples, dims, Distribution::Independent, 0xB_10C).generate()
+}
+
+/// All-pairs adjacent dominance tests over 10K tuples — isolates the
+/// per-test cost of pointer-chasing vs. contiguous rows.
+fn bench_pairwise_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominance_block_pairwise");
+    for dims in 2..=5usize {
+        let data = gen(10_000, dims);
+        let block = TupleBlock::from_tuples(&data);
+        let kernel = block.kernel();
+        group.bench_with_input(BenchmarkId::new("tuple_vec", dims), &dims, |b, _| {
+            b.iter(|| {
+                let mut n = 0u32;
+                for w in data.windows(2) {
+                    n += u32::from(dominates(
+                        black_box(w[0].attrs.as_slice()),
+                        black_box(w[1].attrs.as_slice()),
+                    ));
+                }
+                n
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("block_kernel", dims), &dims, |b, _| {
+            b.iter(|| {
+                let mut n = 0u32;
+                for i in 0..block.len() - 1 {
+                    n += u32::from(kernel(black_box(block.row(i)), black_box(block.row(i + 1))));
+                }
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Whole-scan effect: BNL local skyline over 50K tuples with the block
+/// kernels vs. a scan over the original tuple vector.
+fn bench_local_skyline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominance_block_local_skyline");
+    group.sample_size(10);
+    for dims in [2usize, 4] {
+        let data = gen(50_000, dims);
+        let block = TupleBlock::from_tuples(&data);
+        group.bench_with_input(BenchmarkId::new("tuple_vec_bnl", dims), &dims, |b, _| {
+            b.iter(|| {
+                // The pre-block inner loop: chase each candidate's Vec.
+                let mut window: Vec<usize> = Vec::new();
+                for (i, t) in data.iter().enumerate() {
+                    if window.iter().any(|&w| dominates(&data[w].attrs, &t.attrs)) {
+                        continue;
+                    }
+                    window.retain(|&w| !dominates(&t.attrs, &data[w].attrs));
+                    window.push(i);
+                }
+                black_box(window.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("block_bnl", dims), &dims, |b, _| {
+            b.iter(|| black_box(bnl::block_skyline_indices(&block).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairwise_kernels, bench_local_skyline);
+criterion_main!(benches);

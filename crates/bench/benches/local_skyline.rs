@@ -12,7 +12,8 @@ fn bench_cardinality(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5a_cardinality");
     group.sample_size(10);
     for card in [10_000usize, 30_000] {
-        for (tag, dist) in [("IN", Distribution::Independent), ("AC", Distribution::AntiCorrelated)] {
+        for (tag, dist) in [("IN", Distribution::Independent), ("AC", Distribution::AntiCorrelated)]
+        {
             let data = DataSpec::local_experiment(card, 2, dist, 5).generate();
             let hs = HybridRelation::new(data.clone());
             let fs = FlatRelation::new(data);

@@ -10,14 +10,13 @@ use std::hint::black_box;
 fn bench_vdr(c: &mut Criterion) {
     let mut group = c.benchmark_group("vdr");
     for dim in [2usize, 5] {
-        let data = DataSpec::local_experiment(5_000, dim, Distribution::AntiCorrelated, 4).generate();
+        let data =
+            DataSpec::local_experiment(5_000, dim, Distribution::AntiCorrelated, 4).generate();
         let sky = materialize(&data, &Algorithm::Sfs.skyline_indices(&data));
         let bounds = UpperBounds::new(vec![9.9; dim]);
-        group.bench_with_input(
-            BenchmarkId::new("volume_one", dim),
-            &sky[0].attrs,
-            |b, attrs| b.iter(|| black_box(vdr_volume(attrs, &bounds))),
-        );
+        group.bench_with_input(BenchmarkId::new("volume_one", dim), &sky[0].attrs, |b, attrs| {
+            b.iter(|| black_box(vdr_volume(attrs, &bounds)))
+        });
         group.bench_with_input(
             BenchmarkId::new(format!("select_from_{}", sky.len()), dim),
             &sky,

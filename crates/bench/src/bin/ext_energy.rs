@@ -6,11 +6,12 @@
 //!
 //! Grid: {BF, DF} forwarding × {straightforward, dynamic filter}.
 //!
-//! Usage: `cargo run --release -p msq-bench --bin ext_energy [--full]`
+//! Usage: `cargo run --release -p msq-bench --bin ext_energy [--full] [--jobs N]`
 
 use datagen::Distribution;
 use dist_skyline::config::{FilterStrategy, Forwarding, StrategyConfig};
 use dist_skyline::runtime::{run_experiment, ManetExperiment};
+use msq_bench::sweep;
 
 fn main() {
     let scale = msq_bench::Scale::from_args();
@@ -18,19 +19,15 @@ fn main() {
     println!("== Extension: radio energy per query ({card} tuples, 25 devices, d = 250) ==\n");
     msq_bench::print_header(
         "config",
-        &[
-            "J/query".into(),
-            "total J".into(),
-            "bytes/query".into(),
-            "DRR".into(),
-        ],
+        &["J/query".into(), "total J".into(), "bytes/query".into(), "DRR".into()],
     );
 
+    let mut labels = Vec::new();
+    let mut cells = Vec::new();
     for (fname, fwd) in [("BF", Forwarding::BreadthFirst), ("DF", Forwarding::DepthFirst)] {
-        for (sname, filter) in [
-            ("nofilter", FilterStrategy::NoFilter),
-            ("dynamic", FilterStrategy::Dynamic),
-        ] {
+        for (sname, filter) in
+            [("nofilter", FilterStrategy::NoFilter), ("dynamic", FilterStrategy::Dynamic)]
+        {
             let mut exp = ManetExperiment::paper_defaults(
                 5,
                 card,
@@ -46,18 +43,22 @@ fn main() {
                 exact_bounds: vec![1000.0, 1000.0],
                 ..StrategyConfig::default()
             };
-            let out = run_experiment(&exp);
-            let nq = out.records.len().max(1) as f64;
-            msq_bench::print_row(
-                format!("{fname}/{sname}"),
-                &[
-                    out.energy_per_query_joules,
-                    out.total_energy_joules,
-                    out.net.bytes_sent as f64 / nq,
-                    out.drr,
-                ],
-            );
+            labels.push(format!("{fname}/{sname}"));
+            cells.push(exp);
         }
+    }
+    let outs = sweep::run_stage("ext_energy", sweep::jobs_from_args(), &cells, run_experiment);
+    for (label, out) in labels.iter().zip(&outs) {
+        let nq = out.records.len().max(1) as f64;
+        msq_bench::print_row(
+            label,
+            &[
+                out.energy_per_query_joules,
+                out.total_energy_joules,
+                out.net.bytes_sent as f64 / nq,
+                out.drr,
+            ],
+        );
     }
     println!("\nexpected shape: the dynamic filter cuts bytes and therefore energy in");
     println!("both forwarding modes; DF spends less radio energy overall than BF's");

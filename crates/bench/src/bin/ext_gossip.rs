@@ -6,11 +6,12 @@
 //! Sweeps the re-broadcast probability and reports message cost, coverage
 //! (devices answering), response time, and energy.
 //!
-//! Usage: `cargo run --release -p msq-bench --bin ext_gossip [--full]`
+//! Usage: `cargo run --release -p msq-bench --bin ext_gossip [--full] [--jobs N]`
 
 use datagen::Distribution;
 use dist_skyline::config::Forwarding;
 use dist_skyline::runtime::{run_experiment, ManetExperiment};
+use msq_bench::sweep;
 
 fn main() {
     let scale = msq_bench::Scale::from_args();
@@ -27,22 +28,29 @@ fn main() {
         ],
     );
 
-    for percent in [40u8, 60, 80, 100] {
-        let mut exp = ManetExperiment::paper_defaults(
-            7,
-            card,
-            2,
-            Distribution::Independent,
-            500.0,
-            0x605,
-        );
-        exp.forwarding = if percent == 100 {
-            Forwarding::BreadthFirst
-        } else {
-            Forwarding::Gossip { rebroadcast_percent: percent }
-        };
-        exp.sim_seconds = scale.sim_seconds();
-        let out = run_experiment(&exp);
+    let percents = [40u8, 60, 80, 100];
+    let cells: Vec<ManetExperiment> = percents
+        .iter()
+        .map(|&percent| {
+            let mut exp = ManetExperiment::paper_defaults(
+                7,
+                card,
+                2,
+                Distribution::Independent,
+                500.0,
+                0x605,
+            );
+            exp.forwarding = if percent == 100 {
+                Forwarding::BreadthFirst
+            } else {
+                Forwarding::Gossip { rebroadcast_percent: percent }
+            };
+            exp.sim_seconds = scale.sim_seconds();
+            exp
+        })
+        .collect();
+    let outs = sweep::run_stage("ext_gossip", sweep::jobs_from_args(), &cells, run_experiment);
+    for (percent, out) in percents.iter().zip(&outs) {
         let responded = out.records.iter().map(|r| r.responded as f64).sum::<f64>()
             / out.records.len().max(1) as f64;
         msq_bench::print_row(

@@ -16,7 +16,55 @@ use datagen::{DataSpec, Distribution, SpatialExtent};
 use dist_skyline::config::{FilterStrategy, StrategyConfig};
 use dist_skyline::metrics::DrrAccumulator;
 use dist_skyline::static_net::grid_network_from_global;
+use msq_bench::sweep;
 use skyline_core::vdr::{BoundsMode, MultiFilterSelection};
+
+/// One sweep cell: a full all-origins run of one `(k, selector, dist,
+/// seed)` configuration on its own generated dataset.
+struct Cell {
+    card: usize,
+    k: usize,
+    selection: MultiFilterSelection,
+    dist: Distribution,
+    seed: u64,
+}
+
+/// What a cell reports back for merging (seed-order) in the collect phase.
+struct CellOut {
+    drr: DrrAccumulator,
+    tuples: u64,
+    queries: u64,
+}
+
+fn run_cell(cell: &Cell) -> CellOut {
+    let data = DataSpec::manet_experiment(cell.card, 2, cell.dist, cell.seed).generate();
+    let net = grid_network_from_global(&data, 5, SpatialExtent::PAPER);
+    let cfg = StrategyConfig {
+        filter: FilterStrategy::MultiDynamic { k: cell.k },
+        bounds_mode: BoundsMode::Exact,
+        exact_bounds: vec![1000.0, 1000.0],
+        multi_selection: cell.selection,
+        ..StrategyConfig::default()
+    };
+    let mut out = CellOut { drr: DrrAccumulator::default(), tuples: 0, queries: 0 };
+    for origin in 0..net.len() {
+        let run = net.run_query(origin, f64::INFINITY, &cfg);
+        out.drr.merge(&run.metrics.drr);
+        out.tuples += run.metrics.tuples_transferred;
+        out.queries += 1;
+    }
+    out
+}
+
+/// DRR with `k` filter tuples charged per participating device instead
+/// of 1.
+fn charged_drr(drr: &DrrAccumulator, k: usize) -> f64 {
+    let charged =
+        drr.sum_unreduced as i64 - drr.sum_sent as i64 - (drr.participants * k as u64) as i64;
+    charged as f64 / drr.sum_unreduced.max(1) as f64
+}
+
+const SEEDS: [u64; 3] = [11, 22, 33];
 
 fn main() {
     let scale = msq_bench::Scale::from_args();
@@ -28,34 +76,35 @@ fn main() {
         &["IN DRR".into(), "IN tuples".into(), "AC DRR".into(), "AC tuples".into()],
     );
 
-    for k in [1usize, 2, 3, 4, 8] {
+    let ks = [1usize, 2, 3, 4, 8];
+    let dists = [Distribution::Independent, Distribution::AntiCorrelated];
+    let cells: Vec<Cell> = ks
+        .iter()
+        .flat_map(|&k| {
+            dists.iter().flat_map(move |&dist| {
+                SEEDS.iter().map(move |&seed| Cell {
+                    card,
+                    k,
+                    selection: MultiFilterSelection::default(),
+                    dist,
+                    seed,
+                })
+            })
+        })
+        .collect();
+    let outs = sweep::run_stage("ext_multi_filter_k", sweep::jobs_from_args(), &cells, run_cell);
+    for (k, per_k) in ks.iter().zip(outs.chunks(dists.len() * SEEDS.len())) {
         let mut row = Vec::new();
-        for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+        for per_dist in per_k.chunks(SEEDS.len()) {
             let mut drr = DrrAccumulator::default();
-            let mut tuples = 0u64;
-            let mut queries = 0u64;
-            for seed in [11u64, 22, 33] {
-                let data = DataSpec::manet_experiment(card, 2, dist, seed).generate();
-                let net = grid_network_from_global(&data, 5, SpatialExtent::PAPER);
-                let cfg = StrategyConfig {
-                    filter: FilterStrategy::MultiDynamic { k },
-                    bounds_mode: BoundsMode::Exact,
-                    exact_bounds: vec![1000.0, 1000.0],
-                    ..StrategyConfig::default()
-                };
-                for origin in 0..net.len() {
-                    let out = net.run_query(origin, f64::INFINITY, &cfg);
-                    drr.merge(&out.metrics.drr);
-                    tuples += out.metrics.tuples_transferred;
-                    queries += 1;
-                }
+            let (mut tuples, mut queries) = (0u64, 0u64);
+            for cell_out in per_dist {
+                drr.merge(&cell_out.drr);
+                tuples += cell_out.tuples;
+                queries += cell_out.queries;
             }
             // Charge k filter tuples per participating device instead of 1.
-            let charged = drr.sum_unreduced as i64
-                - drr.sum_sent as i64
-                - (drr.participants * k as u64) as i64;
-            let drr_k = charged as f64 / drr.sum_unreduced.max(1) as f64;
-            row.push(drr_k);
+            row.push(charged_drr(&drr, *k));
             row.push(tuples as f64 / queries as f64);
         }
         msq_bench::print_row(k, &row);
@@ -67,36 +116,29 @@ fn main() {
     // --- The "which" half: compare selection policies at the sweet spot.
     let k = 3;
     println!("\n== Which tuples? Selector comparison at k = {k} ==\n");
-    msq_bench::print_header(
-        "selector",
-        &["IN DRR".into(), "AC DRR".into()],
-    );
-    for (name, sel) in [
+    msq_bench::print_header("selector", &["IN DRR".into(), "AC DRR".into()]);
+    let selectors = [
         ("top-vdr", MultiFilterSelection::TopVdr),
         ("coverage", MultiFilterSelection::GreedyCoverage),
         ("max-spread", MultiFilterSelection::MaxSpread),
-    ] {
+    ];
+    let cells: Vec<Cell> = selectors
+        .iter()
+        .flat_map(|&(_, selection)| {
+            dists.iter().flat_map(move |&dist| {
+                SEEDS.iter().map(move |&seed| Cell { card, k, selection, dist, seed })
+            })
+        })
+        .collect();
+    let outs = sweep::run_stage("ext_multi_filter_sel", sweep::jobs_from_args(), &cells, run_cell);
+    for ((name, _), per_sel) in selectors.iter().zip(outs.chunks(dists.len() * SEEDS.len())) {
         let mut row = Vec::new();
-        for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+        for per_dist in per_sel.chunks(SEEDS.len()) {
             let mut drr = DrrAccumulator::default();
-            for seed in [11u64, 22, 33] {
-                let data = DataSpec::manet_experiment(card, 2, dist, seed).generate();
-                let net = grid_network_from_global(&data, 5, SpatialExtent::PAPER);
-                let cfg = StrategyConfig {
-                    filter: FilterStrategy::MultiDynamic { k },
-                    bounds_mode: BoundsMode::Exact,
-                    exact_bounds: vec![1000.0, 1000.0],
-                    multi_selection: sel,
-                    ..StrategyConfig::default()
-                };
-                for origin in 0..net.len() {
-                    drr.merge(&net.run_query(origin, f64::INFINITY, &cfg).metrics.drr);
-                }
+            for cell_out in per_dist {
+                drr.merge(&cell_out.drr);
             }
-            let charged = drr.sum_unreduced as i64
-                - drr.sum_sent as i64
-                - (drr.participants * k as u64) as i64;
-            row.push(charged as f64 / drr.sum_unreduced.max(1) as f64);
+            row.push(charged_drr(&drr, k));
         }
         msq_bench::print_row(name, &row);
     }

@@ -8,12 +8,13 @@
 //! centroid at the end of the run), migrations performed, transfer bytes,
 //! response times, and result sizes.
 //!
-//! Usage: `cargo run --release -p msq-bench --bin ext_redistribution [--full]`
+//! Usage: `cargo run --release -p msq-bench --bin ext_redistribution [--full] [--jobs N]`
 
 use datagen::Distribution;
 use dist_skyline::config::Forwarding;
 use dist_skyline::runtime::{run_experiment, HandoffConfig, ManetExperiment};
 use manet_sim::SimDuration;
+use msq_bench::sweep;
 
 fn main() {
     let scale = msq_bench::Scale::from_args();
@@ -32,7 +33,7 @@ fn main() {
         ],
     );
 
-    for (label, handoff) in [
+    let variants = [
         ("off", None),
         (
             "on",
@@ -42,19 +43,27 @@ fn main() {
                 min_gain_m: 100.0,
             }),
         ),
-    ] {
-        let mut exp = ManetExperiment::paper_defaults(
-            5,
-            card,
-            2,
-            Distribution::Independent,
-            250.0,
-            0xE47,
-        );
-        exp.forwarding = Forwarding::BreadthFirst;
-        exp.sim_seconds = sim_seconds;
-        exp.handoff = handoff;
-        let out = run_experiment(&exp);
+    ];
+    let cells: Vec<ManetExperiment> = variants
+        .iter()
+        .map(|(_, handoff)| {
+            let mut exp = ManetExperiment::paper_defaults(
+                5,
+                card,
+                2,
+                Distribution::Independent,
+                250.0,
+                0xE47,
+            );
+            exp.forwarding = Forwarding::BreadthFirst;
+            exp.sim_seconds = sim_seconds;
+            exp.handoff = *handoff;
+            exp
+        })
+        .collect();
+    let outs =
+        sweep::run_stage("ext_redistribution", sweep::jobs_from_args(), &cells, run_experiment);
+    for ((label, _), out) in variants.iter().zip(&outs) {
         let avg_result = out
             .records
             .iter()

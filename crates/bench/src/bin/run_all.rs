@@ -1,12 +1,25 @@
 //! Runs every figure regeneration in sequence (the full benchmark
-//! harness). Usage: `cargo run --release --bin run_all [--full]`
+//! harness).
+//!
+//! Usage: `cargo run --release --bin run_all [--full] [--jobs N] [--json]`
+//!
+//! Each figure's cell grid fans out over the sweep harness (`--jobs N`
+//! workers, default all cores; `--jobs 1` is the legacy sequential path).
+//! `--json` additionally runs the core dominance micro-benchmark and
+//! writes the machine-readable perf baseline `BENCH_core.json` /
+//! `BENCH_sweep.json` to the current directory.
 
 use datagen::Distribution;
 use msq_bench::manet_figs::Metric;
+use msq_bench::sweep::{self, StageRecord};
+use std::fmt::Write as _;
 
 fn main() {
     let scale = msq_bench::Scale::from_args();
+    let jobs = sweep::jobs_from_args();
+    let json = std::env::args().any(|a| a == "--json");
     let t0 = std::time::Instant::now();
+    println!("sweep harness: {jobs} worker thread(s)");
 
     msq_bench::fig5::panel_a(scale, 3);
     msq_bench::fig5::panel_b(scale, 3);
@@ -32,5 +45,87 @@ fn main() {
 
     msq_bench::messages::run(scale);
 
-    println!("\nall figures regenerated in {:.1?}", t0.elapsed());
+    let total = t0.elapsed();
+    println!("\nall figures regenerated in {total:.1?} ({jobs} jobs)");
+
+    if json {
+        let stages = sweep::take_stage_records();
+        write_file("BENCH_sweep.json", &sweep_json(jobs, total.as_secs_f64(), &stages));
+
+        let records = msq_bench::corebench::run(20_000);
+        write_file("BENCH_core.json", &core_json(&records));
+    }
+}
+
+fn write_file(path: &str, content: &str) {
+    match std::fs::write(path, content) {
+        Ok(()) => println!("[json] wrote {path}"),
+        Err(e) => eprintln!("[json] failed to write {path}: {e}"),
+    }
+}
+
+/// `BENCH_sweep.json`: per-stage wall time, cell counts, throughput, and
+/// the job count used.
+fn sweep_json(jobs: usize, total_seconds: f64, stages: &[StageRecord]) -> String {
+    let cells: usize = stages.iter().map(|s| s.cells).sum();
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"sweep\",");
+    let _ = writeln!(out, "  \"jobs\": {jobs},");
+    let _ = writeln!(out, "  \"total_seconds\": {total_seconds:.3},");
+    let _ = writeln!(out, "  \"cells\": {cells},");
+    let _ = writeln!(out, "  \"cells_per_sec\": {:.3},", cells as f64 / total_seconds.max(1e-9));
+    out.push_str("  \"stages\": [\n");
+    for (i, s) in stages.iter().enumerate() {
+        let sep = if i + 1 < stages.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": {}, \"cells\": {}, \"seconds\": {:.3}, \"cells_per_sec\": {:.3}, \"jobs\": {}}}{sep}",
+            json_string(&s.name),
+            s.cells,
+            s.seconds,
+            s.cells as f64 / s.seconds.max(1e-9),
+            s.jobs,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// `BENCH_core.json`: the contiguous-kernel vs pointer-chasing comparison
+/// with dominance test counts.
+fn core_json(records: &[msq_bench::corebench::KernelRecord]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"core\",\n");
+    out.push_str("  \"algorithm\": \"bnl\",\n");
+    out.push_str("  \"kernels\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"dims\": {}, \"tuples\": {}, \"tuple_ms\": {:.3}, \"block_ms\": {:.3}, \"dominance_tests\": {}, \"skyline_len\": {}}}{sep}",
+            r.dims, r.tuples, r.tuple_ms, r.block_ms, r.dominance_tests, r.skyline_len,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping (the stage names are ASCII identifiers,
+/// but quote/backslash safety is cheap).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

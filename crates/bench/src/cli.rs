@@ -134,7 +134,9 @@ fn parse_distribution(s: &str) -> Result<Distribution, ParseError> {
         "independent" | "in" => Ok(Distribution::Independent),
         "anticorrelated" | "ac" => Ok(Distribution::AntiCorrelated),
         "correlated" | "co" => Ok(Distribution::Correlated),
-        other => err(format!("unknown distribution `{other}` (independent|correlated|anticorrelated)")),
+        other => {
+            err(format!("unknown distribution `{other}` (independent|correlated|anticorrelated)"))
+        }
     }
 }
 
@@ -274,9 +276,7 @@ mod tests {
 
     #[test]
     fn query_defaults() {
-        let Command::Query(q) = parse(&args("query")).unwrap() else {
-            panic!("expected query")
-        };
+        let Command::Query(q) = parse(&args("query")).unwrap() else { panic!("expected query") };
         assert_eq!(q.g, 5);
         assert_eq!(q.d, 250.0);
         assert_eq!(q.strategy, FilterStrategy::Dynamic);
@@ -323,7 +323,10 @@ mod tests {
     fn helpful_errors() {
         assert!(parse(&args("frobnicate")).unwrap_err().0.contains("unknown subcommand"));
         assert!(parse(&args("query --dist marzipan")).unwrap_err().0.contains("distribution"));
-        assert!(parse(&args("query --origin 99 --grid 3")).unwrap_err().0.contains("out of range"));
+        assert!(parse(&args("query --origin 99 --grid 3"))
+            .unwrap_err()
+            .0
+            .contains("out of range"));
         assert!(parse(&args("query --cardinality nope")).unwrap_err().0.contains("cannot parse"));
         assert!(parse(&args("query --dim 0")).unwrap_err().0.contains("at least 1"));
     }
@@ -332,15 +335,16 @@ mod tests {
     fn strategy_and_forwarding_aliases() {
         assert_eq!(parse_strategy("sf").unwrap(), FilterStrategy::Single);
         assert_eq!(parse_strategy("multi").unwrap(), FilterStrategy::MultiDynamic { k: 2 });
-        assert_eq!(parse_forwarding("gossip").unwrap(), Forwarding::Gossip { rebroadcast_percent: 70 });
+        assert_eq!(
+            parse_forwarding("gossip").unwrap(),
+            Forwarding::Gossip { rebroadcast_percent: 70 }
+        );
         assert_eq!(parse_forwarding("depth-first").unwrap(), Forwarding::DepthFirst);
     }
 
     #[test]
     fn last_occurrence_wins() {
-        let Command::Query(q) = parse(&args("query --grid 3 --grid 4")).unwrap() else {
-            panic!()
-        };
+        let Command::Query(q) = parse(&args("query --grid 3 --grid 4")).unwrap() else { panic!() };
         assert_eq!(q.g, 4);
     }
 }

@@ -1,0 +1,103 @@
+//! Core dominance-kernel micro-benchmark feeding `BENCH_core.json`.
+//!
+//! Times BNL over the legacy representation (`&[Tuple]`, one heap
+//! `Vec<f64>` per tuple) against the contiguous [`TupleBlock`] scan with
+//! dimension-specialized kernels, at d = 2..=5, and reports the dominance
+//! test count per configuration. `run_all --json` serializes the records;
+//! the Criterion bench `dominance_block` covers the same ground
+//! interactively.
+
+use datagen::{DataSpec, Distribution};
+use skyline_core::algo::bnl;
+use skyline_core::dominance::dominates;
+use skyline_core::{Tuple, TupleBlock};
+use std::time::Instant;
+
+/// One `(dims, representation)` comparison.
+#[derive(Debug, Clone)]
+pub struct KernelRecord {
+    /// Attribute count.
+    pub dims: usize,
+    /// Relation cardinality.
+    pub tuples: usize,
+    /// BNL wall milliseconds over `&[Tuple]` (pointer-chasing).
+    pub tuple_ms: f64,
+    /// BNL wall milliseconds over the contiguous block (includes building
+    /// the block from the tuples, so the comparison is end-to-end honest).
+    pub block_ms: f64,
+    /// Pairwise dominance tests the block scan performed.
+    pub dominance_tests: u64,
+    /// Skyline size (identical for both paths by construction).
+    pub skyline_len: usize,
+}
+
+/// BNL exactly as the pre-block code ran it: every dominance test chases
+/// `Tuple::attrs`. Kept here as the micro-benchmark baseline.
+fn legacy_bnl(data: &[Tuple]) -> Vec<usize> {
+    let mut window: Vec<usize> = Vec::new();
+    for (i, t) in data.iter().enumerate() {
+        let mut dominated = false;
+        window.retain(|&w| {
+            if dominated {
+                return true;
+            }
+            if dominates(&data[w].attrs, &t.attrs) {
+                dominated = true;
+                true
+            } else {
+                !dominates(&t.attrs, &data[w].attrs)
+            }
+        });
+        if !dominated {
+            window.push(i);
+        }
+    }
+    window.sort_unstable();
+    window
+}
+
+/// Runs the comparison at d = 2..=5 on `tuples` independent-distribution
+/// tuples per configuration.
+pub fn run(tuples: usize) -> Vec<KernelRecord> {
+    (2..=5)
+        .map(|dims| {
+            let data = DataSpec::local_experiment(tuples, dims, Distribution::Independent, 0xB10C)
+                .generate();
+
+            let t0 = Instant::now();
+            let legacy = legacy_bnl(&data);
+            let tuple_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let t0 = Instant::now();
+            let block = TupleBlock::from_tuples(&data);
+            let (sky, dominance_tests) = bnl::block_skyline_indices_counted(&block);
+            let block_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            assert_eq!(legacy, sky, "block and legacy BNL disagree at d={dims}");
+            KernelRecord {
+                dims,
+                tuples,
+                tuple_ms,
+                block_ms,
+                dominance_tests,
+                skyline_len: sky.len(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_cover_d2_to_d5_and_paths_agree() {
+        let recs = run(2_000);
+        assert_eq!(recs.iter().map(|r| r.dims).collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+        for r in &recs {
+            assert!(r.skyline_len > 0);
+            assert!(r.dominance_tests > 0);
+            assert!(r.tuple_ms >= 0.0 && r.block_ms >= 0.0);
+        }
+    }
+}

@@ -9,11 +9,13 @@
 //! series.
 
 pub mod cli;
+pub mod corebench;
 pub mod fig5;
 pub mod manet_figs;
 pub mod messages;
 pub mod scale;
 pub mod static_drr;
+pub mod sweep;
 pub mod table;
 
 pub use scale::Scale;

@@ -9,6 +9,7 @@ use datagen::Distribution;
 use dist_skyline::config::Forwarding;
 use dist_skyline::runtime::{run_experiment, ManetExperiment, ManetOutcome};
 
+use crate::sweep;
 use crate::table::{csv_dir_from_args, Table};
 use crate::Scale;
 
@@ -51,30 +52,86 @@ fn metric_of(out: &ManetOutcome, metric: Metric) -> f64 {
     }
 }
 
-fn row(scale: Scale, g: usize, card: usize, dim: usize, dist: Distribution, metric: Metric) -> Vec<f64> {
-    let mut vals = Vec::new();
-    for fwd in [Forwarding::DepthFirst, Forwarding::BreadthFirst] {
-        for d in scale.distances() {
-            let out = run_experiment(&experiment(scale, g, card, dim, dist, fwd, d));
-            vals.push(metric_of(&out, metric));
+/// One table row's worth of work: a label plus the `(g, card, dim)` the six
+/// series cells share.
+#[derive(Debug, Clone)]
+pub struct RowSpec {
+    /// Row label (first table column).
+    pub label: String,
+    /// Grid side (devices = g²).
+    pub g: usize,
+    /// Global cardinality.
+    pub card: usize,
+    /// Non-spatial attributes.
+    pub dim: usize,
+}
+
+/// Computes every row of a panel by fanning the full `rows × 6 series` cell
+/// grid over the sweep harness. Results come back in grid order, so the
+/// returned rows are identical for any `jobs`.
+pub fn compute_rows(
+    scale: Scale,
+    dist: Distribution,
+    metric: Metric,
+    specs: &[RowSpec],
+    stage: &str,
+    jobs: usize,
+) -> Vec<(String, Vec<f64>)> {
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let mut cells: Vec<ManetExperiment> = Vec::new();
+    for spec in specs {
+        for fwd in [Forwarding::DepthFirst, Forwarding::BreadthFirst] {
+            for d in scale.distances() {
+                cells.push(experiment(scale, spec.g, spec.card, spec.dim, dist, fwd, d));
+            }
         }
     }
-    vals
+    let outs = sweep::run_stage(stage, jobs, &cells, run_experiment);
+    let width = cells.len() / specs.len();
+    specs
+        .iter()
+        .zip(outs.chunks(width))
+        .map(|(spec, outs)| {
+            (spec.label.clone(), outs.iter().map(|o| metric_of(o, metric)).collect())
+        })
+        .collect()
+}
+
+fn emit_panel(
+    id: String,
+    title: String,
+    x_name: &str,
+    scale: Scale,
+    dist: Distribution,
+    metric: Metric,
+    specs: &[RowSpec],
+) {
+    let mut t = Table::new(id.clone(), title, x_name, series_names(scale));
+    for (label, vals) in compute_rows(scale, dist, metric, specs, &id, sweep::jobs_from_args()) {
+        t.push(label, vals);
+    }
+    t.emit(csv_dir_from_args().as_deref());
 }
 
 /// Panel (a): metric vs. global cardinality.
 pub fn panel_a(scale: Scale, dist: Distribution, metric: Metric, fig: &str) {
     let g = scale.manet_grid();
-    let mut t = Table::new(
+    let specs: Vec<RowSpec> = scale
+        .manet_cardinalities()
+        .into_iter()
+        .map(|card| RowSpec { label: card.to_string(), g, card, dim: 2 })
+        .collect();
+    emit_panel(
         format!("{}a_{metric:?}_{dist:?}", fig.to_lowercase().replace([' ', '.'], "")),
         format!("{fig}(a) — {metric:?} vs. cardinality ({dist:?}, 2 attrs, {} devices)", g * g),
         "cardinality",
-        series_names(scale),
+        scale,
+        dist,
+        metric,
+        &specs,
     );
-    for card in scale.manet_cardinalities() {
-        t.push(card, row(scale, g, card, 2, dist, metric));
-    }
-    t.emit(csv_dir_from_args().as_deref());
 }
 
 /// Panel (b): metric vs. dimensionality. The quick scale shrinks the
@@ -82,32 +139,42 @@ pub fn panel_a(scale: Scale, dist: Distribution, metric: Metric, fig: &str) {
 /// the cardinality actually used.
 pub fn panel_b(scale: Scale, dist: Distribution, metric: Metric, fig: &str) {
     let g = scale.manet_grid();
-    let mut t = Table::new(
+    let specs: Vec<RowSpec> = scale
+        .dimensionalities()
+        .into_iter()
+        .map(|dim| {
+            let card = scale.manet_cardinality_for_dim(dim);
+            RowSpec { label: format!("{dim}@{card}"), g, card, dim }
+        })
+        .collect();
+    emit_panel(
         format!("{}b_{metric:?}_{dist:?}", fig.to_lowercase().replace([' ', '.'], "")),
         format!("{fig}(b) — {metric:?} vs. dimensionality ({dist:?}, {} devices)", g * g),
         "dims@card",
-        series_names(scale),
+        scale,
+        dist,
+        metric,
+        &specs,
     );
-    for dim in scale.dimensionalities() {
-        let card = scale.manet_cardinality_for_dim(dim);
-        t.push(format!("{dim}@{card}"), row(scale, g, card, dim, dist, metric));
-    }
-    t.emit(csv_dir_from_args().as_deref());
 }
 
 /// Panel (c): metric vs. number of devices.
 pub fn panel_c(scale: Scale, dist: Distribution, metric: Metric, fig: &str) {
     let card = scale.manet_fixed_cardinality();
-    let mut t = Table::new(
+    let specs: Vec<RowSpec> = scale
+        .grid_sides()
+        .into_iter()
+        .map(|g| RowSpec { label: (g * g).to_string(), g, card, dim: 2 })
+        .collect();
+    emit_panel(
         format!("{}c_{metric:?}_{dist:?}", fig.to_lowercase().replace([' ', '.'], "")),
         format!("{fig}(c) — {metric:?} vs. devices ({dist:?}, {card} tuples, 2 attrs)"),
         "devices",
-        series_names(scale),
+        scale,
+        dist,
+        metric,
+        &specs,
     );
-    for g in scale.grid_sides() {
-        t.push(g * g, row(scale, g, card, 2, dist, metric));
-    }
-    t.emit(csv_dir_from_args().as_deref());
 }
 
 #[cfg(test)]
@@ -117,6 +184,46 @@ mod tests {
     #[test]
     fn six_series_per_scale() {
         assert_eq!(series_names(Scale::Quick).len(), 6);
+    }
+
+    /// The acceptance bar for the sweep harness: a panel computed with one
+    /// worker and with four must be bit-identical, not just approximately
+    /// equal — parallelism must never change the tables.
+    #[test]
+    fn parallel_panel_is_bit_identical_to_sequential() {
+        let specs = [
+            RowSpec { label: "2000".into(), g: 3, card: 2_000, dim: 2 },
+            RowSpec { label: "3000".into(), g: 3, card: 3_000, dim: 2 },
+        ];
+        for metric in [Metric::Drr, Metric::ResponseTime] {
+            let seq = compute_rows(
+                Scale::Quick,
+                Distribution::Independent,
+                metric,
+                &specs,
+                "determinism_seq",
+                1,
+            );
+            let par = compute_rows(
+                Scale::Quick,
+                Distribution::Independent,
+                metric,
+                &specs,
+                "determinism_par",
+                4,
+            );
+            assert_eq!(seq.len(), par.len());
+            for ((l1, v1), (l2, v2)) in seq.iter().zip(&par) {
+                assert_eq!(l1, l2);
+                // Bit-compare so NaN cells (possible for response time)
+                // still count as identical.
+                let b1: Vec<u64> = v1.iter().map(|v| v.to_bits()).collect();
+                let b2: Vec<u64> = v2.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(b1, b2, "jobs=1 vs jobs=4 diverged for {metric:?}");
+            }
+        }
+        // Don't leak the guard's stage records into a later `--json` dump.
+        let _ = sweep::take_stage_records();
     }
 
     #[test]

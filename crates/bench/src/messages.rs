@@ -9,10 +9,12 @@ use datagen::Distribution;
 use dist_skyline::config::Forwarding;
 use dist_skyline::runtime::{run_experiment, ManetExperiment};
 
+use crate::sweep;
 use crate::table::{csv_dir_from_args, Table};
 use crate::Scale;
 
-/// Runs the Fig. 12 sweep.
+/// Runs the Fig. 12 sweep: the `grid sides × {BF, DF}` cell grid goes
+/// through the sweep harness.
 pub fn run(scale: Scale) {
     let card = scale.manet_fixed_cardinality();
     let mut t = Table::new(
@@ -21,26 +23,35 @@ pub fn run(scale: Scale) {
         "devices",
         vec!["BF".into(), "DF".into(), "BF aodv".into(), "DF aodv".into()],
     );
-    for g in scale.grid_sides() {
-        let mut vals = Vec::new();
-        let mut aodv = Vec::new();
-        for fwd in [Forwarding::BreadthFirst, Forwarding::DepthFirst] {
-            let mut exp = ManetExperiment::paper_defaults(
-                g,
-                card,
-                2,
-                Distribution::Independent,
-                250.0,
-                0x000F_1612,
-            );
-            exp.forwarding = fwd;
-            exp.sim_seconds = scale.sim_seconds();
-            let out = run_experiment(&exp);
-            vals.push(out.mean_forward_messages);
-            let nq = out.records.len().max(1) as f64;
-            aodv.push(out.net.aodv_frames as f64 / nq);
-        }
-        t.push(g * g, vec![vals[0], vals[1], aodv[0], aodv[1]]);
+    let sides = scale.grid_sides();
+    let cells: Vec<ManetExperiment> = sides
+        .iter()
+        .flat_map(|&g| {
+            [Forwarding::BreadthFirst, Forwarding::DepthFirst].into_iter().map(move |fwd| {
+                let mut exp = ManetExperiment::paper_defaults(
+                    g,
+                    card,
+                    2,
+                    Distribution::Independent,
+                    250.0,
+                    0x000F_1612,
+                );
+                exp.forwarding = fwd;
+                exp.sim_seconds = scale.sim_seconds();
+                exp
+            })
+        })
+        .collect();
+    let outs = sweep::run_stage("fig12", sweep::jobs_from_args(), &cells, run_experiment);
+    for (g, pair) in sides.iter().zip(outs.chunks(2)) {
+        let aodv = |i: usize| {
+            let out = &pair[i];
+            out.net.aodv_frames as f64 / out.records.len().max(1) as f64
+        };
+        t.push(
+            g * g,
+            vec![pair[0].mean_forward_messages, pair[1].mean_forward_messages, aodv(0), aodv(1)],
+        );
     }
     t.emit(csv_dir_from_args().as_deref());
 }

@@ -11,6 +11,7 @@ use dist_skyline::config::{FilterStrategy, StrategyConfig};
 use dist_skyline::static_net::grid_network_from_global;
 use skyline_core::vdr::BoundsMode;
 
+use crate::sweep;
 use crate::table::{csv_dir_from_args, Table};
 use crate::Scale;
 
@@ -43,62 +44,116 @@ fn strategies(dim: usize) -> Vec<StrategyConfig> {
 /// the filter-choice variance it mentions for DF).
 const SEEDS: u64 = 3;
 
+/// One sweep cell: a single dataset seed of a single table row. Generates
+/// its own data and runs all six strategies, so cells are independent.
+#[derive(Debug, Clone)]
+struct Cell {
+    card: usize,
+    dim: usize,
+    g: usize,
+    dist: Distribution,
+    seed: u64,
+}
+
+fn run_cell(cell: &Cell) -> Vec<f64> {
+    let data = DataSpec::manet_experiment(cell.card, cell.dim, cell.dist, cell.seed).generate();
+    let net = grid_network_from_global(&data, cell.g, SpatialExtent::PAPER);
+    strategies(cell.dim)
+        .iter()
+        .map(|cfg| net.run_all_origins(cfg).drr(true))
+        .collect()
+}
+
+#[cfg(test)]
 fn drr_row(card: usize, dim: usize, g: usize, dist: Distribution, seed: u64) -> Vec<f64> {
-    let mut acc = vec![0.0; 6];
-    for s in 0..SEEDS {
-        let data = DataSpec::manet_experiment(card, dim, dist, seed ^ (s * 7919)).generate();
-        let net = grid_network_from_global(&data, g, SpatialExtent::PAPER);
-        for (k, cfg) in strategies(dim).iter().enumerate() {
-            acc[k] += net.run_all_origins(cfg).drr(true) / SEEDS as f64;
-        }
+    average_rows(&[(card, dim, g, dist, seed)], "static_drr_row", 1).remove(0)
+}
+
+/// Computes many rows at once by fanning the `(row, seed)` cell grid over
+/// the sweep harness, then averaging each row's seeds **in seed order** so
+/// the floating-point sums match the sequential run bit for bit.
+fn average_rows(
+    rows: &[(usize, usize, usize, Distribution, u64)],
+    stage: &str,
+    jobs: usize,
+) -> Vec<Vec<f64>> {
+    let cells: Vec<Cell> = rows
+        .iter()
+        .flat_map(|&(card, dim, g, dist, seed)| {
+            (0..SEEDS).map(move |s| Cell { card, dim, g, dist, seed: seed ^ (s * 7919) })
+        })
+        .collect();
+    let outs = sweep::run_stage(stage, jobs, &cells, run_cell);
+    outs.chunks(SEEDS as usize)
+        .map(|per_seed| {
+            let mut acc = vec![0.0; 6];
+            for vals in per_seed {
+                for (a, v) in acc.iter_mut().zip(vals) {
+                    *a += v / SEEDS as f64;
+                }
+            }
+            acc
+        })
+        .collect()
+}
+
+fn emit_panel(
+    id: String,
+    title: String,
+    x_name: &str,
+    labels: Vec<String>,
+    rows: &[(usize, usize, usize, Distribution, u64)],
+) {
+    let mut t = Table::new(id.clone(), title, x_name, series_names());
+    let values = average_rows(rows, &id, sweep::jobs_from_args());
+    for (label, vals) in labels.into_iter().zip(values) {
+        t.push(label, vals);
     }
-    acc
+    t.emit(csv_dir_from_args().as_deref());
 }
 
 /// Panel (a): DRR vs. global cardinality (2 attrs, 5×5 devices).
 pub fn panel_a(scale: Scale, dist: Distribution, fig: &str) {
-    let mut t = Table::new(
+    let cards = scale.global_cardinalities();
+    emit_panel(
         format!("{}a_{dist:?}", fig.to_lowercase().replace([' ', '.'], "")),
         format!("{fig}(a) — DRR vs. global cardinality ({dist:?}, 2 attrs, 25 devices)"),
         "cardinality",
-        series_names(),
+        cards.iter().map(|c| c.to_string()).collect(),
+        &cards.iter().map(|&card| (card, 2, 5, dist, 0x6a)).collect::<Vec<_>>(),
     );
-    for card in scale.global_cardinalities() {
-        t.push(card, drr_row(card, 2, 5, dist, 0x6a));
-    }
-    t.emit(csv_dir_from_args().as_deref());
 }
 
 /// Panel (b): DRR vs. dimensionality (5×5 devices). The quick scale
 /// shrinks the relation as dimensionality grows (see [`Scale`]); the row
 /// label shows the cardinality actually used.
 pub fn panel_b(scale: Scale, dist: Distribution, fig: &str) {
-    let mut t = Table::new(
+    let dims = scale.dimensionalities();
+    emit_panel(
         format!("{}b_{dist:?}", fig.to_lowercase().replace([' ', '.'], "")),
         format!("{fig}(b) — DRR vs. dimensionality ({dist:?}, 25 devices)"),
         "dims@card",
-        series_names(),
+        dims.iter()
+            .map(|&dim| format!("{dim}@{}", scale.global_cardinality_for_dim(dim)))
+            .collect(),
+        &dims
+            .iter()
+            .map(|&dim| (scale.global_cardinality_for_dim(dim), dim, 5, dist, 0x6b))
+            .collect::<Vec<_>>(),
     );
-    for dim in scale.dimensionalities() {
-        let card = scale.global_cardinality_for_dim(dim);
-        t.push(format!("{dim}@{card}"), drr_row(card, dim, 5, dist, 0x6b));
-    }
-    t.emit(csv_dir_from_args().as_deref());
 }
 
 /// Panel (c): DRR vs. number of devices (fixed cardinality, 2 attrs).
 pub fn panel_c(scale: Scale, dist: Distribution, fig: &str) {
     let card = scale.global_fixed_cardinality();
-    let mut t = Table::new(
+    let sides = scale.grid_sides();
+    emit_panel(
         format!("{}c_{dist:?}", fig.to_lowercase().replace([' ', '.'], "")),
         format!("{fig}(c) — DRR vs. devices ({dist:?}, {card} tuples, 2 attrs)"),
         "devices",
-        series_names(),
+        sides.iter().map(|&g| (g * g).to_string()).collect(),
+        &sides.iter().map(|&g| (card, 2, g, dist, 0x6c)).collect::<Vec<_>>(),
     );
-    for g in scale.grid_sides() {
-        t.push(g * g, drr_row(card, 2, g, dist, 0x6c));
-    }
-    t.emit(csv_dir_from_args().as_deref());
 }
 
 #[cfg(test)]

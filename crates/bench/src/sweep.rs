@@ -1,0 +1,186 @@
+//! Parallel sweep harness for the figure/extension grids.
+//!
+//! Every evaluation figure is a grid of *independent* cells — a pure
+//! `(ManetExperiment) -> ManetOutcome` call (or an equally pure static-net
+//! run) whose randomness comes entirely from seeds carried in the cell
+//! description. That makes the grids embarrassingly parallel:
+//! [`parallel_map`] fans the cells over a scoped thread pool and collects
+//! the results **in grid order**, so tables and CSVs are byte-identical to
+//! the sequential run regardless of scheduling.
+//!
+//! The worker pool is a work-stealing index over `std::thread::scope` (the
+//! workspace builds offline; no rayon). `--jobs N` selects the pool size,
+//! defaulting to all cores; `--jobs 1` is the legacy sequential path (the
+//! items are mapped on the caller's thread, no pool is spun up).
+//!
+//! [`run_stage`] wraps `parallel_map` with wall-clock accounting: each
+//! named stage's cell count, elapsed seconds, and job count land in a
+//! process-global registry that `run_all --json` drains into
+//! `BENCH_sweep.json`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One timed sweep stage, as reported in `BENCH_sweep.json`.
+#[derive(Debug, Clone)]
+pub struct StageRecord {
+    /// Stage name (usually the table id, e.g. `fig8a_Drr_Independent`).
+    pub name: String,
+    /// Number of grid cells the stage mapped.
+    pub cells: usize,
+    /// Wall-clock seconds for the whole stage.
+    pub seconds: f64,
+    /// Worker threads used.
+    pub jobs: usize,
+}
+
+static STAGES: Mutex<Vec<StageRecord>> = Mutex::new(Vec::new());
+
+/// Drains and returns every stage recorded so far (in execution order).
+pub fn take_stage_records() -> Vec<StageRecord> {
+    std::mem::take(&mut STAGES.lock().expect("stage registry poisoned"))
+}
+
+/// Reads `--jobs N` from the process arguments; defaults to all cores.
+///
+/// # Panics
+/// Panics when the argument is present but not a positive integer — a
+/// malformed job count silently running sequentially would be worse.
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match args.windows(2).find(|w| w[0] == "--jobs") {
+        Some(w) => match w[1].parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("--jobs expects a positive integer, got `{}`", w[1]),
+        },
+        None if args.last().is_some_and(|a| a == "--jobs") => {
+            panic!("--jobs expects a positive integer, got nothing")
+        }
+        None => default_jobs(),
+    }
+}
+
+/// All cores, as reported by the OS (1 when unknown).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Maps `f` over `items` on `jobs` worker threads, returning results in
+/// item order. `jobs == 1` runs on the calling thread (the legacy
+/// sequential path — no pool, no atomics).
+///
+/// # Panics
+/// Propagates a panic from any worker.
+pub fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    jobs: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sweep worker panicked")).collect()
+    });
+
+    // Reassemble in grid order so output is independent of scheduling.
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (i, r) in per_worker.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots.into_iter().map(|r| r.expect("every cell produces a result")).collect()
+}
+
+/// [`parallel_map`] plus wall-clock accounting: times the stage and files a
+/// [`StageRecord`] under `name` for `BENCH_sweep.json`.
+pub fn run_stage<T: Sync, R: Send>(
+    name: &str,
+    jobs: usize,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let jobs = jobs.max(1).min(items.len().max(1));
+    let t0 = Instant::now();
+    let out = parallel_map(items, jobs, f);
+    STAGES.lock().expect("stage registry poisoned").push(StageRecord {
+        name: name.to_string(),
+        cells: items.len(),
+        seconds: t0.elapsed().as_secs_f64(),
+        jobs,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for jobs in [1, 2, 4, 16] {
+            assert_eq!(parallel_map(&items, jobs, |&x| x * x), expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_tiny_inputs() {
+        assert_eq!(parallel_map::<usize, usize>(&[], 8, |&x| x), Vec::<usize>::new());
+        assert_eq!(parallel_map(&[7], 8, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_stateful_work() {
+        // Each cell derives output from its own index only — the sweep
+        // contract — so any interleaving must reproduce the sequential map.
+        let items: Vec<u64> = (0..64).collect();
+        let work = |&s: &u64| {
+            let mut h = s.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            for _ in 0..100 {
+                h ^= h >> 13;
+                h = h.wrapping_mul(31);
+            }
+            h
+        };
+        assert_eq!(parallel_map(&items, 4, work), parallel_map(&items, 1, work));
+    }
+
+    #[test]
+    fn run_stage_files_a_record() {
+        let _ = take_stage_records();
+        let out = run_stage("unit-test-stage", 2, &[1, 2, 3], |&x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+        let recs = take_stage_records();
+        let rec = recs.iter().find(|r| r.name == "unit-test-stage").expect("stage recorded");
+        assert_eq!(rec.cells, 3);
+        assert_eq!(rec.jobs, 2);
+        assert!(rec.seconds >= 0.0);
+    }
+
+    #[test]
+    fn jobs_cap_at_item_count() {
+        // 16 jobs over 2 items must not deadlock or drop results.
+        assert_eq!(parallel_map(&[1, 2], 16, |&x| x * 10), vec![10, 20]);
+    }
+}

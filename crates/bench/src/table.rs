@@ -117,9 +117,7 @@ fn csv_escape(s: &str) -> String {
 /// Reads `--csv <dir>` from the process arguments.
 pub fn csv_dir_from_args() -> Option<PathBuf> {
     let args: Vec<String> = std::env::args().collect();
-    args.windows(2)
-        .find(|w| w[0] == "--csv")
-        .map(|w| PathBuf::from(&w[1]))
+    args.windows(2).find(|w| w[0] == "--csv").map(|w| PathBuf::from(&w[1]))
 }
 
 #[cfg(test)]

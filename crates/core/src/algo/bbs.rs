@@ -157,10 +157,7 @@ mod tests {
         let data = pseudo(400, 3);
         let points: Vec<Vec<f64>> = data.iter().map(|t| t.attrs.clone()).collect();
         let tree = RTree::bulk_load(&points);
-        assert_eq!(
-            skyline_indices_with_tree(&data, &tree),
-            oracle::skyline_indices(&data)
-        );
+        assert_eq!(skyline_indices_with_tree(&data, &tree), oracle::skyline_indices(&data));
     }
 
     #[test]

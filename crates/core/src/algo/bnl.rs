@@ -14,14 +14,22 @@
 //!   pass, exactly as BNL spills to a temp file. Used by the memory-pressure
 //!   ablation bench.
 
-use crate::dominance::dominates;
+use crate::block::TupleBlock;
 use crate::tuple::Tuple;
 
 /// One-pass BNL with an unbounded window. Returns indices in input order of
 /// first qualification.
 pub fn skyline_indices(data: &[Tuple]) -> Vec<usize> {
+    block_skyline_indices(&TupleBlock::from_tuples(data))
+}
+
+/// One-pass BNL over a contiguous [`TupleBlock`]. Row indices double as
+/// relation indices.
+pub fn block_skyline_indices(block: &TupleBlock) -> Vec<usize> {
+    let dom = block.kernel();
     let mut window: Vec<usize> = Vec::new();
-    for (i, t) in data.iter().enumerate() {
+    for i in 0..block.len() {
+        let t = block.row(i);
         let mut dominated = false;
         // retain() both prunes window members the newcomer dominates and
         // detects whether the newcomer is itself dominated.
@@ -29,11 +37,11 @@ pub fn skyline_indices(data: &[Tuple]) -> Vec<usize> {
             if dominated {
                 return true;
             }
-            if dominates(&data[w].attrs, &t.attrs) {
+            if dom(block.row(w), t) {
                 dominated = true;
                 true
             } else {
-                !dominates(&t.attrs, &data[w].attrs)
+                !dom(t, block.row(w))
             }
         });
         if !dominated {
@@ -42,6 +50,36 @@ pub fn skyline_indices(data: &[Tuple]) -> Vec<usize> {
     }
     window.sort_unstable();
     window
+}
+
+/// [`block_skyline_indices`] that also reports the number of dominance
+/// tests performed, feeding the perf baseline (`BENCH_core.json`).
+pub fn block_skyline_indices_counted(block: &TupleBlock) -> (Vec<usize>, u64) {
+    let dom = block.kernel();
+    let mut tests = 0u64;
+    let mut window: Vec<usize> = Vec::new();
+    for i in 0..block.len() {
+        let t = block.row(i);
+        let mut dominated = false;
+        window.retain(|&w| {
+            if dominated {
+                return true;
+            }
+            tests += 1;
+            if dom(block.row(w), t) {
+                dominated = true;
+                true
+            } else {
+                tests += 1;
+                !dom(t, block.row(w))
+            }
+        });
+        if !dominated {
+            window.push(i);
+        }
+    }
+    window.sort_unstable();
+    (window, tests)
 }
 
 /// Multi-pass BNL with a window of at most `window` candidates.
@@ -56,6 +94,8 @@ pub fn skyline_indices(data: &[Tuple]) -> Vec<usize> {
 /// Panics when `window == 0`.
 pub fn skyline_indices_windowed(data: &[Tuple], window: usize) -> Vec<usize> {
     assert!(window > 0, "BNL window must hold at least one tuple");
+    let block = TupleBlock::from_tuples(data);
+    let dom = block.kernel();
     let mut result: Vec<usize> = Vec::new();
     // Current input for this pass: indices into `data`.
     let mut input: Vec<usize> = (0..data.len()).collect();
@@ -68,17 +108,17 @@ pub fn skyline_indices_windowed(data: &[Tuple], window: usize) -> Vec<usize> {
         let mut first_overflow_pos: Option<usize> = None;
 
         for (pos, &idx) in input.iter().enumerate() {
-            let t = &data[idx];
+            let t = block.row(idx);
             let mut dominated = false;
             win.retain(|&(w, _)| {
                 if dominated {
                     return true;
                 }
-                if dominates(&data[w].attrs, &t.attrs) {
+                if dom(block.row(w), t) {
                     dominated = true;
                     true
                 } else {
-                    !dominates(&t.attrs, &data[w].attrs)
+                    !dom(t, block.row(w))
                 }
             });
             if dominated {
@@ -166,10 +206,7 @@ mod tests {
 
     #[test]
     fn dominated_prefix_is_pruned() {
-        let data = vec![
-            Tuple::new(0.0, 0.0, vec![5.0, 5.0]),
-            Tuple::new(1.0, 0.0, vec![1.0, 1.0]),
-        ];
+        let data = vec![Tuple::new(0.0, 0.0, vec![5.0, 5.0]), Tuple::new(1.0, 0.0, vec![1.0, 1.0])];
         assert_eq!(skyline_indices(&data), vec![1]);
     }
 }

@@ -6,7 +6,7 @@
 //! filters **both** directions, which keeps the algorithm exact for any
 //! dimensionality at the cost of a slightly larger merge.
 
-use crate::dominance::dominates;
+use crate::block::{DomKernel, TupleBlock};
 use crate::tuple::Tuple;
 
 /// Below this size the recursion bottoms out into a quadratic scan.
@@ -15,32 +15,38 @@ const LEAF_SIZE: usize = 32;
 /// Exact skyline via divide & conquer. Returns indices into `data`,
 /// ascending.
 pub fn skyline_indices(data: &[Tuple]) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..data.len()).collect();
-    let mut out = solve(data, &mut idx);
+    block_skyline_indices(&TupleBlock::from_tuples(data))
+}
+
+/// D&C over a contiguous [`TupleBlock`]. Row indices double as relation
+/// indices.
+pub fn block_skyline_indices(block: &TupleBlock) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..block.len()).collect();
+    let mut out = solve(block, block.kernel(), &mut idx);
     out.sort_unstable();
     out
 }
 
-fn solve(data: &[Tuple], idx: &mut [usize]) -> Vec<usize> {
+fn solve(block: &TupleBlock, dom: DomKernel, idx: &mut [usize]) -> Vec<usize> {
     if idx.len() <= LEAF_SIZE {
-        return leaf(data, idx);
+        return leaf(block, dom, idx);
     }
     // Median split on attribute 0 (any attribute works; 0 keeps it simple
     // and matches the textbook description).
     let mid = idx.len() / 2;
     idx.select_nth_unstable_by(mid, |&a, &b| {
-        data[a].attrs[0]
-            .partial_cmp(&data[b].attrs[0])
+        block.row(a)[0]
+            .partial_cmp(&block.row(b)[0])
             .expect("NaN attribute value")
             .then(a.cmp(&b))
     });
     let (lo, hi) = idx.split_at_mut(mid);
-    let left = solve(data, lo);
-    let right = solve(data, hi);
-    merge(data, left, right)
+    let left = solve(block, dom, lo);
+    let right = solve(block, dom, hi);
+    merge(block, dom, left, right)
 }
 
-fn leaf(data: &[Tuple], idx: &[usize]) -> Vec<usize> {
+fn leaf(block: &TupleBlock, dom: DomKernel, idx: &[usize]) -> Vec<usize> {
     let mut out: Vec<usize> = Vec::new();
     for &i in idx {
         let mut dominated = false;
@@ -48,11 +54,11 @@ fn leaf(data: &[Tuple], idx: &[usize]) -> Vec<usize> {
             if dominated {
                 return true;
             }
-            if dominates(&data[o].attrs, &data[i].attrs) {
+            if dom(block.row(o), block.row(i)) {
                 dominated = true;
                 true
             } else {
-                !dominates(&data[i].attrs, &data[o].attrs)
+                !dom(block.row(i), block.row(o))
             }
         });
         if !dominated {
@@ -62,15 +68,13 @@ fn leaf(data: &[Tuple], idx: &[usize]) -> Vec<usize> {
     out
 }
 
-fn merge(data: &[Tuple], left: Vec<usize>, right: Vec<usize>) -> Vec<usize> {
+fn merge(block: &TupleBlock, dom: DomKernel, left: Vec<usize>, right: Vec<usize>) -> Vec<usize> {
     // Keep right members not dominated by any left member, and vice versa.
     // (Left members *can* be dominated by right members when attribute-0
     // values tie across the split.)
-    let survives = |i: usize, others: &[usize]| {
-        others.iter().all(|&o| !dominates(&data[o].attrs, &data[i].attrs))
-    };
-    let mut out: Vec<usize> =
-        left.iter().copied().filter(|&i| survives(i, &right)).collect();
+    let survives =
+        |i: usize, others: &[usize]| others.iter().all(|&o| !dom(block.row(o), block.row(i)));
+    let mut out: Vec<usize> = left.iter().copied().filter(|&i| survives(i, &right)).collect();
     out.extend(right.iter().copied().filter(|&i| survives(i, &left)));
     out
 }

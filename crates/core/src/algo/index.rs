@@ -82,15 +82,12 @@ pub fn skyline_indices(data: &[Tuple]) -> Vec<usize> {
         }
         let candidates: Vec<usize> = l[cursors[k]..end]
             .iter()
-            .filter(|&&(_, i)| {
-                !skyline.iter().any(|&s| dominates(&data[s].attrs, &data[i].attrs))
-            })
+            .filter(|&&(_, i)| !skyline.iter().any(|&s| dominates(&data[s].attrs, &data[i].attrs)))
             .map(|&(_, i)| i)
             .collect();
         for &i in &candidates {
-            let dominated_in_batch = candidates
-                .iter()
-                .any(|&j| j != i && dominates(&data[j].attrs, &data[i].attrs));
+            let dominated_in_batch =
+                candidates.iter().any(|&j| j != i && dominates(&data[j].attrs, &data[i].attrs));
             if dominated_in_batch {
                 continue;
             }
@@ -133,8 +130,7 @@ mod tests {
 
     #[test]
     fn handles_all_equal_points() {
-        let data: Vec<Tuple> =
-            (0..5).map(|i| Tuple::new(i as f64, 0.0, vec![2.0, 2.0])).collect();
+        let data: Vec<Tuple> = (0..5).map(|i| Tuple::new(i as f64, 0.0, vec![2.0, 2.0])).collect();
         assert_eq!(skyline_indices(&data), vec![0, 1, 2, 3, 4]);
     }
 

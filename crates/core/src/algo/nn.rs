@@ -74,11 +74,7 @@ pub fn skyline_indices_with_tree(data: &[Tuple], tree: &RTree) -> Vec<usize> {
     let mut survivors: Vec<usize> = skyline
         .iter()
         .copied()
-        .filter(|&i| {
-            !skyline
-                .iter()
-                .any(|&j| j != i && dominates(&data[j].attrs, &data[i].attrs))
-        })
+        .filter(|&i| !skyline.iter().any(|&j| j != i && dominates(&data[j].attrs, &data[i].attrs)))
         .collect();
 
     // The strict region bounds admit only one representative of a set of
@@ -99,8 +95,7 @@ pub fn skyline_indices_with_tree(data: &[Tuple], tree: &RTree) -> Vec<usize> {
 /// Index of the L1-nearest point to the origin strictly inside the open
 /// region `p_k < bounds[k] ∀k`, or `None` when the region holds no point.
 fn nearest_in_region(data: &[Tuple], tree: &RTree, bounds: &[f64]) -> Option<usize> {
-    let inside =
-        |attrs: &[f64]| attrs.iter().zip(bounds).all(|(&v, &b)| v < b);
+    let inside = |attrs: &[f64]| attrs.iter().zip(bounds).all(|(&v, &b)| v < b);
     let mut bf = tree.best_first_iter();
     while let Some(step) = bf.next_step() {
         match step {

@@ -34,19 +34,15 @@ mod tests {
 
     #[test]
     fn oracle_keeps_equal_vectors() {
-        let data = vec![
-            Tuple::new(0.0, 0.0, vec![2.0]),
-            Tuple::new(1.0, 0.0, vec![2.0]),
-        ];
+        let data = vec![Tuple::new(0.0, 0.0, vec![2.0]), Tuple::new(1.0, 0.0, vec![2.0])];
         assert_eq!(skyline_indices(&data), vec![0, 1]);
     }
 
     #[test]
     fn oracle_on_chain() {
         // A totally ordered chain: only the minimum survives.
-        let data: Vec<Tuple> = (0..10)
-            .map(|i| Tuple::new(i as f64, 0.0, vec![i as f64, i as f64]))
-            .collect();
+        let data: Vec<Tuple> =
+            (0..10).map(|i| Tuple::new(i as f64, 0.0, vec![i as f64, i as f64])).collect();
         assert_eq!(skyline_indices(&data), vec![0]);
     }
 }

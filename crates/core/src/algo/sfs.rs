@@ -11,28 +11,37 @@
 //! `device-storage` crate where the ID columns exist. This module is the
 //! classic algorithm, used as a centralized baseline.
 
-use crate::dominance::dominates;
+use crate::block::TupleBlock;
 use crate::tuple::Tuple;
+
+/// Presort order: ascending attribute sum, ties broken by index for
+/// determinism. NaNs are rejected by the data model (generators never
+/// produce them), so a total order comparison on the sums is safe.
+fn sum_order(block: &TupleBlock) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..block.len()).collect();
+    let sums: Vec<f64> = order.iter().map(|&i| block.row(i).iter().sum()).collect();
+    order.sort_by(|&a, &b| {
+        sums[a].partial_cmp(&sums[b]).expect("NaN attribute value").then(a.cmp(&b))
+    });
+    order
+}
 
 /// Exact skyline via presorting on the attribute sum. Returns indices into
 /// `data`, ascending.
 pub fn skyline_indices(data: &[Tuple]) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..data.len()).collect();
-    // Sort by attribute sum; ties broken by index for determinism. NaNs are
-    // rejected by the data model (generators never produce them), so a total
-    // order comparison on the sums is safe.
-    order.sort_by(|&a, &b| {
-        let sa: f64 = data[a].attrs.iter().sum();
-        let sb: f64 = data[b].attrs.iter().sum();
-        sa.partial_cmp(&sb).expect("NaN attribute value").then(a.cmp(&b))
-    });
+    block_skyline_indices(&TupleBlock::from_tuples(data))
+}
 
+/// SFS over a contiguous [`TupleBlock`]. Row indices double as relation
+/// indices.
+pub fn block_skyline_indices(block: &TupleBlock) -> Vec<usize> {
+    let dom = block.kernel();
     let mut skyline: Vec<usize> = Vec::new();
-    for &i in &order {
-        let t = &data[i];
+    for i in sum_order(block) {
+        let t = block.row(i);
         // Equal-sum tuples cannot dominate each other, so comparing against
         // everything already in the window is sufficient and exact.
-        if !skyline.iter().any(|&s| dominates(&data[s].attrs, &t.attrs)) {
+        if !skyline.iter().any(|&s| dom(block.row(s), t)) {
             skyline.push(i);
         }
     }
@@ -43,20 +52,20 @@ pub fn skyline_indices(data: &[Tuple]) -> Vec<usize> {
 /// SFS that also reports how many dominance comparisons the scan used;
 /// the benches use this to contrast raw-value vs ID comparisons.
 pub fn skyline_indices_counted(data: &[Tuple]) -> (Vec<usize>, u64) {
-    let mut order: Vec<usize> = (0..data.len()).collect();
-    order.sort_by(|&a, &b| {
-        let sa: f64 = data[a].attrs.iter().sum();
-        let sb: f64 = data[b].attrs.iter().sum();
-        sa.partial_cmp(&sb).expect("NaN attribute value").then(a.cmp(&b))
-    });
+    block_skyline_indices_counted(&TupleBlock::from_tuples(data))
+}
+
+/// Counted SFS over a contiguous [`TupleBlock`].
+pub fn block_skyline_indices_counted(block: &TupleBlock) -> (Vec<usize>, u64) {
+    let dom = block.kernel();
     let mut comparisons = 0u64;
     let mut skyline: Vec<usize> = Vec::new();
-    for &i in &order {
-        let t = &data[i];
+    for i in sum_order(block) {
+        let t = block.row(i);
         let mut dominated = false;
         for &s in &skyline {
             comparisons += 1;
-            if dominates(&data[s].attrs, &t.attrs) {
+            if dom(block.row(s), t) {
                 dominated = true;
                 break;
             }
@@ -114,10 +123,7 @@ mod tests {
 
     #[test]
     fn presort_keeps_duplicates() {
-        let data = vec![
-            Tuple::new(0.0, 0.0, vec![5.0, 5.0]),
-            Tuple::new(1.0, 0.0, vec![5.0, 5.0]),
-        ];
+        let data = vec![Tuple::new(0.0, 0.0, vec![5.0, 5.0]), Tuple::new(1.0, 0.0, vec![5.0, 5.0])];
         assert_eq!(skyline_indices(&data), vec![0, 1]);
     }
 }

@@ -17,14 +17,10 @@ use crate::tuple::Tuple;
 /// Indices (into `data`) of the constrained skyline: sites inside `region`
 /// that are not dominated by any other site inside `region`.
 pub fn skyline_indices(data: &[Tuple], region: &QueryRegion, algo: Algorithm) -> Vec<usize> {
-    let in_range: Vec<usize> = (0..data.len())
-        .filter(|&i| region.contains(data[i].location()))
-        .collect();
+    let in_range: Vec<usize> =
+        (0..data.len()).filter(|&i| region.contains(data[i].location())).collect();
     let restricted: Vec<Tuple> = in_range.iter().map(|&i| data[i].clone()).collect();
-    algo.skyline_indices(&restricted)
-        .into_iter()
-        .map(|k| in_range[k])
-        .collect()
+    algo.skyline_indices(&restricted).into_iter().map(|k| in_range[k]).collect()
 }
 
 /// Materialized constrained skyline.
@@ -36,7 +32,11 @@ pub fn skyline(data: &[Tuple], region: &QueryRegion, algo: Algorithm) -> Vec<Tup
 /// Constrained skyline of the union of several relations with duplicate
 /// sites removed — the ground truth for a distributed query over
 /// (possibly overlapping) horizontal partitions.
-pub fn global_skyline(partitions: &[Vec<Tuple>], region: &QueryRegion, algo: Algorithm) -> Vec<Tuple> {
+pub fn global_skyline(
+    partitions: &[Vec<Tuple>],
+    region: &QueryRegion,
+    algo: Algorithm,
+) -> Vec<Tuple> {
     let mut union: Vec<Tuple> = Vec::new();
     for part in partitions {
         for t in part {
@@ -55,8 +55,8 @@ mod tests {
 
     fn sites() -> Vec<Tuple> {
         vec![
-            Tuple::new(0.0, 0.0, vec![10.0, 10.0]),   // in range, dominated by #1
-            Tuple::new(1.0, 1.0, vec![1.0, 1.0]),     // in range, dominates all
+            Tuple::new(0.0, 0.0, vec![10.0, 10.0]), // in range, dominated by #1
+            Tuple::new(1.0, 1.0, vec![1.0, 1.0]),   // in range, dominates all
             Tuple::new(100.0, 100.0, vec![0.0, 0.0]), // best overall but out of range
         ]
     }

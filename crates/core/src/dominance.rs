@@ -129,10 +129,7 @@ mod tests {
     fn paper_strict_implies_full_given_sorted_first_dim() {
         // Whenever a.p1 <= b.p1 (the scan invariant) and the strict rest-test
         // passes, the full test must also pass.
-        let cases = [
-            ([1.0, 3.0, 3.0], [2.0, 4.0, 4.0]),
-            ([2.0, 0.0, 9.0], [2.0, 1.0, 10.0]),
-        ];
+        let cases = [([1.0, 3.0, 3.0], [2.0, 4.0, 4.0]), ([2.0, 0.0, 9.0], [2.0, 1.0, 10.0])];
         for (a, b) in cases {
             assert!(a[0] <= b[0]);
             if paper_strict_dominates_rest(&a, &b) {

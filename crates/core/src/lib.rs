@@ -35,6 +35,7 @@
 //! ```
 
 pub mod algo;
+pub mod block;
 pub mod constrained;
 pub mod dominance;
 pub mod merge;
@@ -43,6 +44,7 @@ pub mod rtree;
 pub mod tuple;
 pub mod vdr;
 
+pub use block::{kernel_for, DomKernel, TupleBlock};
 pub use dominance::{dominates, DominanceTest};
 pub use merge::SkylineMerger;
 pub use region::{Mbr, Point, QueryRegion};

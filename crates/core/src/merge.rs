@@ -172,10 +172,7 @@ mod tests {
 
     #[test]
     fn seeded_merger_minimizes_seed() {
-        let seed = vec![
-            Tuple::new(0.0, 0.0, vec![5.0]),
-            Tuple::new(1.0, 0.0, vec![1.0]),
-        ];
+        let seed = vec![Tuple::new(0.0, 0.0, vec![5.0]), Tuple::new(1.0, 0.0, vec![1.0])];
         let m = SkylineMerger::with_seed(seed);
         assert_eq!(m.len(), 1);
         assert_eq!(m.result()[0].attrs, vec![1.0]);

@@ -102,10 +102,8 @@ impl RTree {
                 for &i in &group[1..] {
                     bbox.extend_point(&points[i as usize]);
                 }
-                let entries: Vec<(u32, f64)> = group
-                    .into_iter()
-                    .map(|i| (i, points[i as usize].iter().sum()))
-                    .collect();
+                let entries: Vec<(u32, f64)> =
+                    group.into_iter().map(|i| (i, points[i as usize].iter().sum())).collect();
                 tree.push(Node { bbox, kind: NodeKind::Leaf(entries) })
             })
             .collect();
@@ -389,18 +387,20 @@ pub enum Visit<'a> {
 
 /// Recursively STR-tiles `items` into groups of at most `cap`, cycling
 /// through the sort dimensions.
-fn str_tile<'a, T: Copy, F>(mut items: Vec<T>, axis: usize, dim: usize, cap: usize, coord: &'a F) -> Vec<Vec<T>>
+fn str_tile<'a, T: Copy, F>(
+    mut items: Vec<T>,
+    axis: usize,
+    dim: usize,
+    cap: usize,
+    coord: &'a F,
+) -> Vec<Vec<T>>
 where
     F: Fn(&T) -> &'a [f64] + 'a,
 {
     if items.len() <= cap {
         return vec![items];
     }
-    items.sort_by(|a, b| {
-        coord(a)[axis]
-            .partial_cmp(&coord(b)[axis])
-            .expect("NaN coordinate")
-    });
+    items.sort_by(|a, b| coord(a)[axis].partial_cmp(&coord(b)[axis]).expect("NaN coordinate"));
     // Number of vertical slabs ≈ ⌈(n/cap)^(1/remaining_dims)⌉ per STR; with
     // recursion over axes a simple square-root split per level works well.
     let groups_needed = items.len().div_ceil(cap);

@@ -77,11 +77,7 @@ impl UpperBounds {
 #[inline]
 pub fn vdr_volume(attrs: &[f64], bounds: &UpperBounds) -> f64 {
     debug_assert_eq!(attrs.len(), bounds.0.len(), "bounds/tuple dim mismatch");
-    attrs
-        .iter()
-        .zip(&bounds.0)
-        .map(|(&p, &b)| (b - p).max(0.0))
-        .product()
+    attrs.iter().zip(&bounds.0).map(|(&p, &b)| (b - p).max(0.0)).product()
 }
 
 /// The test a device applies when using the filter tuple to drop local
@@ -153,7 +149,10 @@ pub fn select_filter(skyline: &[Tuple], bounds: &UpperBounds) -> Option<FilterTu
 /// Replaces `current` with `candidate` when the candidate has strictly
 /// larger pruning potential — the dynamic-filter update rule of Section 3.4.
 /// Returns `true` when the filter changed.
-pub fn maybe_upgrade_filter(current: &mut Option<FilterTuple>, candidate: Option<FilterTuple>) -> bool {
+pub fn maybe_upgrade_filter(
+    current: &mut Option<FilterTuple>,
+    candidate: Option<FilterTuple>,
+) -> bool {
     match (current.as_ref(), candidate) {
         (_, None) => false,
         (None, Some(c)) => {
@@ -194,10 +193,8 @@ pub fn select_filters_greedy(
     }
     let mut chosen: Vec<FilterTuple> = Vec::with_capacity(k);
     let first = select_filter(skyline, bounds).expect("non-empty skyline");
-    let mut covered: Vec<bool> = reference
-        .iter()
-        .map(|t| test.eliminates(&first.attrs, &t.attrs))
-        .collect();
+    let mut covered: Vec<bool> =
+        reference.iter().map(|t| test.eliminates(&first.attrs, &t.attrs)).collect();
     chosen.push(first);
 
     while chosen.len() < k {
@@ -277,10 +274,8 @@ pub fn select_filters(
             select_filters_greedy(skyline, bounds, k, reference, test)
         }
         MultiFilterSelection::TopVdr => {
-            let mut scored: Vec<(f64, &Tuple)> = skyline
-                .iter()
-                .map(|t| (vdr_volume(&t.attrs, bounds), t))
-                .collect();
+            let mut scored: Vec<(f64, &Tuple)> =
+                skyline.iter().map(|t| (vdr_volume(&t.attrs, bounds), t)).collect();
             scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN VDR"));
             scored
                 .into_iter()
@@ -289,8 +284,7 @@ pub fn select_filters(
                 .collect()
         }
         MultiFilterSelection::MaxSpread => {
-            let mut chosen: Vec<FilterTuple> =
-                select_filter(skyline, bounds).into_iter().collect();
+            let mut chosen: Vec<FilterTuple> = select_filter(skyline, bounds).into_iter().collect();
             while chosen.len() < k {
                 let l1 = |a: &[f64], b: &[f64]| -> f64 {
                     a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
@@ -385,20 +379,15 @@ mod tests {
         let exact = UpperBounds::new(vec![200.0, 10.0]);
         let over = exact.scaled(2.0);
         let under = UpperBounds::new(vec![150.0, 8.0]);
-        let (vu, ve, vo) = (
-            vdr_volume(&attrs, &under),
-            vdr_volume(&attrs, &exact),
-            vdr_volume(&attrs, &over),
-        );
+        let (vu, ve, vo) =
+            (vdr_volume(&attrs, &under), vdr_volume(&attrs, &exact), vdr_volume(&attrs, &over));
         assert!(vu <= ve && ve <= vo, "{vu} <= {ve} <= {vo}");
     }
 
     #[test]
     fn local_maxima_computes_h_k() {
-        let rel = vec![
-            Tuple::new(0.0, 0.0, vec![20.0, 7.0]),
-            Tuple::new(1.0, 1.0, vec![100.0, 3.0]),
-        ];
+        let rel =
+            vec![Tuple::new(0.0, 0.0, vec![20.0, 7.0]), Tuple::new(1.0, 1.0, vec![100.0, 3.0])];
         let h = UpperBounds::local_maxima(&rel).unwrap();
         assert_eq!(h.0, vec![100.0, 7.0]);
         assert!(UpperBounds::local_maxima(&[]).is_none());
@@ -460,14 +449,9 @@ mod tests {
         // Two clusters: (1, 9) covers one arm, (9, 1) the other. Reference
         // tuples dominated by exactly one of them each.
         let b = UpperBounds::new(vec![10.0, 10.0]);
-        let sky = vec![
-            Tuple::new(0.0, 0.0, vec![1.0, 9.0]),
-            Tuple::new(1.0, 0.0, vec![9.0, 1.0]),
-        ];
-        let reference = vec![
-            Tuple::new(2.0, 0.0, vec![2.0, 9.5]),
-            Tuple::new(3.0, 0.0, vec![9.5, 2.0]),
-        ];
+        let sky = vec![Tuple::new(0.0, 0.0, vec![1.0, 9.0]), Tuple::new(1.0, 0.0, vec![9.0, 1.0])];
+        let reference =
+            vec![Tuple::new(2.0, 0.0, vec![2.0, 9.5]), Tuple::new(3.0, 0.0, vec![9.5, 2.0])];
         let picks = select_filters_greedy(&sky, &b, 2, &reference, FilterTest::Dominance);
         assert_eq!(picks.len(), 2, "second filter adds coverage, so it is kept");
         let attrs: Vec<&[f64]> = picks.iter().map(|f| f.attrs.as_slice()).collect();
@@ -518,8 +502,14 @@ mod tests {
             Tuple::new(1.0, 0.0, vec![10.0, 50.0]), // near the first
             Tuple::new(2.0, 0.0, vec![60.0, 5.0]),  // the far corner
         ];
-        let picks =
-            select_filters(MultiFilterSelection::MaxSpread, &sky, &b, 2, &[], FilterTest::Dominance);
+        let picks = select_filters(
+            MultiFilterSelection::MaxSpread,
+            &sky,
+            &b,
+            2,
+            &[],
+            FilterTest::Dominance,
+        );
         assert_eq!(picks.len(), 2);
         // First pick = max VDR = (5,60): (95*40=3800) vs (10,50): 90*50=4500
         // vs (60,5): 40*95=3800 → actually (10,50) wins.
@@ -546,10 +536,8 @@ mod tests {
     #[test]
     fn any_eliminates_checks_all_filters() {
         let b = UpperBounds::new(vec![10.0, 10.0]);
-        let filters = vec![
-            FilterTuple::new(vec![1.0, 9.0], &b),
-            FilterTuple::new(vec![9.0, 1.0], &b),
-        ];
+        let filters =
+            vec![FilterTuple::new(vec![1.0, 9.0], &b), FilterTuple::new(vec![9.0, 1.0], &b)];
         assert!(any_eliminates(&filters, &[2.0, 9.5], FilterTest::Dominance));
         assert!(any_eliminates(&filters, &[9.5, 2.0], FilterTest::Dominance));
         assert!(!any_eliminates(&filters, &[0.5, 0.5], FilterTest::Dominance));

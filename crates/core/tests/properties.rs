@@ -20,7 +20,11 @@ fn relation(max: usize, dim: usize) -> impl Strategy<Value = Vec<Tuple>> {
             .enumerate()
             .map(|(i, attrs)| {
                 // Unique locations: sites are identified by (x, y).
-                Tuple::new(i as f64, (i * 7 % 13) as f64, attrs.into_iter().map(f64::from).collect())
+                Tuple::new(
+                    i as f64,
+                    (i * 7 % 13) as f64,
+                    attrs.into_iter().map(f64::from).collect(),
+                )
             })
             .collect()
     })
@@ -243,6 +247,53 @@ proptest! {
         // All picks come from the skyline.
         for p in &picks {
             prop_assert!(sky.iter().any(|t| t.attrs == p.attrs));
+        }
+    }
+
+    #[test]
+    fn block_kernels_agree_with_generic_dominance(
+        dim in 1usize..=8,
+        rows in prop::collection::vec(prop::collection::vec(0u16..6, 8), 2..40),
+    ) {
+        // Tight value grid (0..6) makes ties the common case, which is
+        // exactly where a specialized kernel could diverge (the PaperStrict
+        // pitfall: dominance *through* a tie must still register).
+        let block = {
+            let mut b = skyline_core::TupleBlock::new(dim);
+            for r in &rows {
+                let row: Vec<f64> = r[..dim].iter().map(|&v| f64::from(v)).collect();
+                b.push_row(&row);
+            }
+            b
+        };
+        let kernel = block.kernel();
+        for i in 0..block.len() {
+            for j in 0..block.len() {
+                prop_assert_eq!(
+                    kernel(block.row(i), block.row(j)),
+                    dominates(block.row(i), block.row(j)),
+                    "kernel diverges at dim={} i={} j={}", dim, i, j
+                );
+                prop_assert_eq!(
+                    block.dominates(i, j),
+                    dominates(block.row(i), block.row(j))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_algorithms_match_tuple_algorithms(data in relation(60, 4)) {
+        use skyline_core::algo::{bnl, dnc, sfs};
+        let block = skyline_core::TupleBlock::from_tuples(&data);
+        let expect = oracle::skyline_indices(&data);
+        prop_assert_eq!(bnl::block_skyline_indices(&block), expect.clone());
+        prop_assert_eq!(sfs::block_skyline_indices(&block), expect.clone());
+        prop_assert_eq!(dnc::block_skyline_indices(&block), expect.clone());
+        let (counted, tests) = bnl::block_skyline_indices_counted(&block);
+        prop_assert_eq!(counted, expect);
+        if data.len() > 1 {
+            prop_assert!(tests > 0 || data.len() <= 1);
         }
     }
 

@@ -1,0 +1,276 @@
+//! Offline stand-in for `criterion` (API subset).
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! a minimal timing harness exposing the criterion surface its benches
+//! use: [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. No statistics engine:
+//! each benchmark is auto-calibrated so a batch runs ≥ ~10 ms, then
+//! `sample_size` batches are timed and min/median/mean ns-per-iteration
+//! are printed.
+//!
+//! `--test` on the command line (what `cargo test --benches` passes) runs
+//! every benchmark exactly once as a smoke test, so bench targets stay
+//! cheap under the test profile.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything that can name a benchmark (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The display name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the closure given to `bench_function`; `iter` runs the
+/// workload.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    sample_size: usize,
+    smoke: bool,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing per-iteration nanoseconds.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: how many iterations make a batch worth ≥ ~10 ms?
+        let mut iters_per_batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(10) || iters_per_batch >= 1 << 20 {
+                break;
+            }
+            let target = Duration::from_millis(12).as_nanos() as f64;
+            let scale = (target / dt.as_nanos().max(1) as f64).clamp(2.0, 100.0);
+            iters_per_batch = ((iters_per_batch as f64) * scale) as u64;
+        }
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed().as_nanos() as f64 / iters_per_batch as f64);
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    smoke: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed batches per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Ignored (accepted for criterion compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher<'_>)) {
+        let mut samples = Vec::new();
+        let mut b =
+            Bencher { samples: &mut samples, sample_size: self.sample_size, smoke: self.smoke };
+        f(&mut b);
+        if self.smoke {
+            println!("{}/{id}: ok (smoke)", self.name);
+            return;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+        if samples.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{}/{id}: min {} median {} mean {}",
+            self.name,
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I: IntoBenchmarkId>(
+        &mut self,
+        id: I,
+        f: impl FnOnce(&mut Bencher<'_>),
+    ) -> &mut Self {
+        self.run_one(id.into_id(), f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: IntoBenchmarkId, T: ?Sized>(
+        &mut self,
+        id: I,
+        input: &T,
+        f: impl FnOnce(&mut Bencher<'_>, &T),
+    ) -> &mut Self {
+        self.run_one(id.into_id(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (prints nothing; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test --benches` / `cargo bench -- --test` pass `--test`:
+        // run everything once, no timing loops.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let smoke = self.smoke;
+        BenchmarkGroup { name: name.into(), sample_size: 10, smoke, _criterion: self }
+    }
+
+    /// A single ungrouped benchmark.
+    pub fn bench_function<I: IntoBenchmarkId>(
+        &mut self,
+        id: I,
+        f: impl FnOnce(&mut Bencher<'_>),
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a named group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).into_id(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion { smoke: true };
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("one", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn timed_mode_collects_samples() {
+        let mut c = Criterion { smoke: false };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        // A trivially fast routine still produces samples.
+        g.bench_function("fast", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert!(fmt_ns(1500.0).ends_with("µs"));
+        assert!(fmt_ns(2_500_000.0).ends_with("ms"));
+    }
+}

@@ -128,8 +128,7 @@ mod tests {
         let e = SpatialExtent::PAPER;
         let mut rng = StdRng::seed_from_u64(1);
         let pts = e.sample_unique(5000, &mut rng);
-        let set: HashSet<(u64, u64)> =
-            pts.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
+        let set: HashSet<(u64, u64)> = pts.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
         assert_eq!(set.len(), pts.len());
     }
 
@@ -164,8 +163,7 @@ mod tests {
         );
         assert_eq!(pts.len(), 3000);
         assert!(pts.iter().all(|&p| e.contains(p)));
-        let set: HashSet<(u64, u64)> =
-            pts.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
+        let set: HashSet<(u64, u64)> = pts.iter().map(|p| (p.x.to_bits(), p.y.to_bits())).collect();
         assert_eq!(set.len(), pts.len());
     }
 
@@ -186,7 +184,8 @@ mod tests {
             }
             total / pts.len() as f64
         };
-        let uni = e.sample_unique_pattern(400, SpatialPattern::Uniform, &mut StdRng::seed_from_u64(1));
+        let uni =
+            e.sample_unique_pattern(400, SpatialPattern::Uniform, &mut StdRng::seed_from_u64(1));
         let clu = e.sample_unique_pattern(
             400,
             SpatialPattern::Clustered { clusters: 4, sigma: 40.0 },

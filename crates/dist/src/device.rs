@@ -78,10 +78,8 @@ impl<R: DeviceRelation> Device<R> {
         // without the filter, for metrics only.
         let mut unreduced_len = out.unreduced_len;
         if out.skipped && cfg.shadow_accounting && !spec.region().misses_relation(&self.relation) {
-            let shadow = LocalQuery {
-                dominance: cfg.dominance,
-                ..LocalQuery::plain(spec.region())
-            };
+            let shadow =
+                LocalQuery { dominance: cfg.dominance, ..LocalQuery::plain(spec.region()) };
             unreduced_len = self.relation.local_skyline(&shadow).unreduced_len;
         }
 

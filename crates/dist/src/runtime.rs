@@ -353,9 +353,7 @@ impl DeviceApp {
     }
 
     fn relation_tuples(&self) -> Vec<Tuple> {
-        (0..self.device.relation.len())
-            .map(|i| self.device.relation.tuple(i))
-            .collect()
+        (0..self.device.relation.len()).map(|i| self.device.relation.tuple(i)).collect()
     }
 
     // ------------------------------------------------------------------
@@ -374,11 +372,8 @@ impl DeviceApp {
         if here.dist(centroid) < cfg.min_gain_m {
             return; // still close enough to our data
         }
-        let msg = ProtoMsg::HandoffProbe {
-            pos: here,
-            centroid,
-            n_tuples: self.device.relation.len(),
-        };
+        let msg =
+            ProtoMsg::HandoffProbe { pos: here, centroid, n_tuples: self.device.relation.len() };
         let bytes = msg.wire_size();
         ctx.broadcast(msg, bytes);
         let deadline = ctx.now + SimDuration::from_secs_f64(5.0);
@@ -430,7 +425,12 @@ impl DeviceApp {
         ctx.set_timer(SimDuration::from_secs_f64(60.0), token::HANDOFF_TIMEOUT);
     }
 
-    fn on_handoff_transfer(&mut self, ctx: &mut NodeCtx<ProtoMsg>, from: NodeId, tuples: Vec<Tuple>) {
+    fn on_handoff_transfer(
+        &mut self,
+        ctx: &mut NodeCtx<ProtoMsg>,
+        from: NodeId,
+        tuples: Vec<Tuple>,
+    ) {
         if !matches!(self.handoff_state, HandoffState::AwaitTransfer(_)) {
             return; // unsolicited or timed out — refuse silently
         }
@@ -498,7 +498,6 @@ impl DeviceApp {
         self.stash.insert(id, sends);
         ctx.set_timer(delay, token::STASH | id);
     }
-
 
     // ------------------------------------------------------------------
     // Query origination
@@ -614,9 +613,8 @@ impl DeviceApp {
     fn should_rebroadcast(&self, key: QueryKey) -> bool {
         match self.forwarding {
             Forwarding::Gossip { rebroadcast_percent } => {
-                let mut h = (self.device.id as u64) << 32
-                    | (key.origin as u64) << 8
-                    | u64::from(key.cnt);
+                let mut h =
+                    (self.device.id as u64) << 32 | (key.origin as u64) << 8 | u64::from(key.cnt);
                 // splitmix64 scramble.
                 h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
                 h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -687,7 +685,8 @@ impl DeviceApp {
         let delay = self.cost.query_time(&out.stats);
         let id = self.next_stash;
         self.next_stash += 1;
-        self.stash.insert(id, vec![Stashed::Unicast(usize::MAX, ProtoMsg::DfToken(token))]);
+        self.stash
+            .insert(id, vec![Stashed::Unicast(usize::MAX, ProtoMsg::DfToken(token))]);
         ctx.set_timer(delay, token::STASH | id);
     }
 
@@ -704,11 +703,7 @@ impl DeviceApp {
         }
 
         // Forward to an unvisited physical neighbour, if any.
-        let next = ctx
-            .neighbors()
-            .iter()
-            .copied()
-            .find(|n| !token.visited.contains(n));
+        let next = ctx.neighbors().iter().copied().find(|n| !token.visited.contains(n));
         if let Some(n) = next {
             self.count_forward(token.spec.key);
             let msg = ProtoMsg::DfToken(token);
@@ -757,9 +752,7 @@ impl Application<ProtoMsg> for DeviceApp {
                 self.on_handoff_probe(ctx, meta.src, pos, centroid, n_tuples)
             }
             ProtoMsg::HandoffAccept => self.on_handoff_accept(ctx, meta.src),
-            ProtoMsg::HandoffTransfer { tuples } => {
-                self.on_handoff_transfer(ctx, meta.src, tuples)
-            }
+            ProtoMsg::HandoffTransfer { tuples } => self.on_handoff_transfer(ctx, meta.src, tuples),
             ProtoMsg::HandoffAck => self.on_handoff_ack(),
         }
     }
@@ -775,8 +768,7 @@ impl Application<ProtoMsg> for DeviceApp {
             }
             token::TIMEOUT => {
                 let cnt = (tok & 0xFF) as u8;
-                if self.active.as_ref().is_some_and(|a| a.key.cnt == cnt && a.completed.is_none())
-                {
+                if self.active.as_ref().is_some_and(|a| a.key.cnt == cnt && a.completed.is_none()) {
                     self.finalize(ctx, true);
                 }
             }
@@ -868,7 +860,14 @@ pub struct ManetExperiment {
 
 impl ManetExperiment {
     /// The paper's Table 6/7 defaults for a given scale.
-    pub fn paper_defaults(g: usize, cardinality: usize, dim: usize, distribution: datagen::Distribution, radius: f64, seed: u64) -> Self {
+    pub fn paper_defaults(
+        g: usize,
+        cardinality: usize,
+        dim: usize,
+        distribution: datagen::Distribution,
+        radius: f64,
+        seed: u64,
+    ) -> Self {
         ManetExperiment {
             g,
             data: datagen::DataSpec::manet_experiment(cardinality, dim, distribution, seed),
@@ -924,6 +923,14 @@ pub struct ManetOutcome {
     pub net: NetStats,
 }
 
+// The sweep harness fans experiment cells across worker threads; the
+// experiment description and its outcome must stay thread-portable.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ManetExperiment>();
+    assert_send_sync::<ManetOutcome>();
+};
+
 /// Runs one MANET experiment end to end.
 pub fn run_experiment(exp: &ManetExperiment) -> ManetOutcome {
     let global = exp.data.generate();
@@ -955,14 +962,7 @@ pub fn run_experiment(exp: &ManetExperiment) -> ManetOutcome {
     let avg_partition = exp.data.cardinality / m.max(1);
     for i in 0..m {
         let rel = HybridRelation::new(part.parts[i].clone());
-        let mut app = DeviceApp::new(
-            i,
-            rel,
-            exp.strategy.clone(),
-            exp.forwarding,
-            exp.cost,
-            m,
-        );
+        let mut app = DeviceApp::new(i, rel, exp.strategy.clone(), exp.forwarding, exp.cost, m);
         if let Some(h) = exp.handoff {
             let capacity = (avg_partition as f64 * h.capacity_factor).ceil() as usize;
             app.enable_handoff(h, capacity.max(1));
@@ -1050,11 +1050,8 @@ fn collect_outcome(
             Some(rts[idx])
         }
     };
-    let mean_response_seconds = if rts.is_empty() {
-        None
-    } else {
-        Some(rts.iter().sum::<f64>() / rts.len() as f64)
-    };
+    let mean_response_seconds =
+        if rts.is_empty() { None } else { Some(rts.iter().sum::<f64>() / rts.len() as f64) };
     let p50_response_seconds = percentile(0.5);
     let p95_response_seconds = percentile(0.95);
     let nq = records.len().max(1) as f64;
@@ -1091,9 +1088,7 @@ mod tests {
 
     fn sample_filters(n: usize) -> Vec<FilterTuple> {
         let b = UpperBounds::new(vec![100.0, 100.0]);
-        (0..n)
-            .map(|i| FilterTuple::new(vec![i as f64, i as f64], &b))
-            .collect()
+        (0..n).map(|i| FilterTuple::new(vec![i as f64, i as f64], &b)).collect()
     }
 
     #[test]
@@ -1155,9 +1150,7 @@ mod tests {
         );
         assert_eq!(ProtoMsg::HandoffAccept.wire_size(), 4);
         assert_eq!(ProtoMsg::HandoffAck.wire_size(), 4);
-        let xfer = ProtoMsg::HandoffTransfer {
-            tuples: vec![Tuple::new(0.0, 0.0, vec![1.0])],
-        };
+        let xfer = ProtoMsg::HandoffTransfer { tuples: vec![Tuple::new(0.0, 0.0, vec![1.0])] };
         assert_eq!(xfer.wire_size(), 8 + 24);
     }
 
@@ -1185,10 +1178,7 @@ mod tests {
             .flat_map(|cnt| (0..40usize).map(move |o| QueryKey { origin: o, cnt }))
             .filter(|&k| app50.should_rebroadcast(k))
             .count();
-        assert!(
-            (3500..6500).contains(&hits),
-            "50% coin landed {hits}/10000 times"
-        );
+        assert!((3500..6500).contains(&hits), "50% coin landed {hits}/10000 times");
         // Extremes.
         let app0 = mk(0);
         let app100 = mk(100);

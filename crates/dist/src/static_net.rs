@@ -58,11 +58,7 @@ impl<R: DeviceRelation> StaticGridNetwork<R> {
     pub fn new(relations: Vec<R>, positions: Vec<Point>, g: usize) -> Self {
         assert_eq!(relations.len(), g * g, "need one relation per grid cell");
         assert_eq!(positions.len(), g * g);
-        let devices = relations
-            .into_iter()
-            .enumerate()
-            .map(|(i, r)| Device::new(i, r))
-            .collect();
+        let devices = relations.into_iter().enumerate().map(|(i, r)| Device::new(i, r)).collect();
         StaticGridNetwork { devices, positions, g }
     }
 
@@ -254,8 +250,7 @@ mod tests {
     }
 
     fn sorted_keys(mut v: Vec<Tuple>) -> Vec<(u64, u64)> {
-        let mut k: Vec<(u64, u64)> =
-            v.drain(..).map(|t| (t.x.to_bits(), t.y.to_bits())).collect();
+        let mut k: Vec<(u64, u64)> = v.drain(..).map(|t| (t.x.to_bits(), t.y.to_bits())).collect();
         k.sort_unstable();
         k
     }
@@ -263,7 +258,8 @@ mod tests {
     #[test]
     fn distributed_equals_centralized_unconstrained() {
         let net = network(2000, 2, 4, Distribution::Independent);
-        for strategy in [FilterStrategy::NoFilter, FilterStrategy::Single, FilterStrategy::Dynamic] {
+        for strategy in [FilterStrategy::NoFilter, FilterStrategy::Single, FilterStrategy::Dynamic]
+        {
             let out = net.run_query(5, f64::INFINITY, &cfg(strategy, BoundsMode::Exact, 2));
             assert_eq!(
                 sorted_keys(out.result),
@@ -285,8 +281,10 @@ mod tests {
     #[test]
     fn filtering_reduces_traffic_but_not_results() {
         let net = network(5000, 2, 5, Distribution::Independent);
-        let none = net.run_query(0, f64::INFINITY, &cfg(FilterStrategy::NoFilter, BoundsMode::Exact, 2));
-        let dynf = net.run_query(0, f64::INFINITY, &cfg(FilterStrategy::Dynamic, BoundsMode::Exact, 2));
+        let none =
+            net.run_query(0, f64::INFINITY, &cfg(FilterStrategy::NoFilter, BoundsMode::Exact, 2));
+        let dynf =
+            net.run_query(0, f64::INFINITY, &cfg(FilterStrategy::Dynamic, BoundsMode::Exact, 2));
         assert_eq!(sorted_keys(none.result), sorted_keys(dynf.result));
         assert!(
             dynf.metrics.tuples_transferred <= none.metrics.tuples_transferred,
@@ -312,7 +310,8 @@ mod tests {
     #[test]
     fn forward_messages_cover_all_devices_once() {
         let net = network(1000, 2, 4, Distribution::Independent);
-        let out = net.run_query(0, f64::INFINITY, &cfg(FilterStrategy::Dynamic, BoundsMode::Exact, 2));
+        let out =
+            net.run_query(0, f64::INFINITY, &cfg(FilterStrategy::Dynamic, BoundsMode::Exact, 2));
         // 16 devices, originator excluded.
         assert_eq!(out.metrics.forward_messages, 15);
         assert_eq!(out.metrics.devices_responded, 15);

@@ -84,12 +84,7 @@ pub fn verify_static_query<R: DeviceRelation>(
     let truth_keys: std::collections::HashSet<_> = truth.iter().map(key).collect();
     let answer_keys: std::collections::HashSet<_> = out.result.iter().map(key).collect();
     VerificationReport {
-        spurious: out
-            .result
-            .iter()
-            .filter(|t| !truth_keys.contains(&key(t)))
-            .cloned()
-            .collect(),
+        spurious: out.result.iter().filter(|t| !truth_keys.contains(&key(t))).cloned().collect(),
         missing: truth.iter().filter(|t| !answer_keys.contains(&key(t))).cloned().collect(),
         truth_len: truth.len(),
         answer_len: out.result.len(),
@@ -137,11 +132,8 @@ mod tests {
 
     #[test]
     fn empty_truth_counts_as_full_coverage() {
-        let report = diff_against_truth(
-            &[],
-            &[vec![]],
-            &QueryRegion::new(Point::new(0.0, 0.0), 1.0),
-        );
+        let report =
+            diff_against_truth(&[], &[vec![]], &QueryRegion::new(Point::new(0.0, 0.0), 1.0));
         assert!(report.is_exact());
         assert_eq!(report.coverage(), 1.0);
     }
@@ -150,8 +142,7 @@ mod tests {
     fn duplicate_sites_across_partitions_counted_once() {
         let shared = Tuple::new(5.0, 5.0, vec![1.0, 1.0]);
         let partitions = vec![vec![shared.clone()], vec![shared.clone()]];
-        let report =
-            diff_against_truth(&[shared], &partitions, &QueryRegion::unbounded());
+        let report = diff_against_truth(&[shared], &partitions, &QueryRegion::unbounded());
         assert!(report.is_exact());
         assert_eq!(report.truth_len, 1);
     }

@@ -127,11 +127,8 @@ fn one_dimensional_attributes_work_end_to_end() {
     let data: Vec<Tuple> = (0..200)
         .map(|i| Tuple::new((i * 5 % 1000) as f64, (i * 7 % 1000) as f64, vec![(i % 37) as f64]))
         .collect();
-    let net = dist_skyline::static_net::grid_network_from_global(
-        &data,
-        2,
-        datagen::SpatialExtent::PAPER,
-    );
+    let net =
+        dist_skyline::static_net::grid_network_from_global(&data, 2, datagen::SpatialExtent::PAPER);
     let cfg = StrategyConfig {
         bounds_mode: BoundsMode::Exact,
         exact_bounds: vec![37.0],
@@ -158,10 +155,7 @@ fn beacon_neighbor_mode_still_answers_queries() {
         assert!(!out.records.is_empty(), "{fwd:?}");
         assert!(out.net.hello_frames > 0, "beacons must actually flow");
         let answered = out.records.iter().filter(|r| !r.timed_out).count();
-        assert!(
-            answered > 0,
-            "{fwd:?}: no query completed over beacon-discovered neighbours"
-        );
+        assert!(answered > 0, "{fwd:?}: no query completed over beacon-discovered neighbours");
     }
 }
 

@@ -9,9 +9,9 @@ use skyline_core::vdr::BoundsMode;
 
 fn small_experiment(forwarding: Forwarding, frozen: bool, radius: f64) -> ManetExperiment {
     let mut exp = ManetExperiment::paper_defaults(
-        3,            // 9 devices
-        2_000,        // tuples
-        2,            // attributes
+        3,     // 9 devices
+        2_000, // tuples
+        2,     // attributes
         datagen::Distribution::Independent,
         radius,
         42,
@@ -92,11 +92,7 @@ fn bf_result_matches_centralized_skyline_on_connected_frozen_grid() {
     // mark. The merged result at that moment is a subset of the union's
     // skyline members plus possibly not-yet-pruned tuples — to make the
     // check exact, require at least one query whose responded == m-1 …
-    let full = out
-        .records
-        .iter()
-        .filter(|r| r.responded >= 8)
-        .max_by_key(|r| r.responded);
+    let full = out.records.iter().filter(|r| r.responded >= 8).max_by_key(|r| r.responded);
     if let Some(r) = full {
         assert!(
             r.result_len <= truth.len() + 5,
@@ -121,11 +117,8 @@ fn df_exact_result_with_full_visit() {
         skyline_core::algo::Algorithm::Sfs,
     );
 
-    let complete: Vec<_> = out
-        .records
-        .iter()
-        .filter(|r| !r.timed_out && r.responded == 8)
-        .collect();
+    let complete: Vec<_> =
+        out.records.iter().filter(|r| !r.timed_out && r.responded == 8).collect();
     assert!(!complete.is_empty(), "at least one full DF walk expected");
     for r in complete {
         assert_eq!(

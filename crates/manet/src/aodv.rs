@@ -122,17 +122,12 @@ impl<P: Clone> AodvState<P> {
 
     /// Does this node currently hold a live route to `dst`?
     pub fn has_route(&self, dst: NodeId, now: SimTime) -> bool {
-        self.routes
-            .get(&dst)
-            .is_some_and(|r| r.valid && r.expires > now)
+        self.routes.get(&dst).is_some_and(|r| r.valid && r.expires > now)
     }
 
     /// Next hop toward `dst`, when a live route exists.
     pub fn next_hop(&self, dst: NodeId, now: SimTime) -> Option<NodeId> {
-        self.routes
-            .get(&dst)
-            .filter(|r| r.valid && r.expires > now)
-            .map(|r| r.next_hop)
+        self.routes.get(&dst).filter(|r| r.valid && r.expires > now).map(|r| r.next_hop)
     }
 
     fn refresh(&mut self, dst: NodeId, now: SimTime) {
@@ -143,7 +138,14 @@ impl<P: Clone> AodvState<P> {
 
     /// Installs/updates a route if it is fresher (higher seq) or equally
     /// fresh but shorter.
-    fn offer_route(&mut self, dst: NodeId, next_hop: NodeId, hop_count: u32, dst_seq: u64, now: SimTime) {
+    fn offer_route(
+        &mut self,
+        dst: NodeId,
+        next_hop: NodeId,
+        hop_count: u32,
+        dst_seq: u64,
+        now: SimTime,
+    ) {
         let expires = now + self.cfg.active_route_timeout;
         let candidate = Route { next_hop, hop_count, dst_seq, expires, valid: true };
         match self.routes.get(&dst) {
@@ -184,13 +186,8 @@ impl<P: Clone> AodvState<P> {
         self.next_rreq_id += 1;
         self.seen_rreq.insert((self.me, rreq_id));
         self.control_messages += 1;
-        let msg = AodvMessage::Rreq {
-            rreq_id,
-            origin: self.me,
-            origin_seq: self.seq,
-            dst,
-            hop_count: 0,
-        };
+        let msg =
+            AodvMessage::Rreq { rreq_id, origin: self.me, origin_seq: self.seq, dst, hop_count: 0 };
         // Exponential back-off per RFC (binary, capped by attempts).
         let timeout = self.cfg.rreq_timeout.mul_f64(f64::from(1 << (attempt - 1).min(4)));
         vec![
@@ -231,12 +228,8 @@ impl<P: Clone> AodvState<P> {
                     // Destination replies. Bump own seq (RFC §6.6.1).
                     self.seq = self.seq.max(origin_seq) + 1;
                     self.control_messages += 1;
-                    let rrep = AodvMessage::Rrep {
-                        origin,
-                        dst: self.me,
-                        dst_seq: self.seq,
-                        hop_count: 0,
-                    };
+                    let rrep =
+                        AodvMessage::Rrep { origin, dst: self.me, dst_seq: self.seq, hop_count: 0 };
                     return vec![LinkCmd::SendTo(from, Frame::Aodv(rrep))];
                 }
                 self.control_messages += 1;
@@ -260,7 +253,8 @@ impl<P: Clone> AodvState<P> {
                 match self.next_hop(origin, now) {
                     Some(nh) => {
                         self.control_messages += 1;
-                        let fwd = AodvMessage::Rrep { origin, dst, dst_seq, hop_count: hop_count + 1 };
+                        let fwd =
+                            AodvMessage::Rrep { origin, dst, dst_seq, hop_count: hop_count + 1 };
                         vec![LinkCmd::SendTo(nh, Frame::Aodv(fwd))]
                     }
                     None => Vec::new(), // reverse route evaporated; flood will retry
@@ -336,9 +330,7 @@ impl<P: Clone> AodvState<P> {
             return Vec::new();
         };
         self.refresh(dst, now);
-        pkts.into_iter()
-            .map(|p| LinkCmd::SendTo(nh, Frame::Data(p)))
-            .collect()
+        pkts.into_iter().map(|p| LinkCmd::SendTo(nh, Frame::Data(p))).collect()
     }
 }
 
@@ -357,8 +349,14 @@ mod tests {
     fn send_without_route_floods_rreq() {
         let mut a = state(0);
         let cmds = a.send(5, 42, 100, SimTime::ZERO);
-        assert!(matches!(cmds[0], LinkCmd::Broadcast(Frame::Aodv(AodvMessage::Rreq { dst: 5, .. }))));
-        assert!(matches!(cmds[1], LinkCmd::SetTimer(_, AodvTimer::RreqTimeout { dst: 5, attempt: 1 })));
+        assert!(matches!(
+            cmds[0],
+            LinkCmd::Broadcast(Frame::Aodv(AodvMessage::Rreq { dst: 5, .. }))
+        ));
+        assert!(matches!(
+            cmds[1],
+            LinkCmd::SetTimer(_, AodvTimer::RreqTimeout { dst: 5, attempt: 1 })
+        ));
     }
 
     #[test]
@@ -387,9 +385,10 @@ mod tests {
             hop_count: 2,
         });
         let cmds = d.on_frame(4, rreq, SimTime::ZERO, &ALWAYS);
-        assert!(
-            matches!(cmds[0], LinkCmd::SendTo(4, Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, .. })))
-        );
+        assert!(matches!(
+            cmds[0],
+            LinkCmd::SendTo(4, Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, .. }))
+        ));
         // Reverse route to the origin was installed.
         assert_eq!(d.next_hop(0, SimTime::ZERO), Some(4));
     }
@@ -456,7 +455,12 @@ mod tests {
         let rrep = Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, dst_seq: 2, hop_count: 0 });
         a.on_frame(3, rrep, SimTime::ZERO, &ALWAYS);
         assert!(a.has_route(5, SimTime::ZERO));
-        a.on_frame(3, Frame::Aodv(AodvMessage::Rerr { dst: 5, dst_seq: 2 }), SimTime::ZERO, &ALWAYS);
+        a.on_frame(
+            3,
+            Frame::Aodv(AodvMessage::Rerr { dst: 5, dst_seq: 2 }),
+            SimTime::ZERO,
+            &ALWAYS,
+        );
         assert!(!a.has_route(5, SimTime::ZERO));
     }
 
@@ -511,7 +515,12 @@ mod tests {
     #[test]
     fn hearing_a_frame_installs_one_hop_route() {
         let mut a = state(0);
-        a.on_frame(7, Frame::Aodv(AodvMessage::Rerr { dst: 99, dst_seq: 0 }), SimTime::ZERO, &ALWAYS);
+        a.on_frame(
+            7,
+            Frame::Aodv(AodvMessage::Rerr { dst: 99, dst_seq: 0 }),
+            SimTime::ZERO,
+            &ALWAYS,
+        );
         assert_eq!(a.next_hop(7, SimTime::ZERO), Some(7));
     }
 }

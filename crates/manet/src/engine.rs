@@ -173,7 +173,11 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
     pub fn add_node(&mut self, start: Pos, mobility: MobilityConfig, app: A, seed: u64) -> NodeId {
         let id = self.nodes.len();
         self.nodes.push(NodeEntry {
-            mobility: MobilityState::new(mobility, start, seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+            mobility: MobilityState::new(
+                mobility,
+                start,
+                seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            ),
             aodv: AodvState::new(id, AodvConfig::default()),
             app,
             heard: std::collections::HashMap::new(),
@@ -299,22 +303,22 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
                     TraceEvent::FrameDelivered { to, from: link_from, tag: Self::tag_of(&frame) },
                 );
                 match frame {
-                Frame::Hello => {
-                    self.nodes[to].heard.insert(link_from, now);
-                }
-                Frame::Bcast { src, payload, bytes: _ } => {
-                    self.stats.app_broadcasts_received += 1;
-                    let meta = MsgMeta { src, link_from, broadcast: true };
-                    self.run_app(to, now, |app, ctx| app.on_message(ctx, meta, payload));
-                }
-                other => {
-                    let is_nbr_list = self.neighbors_of(to);
-                    let cmds = {
-                        let is_neighbor = |n: NodeId| is_nbr_list.contains(&n);
-                        self.nodes[to].aodv.on_frame(link_from, other, now, &is_neighbor)
-                    };
-                    self.execute_link_cmds(to, now, cmds);
-                }
+                    Frame::Hello => {
+                        self.nodes[to].heard.insert(link_from, now);
+                    }
+                    Frame::Bcast { src, payload, bytes: _ } => {
+                        self.stats.app_broadcasts_received += 1;
+                        let meta = MsgMeta { src, link_from, broadcast: true };
+                        self.run_app(to, now, |app, ctx| app.on_message(ctx, meta, payload));
+                    }
+                    other => {
+                        let is_nbr_list = self.neighbors_of(to);
+                        let cmds = {
+                            let is_neighbor = |n: NodeId| is_nbr_list.contains(&n);
+                            self.nodes[to].aodv.on_frame(link_from, other, now, &is_neighbor)
+                        };
+                        self.execute_link_cmds(to, now, cmds);
+                    }
                 }
             }
             Event::AppTimer { node, token } => {
@@ -385,9 +389,7 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
                 LinkCmd::DropFailed(pkt) => {
                     self.stats.app_unicasts_failed += 1;
                     let DataPacket { dst, payload, .. } = pkt;
-                    self.run_app(node, now, |app, ctx| {
-                        app.on_delivery_failed(ctx, dst, payload)
-                    });
+                    self.run_app(node, now, |app, ctx| app.on_delivery_failed(ctx, dst, payload));
                 }
             }
         }
@@ -411,8 +413,7 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         }
         self.energy_j[to] += self.radio.energy.rx_joules(frame.bytes());
         let delay = self.radio.tx_delay(frame.bytes(), &mut self.rng);
-        self.queue
-            .schedule(now + delay, Event::Deliver { to, link_from: from, frame });
+        self.queue.schedule(now + delay, Event::Deliver { to, link_from: from, frame });
     }
 
     fn transmit_broadcast(&mut self, from: NodeId, now: SimTime, frame: Frame<P>) {

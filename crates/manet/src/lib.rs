@@ -61,3 +61,16 @@ pub use packet::NodeId;
 pub use radio::{EnergyConfig, RadioConfig};
 pub use time::{SimDuration, SimTime};
 pub use trace::NetStats;
+
+// Experiment descriptions embed these configs and cross thread boundaries
+// in the bench sweep harness; keep them thread-portable.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RadioConfig>();
+    assert_send_sync::<EnergyConfig>();
+    assert_send_sync::<MobilityConfig>();
+    assert_send_sync::<NeighborMode>();
+    assert_send_sync::<NetStats>();
+    assert_send_sync::<SimDuration>();
+    assert_send_sync::<SimTime>();
+};

@@ -127,10 +127,7 @@ mod tests {
 
     #[test]
     fn control_message_sizes() {
-        assert_eq!(
-            AodvMessage::Rrep { origin: 0, dst: 1, dst_seq: 0, hop_count: 0 }.bytes(),
-            20
-        );
+        assert_eq!(AodvMessage::Rrep { origin: 0, dst: 1, dst_seq: 0, hop_count: 0 }.bytes(), 20);
         assert_eq!(AodvMessage::Rerr { dst: 0, dst_seq: 0 }.bytes(), 12);
     }
 }

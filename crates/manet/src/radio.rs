@@ -136,8 +136,8 @@ impl RadioConfig {
             Propagation::UnitDisk => self.in_range(a, b),
             Propagation::LogDistance { exponent, sigma_db } => {
                 let d = a.dist(b).max(1.0);
-                let margin = 10.0 * exponent * (self.range_m / d).log10()
-                    + gaussian(rng) * sigma_db;
+                let margin =
+                    10.0 * exponent * (self.range_m / d).log10() + gaussian(rng) * sigma_db;
                 margin >= 0.0
             }
         }
@@ -225,9 +225,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let a = Pos::new(0.0, 0.0);
         let rate = |d: f64, rng: &mut StdRng| {
-            (0..2000)
-                .filter(|_| cfg.frame_received(a, Pos::new(d, 0.0), rng))
-                .count() as f64
+            (0..2000).filter(|_| cfg.frame_received(a, Pos::new(d, 0.0), rng)).count() as f64
                 / 2000.0
         };
         let near = rate(100.0, &mut rng);

@@ -182,7 +182,10 @@ mod trace_tests {
     #[test]
     fn dump_renders_lines() {
         let mut t = EventTrace::new(4);
-        t.record(SimTime(1_000_000), TraceEvent::FrameSent { from: 0, tag: FrameTag::Aodv, bytes: 44 });
+        t.record(
+            SimTime(1_000_000),
+            TraceEvent::FrameSent { from: 0, tag: FrameTag::Aodv, bytes: 44 },
+        );
         t.record(
             SimTime(2_000_000),
             TraceEvent::FrameDelivered { to: 1, from: 0, tag: FrameTag::Aodv },

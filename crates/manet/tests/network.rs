@@ -186,10 +186,7 @@ fn stats_track_bytes_and_frames() {
     sim.run_to_completion();
     let s = sim.stats();
     assert!(s.bytes_sent > 0);
-    assert_eq!(
-        s.frames_sent,
-        s.aodv_frames + s.data_frames + s.bcast_frames + s.hello_frames
-    );
+    assert_eq!(s.frames_sent, s.aodv_frames + s.data_frames + s.bcast_frames + s.hello_frames);
 }
 
 #[test]

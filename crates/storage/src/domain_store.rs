@@ -33,10 +33,7 @@ impl DomainRelation {
     /// Builds domain storage from a set of tuples.
     pub fn new(tuples: Vec<Tuple>) -> Self {
         let dim = tuples.first().map_or(0, Tuple::dim);
-        assert!(
-            tuples.iter().all(|t| t.dim() == dim),
-            "mixed dimensionality in relation"
-        );
+        assert!(tuples.iter().all(|t| t.dim() == dim), "mixed dimensionality in relation");
         let rows = tuples.len();
         let mut domains: Vec<Vec<f64>> = vec![Vec::new(); dim];
         let mut pointers: Vec<Vec<u32>> = vec![Vec::with_capacity(rows); dim];
@@ -97,9 +94,7 @@ impl DeviceRelation for DomainRelation {
     }
 
     fn tuple(&self, i: usize) -> Tuple {
-        let attrs = (0..self.dim)
-            .map(|j| self.domains[j][self.pointers[j][i] as usize])
-            .collect();
+        let attrs = (0..self.dim).map(|j| self.domains[j][self.pointers[j][i] as usize]).collect();
         Tuple::new(self.locs[i].x, self.locs[i].y, attrs)
     }
 
@@ -166,12 +161,16 @@ impl DeviceRelation for DomainRelation {
         } else {
             unreduced
         };
-        let filter_candidate: Option<FilterTuple> = query
-            .vdr_bounds
-            .as_ref()
-            .and_then(|b| select_filter(&reduced, b));
+        let filter_candidate: Option<FilterTuple> =
+            query.vdr_bounds.as_ref().and_then(|b| select_filter(&reduced, b));
 
-        LocalSkylineOutcome { skyline: reduced, unreduced_len, skipped: false, filter_candidate, stats }
+        LocalSkylineOutcome {
+            skyline: reduced,
+            unreduced_len,
+            skipped: false,
+            filter_candidate,
+            stats,
+        }
     }
 }
 
@@ -211,8 +210,10 @@ mod tests {
         let d = DomainRelation::new(src.clone());
         let f = crate::FlatRelation::new(src);
         let q = LocalQuery::plain(QueryRegion::unbounded());
-        let mut a: Vec<Vec<f64>> = d.local_skyline(&q).skyline.into_iter().map(|t| t.attrs).collect();
-        let mut b: Vec<Vec<f64>> = f.local_skyline(&q).skyline.into_iter().map(|t| t.attrs).collect();
+        let mut a: Vec<Vec<f64>> =
+            d.local_skyline(&q).skyline.into_iter().map(|t| t.attrs).collect();
+        let mut b: Vec<Vec<f64>> =
+            f.local_skyline(&q).skyline.into_iter().map(|t| t.attrs).collect();
         a.sort_by(|x, y| x.partial_cmp(y).unwrap());
         b.sort_by(|x, y| x.partial_cmp(y).unwrap());
         assert_eq!(a, b);

@@ -23,10 +23,7 @@ impl FlatRelation {
     /// Builds a flat relation. All tuples must share one dimensionality.
     pub fn new(tuples: Vec<Tuple>) -> Self {
         let dim = tuples.first().map_or(0, Tuple::dim);
-        assert!(
-            tuples.iter().all(|t| t.dim() == dim),
-            "mixed dimensionality in relation"
-        );
+        assert!(tuples.iter().all(|t| t.dim() == dim), "mixed dimensionality in relation");
         FlatRelation { tuples, dim }
     }
 
@@ -110,10 +107,8 @@ impl DeviceRelation for FlatRelation {
         } else {
             unreduced
         };
-        let filter_candidate: Option<FilterTuple> = query
-            .vdr_bounds
-            .as_ref()
-            .and_then(|b| select_filter(&reduced, b));
+        let filter_candidate: Option<FilterTuple> =
+            query.vdr_bounds.as_ref().and_then(|b| select_filter(&reduced, b));
 
         LocalSkylineOutcome {
             skyline: reduced,

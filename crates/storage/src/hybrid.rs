@@ -63,10 +63,7 @@ impl HybridRelation {
     /// Builds hybrid storage from a set of tuples.
     pub fn new(tuples: Vec<Tuple>) -> Self {
         let dim = tuples.first().map_or(0, Tuple::dim);
-        assert!(
-            tuples.iter().all(|t| t.dim() == dim),
-            "mixed dimensionality in relation"
-        );
+        assert!(tuples.iter().all(|t| t.dim() == dim), "mixed dimensionality in relation");
         let rows = tuples.len();
 
         let domains: Vec<AttributeDomain> = (0..dim)
@@ -76,18 +73,12 @@ impl HybridRelation {
         // Raw (unsorted) id matrix, row-major.
         let raw_ids: Vec<Vec<u32>> = tuples
             .iter()
-            .map(|t| {
-                (0..dim)
-                    .map(|j| domains[j].id_of(t.attrs[j]))
-                    .collect()
-            })
+            .map(|t| (0..dim).map(|j| domains[j].id_of(t.attrs[j])).collect())
             .collect();
 
         // "We choose the attribute with the largest number of distinct
         // values as the attribute to be sorted on."
-        let sort_attr = (0..dim)
-            .max_by_key(|&j| domains[j].len())
-            .unwrap_or(0);
+        let sort_attr = (0..dim).max_by_key(|&j| domains[j].len()).unwrap_or(0);
 
         let mut order: Vec<usize> = (0..rows).collect();
         order.sort_by_key(|&r| {
@@ -275,10 +266,8 @@ impl DeviceRelation for HybridRelation {
         } else {
             unreduced
         };
-        let filter_candidate: Option<FilterTuple> = query
-            .vdr_bounds
-            .as_ref()
-            .and_then(|b| select_filter(&reduced, b));
+        let filter_candidate: Option<FilterTuple> =
+            query.vdr_bounds.as_ref().and_then(|b| select_filter(&reduced, b));
 
         LocalSkylineOutcome {
             skyline: reduced,
@@ -350,15 +339,7 @@ mod tests {
         let out = h.local_skyline(&LocalQuery::plain(QueryRegion::unbounded()));
         // Paper: skyline of R_1 is {h11, h12, h14, h16}.
         let got = sorted_attrs(out.skyline);
-        assert_eq!(
-            got,
-            vec![
-                vec![20.0, 7.0],
-                vec![40.0, 5.0],
-                vec![80.0, 4.0],
-                vec![100.0, 3.0]
-            ]
-        );
+        assert_eq!(got, vec![vec![20.0, 7.0], vec![40.0, 5.0], vec![80.0, 4.0], vec![100.0, 3.0]]);
     }
 
     #[test]
@@ -488,10 +469,8 @@ mod tests {
 
     #[test]
     fn spatial_filter_inside_scan() {
-        let data = vec![
-            Tuple::new(0.0, 0.0, vec![5.0, 5.0]),
-            Tuple::new(100.0, 0.0, vec![1.0, 1.0]),
-        ];
+        let data =
+            vec![Tuple::new(0.0, 0.0, vec![5.0, 5.0]), Tuple::new(100.0, 0.0, vec![1.0, 1.0])];
         let h = HybridRelation::new(data);
         let q = LocalQuery::plain(QueryRegion::new(Point::new(0.0, 0.0), 10.0));
         let out = h.local_skyline(&q);

@@ -146,9 +146,7 @@ pub fn decode_relation(bytes: &[u8]) -> Result<Vec<Tuple>, DecodeError> {
                 2 => u32::from(r.u16()?),
                 _ => r.u32()?,
             };
-            let v = *d
-                .get(id as usize)
-                .ok_or(DecodeError::IdOutOfRange { attr: j, id })?;
+            let v = *d.get(id as usize).ok_or(DecodeError::IdOutOfRange { attr: j, id })?;
             attrs.push(v);
         }
         out.push(Tuple::new(x, y, attrs));
@@ -230,12 +228,7 @@ mod tests {
         let src = sample(2000); // 50- and 30-value domains → byte IDs
         let img = encode_relation(&src);
         let raw = src.len() * 8 * 4; // x, y, two f64 attrs
-        assert!(
-            img.len() < raw,
-            "image {} B should beat raw {} B",
-            img.len(),
-            raw
-        );
+        assert!(img.len() < raw, "image {} B should beat raw {} B", img.len(), raw);
     }
 
     #[test]
@@ -271,10 +264,7 @@ mod tests {
         let mut img = encode_relation(&src);
         let last = img.len() - 1;
         img[last] = 9;
-        assert_eq!(
-            decode_relation(&img),
-            Err(DecodeError::IdOutOfRange { attr: 0, id: 9 })
-        );
+        assert_eq!(decode_relation(&img), Err(DecodeError::IdOutOfRange { attr: 0, id: 9 }));
     }
 
     #[test]

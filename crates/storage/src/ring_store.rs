@@ -41,10 +41,7 @@ impl RingRelation {
     /// Builds ring storage from a set of tuples.
     pub fn new(tuples: Vec<Tuple>) -> Self {
         let dim = tuples.first().map_or(0, Tuple::dim);
-        assert!(
-            tuples.iter().all(|t| t.dim() == dim),
-            "mixed dimensionality in relation"
-        );
+        assert!(tuples.iter().all(|t| t.dim() == dim), "mixed dimensionality in relation");
         let rows = tuples.len();
         let mut rings = Vec::with_capacity(dim);
         for j in 0..dim {
@@ -185,12 +182,16 @@ impl DeviceRelation for RingRelation {
         } else {
             unreduced
         };
-        let filter_candidate: Option<FilterTuple> = query
-            .vdr_bounds
-            .as_ref()
-            .and_then(|b| select_filter(&reduced, b));
+        let filter_candidate: Option<FilterTuple> =
+            query.vdr_bounds.as_ref().and_then(|b| select_filter(&reduced, b));
 
-        LocalSkylineOutcome { skyline: reduced, unreduced_len, skipped: false, filter_candidate, stats }
+        LocalSkylineOutcome {
+            skyline: reduced,
+            unreduced_len,
+            skipped: false,
+            filter_candidate,
+            stats,
+        }
     }
 }
 
@@ -246,8 +247,10 @@ mod tests {
         let r = RingRelation::new(src.clone());
         let f = crate::FlatRelation::new(src);
         let q = LocalQuery::plain(QueryRegion::unbounded());
-        let mut a: Vec<Vec<f64>> = r.local_skyline(&q).skyline.into_iter().map(|t| t.attrs).collect();
-        let mut b: Vec<Vec<f64>> = f.local_skyline(&q).skyline.into_iter().map(|t| t.attrs).collect();
+        let mut a: Vec<Vec<f64>> =
+            r.local_skyline(&q).skyline.into_iter().map(|t| t.attrs).collect();
+        let mut b: Vec<Vec<f64>> =
+            f.local_skyline(&q).skyline.into_iter().map(|t| t.attrs).collect();
         a.sort_by(|x, y| x.partial_cmp(y).unwrap());
         b.sort_by(|x, y| x.partial_cmp(y).unwrap());
         assert_eq!(a, b);

@@ -32,10 +32,7 @@ impl SpatialRelation {
     /// Builds the relation and its location index.
     pub fn new(tuples: Vec<Tuple>) -> Self {
         let dim = tuples.first().map_or(0, Tuple::dim);
-        assert!(
-            tuples.iter().all(|t| t.dim() == dim),
-            "mixed dimensionality in relation"
-        );
+        assert!(tuples.iter().all(|t| t.dim() == dim), "mixed dimensionality in relation");
         let locs: Vec<Vec<f64>> = tuples.iter().map(|t| vec![t.x, t.y]).collect();
         let tree = RTree::bulk_load(&locs);
         let mbr = Mbr::of_points(tuples.iter().map(Tuple::location));
@@ -138,12 +135,16 @@ impl DeviceRelation for SpatialRelation {
         } else {
             unreduced
         };
-        let filter_candidate: Option<FilterTuple> = query
-            .vdr_bounds
-            .as_ref()
-            .and_then(|b| select_filter(&reduced, b));
+        let filter_candidate: Option<FilterTuple> =
+            query.vdr_bounds.as_ref().and_then(|b| select_filter(&reduced, b));
 
-        LocalSkylineOutcome { skyline: reduced, unreduced_len, skipped: false, filter_candidate, stats }
+        LocalSkylineOutcome {
+            skyline: reduced,
+            unreduced_len,
+            skipped: false,
+            filter_candidate,
+            stats,
+        }
     }
 }
 
@@ -171,10 +172,18 @@ mod tests {
         let flat = crate::FlatRelation::new(data);
         for r in [25.0, 80.0, 200.0] {
             let q = LocalQuery::plain(QueryRegion::new(Point::new(100.0, 70.0), r));
-            let mut a: Vec<_> =
-                spatial.local_skyline(&q).skyline.iter().map(|t| (t.x.to_bits(), t.y.to_bits())).collect();
-            let mut b: Vec<_> =
-                flat.local_skyline(&q).skyline.iter().map(|t| (t.x.to_bits(), t.y.to_bits())).collect();
+            let mut a: Vec<_> = spatial
+                .local_skyline(&q)
+                .skyline
+                .iter()
+                .map(|t| (t.x.to_bits(), t.y.to_bits()))
+                .collect();
+            let mut b: Vec<_> = flat
+                .local_skyline(&q)
+                .skyline
+                .iter()
+                .map(|t| (t.x.to_bits(), t.y.to_bits()))
+                .collect();
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "radius {r}");

@@ -55,10 +55,8 @@ fn query(dim: usize) -> impl Strategy<Value = LocalQuery> {
 }
 
 fn sorted_keys(tuples: Vec<Tuple>) -> Vec<(u64, u64)> {
-    let mut keys: Vec<(u64, u64)> = tuples
-        .into_iter()
-        .map(|t| (t.x.to_bits(), t.y.to_bits()))
-        .collect();
+    let mut keys: Vec<(u64, u64)> =
+        tuples.into_iter().map(|t| (t.x.to_bits(), t.y.to_bits())).collect();
     keys.sort_unstable();
     keys
 }

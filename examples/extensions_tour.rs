@@ -53,14 +53,8 @@ fn redistribution() {
             }),
         ),
     ] {
-        let mut exp = ManetExperiment::paper_defaults(
-            4,
-            20_000,
-            2,
-            Distribution::Independent,
-            250.0,
-            5,
-        );
+        let mut exp =
+            ManetExperiment::paper_defaults(4, 20_000, 2, Distribution::Independent, 250.0, 5);
         exp.sim_seconds = 2_400.0;
         exp.radio.range_m = 300.0;
         exp.handoff = handoff;
@@ -79,14 +73,8 @@ fn gossip() {
     println!("=== 3. Gossip forwarding vs. full flood ===\n");
     println!("{:<8} {:>10} {:>10} {:>10}", "p%", "fwd msgs", "responded", "J/query");
     for percent in [50u8, 75, 100] {
-        let mut exp = ManetExperiment::paper_defaults(
-            5,
-            20_000,
-            2,
-            Distribution::Independent,
-            500.0,
-            9,
-        );
+        let mut exp =
+            ManetExperiment::paper_defaults(5, 20_000, 2, Distribution::Independent, 500.0, 9);
         exp.radio.range_m = 300.0;
         exp.sim_seconds = 1_200.0;
         exp.forwarding = if percent == 100 {

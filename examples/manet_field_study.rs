@@ -18,10 +18,9 @@ fn main() {
         "forwarding", "queries", "timeouts", "resp (s)", "fwd msgs", "DRR"
     );
 
-    for (name, fwd) in [
-        ("breadth-first", Forwarding::BreadthFirst),
-        ("depth-first", Forwarding::DepthFirst),
-    ] {
+    for (name, fwd) in
+        [("breadth-first", Forwarding::BreadthFirst), ("depth-first", Forwarding::DepthFirst)]
+    {
         let mut exp = ManetExperiment::paper_defaults(
             5,       // 25 devices
             100_000, // global tuples
@@ -40,8 +39,7 @@ fn main() {
             name,
             out.records.len(),
             out.timeout_fraction * 100.0,
-            out.mean_response_seconds
-                .map_or_else(|| "n/a".into(), |s| format!("{s:.2}")),
+            out.mean_response_seconds.map_or_else(|| "n/a".into(), |s| format!("{s:.2}")),
             out.mean_forward_messages,
             out.drr,
         );

@@ -51,8 +51,10 @@ fn worked_example() {
     );
 
     // Dynamic upgrade on the relay path M4 → M3 → M1 (Section 3.4).
-    let sk4 = constrained::skyline(&datagen::hotels::r4(), &QueryRegion::unbounded(), Algorithm::Bnl);
-    let sk3 = constrained::skyline(&datagen::hotels::r3(), &QueryRegion::unbounded(), Algorithm::Bnl);
+    let sk4 =
+        constrained::skyline(&datagen::hotels::r4(), &QueryRegion::unbounded(), Algorithm::Bnl);
+    let sk3 =
+        constrained::skyline(&datagen::hotels::r3(), &QueryRegion::unbounded(), Algorithm::Bnl);
     let f4 = select_filter(&sk4, &bounds).unwrap();
     let f3 = select_filter(&sk3, &bounds).unwrap();
     println!("\nrelay path M4 → M3: filter h41 {:?} (VDR {})", f4.attrs, f4.vdr);

@@ -53,8 +53,8 @@ pub mod prelude {
     pub use dist_skyline::static_net::{grid_network_from_global, StaticGridNetwork};
     pub use dist_skyline::Device;
     pub use skyline_core::algo::Algorithm;
-    pub use skyline_core::vdr::{BoundsMode, FilterTest, FilterTuple, MultiFilterSelection, UpperBounds};
-    pub use skyline_core::{
-        constrained, dominates, Mbr, Point, QueryRegion, SkylineMerger, Tuple,
+    pub use skyline_core::vdr::{
+        BoundsMode, FilterTest, FilterTuple, MultiFilterSelection, UpperBounds,
     };
+    pub use skyline_core::{constrained, dominates, Mbr, Point, QueryRegion, SkylineMerger, Tuple};
 }

@@ -36,11 +36,7 @@ fn static_pipeline_with_overlapping_partitions() {
         for d in [200.0, f64::INFINITY] {
             let out = net.run_query(origin, d, &cfg);
             let truth = net.ground_truth(origin, d);
-            assert_eq!(
-                sorted_keys(&out.result),
-                sorted_keys(&truth),
-                "origin {origin}, d {d}"
-            );
+            assert_eq!(sorted_keys(&out.result), sorted_keys(&truth), "origin {origin}, d {d}");
         }
     }
 }
@@ -59,8 +55,7 @@ fn every_storage_model_supports_the_distributed_protocol() {
     };
 
     let run_with = |mk: &dyn Fn(Vec<Tuple>) -> Box<dyn DeviceRelation>| {
-        let nets: Vec<Box<dyn DeviceRelation>> =
-            part.parts.iter().map(|p| mk(p.clone())).collect();
+        let nets: Vec<Box<dyn DeviceRelation>> = part.parts.iter().map(|p| mk(p.clone())).collect();
         let net = StaticGridNetwork::new(nets, positions.clone(), 3);
         sorted_keys(&net.run_query(4, 300.0, &cfg).result)
     };
@@ -112,14 +107,8 @@ fn paper_tables_flow_through_static_network() {
 
 #[test]
 fn manet_bf_and_df_agree_on_fully_answered_queries() {
-    let mut exp = ManetExperiment::paper_defaults(
-        3,
-        3_000,
-        2,
-        Distribution::Independent,
-        f64::INFINITY,
-        5,
-    );
+    let mut exp =
+        ManetExperiment::paper_defaults(3, 3_000, 2, Distribution::Independent, f64::INFINITY, 5);
     exp.frozen = true;
     exp.radio.range_m = 400.0;
     exp.sim_seconds = 400.0;
@@ -135,11 +124,8 @@ fn manet_bf_and_df_agree_on_fully_answered_queries() {
         let mut e = exp.clone();
         e.forwarding = fwd;
         let out = run_experiment(&e);
-        let full: Vec<_> = out
-            .records
-            .iter()
-            .filter(|r| !r.timed_out && r.responded == 8)
-            .collect();
+        let full: Vec<_> =
+            out.records.iter().filter(|r| !r.timed_out && r.responded == 8).collect();
         assert!(!full.is_empty(), "{fwd:?}: no fully-answered query");
         for r in full {
             assert_eq!(r.result_len, truth_len, "{fwd:?} query {:?}", r.key);
@@ -151,14 +137,8 @@ fn manet_bf_and_df_agree_on_fully_answered_queries() {
 fn workload_respects_one_query_in_progress() {
     // A device with 5 back-to-back requests must serialize them: records
     // never overlap in [issued, completed].
-    let mut exp = ManetExperiment::paper_defaults(
-        3,
-        1_000,
-        2,
-        Distribution::Independent,
-        f64::INFINITY,
-        13,
-    );
+    let mut exp =
+        ManetExperiment::paper_defaults(3, 1_000, 2, Distribution::Independent, f64::INFINITY, 13);
     exp.frozen = true;
     exp.radio.range_m = 400.0;
     exp.sim_seconds = 900.0;
@@ -178,10 +158,7 @@ fn workload_respects_one_query_in_progress() {
     for (origin, mut spans) in by_origin {
         spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         for w in spans.windows(2) {
-            assert!(
-                w[0].1 <= w[1].0 + 1e-9,
-                "device {origin}: query intervals overlap: {w:?}"
-            );
+            assert!(w[0].1 <= w[1].0 + 1e-9, "device {origin}: query intervals overlap: {w:?}");
         }
     }
 }
