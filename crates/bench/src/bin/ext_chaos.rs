@@ -1,0 +1,20 @@
+//! **Extension experiment**: deterministic chaos scorecard — see
+//! [`msq_bench::chaos`] for the experiment design.
+//!
+//! Usage: `cargo run --release -p msq-bench --bin ext_chaos [--full]
+//! [--jobs N] [--json]`
+//!
+//! `--json` additionally writes `BENCH_chaos.json` to the current
+//! directory.
+
+fn main() {
+    let scale = msq_bench::Scale::from_args();
+    let reports = msq_bench::chaos::run(scale);
+    if std::env::args().any(|a| a == "--json") {
+        let path = "BENCH_chaos.json";
+        match std::fs::write(path, msq_bench::chaos::to_json(scale, &reports)) {
+            Ok(()) => println!("[json] wrote {path}"),
+            Err(e) => eprintln!("[json] failed to write {path}: {e}"),
+        }
+    }
+}

@@ -6,8 +6,8 @@
 //! Each figure's cell grid fans out over the sweep harness (`--jobs N`
 //! workers, default all cores; `--jobs 1` is the legacy sequential path).
 //! `--json` additionally runs the core dominance micro-benchmark and
-//! writes the machine-readable perf baseline `BENCH_core.json` /
-//! `BENCH_sweep.json` to the current directory.
+//! writes the machine-readable baselines `BENCH_core.json`,
+//! `BENCH_sweep.json`, and `BENCH_chaos.json` to the current directory.
 
 use datagen::Distribution;
 use msq_bench::manet_figs::Metric;
@@ -45,12 +45,16 @@ fn main() {
 
     msq_bench::messages::run(scale);
 
+    println!();
+    let chaos = msq_bench::chaos::run(scale);
+
     let total = t0.elapsed();
     println!("\nall figures regenerated in {total:.1?} ({jobs} jobs)");
 
     if json {
         let stages = sweep::take_stage_records();
         write_file("BENCH_sweep.json", &sweep_json(jobs, total.as_secs_f64(), &stages));
+        write_file("BENCH_chaos.json", &msq_bench::chaos::to_json(scale, &chaos));
 
         let records = msq_bench::corebench::run(20_000);
         write_file("BENCH_core.json", &core_json(&records));

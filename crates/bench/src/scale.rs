@@ -122,6 +122,26 @@ impl Scale {
     pub fn distances(self) -> Vec<f64> {
         vec![100.0, 250.0, 500.0]
     }
+
+    /// Chaos scorecard (`ext_chaos`): global cardinality. Deliberately
+    /// modest — every query is additionally scored against the sequential
+    /// oracle, and the grid has 30 cells.
+    pub fn chaos_cardinality(self) -> usize {
+        match self {
+            Scale::Quick => 5_000,
+            Scale::Full => 50_000,
+        }
+    }
+
+    /// Chaos scorecard: simulation horizon in seconds. Long enough that
+    /// every crash window (first half of the run) plus reboot plus the
+    /// 180 s query timeout fits.
+    pub fn chaos_sim_seconds(self) -> f64 {
+        match self {
+            Scale::Quick => 600.0,
+            Scale::Full => 1_800.0,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Strategy configuration: which of the paper's knobs a run uses.
 
+use manet_sim::SimDuration;
 use skyline_core::vdr::{BoundsMode, FilterTest, MultiFilterSelection, UpperBounds};
 use skyline_core::DominanceTest;
 
@@ -117,9 +118,123 @@ impl StrategyConfig {
     }
 }
 
+/// Per-hop ARQ (acknowledge/retransmit) parameters for the unicast
+/// protocol messages that carry query state: BF result replies and DF
+/// tokens. Broadcast floods are not ARQ'd — redundancy is their
+/// reliability mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArqConfig {
+    /// Master switch; `false` reproduces the pre-hardening fire-and-forget
+    /// behaviour (the no-ARQ baseline in the chaos bench).
+    pub enabled: bool,
+    /// Wait before the first retransmission.
+    pub base_timeout: SimDuration,
+    /// Multiplier applied to the timeout per retransmission (exponential
+    /// backoff).
+    pub backoff: f64,
+    /// Upper bound on the deterministic per-(sender, seq, attempt) jitter
+    /// added to every retransmission timeout, to de-synchronize
+    /// retransmission bursts without sacrificing reproducibility.
+    pub max_jitter: SimDuration,
+    /// Retransmissions after the initial send before the message is
+    /// declared undeliverable.
+    pub max_retries: u32,
+}
+
+impl Default for ArqConfig {
+    fn default() -> Self {
+        ArqConfig {
+            enabled: true,
+            base_timeout: SimDuration::from_secs_f64(2.0),
+            backoff: 2.0,
+            max_jitter: SimDuration::from_secs_f64(0.3),
+            max_retries: 3,
+        }
+    }
+}
+
+/// Every timer constant of the MANET runtime in one place. Defaults match
+/// the values the runtime used when they were inline literals, so existing
+/// experiments are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistConfig {
+    /// Give up on a query this long after issuing it.
+    pub query_timeout: SimDuration,
+    /// Re-try issuing when the device has no in-range neighbors yet.
+    pub issue_retry: SimDuration,
+    /// Pause between finishing one query and issuing the next.
+    pub next_query_delay: SimDuration,
+    /// BF originator: if the completion rule is still unmet this long
+    /// after issuing, re-flood the query with a bumped round number so it
+    /// reaches the region a crashed relay cut off.
+    pub reissue_delay: SimDuration,
+    /// Maximum re-floods per query (0 disables re-issue).
+    pub max_reissues: u32,
+    /// Handoff originator: deadline for the candidate's accept.
+    pub handoff_accept_timeout: SimDuration,
+    /// Handoff candidate: deadline for the data transfer after accepting.
+    pub handoff_transfer_timeout: SimDuration,
+    /// Handoff originator: deadline for the final ack after transferring.
+    pub handoff_ack_timeout: SimDuration,
+    /// Period of the data-locality distance sampling.
+    pub locality_sample_period: SimDuration,
+    /// Per-hop retransmission parameters.
+    pub arq: ArqConfig,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            query_timeout: SimDuration::from_secs_f64(180.0),
+            issue_retry: SimDuration::from_secs_f64(10.0),
+            next_query_delay: SimDuration::from_secs_f64(1.0),
+            reissue_delay: SimDuration::from_secs_f64(45.0),
+            max_reissues: 2,
+            handoff_accept_timeout: SimDuration::from_secs_f64(5.0),
+            handoff_transfer_timeout: SimDuration::from_secs_f64(30.0),
+            handoff_ack_timeout: SimDuration::from_secs_f64(60.0),
+            locality_sample_period: SimDuration::from_secs_f64(60.0),
+            arq: ArqConfig::default(),
+        }
+    }
+}
+
+impl DistConfig {
+    /// The pre-hardening protocol: no ARQ, no re-issue. The chaos bench's
+    /// baseline arm.
+    pub fn no_arq() -> Self {
+        DistConfig {
+            max_reissues: 0,
+            arq: ArqConfig { enabled: false, ..ArqConfig::default() },
+            ..Self::default()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dist_defaults_match_legacy_literals() {
+        let d = DistConfig::default();
+        assert_eq!(d.query_timeout, SimDuration::from_secs_f64(180.0));
+        assert_eq!(d.issue_retry, SimDuration::from_secs_f64(10.0));
+        assert_eq!(d.next_query_delay, SimDuration::from_secs_f64(1.0));
+        assert_eq!(d.handoff_accept_timeout, SimDuration::from_secs_f64(5.0));
+        assert_eq!(d.handoff_transfer_timeout, SimDuration::from_secs_f64(30.0));
+        assert_eq!(d.handoff_ack_timeout, SimDuration::from_secs_f64(60.0));
+        assert_eq!(d.locality_sample_period, SimDuration::from_secs_f64(60.0));
+        assert!(d.arq.enabled);
+    }
+
+    #[test]
+    fn no_arq_disables_recovery_only() {
+        let d = DistConfig::no_arq();
+        assert!(!d.arq.enabled);
+        assert_eq!(d.max_reissues, 0);
+        assert_eq!(d.query_timeout, DistConfig::default().query_timeout);
+    }
 
     #[test]
     fn no_filter_has_no_bounds() {

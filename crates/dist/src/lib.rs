@@ -25,8 +25,9 @@ pub mod runtime;
 pub mod static_net;
 pub mod verify;
 
-pub use config::{FilterStrategy, Forwarding, StrategyConfig};
+pub use config::{ArqConfig, DistConfig, FilterStrategy, Forwarding, StrategyConfig};
 pub use device::Device;
 pub use metrics::{DrrAccumulator, QueryMetrics};
 pub use query::{QueryKey, QuerySpec};
-pub use verify::{diff_against_truth, verify_static_query, VerificationReport};
+pub use runtime::{QueryRecord, TimeoutCause};
+pub use verify::{diff_against_truth, score_records, verify_static_query, VerificationReport};

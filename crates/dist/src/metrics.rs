@@ -123,15 +123,25 @@ mod tests {
 }
 
 /// Renders per-query records as CSV (one line per query) for offline
-/// analysis — issue/completion times, responses, DRR terms, result sizes.
+/// analysis — issue/completion times, responses, DRR terms, result sizes,
+/// and the robustness scorecard (completeness, retries, duplicates,
+/// re-issues, timeout cause). The original column prefix is stable; new
+/// columns only append.
 pub fn records_to_csv(records: &[crate::runtime::QueryRecord]) -> String {
     let mut out = String::from(
         "origin,cnt,issued_s,completed_s,timed_out,responded,result_len,\
-         sum_unreduced,sum_sent,participants,response_s\n",
+         sum_unreduced,sum_sent,participants,response_s,\
+         completeness,spurious,retries,duplicates,reissues,timeout_cause\n",
     );
     for r in records {
+        let cause = match r.timeout_cause {
+            None => "",
+            Some(crate::runtime::TimeoutCause::OriginatorCrash) => "originator_crash",
+            Some(crate::runtime::TimeoutCause::NoResponses) => "no_responses",
+            Some(crate::runtime::TimeoutCause::PartialResponses) => "partial_responses",
+        };
         out.push_str(&format!(
-            "{},{},{:.6},{},{},{},{},{},{},{},{}\n",
+            "{},{},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.key.origin,
             r.key.cnt,
             r.issued.as_secs_f64(),
@@ -143,6 +153,12 @@ pub fn records_to_csv(records: &[crate::runtime::QueryRecord]) -> String {
             r.drr.sum_sent,
             r.drr.participants,
             r.response_seconds.map_or(String::new(), |s| format!("{s:.6}")),
+            r.completeness.map_or(String::new(), |c| format!("{c:.6}")),
+            r.spurious,
+            r.retries,
+            r.duplicates,
+            r.reissues,
+            cause,
         ));
     }
     out
@@ -152,11 +168,36 @@ pub fn records_to_csv(records: &[crate::runtime::QueryRecord]) -> String {
 mod csv_tests {
     use super::*;
     use crate::query::QueryKey;
+    use crate::runtime::{QueryRecord, TimeoutCause};
     use manet_sim::SimTime;
+    use skyline_core::region::Point;
+
+    fn blank_record() -> QueryRecord {
+        QueryRecord {
+            key: QueryKey { origin: 0, cnt: 0 },
+            issued: SimTime::ZERO,
+            completed: None,
+            timed_out: true,
+            responded: 0,
+            drr: DrrAccumulator::default(),
+            result_len: 1,
+            response_seconds: None,
+            pos: Point::new(0.0, 0.0),
+            radius: 100.0,
+            result: Vec::new(),
+            contributors: vec![0],
+            retries: 0,
+            duplicates: 0,
+            reissues: 0,
+            timeout_cause: None,
+            completeness: None,
+            spurious: 0,
+        }
+    }
 
     #[test]
     fn records_csv_has_header_and_rows() {
-        let rec = crate::runtime::QueryRecord {
+        let rec = QueryRecord {
             key: QueryKey { origin: 3, cnt: 1 },
             issued: SimTime::from_secs_f64(10.0),
             completed: Some(SimTime::from_secs_f64(12.5)),
@@ -169,28 +210,32 @@ mod csv_tests {
             },
             result_len: 4,
             response_seconds: Some(2.5),
+            completeness: Some(0.75),
+            spurious: 0,
+            retries: 2,
+            duplicates: 1,
+            reissues: 1,
+            ..blank_record()
         };
         let csv = records_to_csv(&[rec]);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("origin,cnt,"));
-        assert_eq!(lines[1], "3,1,10.000000,12.500000,false,7,4,10,6,1,2.500000");
+        // The pre-scorecard column prefix is stable …
+        assert!(lines[1].starts_with("3,1,10.000000,12.500000,false,7,4,10,6,1,2.500000"));
+        // … and the scorecard columns append after it.
+        assert_eq!(lines[1], "3,1,10.000000,12.500000,false,7,4,10,6,1,2.500000,0.750000,0,2,1,1,");
     }
 
     #[test]
-    fn timed_out_records_leave_blanks() {
-        let rec = crate::runtime::QueryRecord {
-            key: QueryKey { origin: 0, cnt: 0 },
-            issued: SimTime::ZERO,
-            completed: None,
-            timed_out: true,
-            responded: 0,
-            drr: DrrAccumulator::default(),
-            result_len: 1,
-            response_seconds: None,
-        };
+    fn timed_out_records_leave_blanks_and_name_the_cause() {
+        let rec =
+            QueryRecord { timeout_cause: Some(TimeoutCause::OriginatorCrash), ..blank_record() };
         let csv = records_to_csv(&[rec]);
-        assert!(csv.lines().nth(1).unwrap().contains(",true,"));
-        assert!(csv.ends_with(",\n") || csv.lines().nth(1).unwrap().ends_with(','));
+        let row = csv.lines().nth(1).unwrap();
+        assert!(row.contains(",true,"));
+        assert!(row.ends_with("originator_crash"));
+        // Unscored completeness stays blank, like the other optionals.
+        assert!(row.contains(",,0,0,0,0,"));
     }
 }

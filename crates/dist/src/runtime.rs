@@ -26,8 +26,33 @@
 //! replies), so every query also carries an originator-side timeout; a
 //! timed-out query is recorded with `timed_out = true` and excluded from
 //! response-time averages by the harness.
+//!
+//! ## Hardening against churn
+//!
+//! Node crashes and radio loss (see `manet_sim::fault`) add three recovery
+//! layers, all configured on [`DistConfig`]:
+//!
+//! * **Per-hop ARQ** — BF result replies and DF tokens are acknowledged by
+//!   the application-level receiver; the sender retransmits with
+//!   exponential backoff plus deterministic jitter, bounded by
+//!   `arq.max_retries`. Receivers suppress duplicates — BF via a
+//!   per-originator responder set keyed on the replying device, DF via a
+//!   `(sender, transfer_seq)` cache — so a retransmitted message can never
+//!   double-count.
+//! * **Token salvage** — when routing reports a DF token undeliverable (or
+//!   its ARQ retries exhaust), the sender marks the dead hop visited and
+//!   routes around it, exactly like a backtrack.
+//! * **Originator re-issue** — a BF originator whose completion rule is
+//!   still unmet after `reissue_delay` floods the query again with a
+//!   bumped round number; devices that already answered relay the new
+//!   round without reprocessing, extending the flood into the region a
+//!   crashed relay cut off.
+//!
+//! A crashed device loses every bit of volatile protocol state (active
+//! query, stashes, pending retransmissions, duplicate caches) but keeps
+//! its storage partition; on revive it resumes its workload.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use device_storage::{DeviceRelation, HybridRelation};
 use manet_sim::engine::{Application, MsgMeta, NeighborMode, NodeCtx, Simulator};
@@ -38,7 +63,7 @@ use skyline_core::region::Point;
 use skyline_core::vdr::FilterTuple;
 use skyline_core::{SkylineMerger, Tuple};
 
-use crate::config::{Forwarding, StrategyConfig};
+use crate::config::{DistConfig, Forwarding, StrategyConfig};
 use crate::cost_model::DeviceCostModel;
 use crate::device::Device;
 use crate::metrics::DrrAccumulator;
@@ -54,6 +79,9 @@ pub enum ProtoMsg {
         /// The filter bank as of the sending device (empty, one, or `k`
         /// tuples depending on the strategy).
         filters: Vec<FilterTuple>,
+        /// Re-issue round (0 = the original flood). A device that already
+        /// answered relays a higher round without reprocessing.
+        round: u8,
     },
     /// BF: a device's local result, unicast to the originator.
     BfResult {
@@ -65,9 +93,19 @@ pub enum ProtoMsg {
         unreduced: usize,
         /// Whether the device had in-range data.
         participated: bool,
+        /// ARQ sequence number (0 = untracked, no ack expected).
+        seq: u64,
+        /// Retransmissions this copy has been through (originator-side
+        /// retry accounting survives even when the first copy is lost).
+        retries: u32,
     },
     /// DF: the walking query token.
     DfToken(DfToken),
+    /// Application-level ack for an ARQ-tracked message.
+    Ack {
+        /// Sequence number being acknowledged.
+        seq: u64,
+    },
     /// Redistribution extension: "I am far from my data; anyone closer?"
     HandoffProbe {
         /// Prober's current position.
@@ -96,33 +134,47 @@ pub struct DfToken {
     pub spec: QuerySpec,
     /// Current filter bank.
     pub filters: Vec<FilterTuple>,
-    /// Devices that have processed the query.
+    /// Devices the walk will not route to again. Includes every device
+    /// that processed the query **and** any marked unreachable by the
+    /// delivery-failure salvage — subtract [`DfToken::skipped`] to get the
+    /// devices that actually contributed.
     pub visited: Vec<NodeId>,
+    /// Devices marked visited only to route around them (crashed or
+    /// unreachable). They contributed nothing and must not be counted as
+    /// responders.
+    pub skipped: Vec<NodeId>,
     /// DFS path stack; `path[0]` is the originator.
     pub path: Vec<NodeId>,
     /// Partial result merged along the way.
     pub partial: Vec<Tuple>,
     /// DRR terms accumulated over visited devices.
     pub drr: DrrAccumulator,
+    /// ARQ sequence number of this hop's transfer (0 = untracked). A fresh
+    /// number is assigned for every hop, so `(sender, transfer_seq)`
+    /// uniquely names one transfer for duplicate suppression.
+    pub transfer_seq: u64,
+    /// Retransmissions accumulated over the token's whole walk.
+    pub retries: u64,
 }
 
 impl ProtoMsg {
     /// Payload wire size (bytes).
     pub fn wire_size(&self) -> usize {
         match self {
-            ProtoMsg::BfQuery { spec, filters } => {
-                spec.wire_size() + filters.iter().map(FilterTuple::wire_size).sum::<usize>()
+            ProtoMsg::BfQuery { spec, filters, .. } => {
+                spec.wire_size() + filters.iter().map(FilterTuple::wire_size).sum::<usize>() + 1
             }
             ProtoMsg::BfResult { tuples, .. } => {
-                5 + 8 + skyline_core::tuple::batch_wire_size(tuples)
+                5 + 8 + 12 + skyline_core::tuple::batch_wire_size(tuples)
             }
             ProtoMsg::DfToken(t) => {
                 t.spec.wire_size()
                     + t.filters.iter().map(FilterTuple::wire_size).sum::<usize>()
-                    + 4 * (t.visited.len() + t.path.len())
+                    + 4 * (t.visited.len() + t.skipped.len() + t.path.len())
                     + skyline_core::tuple::batch_wire_size(&t.partial)
-                    + 24
+                    + 40
             }
+            ProtoMsg::Ack { .. } => 12,
             ProtoMsg::HandoffProbe { .. } => 36,
             ProtoMsg::HandoffAccept | ProtoMsg::HandoffAck => 4,
             ProtoMsg::HandoffTransfer { tuples } => {
@@ -186,6 +238,8 @@ mod token {
     pub const HANDOFF_TICK: u64 = 4 << 56;
     pub const HANDOFF_TIMEOUT: u64 = 5 << 56;
     pub const LOCALITY_SAMPLE: u64 = 6 << 56;
+    pub const ARQ: u64 = 7 << 56;
+    pub const REISSUE: u64 = 8 << 56;
     pub const KIND_MASK: u64 = 0xFF << 56;
 }
 
@@ -193,17 +247,42 @@ mod token {
 #[derive(Debug)]
 struct ActiveQuery {
     key: QueryKey,
+    spec: QuerySpec,
     issued: SimTime,
     merger: SkylineMerger,
     drr: DrrAccumulator,
+    /// Devices whose reply was accepted (BF; DF fills it at completion).
+    responders: HashSet<NodeId>,
     responded: usize,
     /// BF: responses needed for the 80 % rule.
     needed: usize,
     completed: Option<SimTime>,
+    /// Filter bank the originator flooded (kept for re-issue).
+    filters: Vec<FilterTuple>,
+    /// Current re-issue round.
+    round: u8,
+    /// Re-floods performed.
+    reissues: u32,
+    /// ARQ retransmissions reported by accepted replies / the token.
+    retries: u64,
+    /// Duplicate replies suppressed for this query.
+    duplicates: u64,
+}
+
+/// Why a query was closed by its safety timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutCause {
+    /// The originator itself crashed with the query in flight.
+    OriginatorCrash,
+    /// Nothing ever came back — the originator was isolated or the flood
+    /// (token) was lost outright.
+    NoResponses,
+    /// Some devices answered but the completion rule was never met.
+    PartialResponses,
 }
 
 /// The record kept for every query a device originated.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryRecord {
     /// Query identity.
     pub key: QueryKey,
@@ -221,6 +300,30 @@ pub struct QueryRecord {
     pub result_len: usize,
     /// Response time in seconds, when completed normally.
     pub response_seconds: Option<f64>,
+    /// Query point (the originator's position at issue time).
+    pub pos: Point,
+    /// Distance constraint.
+    pub radius: f64,
+    /// The assembled answer (empty when the originator crashed).
+    pub result: Vec<Tuple>,
+    /// Devices whose data the answer reflects — accepted responders plus
+    /// the originator, sorted.
+    pub contributors: Vec<NodeId>,
+    /// ARQ retransmissions behind the accepted replies.
+    pub retries: u64,
+    /// Duplicate replies suppressed.
+    pub duplicates: u64,
+    /// BF re-floods performed.
+    pub reissues: u32,
+    /// Failure attribution, for timed-out queries only.
+    pub timeout_cause: Option<TimeoutCause>,
+    /// Fraction of the sequential-oracle skyline the answer covered
+    /// (filled by [`crate::verify::score_records`]).
+    pub completeness: Option<f64>,
+    /// Answer tuples not in the contributing-device oracle (filled by
+    /// [`crate::verify::score_records`]; anything above 0 is a protocol
+    /// bug, not a churn artifact).
+    pub spurious: u64,
 }
 
 /// Deferred sends awaiting the device's simulated CPU time.
@@ -228,6 +331,15 @@ pub struct QueryRecord {
 enum Stashed {
     Unicast(NodeId, ProtoMsg),
     Broadcast(ProtoMsg),
+}
+
+/// One ARQ-tracked message awaiting its ack.
+#[derive(Debug)]
+struct PendingArq {
+    dst: NodeId,
+    msg: ProtoMsg,
+    /// 1 after the initial send; bumped per retransmission.
+    attempt: u32,
 }
 
 /// The application running on every device node.
@@ -251,7 +363,25 @@ pub struct DeviceApp {
     next_stash: u64,
     /// Total devices in the network (for the 80 % rule).
     m: usize,
-    query_timeout: SimDuration,
+    /// Runtime timer/ARQ configuration.
+    dist: DistConfig,
+    /// ARQ-tracked messages in flight, by sequence number.
+    pending_arq: HashMap<u64, PendingArq>,
+    next_arq_seq: u64,
+    /// Highest BF round seen per query (fresh-vs-relay decision).
+    bf_rounds: HashMap<QueryKey, u8>,
+    /// DF transfers already processed, for duplicate suppression.
+    seen_transfers: HashSet<(NodeId, u64)>,
+    /// ARQ retransmissions performed by this device.
+    pub arq_retries: u64,
+    /// ARQ-tracked messages abandoned after `max_retries`.
+    pub arq_exhausted: u64,
+    /// Duplicate replies / token transfers suppressed.
+    pub duplicates_suppressed: u64,
+    /// Routing-level delivery failures reported to this device.
+    pub delivery_failures: u64,
+    /// Times this device crashed (fault plan).
+    pub crash_count: u64,
     /// Redistribution extension, when enabled.
     handoff: Option<HandoffConfig>,
     handoff_state: HandoffState,
@@ -278,6 +408,7 @@ impl DeviceApp {
         forwarding: Forwarding,
         cost: DeviceCostModel,
         m: usize,
+        dist: DistConfig,
     ) -> Self {
         let mut app = DeviceApp {
             device: Device::new(id, relation),
@@ -294,7 +425,16 @@ impl DeviceApp {
             stash: HashMap::new(),
             next_stash: 0,
             m,
-            query_timeout: SimDuration::from_secs_f64(180.0),
+            dist,
+            pending_arq: HashMap::new(),
+            next_arq_seq: 0,
+            bf_rounds: HashMap::new(),
+            seen_transfers: HashSet::new(),
+            arq_retries: 0,
+            arq_exhausted: 0,
+            duplicates_suppressed: 0,
+            delivery_failures: 0,
+            crash_count: 0,
             handoff: None,
             handoff_state: HandoffState::Idle,
             handoff_capacity: usize::MAX,
@@ -376,9 +516,9 @@ impl DeviceApp {
             ProtoMsg::HandoffProbe { pos: here, centroid, n_tuples: self.device.relation.len() };
         let bytes = msg.wire_size();
         ctx.broadcast(msg, bytes);
-        let deadline = ctx.now + SimDuration::from_secs_f64(5.0);
-        self.handoff_state = HandoffState::AwaitAccept(deadline);
-        ctx.set_timer(SimDuration::from_secs_f64(5.0), token::HANDOFF_TIMEOUT);
+        let wait = self.dist.handoff_accept_timeout;
+        self.handoff_state = HandoffState::AwaitAccept(ctx.now + wait);
+        ctx.set_timer(wait, token::HANDOFF_TIMEOUT);
     }
 
     fn on_handoff_probe(
@@ -404,9 +544,9 @@ impl DeviceApp {
         let msg = ProtoMsg::HandoffAccept;
         let bytes = msg.wire_size();
         ctx.send_unicast(from, msg, bytes);
-        let deadline = ctx.now + SimDuration::from_secs_f64(30.0);
-        self.handoff_state = HandoffState::AwaitTransfer(deadline);
-        ctx.set_timer(SimDuration::from_secs_f64(30.0), token::HANDOFF_TIMEOUT);
+        let wait = self.dist.handoff_transfer_timeout;
+        self.handoff_state = HandoffState::AwaitTransfer(ctx.now + wait);
+        ctx.set_timer(wait, token::HANDOFF_TIMEOUT);
     }
 
     fn on_handoff_accept(&mut self, ctx: &mut NodeCtx<ProtoMsg>, from: NodeId) {
@@ -420,9 +560,9 @@ impl DeviceApp {
         ctx.send_unicast(from, msg, bytes);
         // Keep our copy until the ack: loss may duplicate data (partitions
         // are allowed to overlap) but never destroys it.
-        let deadline = ctx.now + SimDuration::from_secs_f64(60.0);
-        self.handoff_state = HandoffState::AwaitAck(deadline);
-        ctx.set_timer(SimDuration::from_secs_f64(60.0), token::HANDOFF_TIMEOUT);
+        let wait = self.dist.handoff_ack_timeout;
+        self.handoff_state = HandoffState::AwaitAck(ctx.now + wait);
+        ctx.set_timer(wait, token::HANDOFF_TIMEOUT);
     }
 
     fn on_handoff_transfer(
@@ -500,6 +640,105 @@ impl DeviceApp {
     }
 
     // ------------------------------------------------------------------
+    // Per-hop ARQ
+    // ------------------------------------------------------------------
+
+    /// Next ARQ sequence number (never 0; 0 marks untracked messages).
+    fn alloc_seq(&mut self) -> u64 {
+        self.next_arq_seq += 1;
+        self.next_arq_seq
+    }
+
+    /// The ARQ sequence number a message carries, when tracked.
+    fn arq_seq_of(msg: &ProtoMsg) -> Option<u64> {
+        match msg {
+            ProtoMsg::BfResult { seq, .. } if *seq != 0 => Some(*seq),
+            ProtoMsg::DfToken(t) if t.transfer_seq != 0 => Some(t.transfer_seq),
+            _ => None,
+        }
+    }
+
+    /// Deterministic per-(device, seq, attempt) jitter: a splitmix64 hash,
+    /// the same coin construction as [`Self::should_rebroadcast`], so
+    /// retransmission de-synchronization never costs reproducibility.
+    fn arq_jitter(&self, seq: u64, attempt: u32) -> SimDuration {
+        let max = self.dist.arq.max_jitter.0;
+        if max == 0 {
+            return SimDuration(0);
+        }
+        let mut h = ((self.device.id as u64) << 40) ^ seq.rotate_left(17) ^ u64::from(attempt);
+        h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        SimDuration(h % max)
+    }
+
+    /// Retransmission timeout for `attempt`: exponential backoff + jitter.
+    fn arq_delay(&self, seq: u64, attempt: u32) -> SimDuration {
+        let scale = self.dist.arq.backoff.powi(attempt.saturating_sub(1) as i32);
+        SimDuration((self.dist.arq.base_timeout.0 as f64 * scale) as u64)
+            + self.arq_jitter(seq, attempt)
+    }
+
+    /// Sends a unicast, registering it for retransmission when it carries
+    /// an ARQ sequence number. Untracked messages pass straight through.
+    fn send_tracked(&mut self, ctx: &mut NodeCtx<ProtoMsg>, dst: NodeId, msg: ProtoMsg) {
+        if self.dist.arq.enabled {
+            if let Some(seq) = Self::arq_seq_of(&msg) {
+                self.pending_arq.insert(seq, PendingArq { dst, msg: msg.clone(), attempt: 1 });
+                ctx.set_timer(self.arq_delay(seq, 1), token::ARQ | seq);
+            }
+        }
+        let bytes = msg.wire_size();
+        ctx.send_unicast(dst, msg, bytes);
+    }
+
+    fn send_ack(&mut self, ctx: &mut NodeCtx<ProtoMsg>, to: NodeId, seq: u64) {
+        let msg = ProtoMsg::Ack { seq };
+        let bytes = msg.wire_size();
+        ctx.send_unicast(to, msg, bytes);
+    }
+
+    fn on_arq_timeout(&mut self, ctx: &mut NodeCtx<ProtoMsg>, seq: u64) {
+        let Some(mut p) = self.pending_arq.remove(&seq) else {
+            return; // acked (or cancelled by a routing failure) in time
+        };
+        if p.attempt > self.dist.arq.max_retries {
+            self.arq_exhausted += 1;
+            if let ProtoMsg::DfToken(mut t) = p.msg {
+                // The next hop is unreachable (or its acks are): give up on
+                // it, mark it visited, and walk around — the same salvage
+                // as a routing failure. The walk keeps its own seq.
+                if !t.visited.contains(&p.dst) {
+                    t.visited.push(p.dst);
+                }
+                if t.path.last() == Some(&p.dst) {
+                    t.path.pop();
+                }
+                self.df_route(ctx, t);
+            }
+            // An exhausted BF reply dies here; the originator's re-issue or
+            // timeout absorbs the loss.
+            return;
+        }
+        p.attempt += 1;
+        self.arq_retries += 1;
+        match &mut p.msg {
+            ProtoMsg::BfResult { retries, .. } => *retries += 1,
+            ProtoMsg::DfToken(t) => t.retries += 1,
+            _ => {}
+        }
+        let dst = p.dst;
+        let msg = p.msg.clone();
+        let attempt = p.attempt;
+        self.pending_arq.insert(seq, p);
+        let bytes = msg.wire_size();
+        ctx.send_unicast(dst, msg, bytes);
+        ctx.set_timer(self.arq_delay(seq, attempt), token::ARQ | seq);
+    }
+
+    // ------------------------------------------------------------------
     // Query origination
     // ------------------------------------------------------------------
 
@@ -510,47 +749,67 @@ impl DeviceApp {
         if self.active.is_some() {
             // One query in progress: re-check shortly (the paper's "does
             // not issue a new query if it has one in progress").
-            ctx.set_timer(SimDuration::from_secs_f64(10.0), token::ISSUE);
+            ctx.set_timer(self.dist.issue_retry, token::ISSUE);
             return;
         }
-        let (_, radius) = self.requests[self.next_request];
+        let (at, radius) = self.requests[self.next_request];
+        if at > ctx.now {
+            // Woken early (e.g. a revive re-armed the issue chain): wait
+            // for the workload's scheduled time.
+            ctx.set_timer(at.since(ctx.now), token::ISSUE);
+            return;
+        }
         self.next_request += 1;
         let cnt = self.next_cnt;
         self.next_cnt = self.next_cnt.wrapping_add(1);
         let spec = QuerySpec::new(ctx.id, cnt, Point::new(ctx.position.x, ctx.position.y), radius);
         // Mark our own query as seen so flood echoes are ignored.
         self.device.log.check_and_record(spec.key);
+        self.bf_rounds.insert(spec.key, 0);
 
         let (sk_org, filters) = self.device.originate(&spec, &self.cfg);
         let mut aq = ActiveQuery {
             key: spec.key,
+            spec,
             issued: ctx.now,
             merger: SkylineMerger::with_seed(sk_org),
             drr: DrrAccumulator::default(),
+            responders: HashSet::new(),
             responded: 0,
             needed: (0.8 * (self.m.saturating_sub(1)) as f64).ceil() as usize,
             completed: None,
+            filters: filters.clone(),
+            round: 0,
+            reissues: 0,
+            retries: 0,
+            duplicates: 0,
         };
-        ctx.set_timer(self.query_timeout, token::TIMEOUT | u64::from(cnt));
+        ctx.set_timer(self.dist.query_timeout, token::TIMEOUT | u64::from(cnt));
 
         match self.forwarding {
             // The originator always floods, gossip or not (otherwise a
             // low-probability gossip query could die instantly).
             Forwarding::BreadthFirst | Forwarding::Gossip { .. } => {
                 self.count_forward_per_neighbor(spec.key, ctx.neighbors().len());
-                let msg = ProtoMsg::BfQuery { spec, filters };
+                let msg = ProtoMsg::BfQuery { spec, filters, round: 0 };
                 let bytes = msg.wire_size();
                 ctx.broadcast(msg, bytes);
                 self.active = Some(aq);
+                if self.dist.max_reissues > 0 {
+                    ctx.set_timer(self.dist.reissue_delay, token::REISSUE | u64::from(cnt));
+                }
             }
             Forwarding::DepthFirst => {
                 let token = DfToken {
                     spec,
                     filters,
                     visited: vec![ctx.id],
+                    skipped: Vec::new(),
                     path: vec![ctx.id],
                     partial: aq.merger.result().to_vec(),
                     drr: DrrAccumulator::default(),
+                    transfer_seq: 0,
+                    retries: 0,
                 };
                 // Count own processing as a response in DF bookkeeping.
                 aq.responded = 0;
@@ -560,22 +819,76 @@ impl DeviceApp {
         }
     }
 
+    /// BF: the completion rule is still unmet after `reissue_delay` —
+    /// flood the query again with a bumped round so the flood re-enters
+    /// regions a crashed relay cut off. Devices that already answered
+    /// relay the higher round without reprocessing.
+    fn maybe_reissue(&mut self, ctx: &mut NodeCtx<ProtoMsg>, cnt: u8) {
+        if !matches!(self.forwarding, Forwarding::BreadthFirst | Forwarding::Gossip { .. }) {
+            return;
+        }
+        let Some(aq) = self.active.as_mut() else { return };
+        if aq.key.cnt != cnt || aq.completed.is_some() || aq.responded >= aq.needed {
+            return;
+        }
+        if aq.reissues >= self.dist.max_reissues {
+            return;
+        }
+        aq.reissues += 1;
+        aq.round += 1;
+        let key = aq.key;
+        let spec = aq.spec;
+        let filters = aq.filters.clone();
+        let round = aq.round;
+        self.bf_rounds.insert(key, round);
+        self.count_forward_per_neighbor(key, ctx.neighbors().len());
+        let msg = ProtoMsg::BfQuery { spec, filters, round };
+        let bytes = msg.wire_size();
+        ctx.broadcast(msg, bytes);
+        ctx.set_timer(self.dist.reissue_delay, token::REISSUE | u64::from(cnt));
+    }
+
     fn finalize(&mut self, ctx: &mut NodeCtx<ProtoMsg>, timed_out: bool) {
         let Some(aq) = self.active.take() else { return };
         let completed = aq.completed.or(if timed_out { None } else { Some(ctx.now) });
+        let timed_out = completed.is_none();
+        let timeout_cause = if timed_out {
+            Some(if aq.responded == 0 {
+                TimeoutCause::NoResponses
+            } else {
+                TimeoutCause::PartialResponses
+            })
+        } else {
+            None
+        };
+        let mut contributors: Vec<NodeId> = aq.responders.iter().copied().collect();
+        contributors.push(aq.key.origin);
+        contributors.sort_unstable();
+        contributors.dedup();
+        let result = aq.merger.into_result();
         self.records.push(QueryRecord {
             key: aq.key,
             issued: aq.issued,
             completed,
-            timed_out: completed.is_none(),
+            timed_out,
             responded: aq.responded,
             drr: aq.drr,
-            result_len: aq.merger.len(),
+            result_len: result.len(),
             response_seconds: completed.map(|c| c.since(aq.issued).as_secs_f64()),
+            pos: aq.spec.pos,
+            radius: aq.spec.d,
+            result,
+            contributors,
+            retries: aq.retries,
+            duplicates: aq.duplicates,
+            reissues: aq.reissues,
+            timeout_cause,
+            completeness: None,
+            spurious: 0,
         });
         // Ready for the next queued request.
         if self.next_request < self.requests.len() {
-            ctx.set_timer(SimDuration::from_secs_f64(1.0), token::ISSUE);
+            ctx.set_timer(self.dist.next_query_delay, token::ISSUE);
         }
     }
 
@@ -588,24 +901,43 @@ impl DeviceApp {
         ctx: &mut NodeCtx<ProtoMsg>,
         spec: QuerySpec,
         filters: Vec<FilterTuple>,
+        round: u8,
     ) {
-        if !self.device.log.check_and_record(spec.key) {
-            return; // duplicate (or our own echo)
+        if self.device.log.check_and_record(spec.key) {
+            // Fresh query: process and answer.
+            self.bf_rounds.insert(spec.key, round);
+            let out = self.device.process(&spec, &filters, &self.cfg);
+            let seq = if self.dist.arq.enabled { self.alloc_seq() } else { 0 };
+            let reply = ProtoMsg::BfResult {
+                key: spec.key,
+                tuples: out.reply,
+                unreduced: out.unreduced_len,
+                participated: out.participated,
+                seq,
+                retries: 0,
+            };
+            self.count_result(spec.key);
+            let mut sends = vec![Stashed::Unicast(spec.key.origin, reply)];
+            if self.should_rebroadcast(spec.key) {
+                let fwd = ProtoMsg::BfQuery { spec, filters: out.forward_filters, round };
+                sends.push(Stashed::Broadcast(fwd));
+            }
+            self.send_after_cost(ctx, &out.stats, sends);
+            return;
         }
-        let out = self.device.process(&spec, &filters, &self.cfg);
-        let reply = ProtoMsg::BfResult {
-            key: spec.key,
-            tuples: out.reply,
-            unreduced: out.unreduced_len,
-            participated: out.participated,
-        };
-        self.count_result(spec.key);
-        let mut sends = vec![Stashed::Unicast(spec.key.origin, reply)];
-        if self.should_rebroadcast(spec.key) {
-            let fwd = ProtoMsg::BfQuery { spec, filters: out.forward_filters };
-            sends.push(Stashed::Broadcast(fwd));
+        // Duplicate query. A higher round is an originator re-issue: relay
+        // the fresh flood (no reprocessing, no second reply) so it reaches
+        // devices the earlier round missed.
+        let prev = self.bf_rounds.get(&spec.key).copied();
+        if prev.is_some_and(|p| round > p) {
+            self.bf_rounds.insert(spec.key, round);
+            if self.should_rebroadcast(spec.key) && spec.key.origin != ctx.id {
+                self.count_forward_per_neighbor(spec.key, ctx.neighbors().len());
+                let msg = ProtoMsg::BfQuery { spec, filters, round };
+                let bytes = msg.wire_size();
+                ctx.broadcast(msg, bytes);
+            }
         }
-        self.send_after_cost(ctx, &out.stats, sends);
     }
 
     /// Gossip decision: deterministic pseudo-random coin per (device,
@@ -626,23 +958,39 @@ impl DeviceApp {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn on_bf_result(
         &mut self,
         ctx: &mut NodeCtx<ProtoMsg>,
+        from: NodeId,
         key: QueryKey,
         tuples: Vec<Tuple>,
         unreduced: usize,
         participated: bool,
+        seq: u64,
+        retries: u32,
     ) {
+        // Ack unconditionally — even duplicates and stale replies — so the
+        // sender stops retransmitting.
+        if seq != 0 {
+            self.send_ack(ctx, from, seq);
+        }
         let Some(aq) = self.active.as_mut() else { return };
         if aq.key != key {
             return; // stale reply for an earlier query
         }
+        if !aq.responders.insert(from) {
+            // A retransmitted reply whose first copy already counted.
+            aq.duplicates += 1;
+            self.duplicates_suppressed += 1;
+            return;
+        }
+        aq.retries += u64::from(retries);
         if participated {
             aq.drr.add(unreduced, tuples.len());
         }
         aq.merger.insert_batch(tuples);
-        aq.responded += 1;
+        aq.responded = aq.responders.len();
         // The 80 % rule stamps the response time …
         if aq.responded >= aq.needed && aq.completed.is_none() {
             aq.completed = Some(ctx.now);
@@ -658,7 +1006,16 @@ impl DeviceApp {
     // Depth-first handlers
     // ------------------------------------------------------------------
 
-    fn on_df_token(&mut self, ctx: &mut NodeCtx<ProtoMsg>, mut token: DfToken) {
+    fn on_df_token(&mut self, ctx: &mut NodeCtx<ProtoMsg>, from: NodeId, mut token: DfToken) {
+        if token.transfer_seq != 0 {
+            // Ack every copy; suppress re-deliveries of a transfer we
+            // already own (a retransmission whose first copy made it).
+            self.send_ack(ctx, from, token.transfer_seq);
+            if !self.seen_transfers.insert((from, token.transfer_seq)) {
+                self.duplicates_suppressed += 1;
+                return;
+            }
+        }
         if token.visited.contains(&ctx.id) {
             // Backtrack arrival: just keep routing.
             self.df_route(ctx, token);
@@ -706,9 +1063,10 @@ impl DeviceApp {
         let next = ctx.neighbors().iter().copied().find(|n| !token.visited.contains(n));
         if let Some(n) = next {
             self.count_forward(token.spec.key);
-            let msg = ProtoMsg::DfToken(token);
-            let bytes = msg.wire_size();
-            ctx.send_unicast(n, msg, bytes);
+            if self.dist.arq.enabled {
+                token.transfer_seq = self.alloc_seq();
+            }
+            self.send_tracked(ctx, n, ProtoMsg::DfToken(token));
             return;
         }
 
@@ -717,9 +1075,10 @@ impl DeviceApp {
             let prev = token.path[token.path.len() - 2];
             token.path.pop();
             self.count_forward(token.spec.key);
-            let msg = ProtoMsg::DfToken(token);
-            let bytes = msg.wire_size();
-            ctx.send_unicast(prev, msg, bytes);
+            if self.dist.arq.enabled {
+                token.transfer_seq = self.alloc_seq();
+            }
+            self.send_tracked(ctx, prev, ProtoMsg::DfToken(token));
             return;
         }
 
@@ -729,7 +1088,13 @@ impl DeviceApp {
                 if aq.key == token.spec.key {
                     aq.merger.insert_batch(token.partial);
                     aq.drr.merge(&token.drr);
-                    aq.responded = token.visited.len().saturating_sub(1);
+                    for &v in &token.visited {
+                        if v != ctx.id && !token.skipped.contains(&v) {
+                            aq.responders.insert(v);
+                        }
+                    }
+                    aq.responded = aq.responders.len();
+                    aq.retries += token.retries;
                     aq.completed = Some(ctx.now);
                     self.finalize(ctx, false);
                 }
@@ -743,11 +1108,16 @@ impl DeviceApp {
 impl Application<ProtoMsg> for DeviceApp {
     fn on_message(&mut self, ctx: &mut NodeCtx<ProtoMsg>, meta: MsgMeta, payload: ProtoMsg) {
         match payload {
-            ProtoMsg::BfQuery { spec, filters } => self.on_bf_query(ctx, spec, filters),
-            ProtoMsg::BfResult { key, tuples, unreduced, participated } => {
-                self.on_bf_result(ctx, key, tuples, unreduced, participated)
+            ProtoMsg::BfQuery { spec, filters, round } => {
+                self.on_bf_query(ctx, spec, filters, round)
             }
-            ProtoMsg::DfToken(t) => self.on_df_token(ctx, t),
+            ProtoMsg::BfResult { key, tuples, unreduced, participated, seq, retries } => {
+                self.on_bf_result(ctx, meta.src, key, tuples, unreduced, participated, seq, retries)
+            }
+            ProtoMsg::DfToken(t) => self.on_df_token(ctx, meta.src, t),
+            ProtoMsg::Ack { seq } => {
+                self.pending_arq.remove(&seq);
+            }
             ProtoMsg::HandoffProbe { pos, centroid, n_tuples } => {
                 self.on_handoff_probe(ctx, meta.src, pos, centroid, n_tuples)
             }
@@ -764,11 +1134,23 @@ impl Application<ProtoMsg> for DeviceApp {
             token::HANDOFF_TIMEOUT => self.handoff_timeout(ctx.now),
             token::LOCALITY_SAMPLE => {
                 self.sample_locality(ctx);
-                ctx.set_timer(SimDuration::from_secs_f64(60.0), token::LOCALITY_SAMPLE);
+                ctx.set_timer(self.dist.locality_sample_period, token::LOCALITY_SAMPLE);
+            }
+            token::ARQ => {
+                let seq = tok & !token::KIND_MASK;
+                self.on_arq_timeout(ctx, seq);
+            }
+            token::REISSUE => {
+                let cnt = (tok & 0xFF) as u8;
+                self.maybe_reissue(ctx, cnt);
             }
             token::TIMEOUT => {
+                // The safety timer closes whatever is still open — also
+                // queries past their 80 % stamp that keep waiting for
+                // stragglers which will never come (crashed devices).
+                // `finalize` records those as completed, not timed out.
                 let cnt = (tok & 0xFF) as u8;
-                if self.active.as_ref().is_some_and(|a| a.key.cnt == cnt && a.completed.is_none()) {
+                if self.active.as_ref().is_some_and(|a| a.key.cnt == cnt) {
                     self.finalize(ctx, true);
                 }
             }
@@ -782,8 +1164,7 @@ impl Application<ProtoMsg> for DeviceApp {
                                 self.df_route(ctx, t);
                             }
                             Stashed::Unicast(dst, msg) => {
-                                let bytes = msg.wire_size();
-                                ctx.send_unicast(dst, msg, bytes);
+                                self.send_tracked(ctx, dst, msg);
                             }
                             Stashed::Broadcast(msg) => {
                                 if let ProtoMsg::BfQuery { spec, .. } = &msg {
@@ -804,11 +1185,22 @@ impl Application<ProtoMsg> for DeviceApp {
     }
 
     fn on_delivery_failed(&mut self, ctx: &mut NodeCtx<ProtoMsg>, dst: NodeId, payload: ProtoMsg) {
+        self.delivery_failures += 1;
         // A lost DF token comes back to its sender: mark the unreachable
         // device as visited (it cannot be reached now) and route on.
         if let ProtoMsg::DfToken(mut t) = payload {
+            // Routing gave up before the ARQ timer: cancel the pending
+            // retransmission so the salvaged walk is the only copy.
+            if t.transfer_seq != 0 {
+                self.pending_arq.remove(&t.transfer_seq);
+            }
             if !t.visited.contains(&dst) {
                 t.visited.push(dst);
+            }
+            // Routed around, not processed: keep it out of the responder
+            // and contributor accounting at completion.
+            if !t.skipped.contains(&dst) {
+                t.skipped.push(dst);
             }
             // Also drop it from the path if it was the backtrack target.
             if t.path.last() == Some(&dst) {
@@ -816,8 +1208,57 @@ impl Application<ProtoMsg> for DeviceApp {
             }
             self.df_route(ctx, t);
         }
-        // Lost BF results are tolerated (the 80 % rule / timeout absorb
-        // them).
+        // A lost BF result keeps its ARQ retransmission timer (each retry
+        // re-enters route discovery); lost acks and handoff messages are
+        // tolerated by their own timeout machinery.
+    }
+
+    fn on_crash(&mut self) {
+        self.crash_count += 1;
+        // Volatile protocol state dies with the node; the storage partition
+        // (`self.device.relation`) survives the reboot.
+        if let Some(aq) = self.active.take() {
+            // The safety timer died with us (stale epoch); close the query
+            // here so it can never be left stuck.
+            self.records.push(QueryRecord {
+                key: aq.key,
+                issued: aq.issued,
+                completed: None,
+                timed_out: true,
+                responded: aq.responded,
+                drr: aq.drr,
+                result_len: 0,
+                response_seconds: None,
+                pos: aq.spec.pos,
+                radius: aq.spec.d,
+                result: Vec::new(),
+                contributors: Vec::new(),
+                retries: aq.retries,
+                duplicates: aq.duplicates,
+                reissues: aq.reissues,
+                timeout_cause: Some(TimeoutCause::OriginatorCrash),
+                completeness: None,
+                spurious: 0,
+            });
+        }
+        self.stash.clear();
+        self.pending_arq.clear();
+        self.bf_rounds.clear();
+        self.seen_transfers.clear();
+        self.device.log.reset();
+        self.handoff_state = HandoffState::Idle;
+    }
+
+    fn on_revive(&mut self, ctx: &mut NodeCtx<ProtoMsg>) {
+        // Resume the workload and the periodic chores whose timers died
+        // with the crash.
+        if self.next_request < self.requests.len() {
+            ctx.set_timer(self.dist.next_query_delay, token::ISSUE);
+        }
+        ctx.set_timer(self.dist.locality_sample_period, token::LOCALITY_SAMPLE);
+        if let Some(cfg) = self.handoff {
+            ctx.set_timer(cfg.interval, token::HANDOFF_TICK);
+        }
     }
 }
 
@@ -854,6 +1295,14 @@ pub struct ManetExperiment {
     /// Neighbour discovery: idealized oracle (default, as in the paper's
     /// simulator usage) or periodic HELLO beacons with realistic staleness.
     pub neighbor_mode: NeighborMode,
+    /// Runtime timers + ARQ parameters.
+    pub dist: DistConfig,
+    /// Scripted/seeded faults injected into the engine (none by default).
+    pub fault_plan: Option<manet_sim::FaultPlan>,
+    /// Score every record against the sequential oracle (costs one oracle
+    /// skyline per query; assumes relations stay pinned, so keep `handoff`
+    /// off when enabling this).
+    pub compute_completeness: bool,
     /// Master seed.
     pub seed: u64,
 }
@@ -884,6 +1333,9 @@ impl ManetExperiment {
             queries_per_device: (1, 5),
             handoff: None,
             neighbor_mode: NeighborMode::Oracle,
+            dist: DistConfig::default(),
+            fault_plan: None,
+            compute_completeness: false,
             seed,
         }
     }
@@ -919,6 +1371,29 @@ pub struct ManetOutcome {
     /// Mean radio energy per issued query (joules) — the paper's
     /// energy-constrained-device motivation, quantified.
     pub energy_per_query_joules: f64,
+    /// Mean oracle completeness over scored records (`None` unless
+    /// `compute_completeness` was set).
+    pub mean_completeness: Option<f64>,
+    /// Worst-case completeness over scored records.
+    pub min_completeness: Option<f64>,
+    /// Total answer tuples outside the contributing-device oracle.
+    pub spurious_total: u64,
+    /// ARQ retransmissions across all devices.
+    pub arq_retries: u64,
+    /// ARQ-tracked messages abandoned after max retries.
+    pub arq_exhausted: u64,
+    /// Duplicate replies / transfers suppressed.
+    pub duplicates_suppressed: u64,
+    /// Routing-level delivery failures reported to applications.
+    pub delivery_failures: u64,
+    /// BF re-floods performed.
+    pub reissues: u64,
+    /// Timed-out queries whose originator crashed mid-query.
+    pub timeouts_originator_crash: u64,
+    /// Timed-out queries that never saw a single response.
+    pub timeouts_no_responses: u64,
+    /// Timed-out queries with some, but not enough, responses.
+    pub timeouts_partial: u64,
     /// Raw network counters.
     pub net: NetStats,
 }
@@ -962,7 +1437,8 @@ pub fn run_experiment(exp: &ManetExperiment) -> ManetOutcome {
     let avg_partition = exp.data.cardinality / m.max(1);
     for i in 0..m {
         let rel = HybridRelation::new(part.parts[i].clone());
-        let mut app = DeviceApp::new(i, rel, exp.strategy.clone(), exp.forwarding, exp.cost, m);
+        let mut app =
+            DeviceApp::new(i, rel, exp.strategy.clone(), exp.forwarding, exp.cost, m, exp.dist);
         if let Some(h) = exp.handoff {
             let capacity = (avg_partition as f64 * h.capacity_factor).ceil() as usize;
             app.enable_handoff(h, capacity.max(1));
@@ -995,6 +1471,9 @@ pub fn run_experiment(exp: &ManetExperiment) -> ManetOutcome {
             token::LOCALITY_SAMPLE,
         );
     }
+    if let Some(plan) = &exp.fault_plan {
+        sim.install_fault_plan(plan);
+    }
 
     // Run past the horizon so in-flight queries can drain.
     sim.run_until(SimTime::from_secs_f64(exp.sim_seconds + 400.0));
@@ -1014,6 +1493,15 @@ pub fn run_experiment(exp: &ManetExperiment) -> ManetOutcome {
 
     let mut out = collect_outcome(&sim, m, charge_filter);
     out.mean_data_locality_m = mean_data_locality_m;
+    if exp.compute_completeness {
+        crate::verify::score_records(&mut out.records, &part.parts);
+        let scored: Vec<f64> = out.records.iter().filter_map(|r| r.completeness).collect();
+        if !scored.is_empty() {
+            out.mean_completeness = Some(scored.iter().sum::<f64>() / scored.len() as f64);
+            out.min_completeness = Some(scored.iter().copied().fold(f64::INFINITY, f64::min));
+        }
+        out.spurious_total = out.records.iter().map(|r| r.spurious).sum();
+    }
     out
 }
 
@@ -1064,6 +1552,20 @@ fn collect_outcome(
     let total_energy_joules = sim.total_energy_joules();
     let energy_per_query_joules = total_energy_joules / records.len().max(1) as f64;
 
+    let (mut arq_retries, mut arq_exhausted, mut duplicates_suppressed, mut delivery_failures) =
+        (0u64, 0u64, 0u64, 0u64);
+    for i in 0..m {
+        let app = sim.app(i);
+        arq_retries += app.arq_retries;
+        arq_exhausted += app.arq_exhausted;
+        duplicates_suppressed += app.duplicates_suppressed;
+        delivery_failures += app.delivery_failures;
+    }
+    let reissues = records.iter().map(|r| u64::from(r.reissues)).sum();
+    let count_cause = |c: TimeoutCause| -> u64 {
+        records.iter().filter(|r| r.timeout_cause == Some(c)).count() as u64
+    };
+
     ManetOutcome {
         drr: drr.drr(charge_filter),
         mean_response_seconds,
@@ -1076,6 +1578,17 @@ fn collect_outcome(
         handoff_migrations,
         total_energy_joules,
         energy_per_query_joules,
+        mean_completeness: None, // filled by run_experiment when scoring
+        min_completeness: None,
+        spurious_total: 0,
+        arq_retries,
+        arq_exhausted,
+        duplicates_suppressed,
+        delivery_failures,
+        reissues,
+        timeouts_originator_crash: count_cause(TimeoutCause::OriginatorCrash),
+        timeouts_no_responses: count_cause(TimeoutCause::NoResponses),
+        timeouts_partial: count_cause(TimeoutCause::PartialResponses),
         net: *sim.stats(),
         records,
     }
@@ -1094,9 +1607,9 @@ mod tests {
     #[test]
     fn bf_query_wire_size_counts_filters() {
         let spec = QuerySpec::new(0, 0, Point::new(0.0, 0.0), 100.0);
-        let bare = ProtoMsg::BfQuery { spec, filters: Vec::new() }.wire_size();
-        let with2 = ProtoMsg::BfQuery { spec, filters: sample_filters(2) }.wire_size();
-        assert_eq!(bare, spec.wire_size());
+        let bare = ProtoMsg::BfQuery { spec, filters: Vec::new(), round: 0 }.wire_size();
+        let with2 = ProtoMsg::BfQuery { spec, filters: sample_filters(2), round: 0 }.wire_size();
+        assert_eq!(bare, spec.wire_size() + 1, "spec plus the round byte");
         assert_eq!(with2, bare + 2 * 24, "two 2-attr filters at 24 B each");
     }
 
@@ -1107,6 +1620,8 @@ mod tests {
             tuples: Vec::new(),
             unreduced: 0,
             participated: false,
+            seq: 0,
+            retries: 0,
         }
         .wire_size();
         let two = ProtoMsg::BfResult {
@@ -1117,8 +1632,11 @@ mod tests {
             ],
             unreduced: 2,
             participated: true,
+            seq: 9,
+            retries: 1,
         }
         .wire_size();
+        assert_eq!(empty, 5 + 8 + 12, "key + drr terms + ARQ seq/retries");
         assert_eq!(two, empty + 2 * 32);
     }
 
@@ -1129,12 +1647,20 @@ mod tests {
             spec,
             filters: sample_filters(1),
             visited: vec![0, 1, 2],
+            skipped: vec![2],
             path: vec![0, 1],
             partial: vec![Tuple::new(0.0, 0.0, vec![1.0, 2.0])],
             drr: DrrAccumulator::default(),
+            transfer_seq: 0,
+            retries: 0,
         };
         let sz = ProtoMsg::DfToken(t).wire_size();
-        assert_eq!(sz, spec.wire_size() + 24 + 4 * 5 + 32 + 24);
+        assert_eq!(sz, spec.wire_size() + 24 + 4 * 6 + 32 + 40);
+    }
+
+    #[test]
+    fn ack_wire_size_is_fixed() {
+        assert_eq!(ProtoMsg::Ack { seq: u64::MAX }.wire_size(), 12);
     }
 
     #[test]
@@ -1165,6 +1691,7 @@ mod tests {
                 Forwarding::Gossip { rebroadcast_percent: percent },
                 DeviceCostModel::free(),
                 10,
+                DistConfig::default(),
             );
             app.device = Device::new(3, rel.clone());
             app
@@ -1191,6 +1718,50 @@ mod tests {
     }
 
     #[test]
+    fn arq_delay_is_deterministic_backs_off_and_bounds_jitter() {
+        let app = DeviceApp::new(
+            2,
+            HybridRelation::new(Vec::new()),
+            StrategyConfig::default(),
+            Forwarding::BreadthFirst,
+            DeviceCostModel::free(),
+            10,
+            DistConfig::default(),
+        );
+        let base = app.dist.arq.base_timeout.0;
+        let jmax = app.dist.arq.max_jitter.0;
+        assert_eq!(app.arq_delay(5, 1), app.arq_delay(5, 1), "same inputs, same delay");
+        for attempt in 1..=4u32 {
+            let d = app.arq_delay(5, attempt).0;
+            let backed = (base as f64 * app.dist.arq.backoff.powi(attempt as i32 - 1)) as u64;
+            assert!((backed..backed + jmax).contains(&d), "attempt {attempt}: {d}");
+        }
+        // Different sequence numbers de-synchronize.
+        assert_ne!(app.arq_jitter(1, 1), app.arq_jitter(2, 1));
+    }
+
+    #[test]
+    fn arq_seq_is_read_from_tracked_messages_only() {
+        let bf = ProtoMsg::BfResult {
+            key: QueryKey { origin: 0, cnt: 0 },
+            tuples: Vec::new(),
+            unreduced: 0,
+            participated: false,
+            seq: 17,
+            retries: 0,
+        };
+        assert_eq!(DeviceApp::arq_seq_of(&bf), Some(17));
+        assert_eq!(DeviceApp::arq_seq_of(&ProtoMsg::Ack { seq: 17 }), None);
+        assert_eq!(DeviceApp::arq_seq_of(&ProtoMsg::HandoffAccept), None);
+        let spec = QuerySpec::new(0, 0, Point::new(0.0, 0.0), 100.0);
+        assert_eq!(
+            DeviceApp::arq_seq_of(&ProtoMsg::BfQuery { spec, filters: Vec::new(), round: 0 }),
+            None,
+            "floods are never ARQ'd"
+        );
+    }
+
+    #[test]
     fn paper_defaults_match_tables_6_and_7() {
         let exp = ManetExperiment::paper_defaults(
             5,
@@ -1205,5 +1776,8 @@ mod tests {
         assert_eq!(exp.data.attr_min, 1.0);
         assert_eq!(exp.data.attr_max, 1000.0);
         assert!(exp.handoff.is_none());
+        assert!(exp.fault_plan.is_none(), "faults are opt-in");
+        assert!(!exp.compute_completeness);
+        assert_eq!(exp.dist, DistConfig::default());
     }
 }

@@ -71,6 +71,41 @@ pub fn diff_against_truth(
     }
 }
 
+/// Scores every MANET query record against the sequential oracle, in
+/// place. Two diffs per record:
+///
+/// * **Completeness** — coverage of the constrained skyline over *all*
+///   partitions. Under churn this is expected to fall below 1.0 (a crashed
+///   device's data is unreachable); the scorecard quantifies the miss.
+/// * **Spurious** — answer tuples not in the skyline of the union of the
+///   *contributing* devices' partitions (the responders plus the
+///   originator). Anything above 0 is a protocol bug — the answer claims a
+///   tuple the data it actually saw does not support.
+///
+/// `partitions[i]` must be device `i`'s relation as the run *started*;
+/// scoring therefore assumes relations stayed pinned (no handoff).
+/// Records closed by an originator crash carry an empty result and are
+/// scored like any other (their completeness is 0 unless the oracle is
+/// empty too, which keeps them visible in the aggregates).
+pub fn score_records(records: &mut [crate::runtime::QueryRecord], partitions: &[Vec<Tuple>]) {
+    for r in records.iter_mut() {
+        let region = if r.radius.is_infinite() {
+            QueryRegion::unbounded()
+        } else {
+            QueryRegion::new(r.pos, r.radius)
+        };
+        let full = diff_against_truth(&r.result, partitions, &region);
+        r.completeness = Some(full.coverage());
+        let contributing: Vec<Vec<Tuple>> = r
+            .contributors
+            .iter()
+            .filter(|&&i| i < partitions.len())
+            .map(|&i| partitions[i].clone())
+            .collect();
+        r.spurious = diff_against_truth(&r.result, &contributing, &region).spurious.len() as u64;
+    }
+}
+
 /// Runs a query on a static network and verifies it in one call.
 pub fn verify_static_query<R: DeviceRelation>(
     net: &StaticGridNetwork<R>,
@@ -136,6 +171,54 @@ mod tests {
             diff_against_truth(&[], &[vec![]], &QueryRegion::new(Point::new(0.0, 0.0), 1.0));
         assert!(report.is_exact());
         assert_eq!(report.coverage(), 1.0);
+    }
+
+    #[test]
+    fn score_records_quantifies_misses_and_spurious_separately() {
+        use crate::metrics::DrrAccumulator;
+        use crate::query::QueryKey;
+        use crate::runtime::QueryRecord;
+        use manet_sim::SimTime;
+
+        let a = Tuple::new(0.0, 0.0, vec![1.0, 9.0]);
+        let b = Tuple::new(1.0, 0.0, vec![9.0, 1.0]);
+        let partitions = vec![vec![a.clone()], vec![b.clone()]];
+        let mk = |result: Vec<Tuple>, contributors: Vec<usize>| QueryRecord {
+            key: QueryKey { origin: 0, cnt: 0 },
+            issued: SimTime(0),
+            completed: None,
+            timed_out: false,
+            responded: contributors.len().saturating_sub(1),
+            drr: DrrAccumulator::default(),
+            result_len: result.len(),
+            response_seconds: None,
+            pos: Point::new(0.0, 0.0),
+            radius: f64::INFINITY,
+            result,
+            contributors,
+            retries: 0,
+            duplicates: 0,
+            reissues: 0,
+            timeout_cause: None,
+            completeness: None,
+            spurious: 0,
+        };
+        // Device 1 crashed: its tuple is missing. That halves completeness
+        // but is NOT spurious — the contributing oracle (device 0 only)
+        // fully supports the answer.
+        let mut recs = vec![mk(vec![a.clone()], vec![0])];
+        score_records(&mut recs, &partitions);
+        assert_eq!(recs[0].completeness, Some(0.5));
+        assert_eq!(recs[0].spurious, 0);
+
+        // An answer tuple dominated by a contributor's own data IS
+        // spurious: the protocol returned something it saw better data
+        // against.
+        let dominated = Tuple::new(2.0, 0.0, vec![2.0, 10.0]);
+        let mut recs = vec![mk(vec![a.clone(), b.clone(), dominated], vec![0, 1])];
+        score_records(&mut recs, &partitions);
+        assert_eq!(recs[0].completeness, Some(1.0));
+        assert_eq!(recs[0].spurious, 1);
     }
 
     #[test]

@@ -120,6 +120,18 @@ impl<P: Clone> AodvState<P> {
         }
     }
 
+    /// Clears volatile routing state after a crash: routes, the RREQ
+    /// duplicate cache, and packets buffered for discovery all die with
+    /// the node. Sequence numbers and RREQ ids survive the reboot (RFC
+    /// 3561 §6.1 recommends persisting them so freshness comparisons stay
+    /// monotonic — resetting them would get this node's post-reboot RREQs
+    /// suppressed by neighbours' duplicate caches).
+    pub fn reset(&mut self) {
+        self.routes.clear();
+        self.seen_rreq.clear();
+        self.pending.clear();
+    }
+
     /// Does this node currently hold a live route to `dst`?
     pub fn has_route(&self, dst: NodeId, now: SimTime) -> bool {
         self.routes.get(&dst).is_some_and(|r| r.valid && r.expires > now)

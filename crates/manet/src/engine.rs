@@ -8,10 +8,11 @@
 //! event order deterministic.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::aodv::{AodvConfig, AodvState, AodvTimer, LinkCmd};
 use crate::events::EventQueue;
+use crate::fault::{FaultAction, FaultPlan};
 use crate::mobility::{MobilityConfig, MobilityState, Pos};
 use crate::packet::{DataPacket, Frame, NodeId};
 use crate::radio::RadioConfig;
@@ -60,6 +61,16 @@ pub trait Application<P> {
     /// A unicast previously submitted could not be delivered (route
     /// discovery exhausted its retries).
     fn on_delivery_failed(&mut self, _ctx: &mut NodeCtx<P>, _dst: NodeId, _payload: P) {}
+
+    /// The node crashed (fault injection): discard volatile state. No
+    /// context is available — a dead node cannot send or arm timers.
+    /// Whatever the implementor keeps is, by definition, the state that
+    /// survives the reboot (the device's storage partition).
+    fn on_crash(&mut self) {}
+
+    /// The node rebooted after a crash: re-arm periodic timers here. All
+    /// timers armed before the crash were invalidated.
+    fn on_revive(&mut self, _ctx: &mut NodeCtx<P>) {}
 }
 
 /// Commands an application can issue from inside a callback.
@@ -107,9 +118,13 @@ impl<'a, P> NodeCtx<'a, P> {
 
 enum Event<P> {
     Deliver { to: NodeId, link_from: NodeId, frame: Frame<P> },
-    AppTimer { node: NodeId, token: u64 },
-    AodvTimer { node: NodeId, timer: AodvTimer },
+    // Timers carry the arming node's epoch: a crash bumps the epoch, so
+    // timers armed before it fire as no-ops — volatile state dies with
+    // the node instead of resurrecting through the queue.
+    AppTimer { node: NodeId, token: u64, epoch: u64 },
+    AodvTimer { node: NodeId, timer: AodvTimer, epoch: u64 },
     Beacon { node: NodeId },
+    Fault(FaultAction),
 }
 
 struct NodeEntry<P, A> {
@@ -131,6 +146,14 @@ pub struct Simulator<P, A> {
     positions: Vec<Pos>,
     /// Joules consumed by each node's radio (tx + rx).
     energy_j: Vec<f64>,
+    /// Per-node up/down status (fault injection; all up by default).
+    up: Vec<bool>,
+    /// Per-node crash epoch; bumped on crash to invalidate stale timers.
+    epochs: Vec<u64>,
+    /// Links currently severed by a fault plan, as normalized (lo, hi) pairs.
+    severed: std::collections::HashSet<(NodeId, NodeId)>,
+    /// Extra per-frame loss probability from an active radio degradation.
+    extra_loss: f64,
     neighbor_mode: NeighborMode,
     beacons_started: bool,
     trace: Option<EventTrace>,
@@ -147,6 +170,10 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
             stats: NetStats::default(),
             positions: Vec::new(),
             energy_j: Vec::new(),
+            up: Vec::new(),
+            epochs: Vec::new(),
+            severed: std::collections::HashSet::new(),
+            extra_loss: 0.0,
             neighbor_mode: NeighborMode::Oracle,
             beacons_started: false,
             trace: None,
@@ -184,7 +211,37 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         });
         self.positions.push(start);
         self.energy_j.push(0.0);
+        self.up.push(true);
+        self.epochs.push(0);
         id
+    }
+
+    /// Schedules every event of `plan` into the queue. Call after adding
+    /// all nodes and before (or between) `run_until` calls; event times
+    /// must not lie in the past.
+    ///
+    /// # Panics
+    /// Panics when the plan names a node the simulator does not have.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        let check = |n: NodeId| {
+            assert!(n < self.nodes.len(), "fault plan names unknown node {n}");
+        };
+        for ev in plan.events() {
+            match ev.action {
+                FaultAction::Crash(n) | FaultAction::Revive(n) => check(n),
+                FaultAction::SeverLink(a, b) | FaultAction::RestoreLink(a, b) => {
+                    check(a);
+                    check(b);
+                }
+                FaultAction::DegradeRadio { .. } | FaultAction::RestoreRadio => {}
+            }
+            self.queue.schedule(ev.at, Event::Fault(ev.action));
+        }
+    }
+
+    /// `true` when `node` is currently up (not crashed).
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.up[node]
     }
 
     /// Number of nodes.
@@ -231,8 +288,11 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
 
     /// Schedules an application timer for `node` at absolute time `at`.
     /// This is how external workloads (query issue times) enter the system.
+    /// The timer is tagged with the node's current epoch: it is silently
+    /// dropped if the node crashes before it fires.
     pub fn schedule_app_timer(&mut self, node: NodeId, at: SimTime, token: u64) {
-        self.queue.schedule(at, Event::AppTimer { node, token });
+        self.queue
+            .schedule(at, Event::AppTimer { node, token, epoch: self.epochs[node] });
     }
 
     /// Runs until the queue is empty or the clock passes `horizon`.
@@ -272,15 +332,35 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         }
     }
 
+    fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        (a.min(b), a.max(b))
+    }
+
+    fn link_severed(&self, a: NodeId, b: NodeId) -> bool {
+        !self.severed.is_empty() && self.severed.contains(&Self::link_key(a, b))
+    }
+
     fn neighbors_of(&self, node: NodeId) -> Vec<NodeId> {
         match self.neighbor_mode {
             NeighborMode::Oracle => {
+                // The oracle reflects the physical truth: crashed nodes and
+                // severed links are invisible, which is how routing observes
+                // churn (forwarding toward a vanished neighbour trips the
+                // AODV link-break path).
                 let p = self.positions[node];
                 (0..self.nodes.len())
-                    .filter(|&j| j != node && self.radio.in_range(p, self.positions[j]))
+                    .filter(|&j| {
+                        j != node
+                            && self.up[j]
+                            && !self.link_severed(node, j)
+                            && self.radio.in_range(p, self.positions[j])
+                    })
                     .collect()
             }
             NeighborMode::Beacon { expiry, .. } => {
+                // Beacon views lag reality on purpose: a crashed neighbour
+                // stays listed until its entry expires, as it would in a
+                // real 802.11 MANET.
                 let now = self.queue.now();
                 let mut out: Vec<NodeId> = self.nodes[node]
                     .heard
@@ -298,6 +378,15 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         self.refresh_positions(now);
         match ev {
             Event::Deliver { to, link_from, frame } => {
+                if !self.up[to] {
+                    // Crashed mid-flight: the frame dies on a silent radio.
+                    self.stats.frames_dropped_node_down += 1;
+                    self.trace_event(
+                        now,
+                        TraceEvent::FrameLost { from: link_from, tag: Self::tag_of(&frame) },
+                    );
+                    return;
+                }
                 self.trace_event(
                     now,
                     TraceEvent::FrameDelivered { to, from: link_from, tag: Self::tag_of(&frame) },
@@ -321,19 +410,66 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
                     }
                 }
             }
-            Event::AppTimer { node, token } => {
-                self.run_app(node, now, |app, ctx| app.on_timer(ctx, token));
+            Event::AppTimer { node, token, epoch } => {
+                if self.up[node] && epoch == self.epochs[node] {
+                    self.run_app(node, now, |app, ctx| app.on_timer(ctx, token));
+                }
             }
-            Event::AodvTimer { node, timer } => {
-                let cmds = self.nodes[node].aodv.on_timer(timer, now);
-                self.execute_link_cmds(node, now, cmds);
+            Event::AodvTimer { node, timer, epoch } => {
+                if self.up[node] && epoch == self.epochs[node] {
+                    let cmds = self.nodes[node].aodv.on_timer(timer, now);
+                    self.execute_link_cmds(node, now, cmds);
+                }
             }
             Event::Beacon { node } => {
-                self.transmit_broadcast(node, now, Frame::Hello);
+                // The beacon chain survives crashes (a down node just stays
+                // silent), so beaconing resumes by itself after a revive.
+                if self.up[node] {
+                    self.transmit_broadcast(node, now, Frame::Hello);
+                }
                 if let NeighborMode::Beacon { period, .. } = self.neighbor_mode {
                     self.queue.schedule(now + period, Event::Beacon { node });
                 }
             }
+            Event::Fault(action) => self.apply_fault(now, action),
+        }
+    }
+
+    fn apply_fault(&mut self, now: SimTime, action: FaultAction) {
+        match action {
+            FaultAction::Crash(n) => {
+                if !self.up[n] {
+                    return; // already down
+                }
+                self.up[n] = false;
+                self.epochs[n] += 1;
+                self.stats.node_crashes += 1;
+                // Volatile state dies: routing tables, duplicate caches,
+                // buffered packets, the beacon-heard map, and whatever the
+                // application drops in its hook. The application object
+                // itself (the storage partition) survives.
+                self.nodes[n].heard.clear();
+                self.nodes[n].aodv.reset();
+                self.nodes[n].app.on_crash();
+                self.trace_event(now, TraceEvent::NodeCrashed { node: n });
+            }
+            FaultAction::Revive(n) => {
+                if self.up[n] {
+                    return; // never crashed, or already revived
+                }
+                self.up[n] = true;
+                self.stats.node_revivals += 1;
+                self.trace_event(now, TraceEvent::NodeRevived { node: n });
+                self.run_app(n, now, |app, ctx| app.on_revive(ctx));
+            }
+            FaultAction::SeverLink(a, b) => {
+                self.severed.insert(Self::link_key(a, b));
+            }
+            FaultAction::RestoreLink(a, b) => {
+                self.severed.remove(&Self::link_key(a, b));
+            }
+            FaultAction::DegradeRadio { extra_loss } => self.extra_loss = extra_loss,
+            FaultAction::RestoreRadio => self.extra_loss = 0.0,
         }
     }
 
@@ -342,6 +478,9 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
     where
         F: FnOnce(&mut A, &mut NodeCtx<P>),
     {
+        if !self.up[node] {
+            return;
+        }
         let neighbors = self.neighbors_of(node);
         let mut ctx = NodeCtx {
             now,
@@ -367,7 +506,10 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
                     self.transmit_broadcast(node, now, frame);
                 }
                 AppCmd::Timer { delay, token } => {
-                    self.queue.schedule(now + delay, Event::AppTimer { node, token });
+                    self.queue.schedule(
+                        now + delay,
+                        Event::AppTimer { node, token, epoch: self.epochs[node] },
+                    );
                 }
             }
         }
@@ -379,7 +521,10 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
                 LinkCmd::SendTo(nbr, frame) => self.transmit_unicast(node, nbr, now, frame),
                 LinkCmd::Broadcast(frame) => self.transmit_broadcast(node, now, frame),
                 LinkCmd::SetTimer(delay, timer) => {
-                    self.queue.schedule(now + delay, Event::AodvTimer { node, timer });
+                    self.queue.schedule(
+                        now + delay,
+                        Event::AodvTimer { node, timer, epoch: self.epochs[node] },
+                    );
                 }
                 LinkCmd::DeliverUp(pkt) => {
                     self.stats.app_unicasts_delivered += 1;
@@ -395,18 +540,40 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         }
     }
 
+    /// Extra loss roll from an active radio degradation window.
+    fn degrade_lost(&mut self) -> bool {
+        self.extra_loss > 0.0 && self.rng.random_range(0.0..1.0) < self.extra_loss
+    }
+
     fn transmit_unicast(&mut self, from: NodeId, to: NodeId, now: SimTime, frame: Frame<P>) {
+        if !self.up[from] {
+            return; // a dead node's queued commands transmit nothing
+        }
         self.count_frame(&frame);
         self.trace_event(
             now,
             TraceEvent::FrameSent { from, tag: Self::tag_of(&frame), bytes: frame.bytes() },
         );
         self.energy_j[from] += self.radio.energy.tx_joules(frame.bytes());
+        if self.link_severed(from, to) {
+            self.stats.frames_blocked_link_down += 1;
+            self.stats.frames_lost += 1;
+            self.trace_event(now, TraceEvent::FrameLost { from, tag: Self::tag_of(&frame) });
+            return;
+        }
         if !self
             .radio
             .frame_received(self.positions[from], self.positions[to], &mut self.rng)
             || self.radio.lost(&mut self.rng)
+            || self.degrade_lost()
         {
+            self.stats.frames_lost += 1;
+            self.trace_event(now, TraceEvent::FrameLost { from, tag: Self::tag_of(&frame) });
+            return;
+        }
+        if !self.up[to] {
+            // Transmitted into the void; receiver pays nothing.
+            self.stats.frames_dropped_node_down += 1;
             self.stats.frames_lost += 1;
             self.trace_event(now, TraceEvent::FrameLost { from, tag: Self::tag_of(&frame) });
             return;
@@ -417,6 +584,9 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
     }
 
     fn transmit_broadcast(&mut self, from: NodeId, now: SimTime, frame: Frame<P>) {
+        if !self.up[from] {
+            return;
+        }
         self.count_frame(&frame);
         self.trace_event(
             now,
@@ -431,8 +601,16 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
             if to == from || !self.radio.frame_received(p, self.positions[to], &mut self.rng) {
                 continue;
             }
-            if self.radio.lost(&mut self.rng) {
+            if self.link_severed(from, to) {
+                self.stats.frames_blocked_link_down += 1;
+                continue;
+            }
+            if self.radio.lost(&mut self.rng) || self.degrade_lost() {
                 self.stats.frames_lost += 1;
+                continue;
+            }
+            if !self.up[to] {
+                self.stats.frames_dropped_node_down += 1;
                 continue;
             }
             self.energy_j[to] += self.radio.energy.rx_joules(frame.bytes());

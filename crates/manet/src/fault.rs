@@ -1,0 +1,265 @@
+//! Deterministic fault plans: scripted or seeded-random node churn, link
+//! severing, and radio degradation, injected into the event engine.
+//!
+//! A [`FaultPlan`] is a sorted list of timestamped [`FaultAction`]s. The
+//! engine schedules them as ordinary events
+//! ([`Simulator::install_fault_plan`](crate::engine::Simulator::install_fault_plan)),
+//! so fault timing participates in the same FIFO tie-breaking that makes
+//! runs reproducible: the same plan on the same seed yields bit-identical
+//! traces.
+//!
+//! Crash semantics (see DESIGN.md §7): a crashed node stops transmitting
+//! and receiving, its pending application/AODV timers are invalidated (an
+//! epoch counter guards against stale firings), its AODV tables and
+//! beacon-heard map are cleared, and the application's
+//! [`on_crash`](crate::engine::Application::on_crash) hook runs so it can
+//! drop volatile query bookkeeping. Durable state — the application object
+//! itself, i.e. the device's storage partition — survives; on revive the
+//! application's [`on_revive`](crate::engine::Application::on_revive) hook
+//! re-arms whatever timers it needs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::packet::NodeId;
+use crate::time::{SimDuration, SimTime};
+
+/// One fault to inject at a scheduled time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultAction {
+    /// Node goes down, losing volatile state (timers, routes, in-flight
+    /// query bookkeeping). Its storage partition survives.
+    Crash(NodeId),
+    /// Node comes back up with empty routing tables and fresh timers.
+    Revive(NodeId),
+    /// The (bidirectional) link between two nodes stops carrying frames.
+    SeverLink(NodeId, NodeId),
+    /// The severed link carries frames again.
+    RestoreLink(NodeId, NodeId),
+    /// Every frame additionally faces this independent loss probability
+    /// (on top of the radio's own loss model) until restored.
+    DegradeRadio {
+        /// Extra per-frame loss probability in `[0, 1]`.
+        extra_loss: f64,
+    },
+    /// Ends a [`FaultAction::DegradeRadio`] window.
+    RestoreRadio,
+}
+
+/// A [`FaultAction`] with its injection time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the action fires.
+    pub at: SimTime,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// Parameters for [`FaultPlan::random_churn`]: seeded-random crash/reboot
+/// cycles over a node population.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Population size; node ids `0..nodes` are candidates.
+    pub nodes: usize,
+    /// Fraction of candidate nodes that crash once (rounded to nearest).
+    pub churn_fraction: f64,
+    /// Earliest crash time.
+    pub earliest: SimTime,
+    /// Latest crash time.
+    pub latest: SimTime,
+    /// Shortest downtime before the reboot.
+    pub min_downtime: SimDuration,
+    /// Longest downtime before the reboot.
+    pub max_downtime: SimDuration,
+    /// Nodes that never crash (e.g. a designated sink).
+    pub protect: Vec<NodeId>,
+    /// Seed for the plan's own RNG (independent of the engine seed).
+    pub seed: u64,
+}
+
+/// A deterministic schedule of faults, replayable across runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The scheduled events, sorted by time (stable for ties).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn push(&mut self, at: SimTime, action: FaultAction) {
+        self.events.push(FaultEvent { at, action });
+        // Insertion order breaks ties, mirroring the event queue's FIFO rule.
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// Crashes `node` at `at` (no scheduled reboot).
+    pub fn crash_at(mut self, node: NodeId, at: SimTime) -> Self {
+        self.push(at, FaultAction::Crash(node));
+        self
+    }
+
+    /// Revives `node` at `at`.
+    pub fn revive_at(mut self, node: NodeId, at: SimTime) -> Self {
+        self.push(at, FaultAction::Revive(node));
+        self
+    }
+
+    /// Crashes `node` at `at` and reboots it `downtime` later.
+    pub fn crash_for(self, node: NodeId, at: SimTime, downtime: SimDuration) -> Self {
+        self.crash_at(node, at).revive_at(node, at + downtime)
+    }
+
+    /// Severs the `a`–`b` link during `[from, until)`.
+    pub fn sever_link(mut self, a: NodeId, b: NodeId, from: SimTime, until: SimTime) -> Self {
+        assert!(until > from, "sever window must be non-empty");
+        self.push(from, FaultAction::SeverLink(a, b));
+        self.push(until, FaultAction::RestoreLink(a, b));
+        self
+    }
+
+    /// Adds `extra_loss` frame loss during `[from, until)`.
+    pub fn degrade_radio(mut self, extra_loss: f64, from: SimTime, until: SimTime) -> Self {
+        assert!((0.0..=1.0).contains(&extra_loss), "extra_loss must be a probability");
+        assert!(until > from, "degrade window must be non-empty");
+        self.push(from, FaultAction::DegradeRadio { extra_loss });
+        self.push(until, FaultAction::RestoreRadio);
+        self
+    }
+
+    /// Generates crash/reboot cycles for a random subset of nodes, fully
+    /// determined by `cfg.seed`: the same config always yields the same
+    /// plan.
+    ///
+    /// # Panics
+    /// Panics when the crash window is empty or the downtime range is
+    /// inverted.
+    pub fn random_churn(cfg: &ChurnConfig) -> Self {
+        assert!(cfg.latest > cfg.earliest, "crash window must be non-empty");
+        assert!(cfg.max_downtime >= cfg.min_downtime, "downtime range inverted");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut candidates: Vec<NodeId> =
+            (0..cfg.nodes).filter(|n| !cfg.protect.contains(n)).collect();
+        let victims = ((candidates.len() as f64) * cfg.churn_fraction).round() as usize;
+        let victims = victims.min(candidates.len());
+        // Partial Fisher–Yates: the first `victims` slots are the sample.
+        for i in 0..victims {
+            let j = rng.random_range(i..candidates.len());
+            candidates.swap(i, j);
+        }
+        let mut plan = FaultPlan::new();
+        let window = cfg.latest.0 - cfg.earliest.0;
+        let spread = cfg.max_downtime.0 - cfg.min_downtime.0;
+        for &node in &candidates[..victims] {
+            let at = SimTime(cfg.earliest.0 + rng.random_range(0..window.max(1)));
+            let down = SimDuration(
+                cfg.min_downtime.0 + if spread == 0 { 0 } else { rng.random_range(0..spread) },
+            );
+            plan = plan.crash_for(node, at, down);
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn churn_cfg(seed: u64) -> ChurnConfig {
+        ChurnConfig {
+            nodes: 20,
+            churn_fraction: 0.25,
+            earliest: SimTime::from_secs_f64(10.0),
+            latest: SimTime::from_secs_f64(100.0),
+            min_downtime: SimDuration::from_secs_f64(5.0),
+            max_downtime: SimDuration::from_secs_f64(50.0),
+            protect: vec![0],
+            seed,
+        }
+    }
+
+    #[test]
+    fn builder_keeps_events_sorted() {
+        let plan = FaultPlan::new()
+            .crash_at(2, SimTime::from_secs_f64(30.0))
+            .crash_for(1, SimTime::from_secs_f64(10.0), SimDuration::from_secs_f64(5.0))
+            .sever_link(0, 3, SimTime::from_secs_f64(20.0), SimTime::from_secs_f64(25.0));
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at.0).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        assert_eq!(plan.len(), 5);
+    }
+
+    #[test]
+    fn random_churn_is_deterministic() {
+        let a = FaultPlan::random_churn(&churn_cfg(7));
+        let b = FaultPlan::random_churn(&churn_cfg(7));
+        assert_eq!(a, b);
+        let c = FaultPlan::random_churn(&churn_cfg(8));
+        assert_ne!(a, c, "different seeds should (virtually always) differ");
+    }
+
+    #[test]
+    fn random_churn_respects_fraction_window_and_protection() {
+        let cfg = churn_cfg(3);
+        let plan = FaultPlan::random_churn(&cfg);
+        // 19 candidates (node 0 protected) × 0.25 → 5 victims → 10 events.
+        assert_eq!(plan.len(), 10);
+        for e in plan.events() {
+            match e.action {
+                FaultAction::Crash(n) => {
+                    assert_ne!(n, 0, "protected node crashed");
+                    assert!(e.at >= cfg.earliest && e.at < cfg.latest);
+                }
+                FaultAction::Revive(n) => assert_ne!(n, 0),
+                other => panic!("churn plans contain only crash/revive, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_crash_has_a_later_revive() {
+        let plan = FaultPlan::random_churn(&churn_cfg(11));
+        for e in plan.events() {
+            if let FaultAction::Crash(n) = e.action {
+                let revive = plan
+                    .events()
+                    .iter()
+                    .find(|r| r.action == FaultAction::Revive(n))
+                    .expect("revive scheduled");
+                assert!(revive.at > e.at, "downtime must be positive");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sever_window_rejected() {
+        let t = SimTime::from_secs_f64(5.0);
+        let _ = FaultPlan::new().sever_link(0, 1, t, t);
+    }
+
+    #[test]
+    fn zero_fraction_yields_empty_plan() {
+        let cfg = ChurnConfig { churn_fraction: 0.0, ..churn_cfg(1) };
+        assert!(FaultPlan::random_churn(&cfg).is_empty());
+    }
+}

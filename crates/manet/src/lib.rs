@@ -49,6 +49,7 @@
 pub mod aodv;
 pub mod engine;
 pub mod events;
+pub mod fault;
 pub mod mobility;
 pub mod packet;
 pub mod radio;
@@ -56,6 +57,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Application, MsgMeta, NeighborMode, NodeCtx, Simulator};
+pub use fault::{ChurnConfig, FaultAction, FaultEvent, FaultPlan};
 pub use mobility::{MobilityConfig, Pos};
 pub use packet::NodeId;
 pub use radio::{EnergyConfig, RadioConfig};
@@ -71,6 +73,8 @@ const _: () = {
     assert_send_sync::<MobilityConfig>();
     assert_send_sync::<NeighborMode>();
     assert_send_sync::<NetStats>();
+    assert_send_sync::<FaultPlan>();
+    assert_send_sync::<ChurnConfig>();
     assert_send_sync::<SimDuration>();
     assert_send_sync::<SimTime>();
 };

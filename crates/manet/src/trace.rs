@@ -29,6 +29,14 @@ pub struct NetStats {
     pub app_broadcasts_sent: u64,
     /// Per-receiver deliveries of application broadcasts.
     pub app_broadcasts_received: u64,
+    /// Node crashes injected by a fault plan.
+    pub node_crashes: u64,
+    /// Node reboots injected by a fault plan.
+    pub node_revivals: u64,
+    /// Frames addressed to (or arriving at) a crashed node.
+    pub frames_dropped_node_down: u64,
+    /// Frames blocked by a severed link.
+    pub frames_blocked_link_down: u64,
 }
 
 impl NetStats {
@@ -89,6 +97,16 @@ pub enum TraceEvent {
         from: usize,
         /// Frame kind tag.
         tag: FrameTag,
+    },
+    /// A fault plan crashed a node.
+    NodeCrashed {
+        /// The node that went down.
+        node: usize,
+    },
+    /// A fault plan revived a node.
+    NodeRevived {
+        /// The node that came back up.
+        node: usize,
     },
 }
 
