@@ -18,6 +18,7 @@ pub mod scale;
 pub mod static_drr;
 pub mod sweep;
 pub mod table;
+pub mod trace_query;
 
 pub use scale::Scale;
 pub use table::Table;

@@ -74,9 +74,15 @@ impl UpperBounds {
 /// (under-estimated) bound on some dimension has no certified dominating
 /// volume on that dimension. This keeps `UNE` well defined when the filter
 /// candidate exceeds another device's local maximum.
+///
+/// A dimension mismatch between `attrs` and `bounds` certifies nothing and
+/// returns 0.0 — a short bounds vector must not silently truncate the
+/// product (which would *inflate* the volume by skipping factors ≤ bound).
 #[inline]
 pub fn vdr_volume(attrs: &[f64], bounds: &UpperBounds) -> f64 {
-    debug_assert_eq!(attrs.len(), bounds.0.len(), "bounds/tuple dim mismatch");
+    if attrs.len() != bounds.0.len() {
+        return 0.0;
+    }
     attrs.iter().zip(&bounds.0).map(|(&p, &b)| (b - p).max(0.0)).product()
 }
 
@@ -218,9 +224,11 @@ pub fn select_filters_greedy(
             }
         }
         let Some((gain, vdr, t)) = best else { break };
-        // Stop early once additional filters stop paying for themselves:
-        // each filter costs one tuple on the wire per device.
-        if chosen.len() > 1 && gain == 0 {
+        // Stop as soon as the marginal gain hits zero: each extra filter
+        // costs one tuple on the wire per device, so a zero-gain pick —
+        // including the *second* one — never pays for itself. (The first
+        // pick is the paper's max-VDR filter and always ships.)
+        if gain == 0 {
             break;
         }
         for (c, r) in covered.iter_mut().zip(reference) {
@@ -276,7 +284,7 @@ pub fn select_filters(
         MultiFilterSelection::TopVdr => {
             let mut scored: Vec<(f64, &Tuple)> =
                 skyline.iter().map(|t| (vdr_volume(&t.attrs, bounds), t)).collect();
-            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN VDR"));
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0));
             scored
                 .into_iter()
                 .take(k)
@@ -299,7 +307,7 @@ pub fn select_filters(
                             .fold(f64::INFINITY, f64::min);
                         (spread, t)
                     })
-                    .max_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN spread"));
+                    .max_by(|a, b| a.0.total_cmp(&b.0));
                 match best {
                     Some((spread, t)) if spread > 0.0 => {
                         chosen.push(FilterTuple::new(t.attrs.clone(), bounds));
@@ -470,7 +478,22 @@ mod tests {
         ];
         let reference = vec![Tuple::new(3.0, 0.0, vec![5.0, 5.0])];
         let picks = select_filters_greedy(&sky, &b, 3, &reference, FilterTest::Dominance);
-        assert!(picks.len() <= 2, "zero-gain filters must not be added: {picks:?}");
+        assert_eq!(
+            picks.len(),
+            1,
+            "every pick after the first must add coverage — a zero-gain \
+             second filter pays wire bytes for nothing: {picks:?}"
+        );
+    }
+
+    #[test]
+    fn vdr_volume_dim_mismatch_certifies_nothing() {
+        // A short bounds vector must not truncate the product (which would
+        // inflate the volume); the contract is: mismatch ⇒ 0.0.
+        let b = UpperBounds::new(vec![10.0, 10.0]);
+        assert_eq!(vdr_volume(&[1.0, 1.0, 1.0], &b), 0.0);
+        assert_eq!(vdr_volume(&[1.0], &b), 0.0);
+        assert_eq!(vdr_volume(&[1.0, 1.0], &b), 81.0, "matched dims unchanged");
     }
 
     #[test]

@@ -153,6 +153,40 @@ impl Default for ArqConfig {
     }
 }
 
+/// Per-query tracing switches (see DESIGN.md §8). Off by default: every
+/// record site reduces to one `Option` check, so disabled runs pay nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Master switch for the structured per-query trace.
+    pub enabled: bool,
+    /// Ring capacity (records) per node. Overflow sets `dropped` on the
+    /// exported log, which voids the zero-drift guarantee — size generously.
+    pub per_node_capacity: usize,
+    /// Also capture the frame-level engine trace for `NetStats`
+    /// cross-checking (only read when `enabled`).
+    pub frames: bool,
+    /// Frame-trace ring capacity (events, shared across nodes).
+    pub frames_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: false,
+            per_node_capacity: 65_536,
+            frames: false,
+            frames_capacity: 1 << 21,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Tracing on, with the frame-level capture for zero-drift checks.
+    pub fn full() -> Self {
+        TraceConfig { enabled: true, frames: true, ..Self::default() }
+    }
+}
+
 /// Every timer constant of the MANET runtime in one place. Defaults match
 /// the values the runtime used when they were inline literals, so existing
 /// experiments are unchanged.
@@ -180,6 +214,8 @@ pub struct DistConfig {
     pub locality_sample_period: SimDuration,
     /// Per-hop retransmission parameters.
     pub arq: ArqConfig,
+    /// Per-query tracing (off by default; zero-cost when off).
+    pub trace: TraceConfig,
 }
 
 impl Default for DistConfig {
@@ -195,6 +231,7 @@ impl Default for DistConfig {
             handoff_ack_timeout: SimDuration::from_secs_f64(60.0),
             locality_sample_period: SimDuration::from_secs_f64(60.0),
             arq: ArqConfig::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -226,6 +263,8 @@ mod tests {
         assert_eq!(d.handoff_ack_timeout, SimDuration::from_secs_f64(60.0));
         assert_eq!(d.locality_sample_period, SimDuration::from_secs_f64(60.0));
         assert!(d.arq.enabled);
+        assert!(!d.trace.enabled, "tracing must be opt-in");
+        assert!(!d.trace.frames);
     }
 
     #[test]

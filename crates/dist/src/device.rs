@@ -127,9 +127,8 @@ impl<R: DeviceRelation> Device<R> {
                     if !duplicate {
                         if bank.len() < k {
                             bank.push(cand.clone());
-                        } else if let Some(weakest) = bank
-                            .iter_mut()
-                            .min_by(|a, b| a.vdr.partial_cmp(&b.vdr).expect("NaN VDR"))
+                        } else if let Some(weakest) =
+                            bank.iter_mut().min_by(|a, b| a.vdr.total_cmp(&b.vdr))
                         {
                             if cand.vdr > weakest.vdr {
                                 *weakest = cand.clone();

@@ -23,11 +23,16 @@ pub mod metrics;
 pub mod query;
 pub mod runtime;
 pub mod static_net;
+pub mod trace;
 pub mod verify;
 
-pub use config::{ArqConfig, DistConfig, FilterStrategy, Forwarding, StrategyConfig};
+pub use config::{ArqConfig, DistConfig, FilterStrategy, Forwarding, StrategyConfig, TraceConfig};
 pub use device::Device;
 pub use metrics::{DrrAccumulator, QueryMetrics};
 pub use query::{QueryKey, QuerySpec};
 pub use runtime::{QueryRecord, TimeoutCause};
+pub use trace::{
+    query_ids, timeline_for, trace_to_csv, trace_to_jsonl, verify_zero_drift, LatencyStats,
+    PhaseStat, QueryTimeline, TimelineSummary, TraceAggregates,
+};
 pub use verify::{diff_against_truth, score_records, verify_static_query, VerificationReport};

@@ -58,7 +58,10 @@ use device_storage::{DeviceRelation, HybridRelation};
 use manet_sim::engine::{Application, MsgMeta, NeighborMode, NodeCtx, Simulator};
 use manet_sim::mobility::MobilityConfig;
 use manet_sim::radio::RadioConfig;
-use manet_sim::{NetStats, NodeId, Pos, SimDuration, SimTime};
+use manet_sim::{
+    FinalizeKind, FrameTraceLog, NetStats, NodeId, Pos, QueryEvent, QueryId, QueryTraceLog,
+    SimDuration, SimTime,
+};
 use skyline_core::region::Point;
 use skyline_core::vdr::FilterTuple;
 use skyline_core::{SkylineMerger, Tuple};
@@ -68,6 +71,18 @@ use crate::cost_model::DeviceCostModel;
 use crate::device::Device;
 use crate::metrics::DrrAccumulator;
 use crate::query::{QueryKey, QuerySpec};
+
+/// The manet-layer trace id of a query key (same fields, no dependency of
+/// the engine on the application's query types).
+pub(crate) fn qid(key: QueryKey) -> QueryId {
+    QueryId { origin: key.origin, cnt: key.cnt }
+}
+
+/// Best (largest) VDR in a filter bank; 0.0 when empty. Used to report
+/// filter upgrades to the trace.
+fn best_vdr(filters: &[FilterTuple]) -> f64 {
+    filters.iter().map(|f| f.vdr).fold(0.0, f64::max)
+}
 
 /// Protocol messages exchanged between devices.
 #[derive(Debug, Clone)]
@@ -691,6 +706,12 @@ impl DeviceApp {
             }
         }
         let bytes = msg.wire_size();
+        if let ProtoMsg::BfResult { key, tuples, seq, .. } = &msg {
+            ctx.trace(
+                Some(qid(*key)),
+                QueryEvent::ReplySent { to: dst, tuples: tuples.len(), bytes, seq: *seq },
+            );
+        }
         ctx.send_unicast(dst, msg, bytes);
     }
 
@@ -704,8 +725,14 @@ impl DeviceApp {
         let Some(mut p) = self.pending_arq.remove(&seq) else {
             return; // acked (or cancelled by a routing failure) in time
         };
+        let key = match &p.msg {
+            ProtoMsg::BfResult { key, .. } => Some(*key),
+            ProtoMsg::DfToken(t) => Some(t.spec.key),
+            _ => None,
+        };
         if p.attempt > self.dist.arq.max_retries {
             self.arq_exhausted += 1;
+            ctx.trace(key.map(qid), QueryEvent::ArqExhausted { seq });
             if let ProtoMsg::DfToken(mut t) = p.msg {
                 // The next hop is unreachable (or its acks are): give up on
                 // it, mark it visited, and walk around — the same salvage
@@ -716,6 +743,7 @@ impl DeviceApp {
                 if t.path.last() == Some(&p.dst) {
                     t.path.pop();
                 }
+                ctx.trace(Some(qid(t.spec.key)), QueryEvent::TokenSalvaged { dead: p.dst });
                 self.df_route(ctx, t);
             }
             // An exhausted BF reply dies here; the originator's re-issue or
@@ -734,6 +762,7 @@ impl DeviceApp {
         let attempt = p.attempt;
         self.pending_arq.insert(seq, p);
         let bytes = msg.wire_size();
+        ctx.trace(key.map(qid), QueryEvent::ArqRetry { seq, attempt: attempt - 1, bytes });
         ctx.send_unicast(dst, msg, bytes);
         ctx.set_timer(self.arq_delay(seq, attempt), token::ARQ | seq);
     }
@@ -768,6 +797,19 @@ impl DeviceApp {
         self.bf_rounds.insert(spec.key, 0);
 
         let (sk_org, filters) = self.device.originate(&spec, &self.cfg);
+        ctx.trace(
+            Some(qid(spec.key)),
+            QueryEvent::Issued {
+                radius_m: radius,
+                neighbors: ctx.neighbors().len(),
+                filters: filters.len(),
+            },
+        );
+        if ctx.trace_enabled() {
+            for f in &filters {
+                ctx.trace(Some(qid(spec.key)), QueryEvent::FilterAttached { vdr: f.vdr });
+            }
+        }
         let mut aq = ActiveQuery {
             key: spec.key,
             spec,
@@ -793,6 +835,10 @@ impl DeviceApp {
                 self.count_forward_per_neighbor(spec.key, ctx.neighbors().len());
                 let msg = ProtoMsg::BfQuery { spec, filters, round: 0 };
                 let bytes = msg.wire_size();
+                ctx.trace(
+                    Some(qid(spec.key)),
+                    QueryEvent::Forwarded { round: 0, neighbors: ctx.neighbors().len(), bytes },
+                );
                 ctx.broadcast(msg, bytes);
                 self.active = Some(aq);
                 if self.dist.max_reissues > 0 {
@@ -844,6 +890,18 @@ impl DeviceApp {
         self.count_forward_per_neighbor(key, ctx.neighbors().len());
         let msg = ProtoMsg::BfQuery { spec, filters, round };
         let bytes = msg.wire_size();
+        ctx.trace(
+            Some(qid(key)),
+            QueryEvent::Reissued { round: u32::from(round), neighbors: ctx.neighbors().len() },
+        );
+        ctx.trace(
+            Some(qid(key)),
+            QueryEvent::Forwarded {
+                round: u32::from(round),
+                neighbors: ctx.neighbors().len(),
+                bytes,
+            },
+        );
         ctx.broadcast(msg, bytes);
         ctx.set_timer(self.dist.reissue_delay, token::REISSUE | u64::from(cnt));
     }
@@ -866,6 +924,25 @@ impl DeviceApp {
         contributors.sort_unstable();
         contributors.dedup();
         let result = aq.merger.into_result();
+        let outcome = match timeout_cause {
+            None => FinalizeKind::Completed,
+            Some(TimeoutCause::NoResponses) => FinalizeKind::TimedOutNoResponses,
+            _ => FinalizeKind::TimedOutPartial,
+        };
+        ctx.trace(
+            Some(qid(aq.key)),
+            QueryEvent::Finalized {
+                outcome,
+                responded: aq.responded,
+                result_len: result.len(),
+                retries: aq.retries,
+                duplicates: aq.duplicates,
+                reissues: aq.reissues,
+                sum_unreduced: aq.drr.sum_unreduced,
+                sum_sent: aq.drr.sum_sent,
+                participants: aq.drr.participants,
+            },
+        );
         self.records.push(QueryRecord {
             key: aq.key,
             issued: aq.issued,
@@ -906,7 +983,23 @@ impl DeviceApp {
         if self.device.log.check_and_record(spec.key) {
             // Fresh query: process and answer.
             self.bf_rounds.insert(spec.key, round);
+            let vdr_in = best_vdr(&filters);
             let out = self.device.process(&spec, &filters, &self.cfg);
+            ctx.trace(
+                Some(qid(spec.key)),
+                QueryEvent::LocalSkyline {
+                    unreduced: out.unreduced_len,
+                    reply: out.reply.len(),
+                    skipped: out.skipped,
+                },
+            );
+            let vdr_out = best_vdr(&out.forward_filters);
+            if vdr_out > vdr_in {
+                ctx.trace(
+                    Some(qid(spec.key)),
+                    QueryEvent::FilterUpgraded { old_vdr: vdr_in, new_vdr: vdr_out },
+                );
+            }
             let seq = if self.dist.arq.enabled { self.alloc_seq() } else { 0 };
             let reply = ProtoMsg::BfResult {
                 key: spec.key,
@@ -935,6 +1028,14 @@ impl DeviceApp {
                 self.count_forward_per_neighbor(spec.key, ctx.neighbors().len());
                 let msg = ProtoMsg::BfQuery { spec, filters, round };
                 let bytes = msg.wire_size();
+                ctx.trace(
+                    Some(qid(spec.key)),
+                    QueryEvent::Forwarded {
+                        round: u32::from(round),
+                        neighbors: ctx.neighbors().len(),
+                        bytes,
+                    },
+                );
                 ctx.broadcast(msg, bytes);
             }
         }
@@ -983,12 +1084,24 @@ impl DeviceApp {
             // A retransmitted reply whose first copy already counted.
             aq.duplicates += 1;
             self.duplicates_suppressed += 1;
+            ctx.trace(Some(qid(key)), QueryEvent::DuplicateSuppressed { from, seq });
             return;
         }
         aq.retries += u64::from(retries);
         if participated {
             aq.drr.add(unreduced, tuples.len());
         }
+        ctx.trace(
+            Some(qid(key)),
+            QueryEvent::ReplyAccepted {
+                from,
+                tuples: tuples.len(),
+                unreduced,
+                participated,
+                retries,
+                seq,
+            },
+        );
         aq.merger.insert_batch(tuples);
         aq.responded = aq.responders.len();
         // The 80 % rule stamps the response time …
@@ -1013,6 +1126,10 @@ impl DeviceApp {
             self.send_ack(ctx, from, token.transfer_seq);
             if !self.seen_transfers.insert((from, token.transfer_seq)) {
                 self.duplicates_suppressed += 1;
+                ctx.trace(
+                    Some(qid(token.spec.key)),
+                    QueryEvent::DuplicateSuppressed { from, seq: token.transfer_seq },
+                );
                 return;
             }
         }
@@ -1023,7 +1140,23 @@ impl DeviceApp {
         }
         // First visit: process locally, merge into the token.
         self.device.log.check_and_record(token.spec.key);
+        let vdr_in = best_vdr(&token.filters);
         let out = self.device.process(&token.spec, &token.filters, &self.cfg);
+        ctx.trace(
+            Some(qid(token.spec.key)),
+            QueryEvent::LocalSkyline {
+                unreduced: out.unreduced_len,
+                reply: out.reply.len(),
+                skipped: out.skipped,
+            },
+        );
+        let vdr_out = best_vdr(&out.forward_filters);
+        if vdr_out > vdr_in {
+            ctx.trace(
+                Some(qid(token.spec.key)),
+                QueryEvent::FilterUpgraded { old_vdr: vdr_in, new_vdr: vdr_out },
+            );
+        }
         if out.participated {
             token.drr.add(out.unreduced_len, out.reply.len());
         }
@@ -1066,7 +1199,14 @@ impl DeviceApp {
             if self.dist.arq.enabled {
                 token.transfer_seq = self.alloc_seq();
             }
-            self.send_tracked(ctx, n, ProtoMsg::DfToken(token));
+            let key = token.spec.key;
+            let seq = token.transfer_seq;
+            let msg = ProtoMsg::DfToken(token);
+            ctx.trace(
+                Some(qid(key)),
+                QueryEvent::TokenSent { to: n, bytes: msg.wire_size(), backtrack: false, seq },
+            );
+            self.send_tracked(ctx, n, msg);
             return;
         }
 
@@ -1078,7 +1218,14 @@ impl DeviceApp {
             if self.dist.arq.enabled {
                 token.transfer_seq = self.alloc_seq();
             }
-            self.send_tracked(ctx, prev, ProtoMsg::DfToken(token));
+            let key = token.spec.key;
+            let seq = token.transfer_seq;
+            let msg = ProtoMsg::DfToken(token);
+            ctx.trace(
+                Some(qid(key)),
+                QueryEvent::TokenSent { to: prev, bytes: msg.wire_size(), backtrack: true, seq },
+            );
+            self.send_tracked(ctx, prev, msg);
             return;
         }
 
@@ -1167,13 +1314,21 @@ impl Application<ProtoMsg> for DeviceApp {
                                 self.send_tracked(ctx, dst, msg);
                             }
                             Stashed::Broadcast(msg) => {
-                                if let ProtoMsg::BfQuery { spec, .. } = &msg {
+                                let bytes = msg.wire_size();
+                                if let ProtoMsg::BfQuery { spec, round, .. } = &msg {
                                     self.count_forward_per_neighbor(
                                         spec.key,
                                         ctx.neighbors().len(),
                                     );
+                                    ctx.trace(
+                                        Some(qid(spec.key)),
+                                        QueryEvent::Forwarded {
+                                            round: u32::from(*round),
+                                            neighbors: ctx.neighbors().len(),
+                                            bytes,
+                                        },
+                                    );
                                 }
-                                let bytes = msg.wire_size();
                                 ctx.broadcast(msg, bytes);
                             }
                         }
@@ -1186,9 +1341,16 @@ impl Application<ProtoMsg> for DeviceApp {
 
     fn on_delivery_failed(&mut self, ctx: &mut NodeCtx<ProtoMsg>, dst: NodeId, payload: ProtoMsg) {
         self.delivery_failures += 1;
+        let key = match &payload {
+            ProtoMsg::BfResult { key, .. } => Some(*key),
+            ProtoMsg::DfToken(t) => Some(t.spec.key),
+            _ => None,
+        };
+        ctx.trace(key.map(qid), QueryEvent::DeliveryFailed { dst });
         // A lost DF token comes back to its sender: mark the unreachable
         // device as visited (it cannot be reached now) and route on.
         if let ProtoMsg::DfToken(mut t) = payload {
+            ctx.trace(Some(qid(t.spec.key)), QueryEvent::TokenSalvaged { dead: dst });
             // Routing gave up before the ARQ timer: cancel the pending
             // retransmission so the salvaged walk is the only copy.
             if t.transfer_seq != 0 {
@@ -1394,8 +1556,20 @@ pub struct ManetOutcome {
     pub timeouts_no_responses: u64,
     /// Timed-out queries with some, but not enough, responses.
     pub timeouts_partial: u64,
+    /// Total query-forward messages across all queries (the numerator of
+    /// `mean_forward_messages`) — BF per-neighbor floods plus DF token
+    /// transfers. The trace cross-check reconciles this against the event
+    /// log exactly.
+    pub total_forward_messages: u64,
+    /// Total result messages across all queries (BF replies created; DF
+    /// reports no separate result messages).
+    pub total_result_messages: u64,
     /// Raw network counters.
     pub net: NetStats,
+    /// Per-query event log (populated when [`TraceConfig::enabled`]).
+    pub query_trace: Option<QueryTraceLog>,
+    /// Frame-level radio log (populated when [`TraceConfig::frames`]).
+    pub frame_trace: Option<FrameTraceLog>,
 }
 
 // The sweep harness fans experiment cells across worker threads; the
@@ -1434,6 +1608,14 @@ pub fn run_experiment(exp: &ManetExperiment) -> ManetOutcome {
 
     let mut sim: Simulator<ProtoMsg, DeviceApp> = Simulator::new(exp.radio, exp.seed);
     sim.set_neighbor_mode(exp.neighbor_mode);
+    // Tracing is strictly opt-in: when off, the engine carries a `None` and
+    // every record call is a single branch.
+    if exp.dist.trace.enabled {
+        sim.enable_query_trace(exp.dist.trace.per_node_capacity);
+        if exp.dist.trace.frames {
+            sim.enable_trace(exp.dist.trace.frames_capacity);
+        }
+    }
     let avg_partition = exp.data.cardinality / m.max(1);
     for i in 0..m {
         let rel = HybridRelation::new(part.parts[i].clone());
@@ -1493,6 +1675,8 @@ pub fn run_experiment(exp: &ManetExperiment) -> ManetOutcome {
 
     let mut out = collect_outcome(&sim, m, charge_filter);
     out.mean_data_locality_m = mean_data_locality_m;
+    out.query_trace = sim.take_query_trace();
+    out.frame_trace = sim.take_frame_trace();
     if exp.compute_completeness {
         crate::verify::score_records(&mut out.records, &part.parts);
         let scored: Vec<f64> = out.records.iter().filter_map(|r| r.completeness).collect();
@@ -1529,7 +1713,7 @@ fn collect_outcome(
     }
     let completed: Vec<&QueryRecord> = records.iter().filter(|r| !r.timed_out).collect();
     let mut rts: Vec<f64> = completed.iter().filter_map(|r| r.response_seconds).collect();
-    rts.sort_by(|a, b| a.partial_cmp(b).expect("NaN response time"));
+    rts.sort_by(f64::total_cmp);
     let percentile = |q: f64| -> Option<f64> {
         if rts.is_empty() {
             None
@@ -1589,7 +1773,11 @@ fn collect_outcome(
         timeouts_originator_crash: count_cause(TimeoutCause::OriginatorCrash),
         timeouts_no_responses: count_cause(TimeoutCause::NoResponses),
         timeouts_partial: count_cause(TimeoutCause::PartialResponses),
+        total_forward_messages: forwards.values().sum::<u64>(),
+        total_result_messages: results.values().sum::<u64>(),
         net: *sim.stats(),
+        query_trace: None, // filled by run_experiment (needs &mut sim)
+        frame_trace: None,
         records,
     }
 }

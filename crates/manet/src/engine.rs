@@ -17,7 +17,10 @@ use crate::mobility::{MobilityConfig, MobilityState, Pos};
 use crate::packet::{DataPacket, Frame, NodeId};
 use crate::radio::RadioConfig;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{EventTrace, FrameTag, NetStats, TraceEvent};
+use crate::trace::{
+    EventTrace, FrameTag, FrameTraceLog, LossCause, NetStats, QueryEvent, QueryId, QueryTraceLog,
+    QueryTraceState, TraceEvent,
+};
 
 /// How nodes learn who their one-hop neighbours are.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,12 +93,27 @@ pub struct NodeCtx<'a, P> {
     pub position: Pos,
     neighbors: &'a [NodeId],
     cmds: Vec<AppCmd<P>>,
+    qtrace: Option<&'a mut QueryTraceState>,
 }
 
 impl<'a, P> NodeCtx<'a, P> {
     /// Nodes currently within radio range (idealized beaconing).
     pub fn neighbors(&self) -> &[NodeId] {
         self.neighbors
+    }
+
+    /// `true` when per-query tracing is enabled. Use to skip building
+    /// expensive event payloads when nobody is listening.
+    pub fn trace_enabled(&self) -> bool {
+        self.qtrace.is_some()
+    }
+
+    /// Records a structured query-trace event at the current node and time.
+    /// A no-op (one `Option` check) when tracing is disabled.
+    pub fn trace(&mut self, query: Option<QueryId>, event: QueryEvent) {
+        if let Some(qt) = self.qtrace.as_deref_mut() {
+            qt.record(self.now, self.id, query, event);
+        }
     }
 
     /// Sends `payload` to `dst` via AODV multi-hop routing. `bytes` is the
@@ -157,6 +175,7 @@ pub struct Simulator<P, A> {
     neighbor_mode: NeighborMode,
     beacons_started: bool,
     trace: Option<EventTrace>,
+    qtrace: Option<QueryTraceState>,
 }
 
 impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
@@ -177,6 +196,7 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
             neighbor_mode: NeighborMode::Oracle,
             beacons_started: false,
             trace: None,
+            qtrace: None,
         }
     }
 
@@ -188,6 +208,33 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
     /// The event trace, when enabled.
     pub fn trace(&self) -> Option<&EventTrace> {
         self.trace.as_ref()
+    }
+
+    /// Takes the frame-level trace out of the engine as a plain log (for
+    /// cross-checking against [`NetStats`]). Tracing stops.
+    pub fn take_frame_trace(&mut self) -> Option<FrameTraceLog> {
+        self.trace
+            .take()
+            .map(|t| FrameTraceLog { entries: t.entries().copied().collect(), dropped: t.dropped })
+    }
+
+    /// Enables the structured per-query trace: one bounded ring of
+    /// `capacity` records per node (see [`QueryTraceState`]). Applications
+    /// record events through [`NodeCtx::trace`]; the engine itself records
+    /// crash/revive markers.
+    pub fn enable_query_trace(&mut self, capacity: usize) {
+        self.qtrace = Some(QueryTraceState::new(capacity));
+    }
+
+    /// The query-trace collector, when enabled.
+    pub fn query_trace(&self) -> Option<&QueryTraceState> {
+        self.qtrace.as_ref()
+    }
+
+    /// Stitches the per-node query-trace rings into one engine-ordered log,
+    /// consuming the collector. Tracing stops.
+    pub fn take_query_trace(&mut self) -> Option<QueryTraceLog> {
+        self.qtrace.take().map(QueryTraceState::into_log)
     }
 
     /// Selects the neighbour-discovery mode (before running).
@@ -381,9 +428,14 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
                 if !self.up[to] {
                     // Crashed mid-flight: the frame dies on a silent radio.
                     self.stats.frames_dropped_node_down += 1;
+                    self.stats.frames_lost += 1;
                     self.trace_event(
                         now,
-                        TraceEvent::FrameLost { from: link_from, tag: Self::tag_of(&frame) },
+                        TraceEvent::FrameLost {
+                            from: link_from,
+                            tag: Self::tag_of(&frame),
+                            cause: LossCause::NodeDown,
+                        },
                     );
                     return;
                 }
@@ -452,6 +504,9 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
                 self.nodes[n].aodv.reset();
                 self.nodes[n].app.on_crash();
                 self.trace_event(now, TraceEvent::NodeCrashed { node: n });
+                // `on_crash` gets no ctx (a dead node cannot act), so the
+                // engine records the terminal timeline marker itself.
+                self.qtrace_record(now, n, QueryEvent::Crashed);
             }
             FaultAction::Revive(n) => {
                 if self.up[n] {
@@ -460,6 +515,7 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
                 self.up[n] = true;
                 self.stats.node_revivals += 1;
                 self.trace_event(now, TraceEvent::NodeRevived { node: n });
+                self.qtrace_record(now, n, QueryEvent::Revived);
                 self.run_app(n, now, |app, ctx| app.on_revive(ctx));
             }
             FaultAction::SeverLink(a, b) => {
@@ -488,9 +544,10 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
             position: self.positions[node],
             neighbors: &neighbors,
             cmds: Vec::new(),
+            qtrace: self.qtrace.as_mut(),
         };
-        // `ctx` borrows only locals, so borrowing the app out of self is
-        // a plain disjoint borrow.
+        // `ctx` borrows locals plus the `qtrace` field, so borrowing the
+        // app out of `self.nodes` stays a disjoint field borrow.
         f(&mut self.nodes[node].app, &mut ctx);
         let cmds = ctx.cmds;
         for cmd in cmds {
@@ -558,7 +615,7 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         if self.link_severed(from, to) {
             self.stats.frames_blocked_link_down += 1;
             self.stats.frames_lost += 1;
-            self.trace_event(now, TraceEvent::FrameLost { from, tag: Self::tag_of(&frame) });
+            self.trace_lost(now, from, &frame, LossCause::LinkDown);
             return;
         }
         if !self
@@ -568,14 +625,14 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
             || self.degrade_lost()
         {
             self.stats.frames_lost += 1;
-            self.trace_event(now, TraceEvent::FrameLost { from, tag: Self::tag_of(&frame) });
+            self.trace_lost(now, from, &frame, LossCause::Radio);
             return;
         }
         if !self.up[to] {
             // Transmitted into the void; receiver pays nothing.
             self.stats.frames_dropped_node_down += 1;
             self.stats.frames_lost += 1;
-            self.trace_event(now, TraceEvent::FrameLost { from, tag: Self::tag_of(&frame) });
+            self.trace_lost(now, from, &frame, LossCause::NodeDown);
             return;
         }
         self.energy_j[to] += self.radio.energy.rx_joules(frame.bytes());
@@ -601,16 +658,24 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
             if to == from || !self.radio.frame_received(p, self.positions[to], &mut self.rng) {
                 continue;
             }
+            // Per-receiver copy losses are accounted exactly like unicast
+            // losses (counter + traced cause), so trace-derived loss counts
+            // reconstruct `NetStats` regardless of frame kind.
             if self.link_severed(from, to) {
                 self.stats.frames_blocked_link_down += 1;
+                self.stats.frames_lost += 1;
+                self.trace_lost(now, from, &frame, LossCause::LinkDown);
                 continue;
             }
             if self.radio.lost(&mut self.rng) || self.degrade_lost() {
                 self.stats.frames_lost += 1;
+                self.trace_lost(now, from, &frame, LossCause::Radio);
                 continue;
             }
             if !self.up[to] {
                 self.stats.frames_dropped_node_down += 1;
+                self.stats.frames_lost += 1;
+                self.trace_lost(now, from, &frame, LossCause::NodeDown);
                 continue;
             }
             self.energy_j[to] += self.radio.energy.rx_joules(frame.bytes());
@@ -644,6 +709,17 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
     fn trace_event(&mut self, at: SimTime, ev: TraceEvent) {
         if let Some(t) = self.trace.as_mut() {
             t.record(at, ev);
+        }
+    }
+
+    fn trace_lost(&mut self, at: SimTime, from: NodeId, frame: &Frame<P>, cause: LossCause) {
+        self.trace_event(at, TraceEvent::FrameLost { from, tag: Self::tag_of(frame), cause });
+    }
+
+    /// Engine-side query-trace record (crash/revive markers carry no query).
+    fn qtrace_record(&mut self, at: SimTime, node: NodeId, ev: QueryEvent) {
+        if let Some(q) = self.qtrace.as_mut() {
+            q.record(at, node, None, ev);
         }
     }
 }

@@ -17,7 +17,8 @@
 //! * [`engine`] — the simulator: applications implement
 //!   [`engine::Application`] and exchange typed payloads via
 //!   routed unicast and one-hop broadcast;
-//! * [`trace`] — network counters.
+//! * [`trace`] — network counters, the frame-level event ring, and the
+//!   structured per-query trace collector (see DESIGN.md §8).
 //!
 //! ## Example: two static nodes ping-pong over multiple hops
 //!
@@ -62,7 +63,10 @@ pub use mobility::{MobilityConfig, Pos};
 pub use packet::NodeId;
 pub use radio::{EnergyConfig, RadioConfig};
 pub use time::{SimDuration, SimTime};
-pub use trace::NetStats;
+pub use trace::{
+    FinalizeKind, FrameTag, FrameTraceLog, LossCause, NetStats, QueryEvent, QueryId, QueryTraceLog,
+    QueryTraceRecord, TraceEvent,
+};
 
 // Experiment descriptions embed these configs and cross thread boundaries
 // in the bench sweep harness; keep them thread-portable.
@@ -77,4 +81,7 @@ const _: () = {
     assert_send_sync::<ChurnConfig>();
     assert_send_sync::<SimDuration>();
     assert_send_sync::<SimTime>();
+    // Trace logs ride inside experiment outcomes across the sweep pool.
+    assert_send_sync::<QueryTraceLog>();
+    assert_send_sync::<FrameTraceLog>();
 };

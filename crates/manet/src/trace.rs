@@ -17,7 +17,11 @@ pub struct NetStats {
     pub bcast_frames: u64,
     /// Hello beacon frames (beacon neighbour mode only).
     pub hello_frames: u64,
-    /// Frames dropped by range or random loss.
+    /// Frame copies that failed to reach their receiver for any reason:
+    /// range/fading/random loss, a severed link, or a down node. Each loss
+    /// also bumps its cause-specific counter below (node-down, link-down),
+    /// so `frames_lost - frames_dropped_node_down - frames_blocked_link_down`
+    /// is the radio-only loss count.
     pub frames_lost: u64,
     /// Application unicasts submitted via [`NodeCtx::send_unicast`](crate::engine::NodeCtx::send_unicast).
     pub app_unicasts_submitted: u64,
@@ -91,12 +95,16 @@ pub enum TraceEvent {
         /// Frame kind tag.
         tag: FrameTag,
     },
-    /// A frame was lost (range, fading, or random loss).
+    /// A frame was lost. Every lost frame copy is traced exactly once with
+    /// the cause that killed it, so per-cause trace counts reconstruct the
+    /// [`NetStats`] loss counters.
     FrameLost {
         /// Transmitting node.
         from: usize,
         /// Frame kind tag.
         tag: FrameTag,
+        /// Why the frame never arrived.
+        cause: LossCause,
     },
     /// A fault plan crashed a node.
     NodeCrashed {
@@ -110,8 +118,22 @@ pub enum TraceEvent {
     },
 }
 
-/// Which layer a traced frame belongs to.
+/// Why a traced frame was lost (see [`TraceEvent::FrameLost`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossCause {
+    /// Out of range, fading, or random radio loss (`NetStats::frames_lost`
+    /// minus the two structural counters).
+    Radio,
+    /// The link was severed by a fault plan
+    /// (`NetStats::frames_blocked_link_down`).
+    LinkDown,
+    /// The receiver was down at send or delivery time
+    /// (`NetStats::frames_dropped_node_down`).
+    NodeDown,
+}
+
+/// Which layer a traced frame belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FrameTag {
     /// AODV control.
     Aodv,
@@ -189,7 +211,14 @@ mod trace_tests {
     fn ring_evicts_oldest() {
         let mut t = EventTrace::new(2);
         for i in 0..5u64 {
-            t.record(SimTime(i), TraceEvent::FrameLost { from: i as usize, tag: FrameTag::Data });
+            t.record(
+                SimTime(i),
+                TraceEvent::FrameLost {
+                    from: i as usize,
+                    tag: FrameTag::Data,
+                    cause: LossCause::Radio,
+                },
+            );
         }
         assert_eq!(t.len(), 2);
         assert_eq!(t.dropped, 3);
@@ -218,5 +247,357 @@ mod trace_tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         EventTrace::new(0);
+    }
+}
+
+/// Identifies one query across nodes: the originating device and its local
+/// query counter. Mirrors the application layer's query key without the
+/// engine depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId {
+    /// Originating node.
+    pub origin: usize,
+    /// Per-origin query counter.
+    pub cnt: u8,
+}
+
+/// How a query ended, as seen by its originator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinalizeKind {
+    /// The completion rule fired (BF 80 % rule / DF token return).
+    Completed,
+    /// Timed out with no responses at all.
+    TimedOutNoResponses,
+    /// Timed out after partial responses.
+    TimedOutPartial,
+}
+
+/// One structured protocol-level event in a query's life. Application code
+/// records these through [`NodeCtx::trace`](crate::engine::NodeCtx::trace);
+/// the engine itself records [`QueryEvent::Crashed`] / [`QueryEvent::Revived`]
+/// (with no query id) when a fault plan fires.
+///
+/// Fields are all plain scalars so records stay `Copy` and comparable; the
+/// per-cause / per-kind counts are cross-checked against `NetStats` and the
+/// application's own counters by the zero-drift tests (drift = bug).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryEvent {
+    /// The originator issued a new query.
+    Issued {
+        /// Query radius in metres.
+        radius_m: f64,
+        /// Neighbours visible at issue time.
+        neighbors: usize,
+        /// Filter tuples attached to the outgoing query.
+        filters: usize,
+    },
+    /// A flooding hop: the query was (re)broadcast to one-hop neighbours.
+    Forwarded {
+        /// Re-issue round the broadcast belongs to.
+        round: u32,
+        /// Neighbours visible at forward time.
+        neighbors: usize,
+        /// Serialized message bytes.
+        bytes: usize,
+    },
+    /// A device computed its local skyline for the query.
+    LocalSkyline {
+        /// Unreduced local skyline size |SK_i|.
+        unreduced: usize,
+        /// Reply size after filtering |SK'_i|.
+        reply: usize,
+        /// `true` when the device's region missed the query entirely.
+        skipped: bool,
+    },
+    /// A filter tuple was attached at the originator.
+    FilterAttached {
+        /// The filter's VDR volume.
+        vdr: f64,
+    },
+    /// A relaying device upgraded the filter bank before forwarding.
+    FilterUpgraded {
+        /// Best VDR among the incoming filters (0 when none).
+        old_vdr: f64,
+        /// Best VDR among the outgoing filters.
+        new_vdr: f64,
+    },
+    /// A reply (BF result) was handed to the routing layer.
+    ReplySent {
+        /// Destination (the originator).
+        to: usize,
+        /// Result tuples carried.
+        tuples: usize,
+        /// Serialized message bytes.
+        bytes: usize,
+        /// ARQ sequence number (0 when ARQ is disabled).
+        seq: u64,
+    },
+    /// The originator accepted a reply from a fresh responder.
+    ReplyAccepted {
+        /// Responding device.
+        from: usize,
+        /// Result tuples carried.
+        tuples: usize,
+        /// The responder's unreduced local skyline size.
+        unreduced: usize,
+        /// `true` when the responder counts toward DRR (non-empty skyline).
+        participated: bool,
+        /// ARQ retries the reply needed end-to-end.
+        retries: u32,
+        /// ARQ sequence number of the accepted copy.
+        seq: u64,
+    },
+    /// A duplicate reply or token transfer was suppressed.
+    DuplicateSuppressed {
+        /// Sender of the duplicate.
+        from: usize,
+        /// ARQ sequence number of the duplicate copy.
+        seq: u64,
+    },
+    /// An ARQ timer fired and the message was retransmitted.
+    ArqRetry {
+        /// ARQ sequence number.
+        seq: u64,
+        /// Retry attempt number (1-based).
+        attempt: u32,
+        /// Serialized message bytes resent.
+        bytes: usize,
+    },
+    /// ARQ gave up on a message after max retries.
+    ArqExhausted {
+        /// ARQ sequence number.
+        seq: u64,
+    },
+    /// A DF token was handed to the routing layer.
+    TokenSent {
+        /// Next device on the walk.
+        to: usize,
+        /// Serialized token bytes.
+        bytes: usize,
+        /// `true` when backtracking along the walk path.
+        backtrack: bool,
+        /// ARQ sequence number of the transfer.
+        seq: u64,
+    },
+    /// A DF token was salvaged around an unreachable device.
+    TokenSalvaged {
+        /// The device the walk routed around.
+        dead: usize,
+    },
+    /// The routing layer reported a delivery failure to the application.
+    DeliveryFailed {
+        /// Unreachable destination.
+        dst: usize,
+    },
+    /// The originator re-issued the query (BF re-flood round).
+    Reissued {
+        /// New round number.
+        round: u32,
+        /// Neighbours visible at re-issue time.
+        neighbors: usize,
+    },
+    /// The originator closed the query (completion or timeout). Carries a
+    /// copy of the scorecard fields so the trace alone reconstructs the
+    /// query record.
+    Finalized {
+        /// How the query ended.
+        outcome: FinalizeKind,
+        /// Devices that responded (BF) or were visited (DF).
+        responded: usize,
+        /// Global skyline size reported.
+        result_len: usize,
+        /// ARQ retries accumulated from accepted replies/tokens.
+        retries: u64,
+        /// Duplicate replies/transfers suppressed for this query.
+        duplicates: u64,
+        /// Re-issue rounds used.
+        reissues: u32,
+        /// DRR Σ|SK_i| term.
+        sum_unreduced: u64,
+        /// DRR Σ|SK'_i| term.
+        sum_sent: u64,
+        /// DRR participant count.
+        participants: u64,
+    },
+    /// The engine crashed this node (fault plan). Recorded with no query id.
+    Crashed,
+    /// The engine revived this node (fault plan). Recorded with no query id.
+    Revived,
+}
+
+/// One recorded query-trace event: where, when, which query, what happened.
+/// `seq` is a globally monotone sequence number assigned at record time, so
+/// stitching per-node buffers back together recovers exact engine order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryTraceRecord {
+    /// Global record order (engine-assigned, gap-free until rings overflow).
+    pub seq: u64,
+    /// Virtual time of the event.
+    pub at: crate::time::SimTime,
+    /// Node the event happened on.
+    pub node: usize,
+    /// Query the event belongs to (`None` for crash/revive).
+    pub query: Option<QueryId>,
+    /// What happened.
+    pub event: QueryEvent,
+}
+
+/// Per-node bounded ring of [`QueryTraceRecord`]s.
+#[derive(Debug, Default)]
+struct NodeTrace {
+    entries: std::collections::VecDeque<QueryTraceRecord>,
+    dropped: u64,
+}
+
+/// The per-query trace collector: one bounded ring per node plus a global
+/// sequence counter. Installed into the engine next to [`NetStats`]; costs
+/// one `Option` check when disabled.
+#[derive(Debug)]
+pub struct QueryTraceState {
+    capacity: usize,
+    nodes: Vec<NodeTrace>,
+    next_seq: u64,
+}
+
+impl QueryTraceState {
+    /// A collector whose per-node rings hold at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "query trace capacity must be positive");
+        QueryTraceState { capacity, nodes: Vec::new(), next_seq: 0 }
+    }
+
+    /// Records one event into `node`'s ring, assigning the next global
+    /// sequence number. Node buffers grow on demand.
+    pub fn record(
+        &mut self,
+        at: crate::time::SimTime,
+        node: usize,
+        query: Option<QueryId>,
+        event: QueryEvent,
+    ) {
+        if node >= self.nodes.len() {
+            self.nodes.resize_with(node + 1, NodeTrace::default);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let ring = &mut self.nodes[node];
+        if ring.entries.len() == self.capacity {
+            ring.entries.pop_front();
+            ring.dropped += 1;
+        }
+        ring.entries.push_back(QueryTraceRecord { seq, at, node, query, event });
+    }
+
+    /// Total records evicted across all node rings.
+    pub fn dropped(&self) -> u64 {
+        self.nodes.iter().map(|n| n.dropped).sum()
+    }
+
+    /// Total records currently retained.
+    pub fn len(&self) -> usize {
+        self.nodes.iter().map(|n| n.entries.len()).sum()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stitches all node rings into one log ordered by global sequence
+    /// number (= exact engine record order), consuming the collector.
+    pub fn into_log(self) -> QueryTraceLog {
+        let dropped = self.dropped();
+        let mut records: Vec<QueryTraceRecord> =
+            self.nodes.into_iter().flat_map(|n| n.entries).collect();
+        records.sort_by_key(|r| r.seq);
+        QueryTraceLog { records, dropped }
+    }
+}
+
+/// A finished, stitched query trace: records in engine order plus the
+/// overflow count (a nonzero `dropped` voids the zero-drift guarantees —
+/// raise the per-node capacity).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryTraceLog {
+    /// All retained records, ordered by global sequence number.
+    pub records: Vec<QueryTraceRecord>,
+    /// Records evicted from full rings before collection.
+    pub dropped: u64,
+}
+
+/// A captured copy of the frame-level [`EventTrace`], exported alongside a
+/// query trace so frame counts can be cross-checked against [`NetStats`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrameTraceLog {
+    /// `(time, event)` pairs, oldest first.
+    pub entries: Vec<(crate::time::SimTime, TraceEvent)>,
+    /// Events evicted from the ring before collection.
+    pub dropped: u64,
+}
+
+#[cfg(test)]
+mod query_trace_tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn rings_are_per_node_and_bounded() {
+        let mut q = QueryTraceState::new(2);
+        let qid = QueryId { origin: 0, cnt: 0 };
+        for i in 0..4u64 {
+            q.record(SimTime(i), 0, Some(qid), QueryEvent::Crashed);
+        }
+        q.record(SimTime(9), 1, None, QueryEvent::Revived);
+        assert_eq!(q.len(), 3, "node 0 capped at 2, node 1 holds 1");
+        assert_eq!(q.dropped(), 2);
+        let log = q.into_log();
+        assert_eq!(log.dropped, 2);
+        // Stitching orders by global seq across nodes.
+        let seqs: Vec<u64> = log.records.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(log.records[2].node, 1);
+        assert_eq!(log.records[2].query, None);
+    }
+
+    #[test]
+    fn seq_recovers_engine_order_across_nodes() {
+        let mut q = QueryTraceState::new(16);
+        let qid = QueryId { origin: 3, cnt: 1 };
+        q.record(
+            SimTime(5),
+            3,
+            Some(qid),
+            QueryEvent::Issued { radius_m: 100.0, neighbors: 2, filters: 1 },
+        );
+        q.record(
+            SimTime(5),
+            1,
+            Some(qid),
+            QueryEvent::LocalSkyline { unreduced: 4, reply: 2, skipped: false },
+        );
+        q.record(
+            SimTime(6),
+            3,
+            Some(qid),
+            QueryEvent::ReplyAccepted {
+                from: 1,
+                tuples: 2,
+                unreduced: 4,
+                participated: true,
+                retries: 0,
+                seq: 7,
+            },
+        );
+        let log = q.into_log();
+        assert_eq!(log.records.len(), 3);
+        assert!(log.records.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(log.records[0].node, 3);
+        assert_eq!(log.records[1].node, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_query_capacity_rejected() {
+        QueryTraceState::new(0);
     }
 }

@@ -21,13 +21,14 @@ pub struct AttributeDomain {
 
 impl AttributeDomain {
     /// Builds the domain from an iterator of attribute values (need not be
-    /// unique or sorted). NaN values are rejected by a panic: the data model
-    /// forbids them.
+    /// unique or sorted). Values are ordered by `f64::total_cmp`, so a NaN
+    /// from a bad generator config degrades deterministically (NaN ranks
+    /// after `+∞`, i.e. as the worst possible value) instead of aborting a
+    /// whole sweep with a sort panic.
     pub fn build<I: IntoIterator<Item = f64>>(values: I) -> Self {
         let mut v: Vec<f64> = values.into_iter().collect();
-        assert!(v.iter().all(|x| !x.is_nan()), "NaN attribute value");
-        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN attribute value"));
-        v.dedup();
+        v.sort_by(f64::total_cmp);
+        v.dedup_by(|a, b| a.total_cmp(b).is_eq());
         AttributeDomain { values: v }
     }
 
@@ -63,7 +64,7 @@ impl AttributeDomain {
     #[inline]
     pub fn id_of(&self, value: f64) -> u32 {
         self.values
-            .binary_search_by(|v| v.partial_cmp(&value).expect("NaN attribute value"))
+            .binary_search_by(|v| v.total_cmp(&value))
             .expect("value not present in attribute domain") as u32
     }
 
@@ -198,6 +199,22 @@ mod tests {
         assert_eq!(d.rank_of(10.0), 0, "rank counts strictly smaller values");
         assert_eq!(d.rank_of(15.0), 1);
         assert_eq!(d.rank_of(31.0), 3);
+    }
+
+    #[test]
+    fn nan_ingestion_degrades_instead_of_panicking() {
+        // Regression: the build sort used `partial_cmp(..).expect(..)`, so
+        // one NaN from a bad generator config aborted the whole sweep. Under
+        // total_cmp a NaN ranks after +∞ (the worst possible value) and the
+        // rest of the domain keeps working.
+        let d = AttributeDomain::build(vec![2.0, f64::NAN, 1.0]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.min(), Some(1.0));
+        assert!(d.max().unwrap().is_nan(), "NaN ranks last");
+        assert_eq!(d.id_of(1.0), 0);
+        assert_eq!(d.id_of(2.0), 1);
+        assert_eq!(d.id_of(f64::NAN), 2, "NaN is findable, not fatal");
+        assert_eq!(d.rank_of(3.0), 2, "finite ranks unaffected by the NaN");
     }
 
     #[test]

@@ -299,7 +299,7 @@ mod tests {
     }
 
     fn sorted_attrs(mut v: Vec<Tuple>) -> Vec<Vec<f64>> {
-        v.sort_by(|a, b| a.attrs.partial_cmp(&b.attrs).unwrap());
+        v.sort_by(|a, b| crate::total_lex(&a.attrs, &b.attrs));
         v.into_iter().map(|t| t.attrs).collect()
     }
 

@@ -43,3 +43,14 @@ pub use persist::{decode_relation, encode_relation, DecodeError};
 pub use ring_store::RingRelation;
 pub use spatial_index::SpatialRelation;
 pub use traits::{DeviceRelation, LocalQuery, LocalSkylineOutcome, LocalStats, StorageModel};
+
+/// NaN-safe lexicographic ordering on attribute vectors (`f64::total_cmp`
+/// per element), for canonicalizing skylines in equivalence tests.
+#[cfg(test)]
+pub(crate) fn total_lex(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| x.total_cmp(y))
+        .find(|o| o.is_ne())
+        .unwrap_or_else(|| a.len().cmp(&b.len()))
+}

@@ -72,8 +72,10 @@ pub fn encode_relation(tuples: &[Tuple]) -> Vec<u8> {
     let domains: Vec<Vec<f64>> = (0..dim)
         .map(|j| {
             let mut v: Vec<f64> = tuples.iter().map(|t| t.attrs[j]).collect();
-            v.sort_by(|a, b| a.partial_cmp(b).expect("NaN attribute value"));
-            v.dedup();
+            // total_cmp keeps the encoder panic-free on NaN input; the
+            // data-model NaN ban is enforced once, at decode (NanValue).
+            v.sort_by(f64::total_cmp);
+            v.dedup_by(|a, b| a.total_cmp(b).is_eq());
             v
         })
         .collect();
@@ -95,7 +97,7 @@ pub fn encode_relation(tuples: &[Tuple]) -> Vec<u8> {
         out.extend_from_slice(&t.y.to_le_bytes());
         for j in 0..dim {
             let id = domains[j]
-                .binary_search_by(|v| v.partial_cmp(&t.attrs[j]).expect("NaN"))
+                .binary_search_by(|v| v.total_cmp(&t.attrs[j]))
                 .expect("value present") as u32;
             match widths[j] {
                 1 => out.push(id as u8),

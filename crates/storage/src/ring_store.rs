@@ -251,8 +251,8 @@ mod tests {
             r.local_skyline(&q).skyline.into_iter().map(|t| t.attrs).collect();
         let mut b: Vec<Vec<f64>> =
             f.local_skyline(&q).skyline.into_iter().map(|t| t.attrs).collect();
-        a.sort_by(|x, y| x.partial_cmp(y).unwrap());
-        b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        a.sort_by(|x, y| crate::total_lex(x, y));
+        b.sort_by(|x, y| crate::total_lex(x, y));
         assert_eq!(a, b);
     }
 

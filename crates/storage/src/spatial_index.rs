@@ -110,7 +110,7 @@ impl DeviceRelation for SpatialRelation {
         order.sort_by(|&a, &b| {
             let sa: f64 = self.tuples[a].attrs.iter().sum();
             let sb: f64 = self.tuples[b].attrs.iter().sum();
-            sa.partial_cmp(&sb).expect("NaN attribute value").then(a.cmp(&b))
+            sa.total_cmp(&sb).then(a.cmp(&b))
         });
         let mut window: Vec<usize> = Vec::new();
         for i in order {
