@@ -1,0 +1,20 @@
+//! **Extension experiment**: continuous monitoring vs naive re-query —
+//! see [`msq_bench::monitor`] for the experiment design.
+//!
+//! Usage: `cargo run --release -p msq-bench --bin ext_monitor [--full]
+//! [--jobs N] [--json]`
+//!
+//! `--json` additionally writes `BENCH_monitor.json` to the current
+//! directory.
+
+fn main() {
+    let scale = msq_bench::Scale::from_args();
+    let reports = msq_bench::monitor::run(scale);
+    if std::env::args().any(|a| a == "--json") {
+        let path = "BENCH_monitor.json";
+        match std::fs::write(path, msq_bench::monitor::to_json(scale, &reports)) {
+            Ok(()) => println!("[json] wrote {path}"),
+            Err(e) => eprintln!("[json] failed to write {path}: {e}"),
+        }
+    }
+}

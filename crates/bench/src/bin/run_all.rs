@@ -7,7 +7,8 @@
 //! workers, default all cores; `--jobs 1` is the legacy sequential path).
 //! `--json` additionally runs the core dominance micro-benchmark and
 //! writes the machine-readable baselines `BENCH_core.json`,
-//! `BENCH_sweep.json`, and `BENCH_chaos.json` to the current directory.
+//! `BENCH_sweep.json`, `BENCH_chaos.json`, and `BENCH_monitor.json` to the
+//! current directory.
 
 use datagen::Distribution;
 use msq_bench::manet_figs::Metric;
@@ -48,6 +49,9 @@ fn main() {
     println!();
     let chaos = msq_bench::chaos::run(scale);
 
+    println!();
+    let monitor = msq_bench::monitor::run(scale);
+
     let total = t0.elapsed();
     println!("\nall figures regenerated in {total:.1?} ({jobs} jobs)");
 
@@ -55,6 +59,7 @@ fn main() {
         let stages = sweep::take_stage_records();
         write_file("BENCH_sweep.json", &sweep_json(jobs, total.as_secs_f64(), &stages));
         write_file("BENCH_chaos.json", &msq_bench::chaos::to_json(scale, &chaos));
+        write_file("BENCH_monitor.json", &msq_bench::monitor::to_json(scale, &monitor));
 
         let records = msq_bench::corebench::run(20_000);
         write_file("BENCH_core.json", &core_json(&records));

@@ -14,6 +14,7 @@ pub mod corebench;
 pub mod fig5;
 pub mod manet_figs;
 pub mod messages;
+pub mod monitor;
 pub mod scale;
 pub mod static_drr;
 pub mod sweep;

@@ -142,6 +142,24 @@ impl Scale {
             Scale::Full => 1_800.0,
         }
     }
+
+    /// Monitoring sweep (`ext_monitor`): grid side (`m = g²` devices).
+    pub fn monitor_grid(self) -> usize {
+        match self {
+            Scale::Quick => 4,
+            Scale::Full => 5,
+        }
+    }
+
+    /// Monitoring sweep: standing-query duration in seconds. Long enough
+    /// for tens of epochs at every swept period, so lease renewals, the
+    /// miss limit, and full resyncs all get exercised.
+    pub fn monitor_duration_seconds(self) -> f64 {
+        match self {
+            Scale::Quick => 600.0,
+            Scale::Full => 1_800.0,
+        }
+    }
 }
 
 #[cfg(test)]

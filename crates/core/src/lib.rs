@@ -38,6 +38,7 @@ pub mod algo;
 pub mod block;
 pub mod constrained;
 pub mod dominance;
+pub mod live;
 pub mod merge;
 pub mod region;
 pub mod rtree;
@@ -46,7 +47,8 @@ pub mod vdr;
 
 pub use block::{kernel_for, DomKernel, TupleBlock};
 pub use dominance::{dominates, DominanceTest};
+pub use live::{LiveSkyline, RangeDelta, RangeWatch};
 pub use merge::SkylineMerger;
 pub use region::{Mbr, Point, QueryRegion};
-pub use tuple::Tuple;
+pub use tuple::{Tuple, TupleId};
 pub use vdr::{vdr_volume, BoundsMode, FilterTest, FilterTuple, MultiFilterSelection, UpperBounds};

@@ -1,0 +1,486 @@
+//! Deletion-capable incremental skyline maintenance for continuous
+//! monitoring (the monitoring extension; see DESIGN.md §9).
+//!
+//! [`SkylineMerger`](crate::SkylineMerger) serves one-shot queries: it
+//! discards every dominated tuple on arrival, so nothing can come back when
+//! a skyline member later disappears (a site leaves the range `d`, a
+//! contributing device crashes). [`LiveSkyline`] keeps the discarded tuples
+//! around in *exclusive-dominance buckets*: every live non-skyline tuple is
+//! parked under exactly one skyline member that dominates it. Removing a
+//! member therefore only has to reconsider that member's own bucket — the
+//! displaced tuples are re-inserted (promoted or re-parked), never a full
+//! recomputation.
+//!
+//! **Invariant** (checked by [`LiveSkyline::check_invariants`] in tests):
+//! the skyline members are mutually non-dominating; every bucketed tuple is
+//! dominated by its owner; every live tuple is in the skyline or in exactly
+//! one bucket.
+//!
+//! [`RangeWatch`] is the companion range-membership transition detector:
+//! it tracks which moving sites are inside the query circle `d` and
+//! reports `entered` / `exited` per observation batch, so the monitoring
+//! protocol only touches the skyline when membership actually changes.
+
+use std::collections::BTreeMap;
+
+use crate::dominance::dominates;
+use crate::region::{Point, QueryRegion};
+use crate::tuple::{Tuple, TupleId};
+
+/// Where a live tuple currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// In the skyline.
+    Sky,
+    /// Parked in the bucket of this skyline member.
+    Shadow(TupleId),
+}
+
+/// A deletion-capable incremental skyline over identified tuples.
+///
+/// ```
+/// use skyline_core::{LiveSkyline, Tuple, TupleId};
+///
+/// let mut ls = LiveSkyline::new();
+/// ls.insert(TupleId(1, 0), Tuple::new(0.0, 0.0, vec![1.0, 1.0]));
+/// ls.insert(TupleId(2, 0), Tuple::new(1.0, 0.0, vec![5.0, 5.0])); // dominated, parked
+/// assert_eq!(ls.len(), 1);
+/// ls.remove(&TupleId(1, 0)); // the parked tuple is promoted
+/// assert_eq!(ls.len(), 1);
+/// assert_eq!(ls.result()[0].attrs, vec![5.0, 5.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LiveSkyline {
+    /// Current skyline members, in insertion order (deterministic).
+    sky: Vec<(TupleId, Tuple)>,
+    /// Bucket per skyline member: the live tuples it absorbs. `BTreeMap`
+    /// keeps iteration deterministic across platforms.
+    shadow: BTreeMap<TupleId, Vec<(TupleId, Tuple)>>,
+    /// Location of every live tuple.
+    index: BTreeMap<TupleId, Slot>,
+    /// Bucketed tuples promoted into the skyline by removals.
+    pub promotions: u64,
+    /// Inserts ignored because the id was already live.
+    pub duplicates_ignored: u64,
+}
+
+impl LiveSkyline {
+    /// Empty maintainer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maintainer seeded with static-site tuples (ids via [`TupleId::site`]).
+    pub fn with_sites<I: IntoIterator<Item = Tuple>>(seed: I) -> Self {
+        let mut ls = Self::new();
+        for t in seed {
+            ls.insert_site(t);
+        }
+        ls
+    }
+
+    /// Inserts `t` under the static-site identity [`TupleId::site`].
+    pub fn insert_site(&mut self, t: Tuple) -> bool {
+        self.insert(TupleId::site(&t), t)
+    }
+
+    /// Inserts `t` under `id`. Returns `true` when `t` entered the skyline.
+    /// Re-inserting a live id is ignored (idempotent; counted in
+    /// [`duplicates_ignored`](Self::duplicates_ignored)) — remove first to
+    /// update a tuple's attributes.
+    pub fn insert(&mut self, id: TupleId, t: Tuple) -> bool {
+        if self.index.contains_key(&id) {
+            self.duplicates_ignored += 1;
+            return false;
+        }
+        // Dominated by a member: park it in the first dominator's bucket
+        // (which bucket is irrelevant for correctness — any dominator
+        // keeps the invariant; first-in-insertion-order is deterministic).
+        if let Some((owner, _)) = self.sky.iter().find(|(_, s)| dominates(&s.attrs, &t.attrs)) {
+            let owner = *owner;
+            self.shadow.entry(owner).or_default().push((id, t));
+            self.index.insert(id, Slot::Shadow(owner));
+            return false;
+        }
+        // It enters the skyline: members it dominates fall into its bucket,
+        // and transitively their whole buckets (dominance is transitive).
+        let mut absorbed: Vec<(TupleId, Tuple)> = Vec::new();
+        let mut kept = Vec::with_capacity(self.sky.len() + 1);
+        for (sid, s) in std::mem::take(&mut self.sky) {
+            if dominates(&t.attrs, &s.attrs) {
+                if let Some(bucket) = self.shadow.remove(&sid) {
+                    absorbed.extend(bucket);
+                }
+                absorbed.push((sid, s));
+            } else {
+                kept.push((sid, s));
+            }
+        }
+        self.sky = kept;
+        if !absorbed.is_empty() {
+            for (aid, _) in &absorbed {
+                self.index.insert(*aid, Slot::Shadow(id));
+            }
+            self.shadow.insert(id, absorbed);
+        }
+        self.sky.push((id, t));
+        self.index.insert(id, Slot::Sky);
+        true
+    }
+
+    /// Removes the tuple with identity `id`, promoting displaced bucket
+    /// tuples as needed. Returns `false` when the id was not live.
+    pub fn remove(&mut self, id: &TupleId) -> bool {
+        match self.index.remove(id) {
+            None => false,
+            Some(Slot::Shadow(owner)) => {
+                let bucket = self.shadow.get_mut(&owner).expect("owner bucket exists");
+                bucket.retain(|(bid, _)| bid != id);
+                if bucket.is_empty() {
+                    self.shadow.remove(&owner);
+                }
+                true
+            }
+            Some(Slot::Sky) => {
+                self.sky.retain(|(sid, _)| sid != id);
+                // Orphans re-enter through the normal insert path: each is
+                // either re-parked under another member or promoted. An
+                // orphan can never evict a surviving member (the removed
+                // member would have dominated it transitively).
+                let orphans = self.shadow.remove(id).unwrap_or_default();
+                for (oid, o) in orphans {
+                    self.index.remove(&oid);
+                    if self.insert(oid, o) {
+                        self.promotions += 1;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// `true` when `id` is live (in the skyline or parked).
+    pub fn contains(&self, id: &TupleId) -> bool {
+        self.index.contains_key(id)
+    }
+
+    /// `true` when `id` is currently a skyline member.
+    pub fn in_skyline(&self, id: &TupleId) -> bool {
+        matches!(self.index.get(id), Some(Slot::Sky))
+    }
+
+    /// Current skyline, in insertion order.
+    pub fn result(&self) -> Vec<Tuple> {
+        self.sky.iter().map(|(_, t)| t.clone()).collect()
+    }
+
+    /// Current skyline member ids, sorted (a canonical view for equality
+    /// checks against a recompute oracle).
+    pub fn result_ids(&self) -> Vec<TupleId> {
+        let mut ids: Vec<TupleId> = self.sky.iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Iterates the skyline members as `(id, tuple)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&TupleId, &Tuple)> {
+        self.sky.iter().map(|(id, t)| (id, t))
+    }
+
+    /// Skyline size.
+    pub fn len(&self) -> usize {
+        self.sky.len()
+    }
+
+    /// `true` when the skyline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sky.is_empty()
+    }
+
+    /// Live tuples tracked (skyline plus every bucket).
+    pub fn live_len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Verifies the exclusive-dominance invariant, returning a description
+    /// of the first violation. Intended for tests and debug assertions; the
+    /// cost is quadratic in the skyline size.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, (ia, a)) in self.sky.iter().enumerate() {
+            for (ib, b) in &self.sky[i + 1..] {
+                if dominates(&a.attrs, &b.attrs) || dominates(&b.attrs, &a.attrs) {
+                    return Err(format!("skyline members {ia:?} and {ib:?} are ordered"));
+                }
+            }
+        }
+        let mut live = 0usize;
+        for (sid, _) in &self.sky {
+            match self.index.get(sid) {
+                Some(Slot::Sky) => live += 1,
+                other => return Err(format!("member {sid:?} indexed as {other:?}")),
+            }
+        }
+        for (owner, bucket) in &self.shadow {
+            let Some(Slot::Sky) = self.index.get(owner) else {
+                return Err(format!("bucket owner {owner:?} is not a skyline member"));
+            };
+            let ot = &self.sky.iter().find(|(sid, _)| sid == owner).expect("owner in sky").1;
+            for (bid, b) in bucket {
+                if !dominates(&ot.attrs, &b.attrs) {
+                    return Err(format!("bucketed {bid:?} is not dominated by owner {owner:?}"));
+                }
+                match self.index.get(bid) {
+                    Some(Slot::Shadow(o)) if o == owner => live += 1,
+                    other => return Err(format!("bucketed {bid:?} indexed as {other:?}")),
+                }
+            }
+        }
+        if live != self.index.len() {
+            return Err(format!("index holds {} ids, structures hold {live}", self.index.len()));
+        }
+        Ok(())
+    }
+}
+
+impl Extend<Tuple> for LiveSkyline {
+    /// Extends with static-site tuples (ids via [`TupleId::site`]).
+    fn extend<I: IntoIterator<Item = Tuple>>(&mut self, iter: I) {
+        for t in iter {
+            self.insert_site(t);
+        }
+    }
+}
+
+impl Extend<(TupleId, Tuple)> for LiveSkyline {
+    fn extend<I: IntoIterator<Item = (TupleId, Tuple)>>(&mut self, iter: I) {
+        for (id, t) in iter {
+            self.insert(id, t);
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Range-membership transitions
+// ----------------------------------------------------------------------
+
+/// Membership changes produced by one [`RangeWatch::update`] batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeDelta {
+    /// Sites that moved into the range since the previous batch.
+    pub entered: Vec<TupleId>,
+    /// Sites that left the range (or vanished from the batch) since the
+    /// previous batch.
+    pub exited: Vec<TupleId>,
+}
+
+impl RangeDelta {
+    /// `true` when no membership changed.
+    pub fn is_empty(&self) -> bool {
+        self.entered.is_empty() && self.exited.is_empty()
+    }
+}
+
+/// Detects `enters(d)` / `exits(d)` transitions of moving sites against a
+/// fixed query circle without recomputing full membership downstream: feed
+/// it each epoch's `(id, position)` observations and act only on the
+/// reported transitions.
+#[derive(Debug, Clone)]
+pub struct RangeWatch {
+    region: QueryRegion,
+    inside: BTreeMap<TupleId, bool>,
+}
+
+impl RangeWatch {
+    /// Watches the circle of radius `d` around `center`. An infinite `d`
+    /// makes every observed site a member (the paper's unconstrained case).
+    pub fn new(center: Point, d: f64) -> Self {
+        RangeWatch { region: QueryRegion::new(center, d), inside: BTreeMap::new() }
+    }
+
+    /// The watched region.
+    pub fn region(&self) -> &QueryRegion {
+        &self.region
+    }
+
+    /// Observes one epoch's positions and returns the membership
+    /// transitions. A site that appeared in an earlier batch but not in
+    /// this one counts as exited (it is gone — e.g. its device crashed).
+    pub fn update<I: IntoIterator<Item = (TupleId, Point)>>(&mut self, sites: I) -> RangeDelta {
+        let mut delta = RangeDelta::default();
+        let mut seen: BTreeMap<TupleId, bool> = BTreeMap::new();
+        for (id, pos) in sites {
+            let now_in = self.region.contains(pos);
+            let was_in = self.inside.get(&id).copied().unwrap_or(false);
+            if now_in && !was_in {
+                delta.entered.push(id);
+            } else if !now_in && was_in {
+                delta.exited.push(id);
+            }
+            seen.insert(id, now_in);
+        }
+        for (id, was_in) in &self.inside {
+            if *was_in && !seen.contains_key(id) {
+                delta.exited.push(*id);
+            }
+        }
+        delta.exited.sort_unstable();
+        self.inside = seen;
+        delta
+    }
+
+    /// Ids currently inside the range, sorted.
+    pub fn members(&self) -> Vec<TupleId> {
+        self.inside.iter().filter(|(_, &inside)| inside).map(|(id, _)| *id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::Algorithm;
+
+    fn t(attrs: &[f64]) -> Tuple {
+        Tuple::new(0.0, 0.0, attrs.to_vec())
+    }
+
+    /// Recompute oracle: skyline ids over the live id → tuple map.
+    fn oracle(live: &BTreeMap<TupleId, Tuple>) -> Vec<TupleId> {
+        let ids: Vec<TupleId> = live.keys().copied().collect();
+        let data: Vec<Tuple> = live.values().cloned().collect();
+        let keep = Algorithm::Bnl.skyline_indices(&data);
+        let mut out: Vec<TupleId> = keep.into_iter().map(|i| ids[i]).collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn insert_parks_dominated_and_remove_promotes() {
+        let mut ls = LiveSkyline::new();
+        assert!(ls.insert(TupleId(1, 0), t(&[1.0, 1.0])));
+        assert!(!ls.insert(TupleId(2, 0), t(&[2.0, 2.0])));
+        assert!(!ls.insert(TupleId(3, 0), t(&[3.0, 3.0])));
+        assert_eq!(ls.len(), 1);
+        assert_eq!(ls.live_len(), 3);
+        assert!(ls.remove(&TupleId(1, 0)));
+        // 2 promoted; 3 re-parked under 2.
+        assert_eq!(ls.result_ids(), vec![TupleId(2, 0)]);
+        assert_eq!(ls.live_len(), 2);
+        assert_eq!(ls.promotions, 1);
+        ls.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn inserting_dominator_absorbs_members_and_their_buckets() {
+        let mut ls = LiveSkyline::new();
+        ls.insert(TupleId(1, 0), t(&[5.0, 5.0]));
+        ls.insert(TupleId(2, 0), t(&[6.0, 6.0])); // parked under 1
+        ls.insert(TupleId(3, 0), t(&[1.0, 9.0]));
+        assert!(ls.insert(TupleId(4, 0), t(&[2.0, 2.0]))); // evicts 1 (+bucket)
+        assert_eq!(ls.result_ids(), vec![TupleId(3, 0), TupleId(4, 0)]);
+        assert_eq!(ls.live_len(), 4);
+        ls.check_invariants().unwrap();
+        // Removing the absorber resurfaces the whole chain.
+        ls.remove(&TupleId(4, 0));
+        assert_eq!(ls.result_ids(), vec![TupleId(1, 0), TupleId(3, 0)]);
+        ls.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicate_ids_are_ignored_and_counted() {
+        let mut ls = LiveSkyline::new();
+        assert!(ls.insert(TupleId(1, 0), t(&[1.0])));
+        assert!(!ls.insert(TupleId(1, 0), t(&[0.5])));
+        assert_eq!(ls.duplicates_ignored, 1);
+        assert_eq!(ls.live_len(), 1);
+    }
+
+    #[test]
+    fn remove_of_unknown_id_is_false() {
+        let mut ls = LiveSkyline::new();
+        assert!(!ls.remove(&TupleId(9, 9)));
+    }
+
+    #[test]
+    fn removing_parked_tuple_leaves_skyline_untouched() {
+        let mut ls = LiveSkyline::new();
+        ls.insert(TupleId(1, 0), t(&[1.0]));
+        ls.insert(TupleId(2, 0), t(&[2.0]));
+        assert!(ls.remove(&TupleId(2, 0)));
+        assert_eq!(ls.result_ids(), vec![TupleId(1, 0)]);
+        assert_eq!(ls.live_len(), 1);
+        assert_eq!(ls.promotions, 0);
+        ls.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn seeded_interleaving_matches_recompute_oracle() {
+        // A deterministic churn of inserts and removes; after every step
+        // the skyline must equal the recompute oracle over live tuples.
+        let mut ls = LiveSkyline::new();
+        let mut live: BTreeMap<TupleId, Tuple> = BTreeMap::new();
+        let mut h = 0x5EEDu64;
+        for step in 0..400u64 {
+            h = h.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let id = TupleId(h % 40, 0);
+            let remove = step % 3 == 2;
+            if remove {
+                let removed = ls.remove(&id);
+                assert_eq!(removed, live.remove(&id).is_some());
+            } else {
+                let attrs = vec![(h >> 8) as f64 % 17.0, (h >> 16) as f64 % 17.0];
+                let tup = t(&attrs);
+                let fresh = !live.contains_key(&id);
+                let _ = ls.insert(id, tup.clone());
+                if fresh {
+                    live.insert(id, tup);
+                }
+            }
+            assert_eq!(ls.result_ids(), oracle(&live), "step {step}");
+            assert_eq!(ls.live_len(), live.len());
+        }
+        ls.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn with_sites_and_extend_match_merger_semantics() {
+        let seed = vec![
+            Tuple::new(0.0, 0.0, vec![5.0]),
+            Tuple::new(1.0, 0.0, vec![1.0]),
+            Tuple::new(0.0, 0.0, vec![5.0]), // duplicate site
+        ];
+        let ls = LiveSkyline::with_sites(seed.clone());
+        assert_eq!(ls.len(), 1);
+        assert_eq!(ls.duplicates_ignored, 1);
+        let mut ext = LiveSkyline::default();
+        ext.extend(seed);
+        assert_eq!(ext.result_ids(), ls.result_ids());
+    }
+
+    #[test]
+    fn range_watch_reports_transitions_and_absence_as_exit() {
+        let mut w = RangeWatch::new(Point::new(0.0, 0.0), 10.0);
+        let a = TupleId(1, 0);
+        let b = TupleId(2, 0);
+        let d = w.update(vec![(a, Point::new(5.0, 0.0)), (b, Point::new(50.0, 0.0))]);
+        assert_eq!(d.entered, vec![a]);
+        assert!(d.exited.is_empty());
+        assert_eq!(w.members(), vec![a]);
+        // b enters, a drifts out.
+        let d = w.update(vec![(a, Point::new(11.0, 0.0)), (b, Point::new(9.0, 0.0))]);
+        assert_eq!(d.entered, vec![b]);
+        assert_eq!(d.exited, vec![a]);
+        // b vanishes from the batch entirely (device crash): exited.
+        let d = w.update(std::iter::empty());
+        assert!(d.entered.is_empty());
+        assert_eq!(d.exited, vec![b]);
+        assert!(w.members().is_empty());
+    }
+
+    #[test]
+    fn range_watch_no_change_is_empty_delta() {
+        let mut w = RangeWatch::new(Point::new(0.0, 0.0), f64::INFINITY);
+        let a = TupleId(1, 0);
+        assert!(!w.update(vec![(a, Point::new(3.0, 3.0))]).is_empty());
+        assert!(w.update(vec![(a, Point::new(900.0, 4.0))]).is_empty());
+    }
+}

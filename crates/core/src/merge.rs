@@ -5,9 +5,16 @@
 //! identified by the `(x, y)` values alone, since no two sites share a
 //! location — and (b) resolves dominance in *both* directions: an incoming
 //! tuple may evict previously accepted tuples and vice versa.
+//!
+//! [`SkylineMerger`] is the *insert-only fast path*: evicted tuples are
+//! discarded, so a [`remove`](SkylineMerger::remove) can only delete a
+//! current member — it cannot resurrect tuples the member had previously
+//! dominated. One-shot queries never need that; continuous monitoring does,
+//! and uses [`LiveSkyline`](crate::LiveSkyline) instead, which parks every
+//! dominated tuple in its dominator's bucket and promotes on removal.
 
 use crate::dominance::dominates;
-use crate::tuple::Tuple;
+use crate::tuple::{Tuple, TupleId};
 
 /// Running merge state on the query originator.
 ///
@@ -81,6 +88,19 @@ impl SkylineMerger {
         }
     }
 
+    /// Removes the member whose static-site identity ([`TupleId::site`]) is
+    /// `id`. Returns `false` when no member matches.
+    ///
+    /// The merger keeps no history, so tuples the removed member had evicted
+    /// stay gone — the result may be a *subset* of the true skyline over the
+    /// remaining input. Use [`LiveSkyline`](crate::LiveSkyline) when removals
+    /// must promote displaced tuples.
+    pub fn remove(&mut self, id: &TupleId) -> bool {
+        let before = self.current.len();
+        self.current.retain(|c| TupleId::site(c) != *id);
+        self.current.len() < before
+    }
+
     /// Current merged skyline.
     pub fn result(&self) -> &[Tuple] {
         &self.current
@@ -99,6 +119,12 @@ impl SkylineMerger {
     /// `true` when no tuple has been accepted.
     pub fn is_empty(&self) -> bool {
         self.current.is_empty()
+    }
+}
+
+impl Extend<Tuple> for SkylineMerger {
+    fn extend<I: IntoIterator<Item = Tuple>>(&mut self, iter: I) {
+        self.insert_batch(iter);
     }
 }
 
@@ -184,5 +210,27 @@ mod tests {
         assert!(m.is_empty());
         assert_eq!(m.len(), 0);
         assert!(m.result().is_empty());
+    }
+
+    #[test]
+    fn remove_drops_member_by_site_id() {
+        let a = Tuple::new(0.0, 0.0, vec![1.0, 9.0]);
+        let b = Tuple::new(1.0, 0.0, vec![9.0, 1.0]);
+        let mut m = SkylineMerger::new();
+        m.extend(vec![a.clone(), b]);
+        assert!(m.remove(&TupleId::site(&a)));
+        assert_eq!(m.len(), 1);
+        assert!(!m.remove(&TupleId::site(&a)), "second remove finds nothing");
+    }
+
+    #[test]
+    fn extend_matches_insert_batch() {
+        let batch =
+            vec![Tuple::new(0.0, 0.0, vec![2.0, 2.0]), Tuple::new(1.0, 0.0, vec![1.0, 1.0])];
+        let mut via_extend = SkylineMerger::default();
+        via_extend.extend(batch.clone());
+        let mut via_batch = SkylineMerger::new();
+        via_batch.insert_batch(batch);
+        assert_eq!(via_extend.result(), via_batch.result());
     }
 }

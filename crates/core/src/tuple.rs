@@ -83,6 +83,27 @@ pub fn batch_wire_size(tuples: &[Tuple]) -> usize {
     tuples.iter().map(Tuple::wire_size).sum()
 }
 
+/// A stable identity for one live tuple, independent of its current
+/// attribute or position values.
+///
+/// Two constructions are used in the workspace:
+///
+/// * [`TupleId::site`] — the paper's static-site identity: the `(x, y)`
+///   bit patterns. Valid because no two distinct sites share a location.
+/// * explicit ids (e.g. `(device, slot)`) — for *moving* sites in the
+///   continuous-monitoring extension, where the location changes between
+///   epochs but the monitored entity stays the same.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleId(pub u64, pub u64);
+
+impl TupleId {
+    /// The static-site identity of `t`: its exact `(x, y)` bit patterns.
+    #[inline]
+    pub fn site(t: &Tuple) -> Self {
+        TupleId(t.x.to_bits(), t.y.to_bits())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

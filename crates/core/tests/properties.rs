@@ -10,7 +10,7 @@ use skyline_core::algo::{self, oracle, Algorithm};
 use skyline_core::dominance::{dominates, paper_strict_dominates_rest};
 use skyline_core::region::{Mbr, Point, QueryRegion};
 use skyline_core::vdr::{select_filter, vdr_volume, FilterTest, UpperBounds};
-use skyline_core::{constrained, SkylineMerger, Tuple};
+use skyline_core::{constrained, LiveSkyline, SkylineMerger, Tuple, TupleId};
 
 /// Strategy: a relation of up to `max` tuples with `dim` attributes drawn
 /// from a small integer grid (ties are the interesting case).
@@ -305,5 +305,43 @@ proptest! {
         for t in &data {
             prop_assert!(mbr.mindist2(p) <= t.dist2(p) + 1e-9);
         }
+    }
+
+    #[test]
+    fn live_skyline_interleavings_match_recompute_oracle(
+        dim in 1usize..=6,
+        ops in prop::collection::vec((0u64..24, prop::collection::vec(0u16..12, 6), any::<bool>()), 1..80),
+    ) {
+        // Arbitrary insert/remove interleavings over a small id space (so
+        // removes actually hit) must keep LiveSkyline equal to the
+        // from-scratch skyline over the surviving tuples, at every step,
+        // for every dimensionality the workspace benchmarks (d = 1..6).
+        let mut ls = LiveSkyline::new();
+        let mut live: std::collections::BTreeMap<TupleId, Tuple> = std::collections::BTreeMap::new();
+        for (step, (raw_id, attrs, remove)) in ops.into_iter().enumerate() {
+            let id = TupleId(raw_id, 0);
+            if remove {
+                prop_assert_eq!(ls.remove(&id), live.remove(&id).is_some());
+            } else {
+                let t = Tuple::new(0.0, 0.0, attrs[..dim].iter().map(|&v| f64::from(v)).collect());
+                let fresh = !live.contains_key(&id);
+                ls.insert(id, t.clone());
+                if fresh {
+                    live.insert(id, t);
+                }
+            }
+            // Oracle: skyline ids over the live id → tuple map.
+            let ids: Vec<TupleId> = live.keys().copied().collect();
+            let data: Vec<Tuple> = live.values().cloned().collect();
+            let mut expect: Vec<TupleId> = Algorithm::Bnl
+                .skyline_indices(&data)
+                .into_iter()
+                .map(|i| ids[i])
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(ls.result_ids(), expect, "step {} dim {}", step, dim);
+            prop_assert_eq!(ls.live_len(), live.len());
+        }
+        ls.check_invariants().map_err(TestCaseError::fail)?;
     }
 }

@@ -20,6 +20,7 @@ pub mod config;
 pub mod cost_model;
 pub mod device;
 pub mod metrics;
+pub mod monitor;
 pub mod query;
 pub mod runtime;
 pub mod static_net;
@@ -29,10 +30,16 @@ pub mod verify;
 pub use config::{ArqConfig, DistConfig, FilterStrategy, Forwarding, StrategyConfig, TraceConfig};
 pub use device::Device;
 pub use metrics::{DrrAccumulator, QueryMetrics};
+pub use monitor::{
+    run_monitor_experiment, verify_monitor_drift, EpochView, MonMsg, MonitorApp, MonitorConfig,
+    MonitorExperiment, MonitorMode, MonitorOutcome,
+};
 pub use query::{QueryKey, QuerySpec};
 pub use runtime::{QueryRecord, TimeoutCause};
 pub use trace::{
     query_ids, timeline_for, trace_to_csv, trace_to_jsonl, verify_zero_drift, LatencyStats,
     PhaseStat, QueryTimeline, TimelineSummary, TraceAggregates,
 };
-pub use verify::{diff_against_truth, score_records, verify_static_query, VerificationReport};
+pub use verify::{
+    diff_against_truth, score_epoch, score_records, verify_static_query, VerificationReport,
+};

@@ -128,10 +128,13 @@ mod tests {
 /// re-issues, timeout cause). The original column prefix is stable; new
 /// columns only append.
 pub fn records_to_csv(records: &[crate::runtime::QueryRecord]) -> String {
+    // The column prefix through `timeout_cause` is frozen (consumers parse
+    // by position); the monitoring columns only append after it.
     let mut out = String::from(
         "origin,cnt,issued_s,completed_s,timed_out,responded,result_len,\
          sum_unreduced,sum_sent,participants,response_s,\
-         completeness,spurious,retries,duplicates,reissues,timeout_cause\n",
+         completeness,spurious,retries,duplicates,reissues,timeout_cause,\
+         epochs,epoch_completeness,staleness_s\n",
     );
     for r in records {
         let cause = match r.timeout_cause {
@@ -141,7 +144,7 @@ pub fn records_to_csv(records: &[crate::runtime::QueryRecord]) -> String {
             Some(crate::runtime::TimeoutCause::PartialResponses) => "partial_responses",
         };
         out.push_str(&format!(
-            "{},{},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.key.origin,
             r.key.cnt,
             r.issued.as_secs_f64(),
@@ -159,6 +162,9 @@ pub fn records_to_csv(records: &[crate::runtime::QueryRecord]) -> String {
             r.duplicates,
             r.reissues,
             cause,
+            r.epochs,
+            r.epoch_completeness.map_or(String::new(), |c| format!("{c:.6}")),
+            r.staleness_s.map_or(String::new(), |s| format!("{s:.6}")),
         ));
     }
     out
@@ -192,6 +198,9 @@ mod csv_tests {
             timeout_cause: None,
             completeness: None,
             spurious: 0,
+            epochs: 0,
+            epoch_completeness: None,
+            staleness_s: None,
         }
     }
 
@@ -223,8 +232,11 @@ mod csv_tests {
         assert!(lines[0].starts_with("origin,cnt,"));
         // The pre-scorecard column prefix is stable …
         assert!(lines[1].starts_with("3,1,10.000000,12.500000,false,7,4,10,6,1,2.500000"));
-        // … and the scorecard columns append after it.
-        assert_eq!(lines[1], "3,1,10.000000,12.500000,false,7,4,10,6,1,2.500000,0.750000,0,2,1,1,");
+        // … and the scorecard + monitoring columns append after it.
+        assert_eq!(
+            lines[1],
+            "3,1,10.000000,12.500000,false,7,4,10,6,1,2.500000,0.750000,0,2,1,1,,0,,"
+        );
     }
 
     #[test]
@@ -234,8 +246,36 @@ mod csv_tests {
         let csv = records_to_csv(&[rec]);
         let row = csv.lines().nth(1).unwrap();
         assert!(row.contains(",true,"));
-        assert!(row.ends_with("originator_crash"));
+        assert!(row.contains("originator_crash"));
         // Unscored completeness stays blank, like the other optionals.
         assert!(row.contains(",,0,0,0,0,"));
+    }
+
+    #[test]
+    fn csv_prefix_is_byte_identical_to_pre_monitor_schema() {
+        // The exact header and row bytes emitted before the monitoring
+        // columns existed. Append-only evolution: both must be literal
+        // prefixes of today's output.
+        let old_header = "origin,cnt,issued_s,completed_s,timed_out,responded,result_len,\
+                          sum_unreduced,sum_sent,participants,response_s,\
+                          completeness,spurious,retries,duplicates,reissues,timeout_cause";
+        let old_row = "0,0,0.000000,,true,0,1,0,0,0,,,0,0,0,0,";
+        let csv = records_to_csv(&[blank_record()]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with(old_header), "header prefix changed:\n{}", lines[0]);
+        assert!(lines[1].starts_with(old_row), "row prefix changed:\n{}", lines[1]);
+    }
+
+    #[test]
+    fn monitoring_columns_render_when_filled() {
+        let rec = QueryRecord {
+            epochs: 12,
+            epoch_completeness: Some(0.9375),
+            staleness_s: Some(17.25),
+            ..blank_record()
+        };
+        let row_owner = records_to_csv(&[rec]);
+        let row = row_owner.lines().nth(1).unwrap();
+        assert!(row.ends_with(",12,0.937500,17.250000"), "{row}");
     }
 }

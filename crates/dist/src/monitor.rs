@@ -1,0 +1,1905 @@
+//! Continuous range-skyline monitoring over a MANET.
+//!
+//! The paper's protocol answers one-shot constrained skyline queries; this
+//! module extends it to *standing* queries: an originator registers a range
+//! skyline once and receives a stream of epoch-numbered deltas as device
+//! movement changes which sites fall inside the monitored region.
+//!
+//! ## Protocol
+//!
+//! * **Registration** — the originator floods a [`MonMsg::Register`]
+//!   carrying the query key, region, epoch period, and a lease TTL. Every
+//!   device that sees a fresh round installs (or renews) the registration
+//!   and relays the flood. Leases are soft state: a device whose lease runs
+//!   out without a renewal (the originator re-floods every `ttl / 2`)
+//!   drops the registration and stops transmitting — a crashed originator
+//!   cannot strand heartbeat traffic.
+//! * **Epoch ticks** — every registered device samples its local
+//!   constrained skyline at the shared epoch grid `t0 + k·period`.
+//!   [`RangeWatch`] tracks which of the device's sites are inside the
+//!   monitored circle; when no membership transition occurred the cached
+//!   local skyline is reused without recomputation (the local skyline is a
+//!   pure function of the in-range site set, because attributes are
+//!   fixed).
+//! * **Deltas** — a device transmits only when its local skyline actually
+//!   changed relative to the last *acknowledged* state: a
+//!   [`MonMsg::Delta`] lists added and removed tuples for the epoch. At
+//!   most one delta is in flight per device (per-hop ARQ with the runtime's
+//!   exponential backoff + deterministic jitter); after `heartbeat_every`
+//!   silent epochs a zero-change heartbeat proves liveness. ARQ exhaustion
+//!   or a device crash forces the next transmission to be a *full* resync
+//!   snapshot, so the acked-state chain can never diverge silently.
+//! * **Folding** — the originator maintains the global answer in a
+//!   [`LiveSkyline`] (exclusive-dominance buckets, so removals reinstate
+//!   exactly the tuples the removed member was masking). Applying a delta
+//!   removes then inserts; per-device contribution lists let a *full*
+//!   snapshot or a miss-limit retraction withdraw everything a device ever
+//!   reported. A device silent for `miss_limit` epochs is retracted and
+//!   marked as needing a full resync: later non-full deltas from it are
+//!   neither applied nor acked, which deliberately exhausts the device's
+//!   ARQ and triggers the full snapshot that reconverges both sides.
+//! * **Views** — each epoch the originator snapshots an [`EpochView`]:
+//!   the folded skyline ids plus the mean staleness of the per-device
+//!   reports it is built from. The harness scores views against a ground
+//!   truth reconstructed from per-device in-situ recordings (every device
+//!   logs its local skyline at every epoch regardless of send gating).
+//!
+//! The naive baseline ([`MonitorMode::Requery`]) re-floods the query every
+//! epoch and has every device answer with its complete local skyline —
+//! the message-cost yardstick the delta protocol is measured against in
+//! `ext_monitor`.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use manet_sim::engine::{Application, MsgMeta, NeighborMode, NodeCtx, Simulator};
+use manet_sim::mobility::MobilityConfig;
+use manet_sim::radio::RadioConfig;
+use manet_sim::{
+    FaultPlan, FrameTraceLog, NetStats, NodeId, Pos, QueryEvent, QueryTraceLog, SimDuration,
+    SimTime,
+};
+use skyline_core::region::Point;
+use skyline_core::{LiveSkyline, RangeWatch, SkylineMerger, Tuple, TupleId};
+
+use crate::config::DistConfig;
+use crate::metrics::DrrAccumulator;
+use crate::query::QueryKey;
+use crate::runtime::{qid, splitmix_jitter, QueryRecord, TimeoutCause};
+use crate::trace::{trace_aggregates, verify_frames, TraceAggregates};
+use crate::verify::score_epoch;
+
+/// How the originator keeps its answer fresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorMode {
+    /// The delta protocol described in the module docs.
+    Continuous,
+    /// Naive baseline: re-flood the query every epoch, every device
+    /// answers with its full local skyline.
+    Requery,
+}
+
+/// Monitoring-protocol knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Epoch refresh period.
+    pub period: SimDuration,
+    /// Registration lease TTL; the originator renews every `ttl / 2`.
+    pub ttl: SimDuration,
+    /// A device with no change sends a liveness heartbeat after this many
+    /// silent epochs.
+    pub heartbeat_every: u64,
+    /// The originator retracts a device's contribution after this many
+    /// epochs without an applied report, and demands a full resync.
+    pub miss_limit: u64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            period: SimDuration::from_secs_f64(30.0),
+            ttl: SimDuration::from_secs_f64(240.0),
+            heartbeat_every: 4,
+            miss_limit: 12,
+        }
+    }
+}
+
+/// Messages of the monitoring protocol.
+#[derive(Debug, Clone)]
+pub enum MonMsg {
+    /// Registration / lease-renewal flood (also the per-epoch poll in
+    /// [`MonitorMode::Requery`], where `round` is the epoch number).
+    Register {
+        /// Query identity.
+        key: QueryKey,
+        /// Monitored region center.
+        center: Point,
+        /// Monitored region radius (m).
+        radius: f64,
+        /// Epoch origin (the originator's issue time).
+        t0: SimTime,
+        /// Epoch period.
+        period: SimDuration,
+        /// Lease TTL.
+        ttl: SimDuration,
+        /// Flood round; devices relay each round once.
+        round: u32,
+        /// `true` for the naive re-query baseline.
+        requery: bool,
+    },
+    /// Cancellation flood: drop the registration immediately.
+    Cancel {
+        /// Query identity.
+        key: QueryKey,
+    },
+    /// One device's epoch delta (or zero-change heartbeat), unicast to the
+    /// originator.
+    Delta {
+        /// Query identity.
+        key: QueryKey,
+        /// Epoch this delta describes.
+        epoch: u64,
+        /// Tuples that entered the device's local constrained skyline.
+        adds: Vec<(TupleId, Tuple)>,
+        /// Tuples that left it.
+        removes: Vec<TupleId>,
+        /// `true` for a full resync snapshot: the originator retracts the
+        /// device's entire prior contribution before applying `adds`.
+        full: bool,
+        /// ARQ sequence number (0 when ARQ is disabled).
+        seq: u64,
+        /// ARQ retransmissions so far (accounting, mirrors `BfResult`).
+        retries: u32,
+    },
+    /// A full local skyline answering one re-query poll round.
+    Reply {
+        /// Query identity.
+        key: QueryKey,
+        /// The poll round (epoch) being answered.
+        epoch: u64,
+        /// Complete local constrained skyline.
+        tuples: Vec<(TupleId, Tuple)>,
+        /// ARQ sequence number (0 when ARQ is disabled).
+        seq: u64,
+        /// ARQ retransmissions so far.
+        retries: u32,
+    },
+    /// Application-level acknowledgement of a tracked `Delta`/`Reply`.
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+}
+
+impl MonMsg {
+    /// Serialized size: the accounting mirrors `QuerySpec`/`BfResult` —
+    /// key 5, point 16, f64 8, u64 8, u32 4, flags 1, id 16.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            MonMsg::Register { .. } => 5 + 16 + 8 + 8 + 8 + 8 + 4 + 1,
+            MonMsg::Cancel { .. } => 5,
+            MonMsg::Delta { adds, removes, .. } => {
+                5 + 8
+                    + 8
+                    + 4
+                    + 1
+                    + adds.iter().map(|(_, t)| 16 + t.wire_size()).sum::<usize>()
+                    + removes.len() * 16
+            }
+            MonMsg::Reply { tuples, .. } => {
+                5 + 8 + 8 + 4 + tuples.iter().map(|(_, t)| 16 + t.wire_size()).sum::<usize>()
+            }
+            MonMsg::Ack { .. } => 12,
+        }
+    }
+}
+
+/// Timer-token channels (top byte), mirroring the one-shot runtime.
+mod mtoken {
+    /// Epoch tick.
+    pub const TICK: u64 = 1 << 56;
+    /// ARQ retransmission timer; low bits carry the sequence number.
+    pub const ARQ: u64 = 2 << 56;
+    /// Originator lease-renewal flood.
+    pub const RENEW: u64 = 3 << 56;
+    /// Originator start (issue the registration).
+    pub const START: u64 = 4 << 56;
+    /// Originator cancellation.
+    pub const CANCEL: u64 = 5 << 56;
+    /// Channel mask.
+    pub const KIND_MASK: u64 = 0xFF << 56;
+}
+
+/// The installed registration — everything a device needs to tick.
+#[derive(Debug, Clone)]
+struct MonSpec {
+    key: QueryKey,
+    origin: usize,
+    center: Point,
+    radius: f64,
+    t0: SimTime,
+    period: SimDuration,
+    ttl: SimDuration,
+    requery: bool,
+}
+
+/// Originator-side description installed by the harness before the run.
+#[derive(Debug, Clone, Copy)]
+struct Originate {
+    key: QueryKey,
+    radius: f64,
+    duration: SimDuration,
+}
+
+/// One ARQ-tracked outbound message.
+#[derive(Debug, Clone)]
+struct MonPending {
+    dst: NodeId,
+    msg: MonMsg,
+    attempt: u32,
+    /// The local-skyline snapshot that becomes the acked state when this
+    /// delta is acknowledged (`None` for re-query replies).
+    snapshot: Option<BTreeMap<TupleId, Tuple>>,
+}
+
+/// One originator answer snapshot, taken every epoch.
+#[derive(Debug, Clone)]
+pub struct EpochView {
+    /// Epoch number (1-based; epoch 0 is the issue instant).
+    pub epoch: u64,
+    /// Virtual time of the snapshot.
+    pub at: SimTime,
+    /// Folded skyline ids, sorted.
+    pub ids: Vec<TupleId>,
+    /// Mean age (s) of the freshest applied report per remote device at
+    /// snapshot time (devices never heard from count from `t0`).
+    pub staleness_s: f64,
+    /// Oracle coverage, filled by the harness ([`score_epoch`]).
+    pub completeness: Option<f64>,
+    /// View members the oracle rejects, filled by the harness.
+    pub spurious: u64,
+}
+
+/// Epoch number of instant `now` on the grid anchored at `t0`.
+pub(crate) fn epoch_of(t0: SimTime, period: SimDuration, now: SimTime) -> u64 {
+    let p = period.0.max(1);
+    (now.0.saturating_sub(t0.0) + p / 2) / p
+}
+
+/// Delay until the next epoch boundary strictly after `now`.
+pub(crate) fn next_tick(t0: SimTime, period: SimDuration, now: SimTime) -> SimDuration {
+    let p = period.0.max(1);
+    let k = now.0.saturating_sub(t0.0) / p + 1;
+    SimDuration(t0.0 + k * p - now.0)
+}
+
+/// One node of the monitoring protocol: a plain device, or the originator
+/// when [`MonitorApp::set_originator`] was called.
+pub struct MonitorApp {
+    id: usize,
+    m: usize,
+    mode: MonitorMode,
+    mon: MonitorConfig,
+    dist: DistConfig,
+    /// This device's sites: stable id, attribute tuple (location fields
+    /// encode the id), and position offset relative to the device.
+    sites: Vec<(TupleId, Tuple, (f64, f64))>,
+
+    originate: Option<Originate>,
+
+    // Device-side registration. `spec` survives crashes: the epoch
+    // schedule is measurement infrastructure (the scorecard needs ground
+    // truth across the outage); all protocol state below it is volatile.
+    spec: Option<MonSpec>,
+    lease_expires: Option<SimTime>,
+    last_round: Option<u32>,
+    watch: Option<RangeWatch>,
+    last_local: Option<BTreeMap<TupleId, Tuple>>,
+    acked: BTreeMap<TupleId, Tuple>,
+    full_needed: bool,
+    last_sent_epoch: Option<u64>,
+    inflight: Option<u64>,
+    next_seq: u64,
+    pending: HashMap<u64, MonPending>,
+    tick_armed: bool,
+    done: bool,
+
+    // Originator fold state (volatile).
+    fold: LiveSkyline,
+    contributions: HashMap<NodeId, Vec<TupleId>>,
+    last_applied: HashMap<NodeId, (u64, SimTime)>,
+    needs_full: HashSet<NodeId>,
+    own_ids: Vec<TupleId>,
+    renew_round: u32,
+    applied_retries: u64,
+
+    /// Originator: one view per epoch.
+    pub views: Vec<EpochView>,
+    /// In-situ ground truth: `(epoch, local skyline ids)` at every epoch
+    /// tick, recorded regardless of send gating.
+    pub truth: Vec<(u64, Vec<TupleId>)>,
+    /// Originator: the closed query record (cancel or crash).
+    pub record: Option<QueryRecord>,
+
+    /// `Registered` events traced (installs + renewals).
+    pub registered_events: u64,
+    /// Non-heartbeat deltas / re-query replies sent.
+    pub deltas_sent: u64,
+    /// Zero-change heartbeats sent.
+    pub heartbeats_sent: u64,
+    /// Deltas folded at the originator.
+    pub deltas_applied: u64,
+    /// Lease expiries.
+    pub lease_expired: u64,
+    /// Cancellations processed.
+    pub cancelled_events: u64,
+    /// ARQ retransmissions.
+    pub arq_retries: u64,
+    /// ARQ-tracked messages abandoned after max retries.
+    pub arq_exhausted: u64,
+    /// Duplicate deltas re-acked without folding.
+    pub duplicates_suppressed: u64,
+    /// Routing-level delivery failures reported to this app.
+    pub delivery_failures: u64,
+    /// Application messages sent (floods, deltas, replies, acks).
+    pub msgs_sent: u64,
+    /// Application payload bytes sent.
+    pub bytes_sent: u64,
+    /// `LiveSkyline::remove` calls that found nothing — any value above 0
+    /// is a fold-consistency bug.
+    pub fold_remove_misses: u64,
+}
+
+impl MonitorApp {
+    /// Creates a device with `sites` (id, attribute tuple, offset from the
+    /// device position).
+    pub fn new(
+        id: usize,
+        m: usize,
+        mode: MonitorMode,
+        mon: MonitorConfig,
+        dist: DistConfig,
+        sites: Vec<(TupleId, Tuple, (f64, f64))>,
+    ) -> Self {
+        MonitorApp {
+            id,
+            m,
+            mode,
+            mon,
+            dist,
+            sites,
+            originate: None,
+            spec: None,
+            lease_expires: None,
+            last_round: None,
+            watch: None,
+            last_local: None,
+            acked: BTreeMap::new(),
+            full_needed: true,
+            last_sent_epoch: None,
+            inflight: None,
+            next_seq: 0,
+            pending: HashMap::new(),
+            tick_armed: false,
+            done: false,
+            fold: LiveSkyline::new(),
+            contributions: HashMap::new(),
+            last_applied: HashMap::new(),
+            needs_full: HashSet::new(),
+            own_ids: Vec::new(),
+            renew_round: 0,
+            applied_retries: 0,
+            views: Vec::new(),
+            truth: Vec::new(),
+            record: None,
+            registered_events: 0,
+            deltas_sent: 0,
+            heartbeats_sent: 0,
+            deltas_applied: 0,
+            lease_expired: 0,
+            cancelled_events: 0,
+            arq_retries: 0,
+            arq_exhausted: 0,
+            duplicates_suppressed: 0,
+            delivery_failures: 0,
+            msgs_sent: 0,
+            bytes_sent: 0,
+            fold_remove_misses: 0,
+        }
+    }
+
+    /// Makes this node the originator: it issues the registration when the
+    /// `START` timer fires and cancels after `duration`.
+    pub fn set_originator(&mut self, key: QueryKey, radius: f64, duration: SimDuration) {
+        self.originate = Some(Originate { key, radius, duration });
+    }
+
+    fn qid_opt(&self) -> Option<manet_sim::QueryId> {
+        self.spec.as_ref().map(|s| qid(s.key))
+    }
+
+    fn broadcast(&mut self, ctx: &mut NodeCtx<MonMsg>, msg: MonMsg) {
+        let bytes = msg.wire_size();
+        self.msgs_sent += 1;
+        self.bytes_sent += bytes as u64;
+        ctx.broadcast(msg, bytes);
+    }
+
+    fn unicast(&mut self, ctx: &mut NodeCtx<MonMsg>, dst: NodeId, msg: MonMsg) {
+        let bytes = msg.wire_size();
+        self.msgs_sent += 1;
+        self.bytes_sent += bytes as u64;
+        ctx.send_unicast(dst, msg, bytes);
+    }
+
+    fn arq_delay(&self, seq: u64, attempt: u32) -> SimDuration {
+        let a = &self.dist.arq;
+        let backoff =
+            SimDuration((a.base_timeout.0 as f64 * a.backoff.powi(attempt as i32 - 1)) as u64);
+        backoff + splitmix_jitter(self.id, seq, attempt, a.max_jitter)
+    }
+
+    /// Sends a delta/reply; when ARQ is on it is tracked and retried, when
+    /// off the snapshot commits optimistically at send time.
+    fn send_tracked(
+        &mut self,
+        ctx: &mut NodeCtx<MonMsg>,
+        dst: NodeId,
+        mut msg: MonMsg,
+        snapshot: Option<BTreeMap<TupleId, Tuple>>,
+        exclusive: bool,
+    ) -> u64 {
+        if !self.dist.arq.enabled {
+            if let Some(snap) = snapshot {
+                let full = matches!(msg, MonMsg::Delta { full: true, .. });
+                self.acked = snap;
+                if full {
+                    self.full_needed = false;
+                }
+            }
+            self.unicast(ctx, dst, msg);
+            return 0;
+        }
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        match &mut msg {
+            MonMsg::Delta { seq: s, .. } | MonMsg::Reply { seq: s, .. } => *s = seq,
+            _ => {}
+        }
+        self.pending
+            .insert(seq, MonPending { dst, msg: msg.clone(), attempt: 1, snapshot });
+        if exclusive {
+            self.inflight = Some(seq);
+        }
+        ctx.set_timer(self.arq_delay(seq, 1), mtoken::ARQ | seq);
+        self.unicast(ctx, dst, msg);
+        seq
+    }
+
+    fn on_arq_timeout(&mut self, ctx: &mut NodeCtx<MonMsg>, seq: u64) {
+        let Some(mut p) = self.pending.remove(&seq) else { return };
+        if p.attempt > self.dist.arq.max_retries {
+            self.arq_exhausted += 1;
+            ctx.trace(self.qid_opt(), QueryEvent::ArqExhausted { seq });
+            if self.inflight == Some(seq) {
+                self.inflight = None;
+            }
+            // The acked-state chain is broken: force a resync snapshot.
+            self.full_needed = true;
+            return;
+        }
+        p.attempt += 1;
+        self.arq_retries += 1;
+        match &mut p.msg {
+            MonMsg::Delta { retries, .. } | MonMsg::Reply { retries, .. } => *retries += 1,
+            _ => {}
+        }
+        ctx.trace(
+            self.qid_opt(),
+            QueryEvent::ArqRetry { seq, attempt: p.attempt - 1, bytes: p.msg.wire_size() },
+        );
+        self.unicast(ctx, p.dst, p.msg.clone());
+        ctx.set_timer(self.arq_delay(seq, p.attempt), mtoken::ARQ | seq);
+        self.pending.insert(seq, p);
+    }
+
+    fn on_ack(&mut self, seq: u64) {
+        if seq == 0 {
+            return;
+        }
+        let Some(p) = self.pending.remove(&seq) else { return };
+        if self.inflight == Some(seq) {
+            self.inflight = None;
+        }
+        if let Some(snap) = p.snapshot {
+            let full = matches!(p.msg, MonMsg::Delta { full: true, .. });
+            self.acked = snap;
+            if full {
+                self.full_needed = false;
+            }
+        }
+    }
+
+    fn send_ack(&mut self, ctx: &mut NodeCtx<MonMsg>, dst: NodeId, seq: u64) {
+        if seq != 0 {
+            self.unicast(ctx, dst, MonMsg::Ack { seq });
+        }
+    }
+
+    /// The local constrained skyline of this device's in-range sites.
+    /// Recomputed only when [`RangeWatch`] reports a membership
+    /// transition; otherwise the cache is authoritative (attributes are
+    /// fixed, so the local skyline is a pure function of membership).
+    fn local_skyline(&mut self, pos: Pos, spec: &MonSpec) -> BTreeMap<TupleId, Tuple> {
+        let sites = &self.sites;
+        let watch = self.watch.get_or_insert_with(|| RangeWatch::new(spec.center, spec.radius));
+        let delta = watch.update(
+            sites.iter().map(|(id, _, off)| (*id, Point::new(pos.x + off.0, pos.y + off.1))),
+        );
+        if delta.is_empty() {
+            if let Some(cached) = &self.last_local {
+                return cached.clone();
+            }
+        }
+        let members: HashSet<TupleId> = watch.members().into_iter().collect();
+        let mut ls = LiveSkyline::new();
+        for (id, t, _) in sites {
+            if members.contains(id) {
+                ls.insert(*id, t.clone());
+            }
+        }
+        let local: BTreeMap<TupleId, Tuple> = ls.iter().map(|(id, t)| (*id, t.clone())).collect();
+        self.last_local = Some(local.clone());
+        local
+    }
+
+    fn arm_tick(&mut self, ctx: &mut NodeCtx<MonMsg>, spec: &MonSpec) {
+        if self.tick_armed || self.done {
+            return;
+        }
+        ctx.set_timer(next_tick(spec.t0, spec.period, ctx.now), mtoken::TICK);
+        self.tick_armed = true;
+    }
+
+    fn flood_register(&mut self, ctx: &mut NodeCtx<MonMsg>, spec: &MonSpec, round: u32) {
+        let msg = MonMsg::Register {
+            key: spec.key,
+            center: spec.center,
+            radius: spec.radius,
+            t0: spec.t0,
+            period: spec.period,
+            ttl: spec.ttl,
+            round,
+            requery: spec.requery,
+        };
+        self.broadcast(ctx, msg);
+    }
+
+    /// Originator `START`: install the registration and flood round 0.
+    fn start(&mut self, ctx: &mut NodeCtx<MonMsg>) {
+        let Some(o) = self.originate else { return };
+        if self.spec.is_some() || self.done {
+            return;
+        }
+        let spec = MonSpec {
+            key: o.key,
+            origin: self.id,
+            center: Point::new(ctx.position.x, ctx.position.y),
+            radius: o.radius,
+            t0: ctx.now,
+            period: self.mon.period,
+            ttl: self.mon.ttl,
+            requery: self.mode == MonitorMode::Requery,
+        };
+        self.registered_events += 1;
+        ctx.trace(
+            Some(qid(spec.key)),
+            QueryEvent::Registered {
+                radius_m: spec.radius,
+                ttl_s: spec.ttl.as_secs_f64(),
+                period_s: spec.period.as_secs_f64(),
+            },
+        );
+        self.flood_register(ctx, &spec, 0);
+        if !spec.requery {
+            ctx.set_timer(spec.ttl.mul_f64(0.5), mtoken::RENEW);
+        }
+        ctx.set_timer(o.duration, mtoken::CANCEL);
+        self.arm_tick(ctx, &spec);
+        self.spec = Some(spec);
+    }
+
+    fn renew(&mut self, ctx: &mut NodeCtx<MonMsg>) {
+        if self.done {
+            return;
+        }
+        let Some(spec) = self.spec.clone() else { return };
+        if spec.requery {
+            return;
+        }
+        self.renew_round += 1;
+        let round = self.renew_round;
+        self.flood_register(ctx, &spec, round);
+        ctx.set_timer(spec.ttl.mul_f64(0.5), mtoken::RENEW);
+    }
+
+    /// Originator `CANCEL`: flood the cancellation and close the record.
+    fn cancel(&mut self, ctx: &mut NodeCtx<MonMsg>) {
+        if self.done {
+            return;
+        }
+        let Some(spec) = self.spec.take() else { return };
+        self.done = true;
+        let e = epoch_of(spec.t0, spec.period, ctx.now);
+        self.cancelled_events += 1;
+        ctx.trace(Some(qid(spec.key)), QueryEvent::Cancelled { epoch: e });
+        self.broadcast(ctx, MonMsg::Cancel { key: spec.key });
+        self.record = Some(self.make_record(&spec, Some(ctx.now), false, None));
+    }
+
+    fn make_record(
+        &self,
+        spec: &MonSpec,
+        completed: Option<SimTime>,
+        timed_out: bool,
+        timeout_cause: Option<TimeoutCause>,
+    ) -> QueryRecord {
+        let mut contributors: Vec<usize> = self.last_applied.keys().copied().collect();
+        contributors.push(self.id);
+        contributors.sort_unstable();
+        contributors.dedup();
+        QueryRecord {
+            key: spec.key,
+            issued: spec.t0,
+            completed,
+            timed_out,
+            responded: self.last_applied.len(),
+            drr: DrrAccumulator::default(),
+            result_len: self.fold.len(),
+            response_seconds: None,
+            pos: spec.center,
+            radius: spec.radius,
+            result: self.fold.result(),
+            contributors,
+            retries: self.applied_retries,
+            duplicates: self.duplicates_suppressed,
+            reissues: 0,
+            timeout_cause,
+            completeness: None,
+            spurious: 0,
+            epochs: self.views.len() as u64,
+            epoch_completeness: None,
+            staleness_s: None,
+        }
+    }
+
+    /// Shared epoch tick: record ground truth, then act per role.
+    fn tick(&mut self, ctx: &mut NodeCtx<MonMsg>) {
+        self.tick_armed = false;
+        if self.done {
+            return;
+        }
+        let Some(spec) = self.spec.clone() else { return };
+        let e = epoch_of(spec.t0, spec.period, ctx.now);
+        let local = self.local_skyline(ctx.position, &spec);
+        self.truth.push((e, local.keys().copied().collect()));
+        if self.originate.is_some() {
+            self.originator_tick(ctx, &spec, e, &local);
+        } else {
+            self.device_tick(ctx, &spec, e, &local);
+        }
+        self.arm_tick(ctx, &spec);
+    }
+
+    fn device_tick(
+        &mut self,
+        ctx: &mut NodeCtx<MonMsg>,
+        spec: &MonSpec,
+        e: u64,
+        local: &BTreeMap<TupleId, Tuple>,
+    ) {
+        if spec.requery {
+            // Re-query devices answer polls, not ticks; the tick only
+            // records ground truth.
+            return;
+        }
+        match self.lease_expires {
+            None => return,
+            Some(exp) if ctx.now >= exp => {
+                self.lease_expires = None;
+                self.lease_expired += 1;
+                ctx.trace(
+                    Some(qid(spec.key)),
+                    QueryEvent::LeaseExpired { epoch: self.last_sent_epoch.unwrap_or(0) },
+                );
+                return;
+            }
+            Some(_) => {}
+        }
+        if self.inflight.is_some() {
+            // One delta in flight: the diff is against the last *acked*
+            // state, so skipped epochs fold into the next delta.
+            return;
+        }
+        let full = self.full_needed;
+        let (adds, removes) = if full {
+            (local.iter().map(|(id, t)| (*id, t.clone())).collect::<Vec<_>>(), Vec::new())
+        } else {
+            let adds: Vec<(TupleId, Tuple)> = local
+                .iter()
+                .filter(|(id, _)| !self.acked.contains_key(id))
+                .map(|(id, t)| (*id, t.clone()))
+                .collect();
+            let removes: Vec<TupleId> =
+                self.acked.keys().filter(|id| !local.contains_key(*id)).copied().collect();
+            (adds, removes)
+        };
+        let heartbeat = adds.is_empty() && removes.is_empty() && !full;
+        if heartbeat {
+            let due = match self.last_sent_epoch {
+                None => true,
+                Some(last) => e.saturating_sub(last) >= self.mon.heartbeat_every,
+            };
+            if !due {
+                return;
+            }
+        }
+        let (n_adds, n_removes) = (adds.len(), removes.len());
+        let msg =
+            MonMsg::Delta { key: spec.key, epoch: e, adds, removes, full, seq: 0, retries: 0 };
+        let bytes = msg.wire_size();
+        let seq = self.send_tracked(ctx, spec.origin, msg, Some(local.clone()), true);
+        ctx.trace(
+            Some(qid(spec.key)),
+            QueryEvent::DeltaSent {
+                to: spec.origin,
+                epoch: e,
+                adds: n_adds,
+                removes: n_removes,
+                heartbeat,
+                bytes,
+                seq,
+            },
+        );
+        if heartbeat {
+            self.heartbeats_sent += 1;
+        } else {
+            self.deltas_sent += 1;
+        }
+        self.last_sent_epoch = Some(e);
+    }
+
+    fn originator_tick(
+        &mut self,
+        ctx: &mut NodeCtx<MonMsg>,
+        spec: &MonSpec,
+        e: u64,
+        local: &BTreeMap<TupleId, Tuple>,
+    ) {
+        // Fold the originator's own contribution directly (no self-send).
+        let old = std::mem::take(&mut self.own_ids);
+        for id in &old {
+            if !local.contains_key(id) && !self.fold.remove(id) {
+                self.fold_remove_misses += 1;
+            }
+        }
+        let old_set: HashSet<TupleId> = old.iter().copied().collect();
+        for (id, t) in local {
+            if !old_set.contains(id) {
+                self.fold.insert(*id, t.clone());
+            }
+        }
+        self.own_ids = local.keys().copied().collect();
+
+        if spec.requery {
+            // Poll round `e`: every device answers with its full local
+            // skyline.
+            self.flood_register(ctx, spec, e as u32);
+        } else {
+            // Retract devices silent past the miss limit and demand a
+            // full resync from them.
+            let stale: Vec<NodeId> = self
+                .contributions
+                .keys()
+                .copied()
+                .filter(|d| {
+                    let last = self.last_applied.get(d).map_or(0, |&(le, _)| le);
+                    e > last + self.mon.miss_limit
+                })
+                .collect();
+            for d in stale {
+                for id in self.contributions.remove(&d).unwrap_or_default() {
+                    if !self.fold.remove(&id) {
+                        self.fold_remove_misses += 1;
+                    }
+                }
+                self.needs_full.insert(d);
+            }
+        }
+
+        let (mut stale_sum, mut n) = (0.0, 0u64);
+        for d in 0..self.m {
+            if d == self.id {
+                continue;
+            }
+            let t_last = self.last_applied.get(&d).map_or(spec.t0, |&(_, at)| at);
+            stale_sum += ctx.now.since(t_last).as_secs_f64();
+            n += 1;
+        }
+        self.views.push(EpochView {
+            epoch: e,
+            at: ctx.now,
+            ids: self.fold.result_ids(),
+            staleness_s: if n == 0 { 0.0 } else { stale_sum / n as f64 },
+            completeness: None,
+            spurious: 0,
+        });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_register(
+        &mut self,
+        ctx: &mut NodeCtx<MonMsg>,
+        key: QueryKey,
+        center: Point,
+        radius: f64,
+        t0: SimTime,
+        period: SimDuration,
+        ttl: SimDuration,
+        round: u32,
+        requery: bool,
+    ) {
+        if self.done || key.origin == self.id {
+            return;
+        }
+        let fresh = self.last_round.is_none_or(|lr| round > lr);
+        if !fresh {
+            return;
+        }
+        self.last_round = Some(round);
+        // Relay the flood first; registration state changes below.
+        let relay = MonMsg::Register { key, center, radius, t0, period, ttl, round, requery };
+        self.broadcast(ctx, relay);
+        let install = self.spec.is_none();
+        if install {
+            self.spec =
+                Some(MonSpec { key, origin: key.origin, center, radius, t0, period, ttl, requery });
+            self.watch = None;
+            self.last_local = None;
+            self.full_needed = true;
+        }
+        let spec = self.spec.clone().expect("just installed");
+        if !requery {
+            // Install or renew the lease; both are `Registered` events.
+            self.lease_expires = Some(ctx.now + ttl);
+            self.registered_events += 1;
+            ctx.trace(
+                Some(qid(key)),
+                QueryEvent::Registered {
+                    radius_m: radius,
+                    ttl_s: ttl.as_secs_f64(),
+                    period_s: period.as_secs_f64(),
+                },
+            );
+        } else {
+            if install {
+                self.registered_events += 1;
+                ctx.trace(
+                    Some(qid(key)),
+                    QueryEvent::Registered {
+                        radius_m: radius,
+                        ttl_s: ttl.as_secs_f64(),
+                        period_s: period.as_secs_f64(),
+                    },
+                );
+            }
+            // Answer this poll round with the full local skyline.
+            let local = self.local_skyline(ctx.position, &spec);
+            let tuples: Vec<(TupleId, Tuple)> =
+                local.iter().map(|(id, t)| (*id, t.clone())).collect();
+            let n = tuples.len();
+            let epoch = u64::from(round);
+            let msg = MonMsg::Reply { key, epoch, tuples, seq: 0, retries: 0 };
+            let bytes = msg.wire_size();
+            let seq = self.send_tracked(ctx, spec.origin, msg, None, false);
+            ctx.trace(
+                Some(qid(key)),
+                QueryEvent::DeltaSent {
+                    to: spec.origin,
+                    epoch,
+                    adds: n,
+                    removes: 0,
+                    heartbeat: false,
+                    bytes,
+                    seq,
+                },
+            );
+            self.deltas_sent += 1;
+            self.last_sent_epoch = Some(epoch);
+        }
+        self.arm_tick(ctx, &spec);
+    }
+
+    fn on_cancel(&mut self, ctx: &mut NodeCtx<MonMsg>, key: QueryKey) {
+        if self.done {
+            return;
+        }
+        if key.origin == self.id {
+            return;
+        }
+        self.done = true;
+        self.broadcast(ctx, MonMsg::Cancel { key });
+        if let Some(spec) = self.spec.take() {
+            if spec.key == key {
+                self.cancelled_events += 1;
+                ctx.trace(
+                    Some(qid(key)),
+                    QueryEvent::Cancelled { epoch: self.last_sent_epoch.unwrap_or(0) },
+                );
+            }
+        }
+        self.lease_expires = None;
+        self.inflight = None;
+        self.pending.clear();
+    }
+
+    /// Originator: fold one device delta.
+    #[allow(clippy::too_many_arguments)]
+    fn on_delta(
+        &mut self,
+        ctx: &mut NodeCtx<MonMsg>,
+        from: NodeId,
+        key: QueryKey,
+        epoch: u64,
+        adds: Vec<(TupleId, Tuple)>,
+        removes: Vec<TupleId>,
+        full: bool,
+        seq: u64,
+        retries: u32,
+    ) {
+        if self.originate.is_none() || self.done {
+            return;
+        }
+        let Some(spec) = self.spec.clone() else { return };
+        if spec.key != key {
+            return;
+        }
+        let q = Some(qid(key));
+        if !full && self.needs_full.contains(&from) {
+            // The device was retracted; its incremental chain is
+            // meaningless until a full resync. Not acking deliberately
+            // exhausts its ARQ, which forces exactly that.
+            return;
+        }
+        let known = self.last_applied.get(&from).map(|&(le, _)| le);
+        if full || known.is_none_or(|le| epoch > le) {
+            let mut ids = self.contributions.remove(&from).unwrap_or_default();
+            if full {
+                for id in ids.drain(..) {
+                    if !self.fold.remove(&id) {
+                        self.fold_remove_misses += 1;
+                    }
+                }
+                self.needs_full.remove(&from);
+            }
+            for id in &removes {
+                if !self.fold.remove(id) {
+                    self.fold_remove_misses += 1;
+                }
+                ids.retain(|x| x != id);
+            }
+            for (id, t) in &adds {
+                self.fold.insert(*id, t.clone());
+                ids.push(*id);
+            }
+            self.contributions.insert(from, ids);
+            self.last_applied.insert(from, (epoch, epoch_at(&spec, epoch)));
+            self.applied_retries += u64::from(retries);
+            self.deltas_applied += 1;
+            let heartbeat = adds.is_empty() && removes.is_empty() && !full;
+            ctx.trace(
+                q,
+                QueryEvent::DeltaApplied {
+                    from,
+                    epoch,
+                    adds: adds.len(),
+                    removes: removes.len(),
+                    heartbeat,
+                },
+            );
+        } else {
+            // A retransmission of an already-applied delta (its ack was
+            // lost): re-ack so the sender's chain can advance.
+            self.duplicates_suppressed += 1;
+            ctx.trace(q, QueryEvent::DuplicateSuppressed { from, seq });
+        }
+        self.send_ack(ctx, from, seq);
+    }
+
+    /// Originator: fold one re-query reply (replace semantics).
+    #[allow(clippy::too_many_arguments)]
+    fn on_reply(
+        &mut self,
+        ctx: &mut NodeCtx<MonMsg>,
+        from: NodeId,
+        key: QueryKey,
+        epoch: u64,
+        tuples: Vec<(TupleId, Tuple)>,
+        seq: u64,
+        retries: u32,
+    ) {
+        if self.originate.is_none() || self.done {
+            return;
+        }
+        let Some(spec) = self.spec.clone() else { return };
+        if spec.key != key {
+            return;
+        }
+        let q = Some(qid(key));
+        let known = self.last_applied.get(&from).map(|&(le, _)| le);
+        if known.is_none_or(|le| epoch > le) {
+            let old = self.contributions.remove(&from).unwrap_or_default();
+            let n_removes = old.len();
+            for id in &old {
+                if !self.fold.remove(id) {
+                    self.fold_remove_misses += 1;
+                }
+            }
+            for (id, t) in &tuples {
+                self.fold.insert(*id, t.clone());
+            }
+            self.contributions.insert(from, tuples.iter().map(|(id, _)| *id).collect());
+            self.last_applied.insert(from, (epoch, epoch_at(&spec, epoch)));
+            self.applied_retries += u64::from(retries);
+            self.deltas_applied += 1;
+            ctx.trace(
+                q,
+                QueryEvent::DeltaApplied {
+                    from,
+                    epoch,
+                    adds: tuples.len(),
+                    removes: n_removes,
+                    heartbeat: false,
+                },
+            );
+        } else {
+            self.duplicates_suppressed += 1;
+            ctx.trace(q, QueryEvent::DuplicateSuppressed { from, seq });
+        }
+        self.send_ack(ctx, from, seq);
+    }
+}
+
+/// Absolute time of epoch `e` on `spec`'s grid.
+fn epoch_at(spec: &MonSpec, e: u64) -> SimTime {
+    SimTime(spec.t0.0 + spec.period.0 * e)
+}
+
+impl Application<MonMsg> for MonitorApp {
+    fn on_message(&mut self, ctx: &mut NodeCtx<MonMsg>, meta: MsgMeta, payload: MonMsg) {
+        match payload {
+            MonMsg::Register { key, center, radius, t0, period, ttl, round, requery } => {
+                self.on_register(ctx, key, center, radius, t0, period, ttl, round, requery);
+            }
+            MonMsg::Cancel { key } => self.on_cancel(ctx, key),
+            MonMsg::Delta { key, epoch, adds, removes, full, seq, retries } => {
+                self.on_delta(ctx, meta.src, key, epoch, adds, removes, full, seq, retries);
+            }
+            MonMsg::Reply { key, epoch, tuples, seq, retries } => {
+                self.on_reply(ctx, meta.src, key, epoch, tuples, seq, retries);
+            }
+            MonMsg::Ack { seq } => self.on_ack(seq),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<MonMsg>, token: u64) {
+        match token & mtoken::KIND_MASK {
+            mtoken::TICK => self.tick(ctx),
+            mtoken::ARQ => self.on_arq_timeout(ctx, token & !mtoken::KIND_MASK),
+            mtoken::RENEW => self.renew(ctx),
+            mtoken::START => self.start(ctx),
+            mtoken::CANCEL => self.cancel(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_delivery_failed(&mut self, ctx: &mut NodeCtx<MonMsg>, dst: NodeId, _payload: MonMsg) {
+        self.delivery_failures += 1;
+        ctx.trace(self.qid_opt(), QueryEvent::DeliveryFailed { dst });
+        // Tracked messages keep their ARQ timer: every retry re-enters
+        // route discovery, mirroring the one-shot runtime's BF replies.
+    }
+
+    fn on_crash(&mut self) {
+        self.tick_armed = false;
+        self.lease_expires = None;
+        self.last_round = None;
+        self.watch = None;
+        self.last_local = None;
+        self.acked.clear();
+        self.full_needed = true;
+        self.last_sent_epoch = None;
+        self.inflight = None;
+        self.pending.clear();
+        if self.originate.is_some() {
+            // The monitor dies with its originator; close the record so
+            // the run stays accountable. (`views`/`truth` are measurement
+            // output and survive.)
+            if let Some(spec) = self.spec.take() {
+                if self.record.is_none() {
+                    self.record = Some(self.make_record(
+                        &spec,
+                        None,
+                        true,
+                        Some(TimeoutCause::OriginatorCrash),
+                    ));
+                }
+                self.done = true;
+            }
+            self.fold = LiveSkyline::new();
+            self.contributions.clear();
+            self.last_applied.clear();
+            self.needs_full.clear();
+            self.own_ids.clear();
+        }
+        // Plain devices keep `spec`: the epoch schedule is measurement
+        // infrastructure (ground truth must span the outage); every
+        // protocol byte above was volatile and is gone.
+    }
+
+    fn on_revive(&mut self, ctx: &mut NodeCtx<MonMsg>) {
+        if let Some(spec) = self.spec.clone() {
+            self.arm_tick(ctx, &spec);
+        }
+    }
+}
+
+/// One monitoring experiment: a `g × g` device grid, each device carrying
+/// `sites_per_device` sites that move with it, one originator (node 0)
+/// running a standing range skyline for `duration_s`.
+#[derive(Debug, Clone)]
+pub struct MonitorExperiment {
+    /// Devices per grid side (`m = g²`).
+    pub g: usize,
+    /// Sites carried per device.
+    pub sites_per_device: usize,
+    /// Non-spatial attribute dimensionality.
+    pub dim: usize,
+    /// Attribute distribution.
+    pub distribution: datagen::Distribution,
+    /// Deployment area.
+    pub space: datagen::SpatialExtent,
+    /// Monitored range radius (m) around the originator's issue position.
+    pub radius: f64,
+    /// Freeze mobility.
+    pub frozen: bool,
+    /// Radio model.
+    pub radio: RadioConfig,
+    /// Neighbour discovery mode.
+    pub neighbor_mode: NeighborMode,
+    /// Runtime timers + ARQ parameters (tracing lives here).
+    pub dist: DistConfig,
+    /// Monitoring-protocol knobs.
+    pub mon: MonitorConfig,
+    /// Delta protocol or naive re-query baseline.
+    pub mode: MonitorMode,
+    /// Registration issue time (s).
+    pub start_s: f64,
+    /// Monitoring duration until cancel (s).
+    pub duration_s: f64,
+    /// Post-cancel drain (s).
+    pub drain_s: f64,
+    /// Scripted faults (none by default).
+    pub fault_plan: Option<FaultPlan>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl MonitorExperiment {
+    /// Small mobile defaults with full tracing enabled.
+    pub fn defaults(g: usize, mode: MonitorMode, seed: u64) -> Self {
+        MonitorExperiment {
+            g,
+            sites_per_device: 4,
+            dim: 2,
+            distribution: datagen::Distribution::Independent,
+            space: datagen::SpatialExtent::PAPER,
+            radius: 300.0,
+            frozen: false,
+            radio: RadioConfig::default(),
+            neighbor_mode: NeighborMode::Oracle,
+            dist: DistConfig { trace: crate::config::TraceConfig::full(), ..DistConfig::default() },
+            mon: MonitorConfig::default(),
+            mode,
+            start_s: 30.0,
+            duration_s: 600.0,
+            drain_s: 120.0,
+            fault_plan: None,
+            seed,
+        }
+    }
+}
+
+/// Aggregated outcome of one monitoring run.
+#[derive(Debug)]
+pub struct MonitorOutcome {
+    /// The originator's closed query record, with the monitoring columns
+    /// filled.
+    pub record: QueryRecord,
+    /// Per-epoch views, scored against the reconstructed oracle.
+    pub views: Vec<EpochView>,
+    /// `Registered` events (installs + renewals) across all nodes.
+    pub registered: u64,
+    /// Non-heartbeat deltas / replies sent.
+    pub deltas_sent: u64,
+    /// Zero-change heartbeats sent.
+    pub heartbeats_sent: u64,
+    /// Deltas folded at the originator.
+    pub deltas_applied: u64,
+    /// Lease expiries across all devices.
+    pub lease_expired: u64,
+    /// Cancellations processed across all nodes.
+    pub cancelled: u64,
+    /// ARQ retransmissions.
+    pub arq_retries: u64,
+    /// ARQ-tracked messages abandoned.
+    pub arq_exhausted: u64,
+    /// Duplicate deltas re-acked without folding.
+    pub duplicates_suppressed: u64,
+    /// Routing-level delivery failures.
+    pub delivery_failures: u64,
+    /// `LiveSkyline::remove` misses — any value above 0 is a bug.
+    pub fold_remove_misses: u64,
+    /// Application messages sent (floods, deltas, replies, acks).
+    pub messages_sent: u64,
+    /// Application payload bytes sent.
+    pub bytes_sent: u64,
+    /// Mean per-epoch oracle coverage over all views.
+    pub mean_epoch_completeness: Option<f64>,
+    /// Mean view staleness (s).
+    pub mean_staleness_s: Option<f64>,
+    /// Total spurious view members across epochs.
+    pub spurious_total: u64,
+    /// Total radio energy (J).
+    pub total_energy_joules: f64,
+    /// Raw network counters.
+    pub net: NetStats,
+    /// Per-query event log (when tracing was enabled).
+    pub query_trace: Option<QueryTraceLog>,
+    /// Frame-level radio log (when frame tracing was enabled).
+    pub frame_trace: Option<FrameTraceLog>,
+}
+
+// The bench sweep fans monitoring cells across worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MonitorExperiment>();
+    assert_send_sync::<MonitorOutcome>();
+};
+
+/// Deterministic per-site offset from the carrying device, within ±60 m.
+fn site_offset(seed: u64, device: usize, slot: usize) -> (f64, f64) {
+    let mut h = seed ^ ((device as u64) << 32) ^ (slot as u64) ^ 0x5EED_0FF5;
+    h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    let dx = ((h & 0xFFFF) as f64 / 65_535.0 - 0.5) * 120.0;
+    let dy = (((h >> 16) & 0xFFFF) as f64 / 65_535.0 - 0.5) * 120.0;
+    (dx, dy)
+}
+
+/// Runs one monitoring experiment end to end and scores every epoch view
+/// against the oracle reconstructed from in-situ device recordings.
+pub fn run_monitor_experiment(exp: &MonitorExperiment) -> MonitorOutcome {
+    let m = exp.g * exp.g;
+    let k = exp.sites_per_device.max(1);
+    let data =
+        datagen::DataSpec::manet_experiment(m * k, exp.dim, exp.distribution, exp.seed).generate();
+    let part = datagen::GridPartitioner::new(exp.g, exp.space).partition(&data);
+
+    let mobility = if exp.frozen {
+        MobilityConfig::frozen()
+    } else {
+        MobilityConfig {
+            width: exp.space.width,
+            height: exp.space.height,
+            ..MobilityConfig::paper()
+        }
+    };
+
+    let mut sim: Simulator<MonMsg, MonitorApp> = Simulator::new(exp.radio, exp.seed);
+    sim.set_neighbor_mode(exp.neighbor_mode);
+    if exp.dist.trace.enabled {
+        sim.enable_query_trace(exp.dist.trace.per_node_capacity);
+        if exp.dist.trace.frames {
+            sim.enable_trace(exp.dist.trace.frames_capacity);
+        }
+    }
+    // Sites encode their id in the tuple's location fields (dominance
+    // never reads them); geometric positions ride on the device.
+    let mut site_attrs: HashMap<TupleId, Vec<f64>> = HashMap::new();
+    for i in 0..m {
+        let sites: Vec<(TupleId, Tuple, (f64, f64))> = (0..k)
+            .map(|j| {
+                let attrs = data[i * k + j].attrs.clone();
+                let id = TupleId(i as u64, j as u64);
+                site_attrs.insert(id, attrs.clone());
+                (id, Tuple::new(i as f64, j as f64, attrs), site_offset(exp.seed, i, j))
+            })
+            .collect();
+        let mut app = MonitorApp::new(i, m, exp.mode, exp.mon, exp.dist, sites);
+        if i == 0 {
+            app.set_originator(
+                QueryKey { origin: 0, cnt: 0 },
+                exp.radius,
+                SimDuration::from_secs_f64(exp.duration_s),
+            );
+        }
+        let c = part.cell_center(i);
+        sim.add_node(Pos::new(c.x, c.y), mobility, app, exp.seed ^ 0xA5A5);
+    }
+    sim.schedule_app_timer(0, SimTime::from_secs_f64(exp.start_s), mtoken::START);
+    if let Some(plan) = &exp.fault_plan {
+        sim.install_fault_plan(plan);
+    }
+    sim.run_until(SimTime::from_secs_f64(exp.start_s + exp.duration_s + exp.drain_s));
+
+    // Reconstruct the per-epoch oracle from the devices' in-situ truth
+    // recordings: the constrained skyline of the union of every (live)
+    // device's local skyline at that epoch — the paper's distributivity
+    // property, applied per epoch.
+    let truths: Vec<Vec<(u64, Vec<TupleId>)>> = (0..m).map(|i| sim.app(i).truth.clone()).collect();
+    let mut views = sim.app(0).views.clone();
+    for v in &mut views {
+        let mut merger = SkylineMerger::new();
+        for tr in &truths {
+            if let Ok(idx) = tr.binary_search_by_key(&v.epoch, |&(e, _)| e) {
+                for id in &tr[idx].1 {
+                    let attrs = site_attrs.get(id).expect("recorded id has attrs").clone();
+                    merger.insert(Tuple::new(id.0 as f64, id.1 as f64, attrs));
+                }
+            }
+        }
+        let mut oracle: Vec<TupleId> =
+            merger.into_result().iter().map(|t| TupleId(t.x as u64, t.y as u64)).collect();
+        oracle.sort_unstable();
+        let (completeness, spurious) = score_epoch(&v.ids, &oracle);
+        v.completeness = Some(completeness);
+        v.spurious = spurious;
+    }
+
+    let mut record = sim.app_mut(0).record.take().unwrap_or_else(|| QueryRecord {
+        key: QueryKey { origin: 0, cnt: 0 },
+        issued: SimTime::from_secs_f64(exp.start_s),
+        completed: None,
+        timed_out: true,
+        responded: 0,
+        drr: DrrAccumulator::default(),
+        result_len: 0,
+        response_seconds: None,
+        pos: {
+            let c = part.cell_center(0);
+            Point::new(c.x, c.y)
+        },
+        radius: exp.radius,
+        result: Vec::new(),
+        contributors: Vec::new(),
+        retries: 0,
+        duplicates: 0,
+        reissues: 0,
+        timeout_cause: Some(TimeoutCause::OriginatorCrash),
+        completeness: None,
+        spurious: 0,
+        epochs: 0,
+        epoch_completeness: None,
+        staleness_s: None,
+    });
+
+    let mean = |xs: &[f64]| {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(xs.iter().sum::<f64>() / xs.len() as f64)
+        }
+    };
+    let comps: Vec<f64> = views.iter().filter_map(|v| v.completeness).collect();
+    let stales: Vec<f64> = views.iter().map(|v| v.staleness_s).collect();
+    record.epochs = views.len() as u64;
+    record.epoch_completeness = mean(&comps);
+    record.staleness_s = mean(&stales);
+
+    let mut out = MonitorOutcome {
+        record,
+        views,
+        registered: 0,
+        deltas_sent: 0,
+        heartbeats_sent: 0,
+        deltas_applied: 0,
+        lease_expired: 0,
+        cancelled: 0,
+        arq_retries: 0,
+        arq_exhausted: 0,
+        duplicates_suppressed: 0,
+        delivery_failures: 0,
+        fold_remove_misses: 0,
+        messages_sent: 0,
+        bytes_sent: 0,
+        mean_epoch_completeness: None,
+        mean_staleness_s: None,
+        spurious_total: 0,
+        total_energy_joules: sim.total_energy_joules(),
+        net: *sim.stats(),
+        query_trace: None,
+        frame_trace: None,
+    };
+    for i in 0..m {
+        let a = sim.app(i);
+        out.registered += a.registered_events;
+        out.deltas_sent += a.deltas_sent;
+        out.heartbeats_sent += a.heartbeats_sent;
+        out.deltas_applied += a.deltas_applied;
+        out.lease_expired += a.lease_expired;
+        out.cancelled += a.cancelled_events;
+        out.arq_retries += a.arq_retries;
+        out.arq_exhausted += a.arq_exhausted;
+        out.duplicates_suppressed += a.duplicates_suppressed;
+        out.delivery_failures += a.delivery_failures;
+        out.fold_remove_misses += a.fold_remove_misses;
+        out.messages_sent += a.msgs_sent;
+        out.bytes_sent += a.bytes_sent;
+    }
+    out.mean_epoch_completeness = out.record.epoch_completeness;
+    out.mean_staleness_s = out.record.staleness_s;
+    out.spurious_total = out.views.iter().map(|v| v.spurious).sum();
+    out.query_trace = sim.take_query_trace();
+    out.frame_trace = sim.take_frame_trace();
+    out
+}
+
+/// Zero-drift verification for monitoring runs: recomputes the
+/// [`TraceAggregates`] from the event log and reconciles them — exactly —
+/// against the runtime counters, checks that every `DeltaApplied` has a
+/// matching `DeltaSent` from that device for that epoch, and (when frame
+/// tracing was on) reconciles frame counts against [`NetStats`]. Any
+/// mismatch is drift: either the trace lies or the counters do.
+pub fn verify_monitor_drift(out: &MonitorOutcome) -> Result<TraceAggregates, String> {
+    let log = out
+        .query_trace
+        .as_ref()
+        .ok_or_else(|| "monitor drift check requires an enabled query trace".to_string())?;
+    if log.dropped > 0 {
+        return Err(format!(
+            "query trace dropped {} records; zero-drift guarantee void (raise per_node_capacity)",
+            log.dropped
+        ));
+    }
+    let agg = trace_aggregates(log);
+    let mut errs: Vec<String> = Vec::new();
+    let mut check = |name: &str, traced: u64, counted: u64| {
+        if traced != counted {
+            errs.push(format!("{name}: trace says {traced}, counters say {counted}"));
+        }
+    };
+    check("registered", agg.registered, out.registered);
+    check("delta_sent", agg.delta_sent, out.deltas_sent + out.heartbeats_sent);
+    check("delta_heartbeats", agg.delta_heartbeats, out.heartbeats_sent);
+    check("delta_applied", agg.delta_applied, out.deltas_applied);
+    check("lease_expired", agg.lease_expired, out.lease_expired);
+    check("cancelled", agg.cancelled, out.cancelled);
+    check("arq_retries", agg.arq_retries, out.arq_retries);
+    check("arq_exhausted", agg.arq_exhausted, out.arq_exhausted);
+    check("duplicates_suppressed", agg.duplicates_suppressed, out.duplicates_suppressed);
+    check("delivery_failures", agg.delivery_failures, out.delivery_failures);
+    check("node_crashes", agg.crashes, out.net.node_crashes);
+    check("node_revivals", agg.revivals, out.net.node_revivals);
+
+    // Every applied delta must have been sent: match (device, epoch,
+    // heartbeat) across the log.
+    let mut sent: HashSet<(usize, u64, bool)> = HashSet::new();
+    for r in &log.records {
+        if let QueryEvent::DeltaSent { epoch, heartbeat, .. } = r.event {
+            sent.insert((r.node, epoch, heartbeat));
+        }
+    }
+    for r in &log.records {
+        if let QueryEvent::DeltaApplied { from, epoch, heartbeat, .. } = r.event {
+            if !sent.contains(&(from, epoch, heartbeat)) {
+                errs.push(format!(
+                    "delta applied from device {from} for epoch {epoch} was never sent"
+                ));
+            }
+        }
+    }
+
+    if let Some(frames) = out.frame_trace.as_ref() {
+        errs.extend(verify_frames(frames, &out.net));
+    }
+    if errs.is_empty() {
+        Ok(agg)
+    } else {
+        Err(format!(
+            "monitor drift detected ({} checks failed):\n  {}",
+            errs.len(),
+            errs.join("\n  ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_are_stable() {
+        let key = QueryKey { origin: 3, cnt: 0 };
+        let reg = MonMsg::Register {
+            key,
+            center: Point::new(0.0, 0.0),
+            radius: 100.0,
+            t0: SimTime::ZERO,
+            period: SimDuration::from_secs_f64(30.0),
+            ttl: SimDuration::from_secs_f64(240.0),
+            round: 0,
+            requery: false,
+        };
+        assert_eq!(reg.wire_size(), 58);
+        assert_eq!(MonMsg::Cancel { key }.wire_size(), 5);
+        assert_eq!(MonMsg::Ack { seq: 9 }.wire_size(), 12);
+        let t = Tuple::new(0.0, 0.0, vec![1.0, 2.0]); // wire 32
+        let delta = MonMsg::Delta {
+            key,
+            epoch: 4,
+            adds: vec![(TupleId(0, 0), t.clone())],
+            removes: vec![TupleId(0, 1)],
+            full: false,
+            seq: 1,
+            retries: 0,
+        };
+        // header 26 + add (16 + 32) + remove 16
+        assert_eq!(delta.wire_size(), 26 + 48 + 16);
+        let reply =
+            MonMsg::Reply { key, epoch: 4, tuples: vec![(TupleId(0, 0), t)], seq: 1, retries: 0 };
+        // header 25 + tuple (16 + 32)
+        assert_eq!(reply.wire_size(), 25 + 48);
+    }
+
+    #[test]
+    fn epoch_grid_arithmetic() {
+        let t0 = SimTime::from_secs_f64(30.0);
+        let p = SimDuration::from_secs_f64(20.0);
+        assert_eq!(epoch_of(t0, p, t0), 0);
+        assert_eq!(epoch_of(t0, p, SimTime::from_secs_f64(50.0)), 1);
+        assert_eq!(epoch_of(t0, p, SimTime::from_secs_f64(69.9)), 2);
+        // Next boundary strictly after `now`, even from an exact boundary.
+        assert_eq!(next_tick(t0, p, t0), p);
+        assert_eq!(
+            next_tick(t0, p, SimTime::from_secs_f64(50.0)),
+            SimDuration::from_secs_f64(20.0)
+        );
+        assert_eq!(next_tick(t0, p, SimTime::from_secs_f64(45.0)), SimDuration::from_secs_f64(5.0));
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = MonitorConfig::default();
+        assert!(c.ttl.0 > c.period.0);
+        assert!(c.miss_limit > c.heartbeat_every);
+        let e = MonitorExperiment::defaults(4, MonitorMode::Continuous, 7);
+        assert!(e.dist.trace.enabled, "defaults must trace for drift checks");
+    }
+}
+
+/// Synchronous model of the delta protocol — one step per epoch, no
+/// engine, no radio. This isolates the *protocol algebra* (acked-state
+/// chaining, full resyncs, miss-limit retraction, duplicate re-acks) and
+/// checks, every epoch, that the originator's fold equals the skyline of
+/// exactly what it has applied. Churn and loss are injected directly.
+#[cfg(test)]
+mod model_tests {
+    use super::*;
+    use manet_sim::mobility::MobilityState;
+    use proptest::prelude::*;
+
+    const M: usize = 6; // devices 1..M report to originator 0
+    const K: usize = 3;
+    const EPOCHS: u64 = 40;
+    const PERIOD_S: f64 = 15.0;
+    const RADIUS: f64 = 170.0;
+    const HEARTBEAT_EVERY: u64 = 3;
+    const MISS_LIMIT: u64 = 6;
+    const MAX_RETRIES: u32 = 3;
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    struct MPending {
+        epoch: u64,
+        snapshot: BTreeMap<TupleId, Tuple>,
+        adds: Vec<(TupleId, Tuple)>,
+        removes: Vec<TupleId>,
+        full: bool,
+        attempts: u32,
+    }
+
+    struct MDev {
+        mob: MobilityState,
+        sites: Vec<(TupleId, Tuple, (f64, f64))>,
+        down: Option<(u64, u64)>,
+        was_up: bool,
+        acked: BTreeMap<TupleId, Tuple>,
+        full_needed: bool,
+        last_sent: Option<u64>,
+        pending: Option<MPending>,
+        truth: HashMap<u64, BTreeMap<TupleId, Tuple>>,
+    }
+
+    fn local_of(
+        dev_pos: Pos,
+        sites: &[(TupleId, Tuple, (f64, f64))],
+        center: Point,
+    ) -> BTreeMap<TupleId, Tuple> {
+        let mut ls = LiveSkyline::new();
+        for (id, t, off) in sites {
+            let p = Point::new(dev_pos.x + off.0, dev_pos.y + off.1);
+            let (dx, dy) = (p.x - center.x, p.y - center.y);
+            if (dx * dx + dy * dy).sqrt() <= RADIUS {
+                ls.insert(*id, t.clone());
+            }
+        }
+        ls.iter().map(|(id, t)| (*id, t.clone())).collect()
+    }
+
+    /// Runs the model and asserts, every epoch, that the fold equals the
+    /// skyline of the union of the devices' recorded local skylines at
+    /// the epochs the originator last applied — the per-epoch oracle
+    /// restricted to applied state. At zero churn and loss the applied
+    /// epoch IS the current epoch, so this implies per-epoch exactness.
+    #[allow(clippy::needless_range_loop)] // `d` is a node id, not just an index
+    fn run_model(seed: u64, churn_pct: u64, loss_pct: u64) {
+        let mut rng = seed | 1;
+        let center = Point::new(200.0, 200.0);
+        let mob_cfg = MobilityConfig {
+            width: 400.0,
+            height: 400.0,
+            speed_min: 2.0,
+            speed_max: 10.0,
+            pause: SimDuration::from_secs_f64(5.0),
+            frozen: false,
+        };
+        let mut devs: Vec<MDev> = (0..M)
+            .map(|d| {
+                let sites = (0..K)
+                    .map(|j| {
+                        let attrs: Vec<f64> = (0..2).map(|_| (lcg(&mut rng) % 50) as f64).collect();
+                        let id = TupleId(d as u64, j as u64);
+                        let off = (
+                            (lcg(&mut rng) % 120) as f64 - 60.0,
+                            (lcg(&mut rng) % 120) as f64 - 60.0,
+                        );
+                        (id, Tuple::new(d as f64, j as f64, attrs), off)
+                    })
+                    .collect();
+                let start = Pos::new((lcg(&mut rng) % 400) as f64, (lcg(&mut rng) % 400) as f64);
+                let down = if d > 0 && churn_pct > 0 && lcg(&mut rng) % 100 < churn_pct {
+                    let a = 2 + lcg(&mut rng) % (EPOCHS - 10);
+                    let len = 3 + lcg(&mut rng) % 6;
+                    Some((a, a + len))
+                } else {
+                    None
+                };
+                MDev {
+                    mob: MobilityState::new(mob_cfg, start, seed ^ (d as u64) << 8),
+                    sites,
+                    down,
+                    was_up: true,
+                    acked: BTreeMap::new(),
+                    full_needed: true,
+                    last_sent: None,
+                    pending: None,
+                    truth: HashMap::new(),
+                }
+            })
+            .collect();
+
+        // Originator state.
+        let mut fold = LiveSkyline::new();
+        let mut contributions: HashMap<usize, Vec<TupleId>> = HashMap::new();
+        let mut last_applied: HashMap<usize, u64> = HashMap::new();
+        let mut needs_full: HashSet<usize> = HashSet::new();
+        let mut own_ids: Vec<TupleId> = Vec::new();
+
+        for e in 1..=EPOCHS {
+            let t = SimTime::from_secs_f64(e as f64 * PERIOD_S);
+            for d in 1..M {
+                let is_down = devs[d].down.is_some_and(|(a, b)| e >= a && e < b);
+                if is_down {
+                    if devs[d].was_up {
+                        // Crash: all protocol state is volatile.
+                        devs[d].acked.clear();
+                        devs[d].pending = None;
+                        devs[d].full_needed = true;
+                        devs[d].last_sent = None;
+                        devs[d].was_up = false;
+                    }
+                    continue;
+                }
+                devs[d].was_up = true;
+                let pos = devs[d].mob.position_at(t);
+                let local = local_of(pos, &devs[d].sites, center);
+                devs[d].truth.insert(e, local.clone());
+
+                if devs[d].pending.is_none() {
+                    let full = devs[d].full_needed;
+                    let (adds, removes) = if full {
+                        (local.iter().map(|(i, t)| (*i, t.clone())).collect::<Vec<_>>(), vec![])
+                    } else {
+                        let adds: Vec<(TupleId, Tuple)> = local
+                            .iter()
+                            .filter(|(i, _)| !devs[d].acked.contains_key(i))
+                            .map(|(i, t)| (*i, t.clone()))
+                            .collect();
+                        let removes: Vec<TupleId> = devs[d]
+                            .acked
+                            .keys()
+                            .filter(|i| !local.contains_key(*i))
+                            .copied()
+                            .collect();
+                        (adds, removes)
+                    };
+                    let heartbeat = adds.is_empty() && removes.is_empty() && !full;
+                    let due = !heartbeat
+                        || devs[d].last_sent.is_none_or(|l| e.saturating_sub(l) >= HEARTBEAT_EVERY);
+                    if due {
+                        devs[d].pending = Some(MPending {
+                            epoch: e,
+                            snapshot: local.clone(),
+                            adds,
+                            removes,
+                            full,
+                            attempts: 0,
+                        });
+                        devs[d].last_sent = Some(e);
+                    }
+                }
+
+                // One delivery attempt per epoch (the engine's backoff is
+                // abstracted to epoch granularity).
+                if devs[d].pending.is_some() {
+                    let exhausted = {
+                        let p = devs[d].pending.as_mut().unwrap();
+                        p.attempts += 1;
+                        p.attempts > 1 + MAX_RETRIES
+                    };
+                    if exhausted {
+                        devs[d].pending = None;
+                        devs[d].full_needed = true;
+                        continue;
+                    }
+                    let delivered = loss_pct == 0 || lcg(&mut rng) % 100 >= loss_pct;
+                    if !delivered {
+                        continue;
+                    }
+                    let (epoch, full, adds, removes, snapshot) = {
+                        let p = devs[d].pending.as_ref().unwrap();
+                        (p.epoch, p.full, p.adds.clone(), p.removes.clone(), p.snapshot.clone())
+                    };
+                    if !full && needs_full.contains(&d) {
+                        continue; // ignored: no ack, chain must exhaust
+                    }
+                    let known = last_applied.get(&d).copied();
+                    if full || known.is_none_or(|le| epoch > le) {
+                        let mut ids = contributions.remove(&d).unwrap_or_default();
+                        if full {
+                            for id in ids.drain(..) {
+                                assert!(fold.remove(&id), "retract miss");
+                            }
+                            needs_full.remove(&d);
+                        }
+                        for id in &removes {
+                            assert!(fold.remove(id), "remove miss {id:?}");
+                            ids.retain(|x| x != id);
+                        }
+                        for (id, t) in &adds {
+                            fold.insert(*id, t.clone());
+                            ids.push(*id);
+                        }
+                        contributions.insert(d, ids);
+                        last_applied.insert(d, epoch);
+                    }
+                    // Ack (possibly lost independently).
+                    let acked = loss_pct == 0 || lcg(&mut rng) % 100 >= loss_pct;
+                    if acked {
+                        devs[d].acked = snapshot;
+                        if full {
+                            devs[d].full_needed = false;
+                        }
+                        devs[d].pending = None;
+                    }
+                }
+            }
+
+            // Originator's own contribution.
+            let pos0 = devs[0].mob.position_at(t);
+            let local0 = local_of(pos0, &devs[0].sites, center);
+            devs[0].truth.insert(e, local0.clone());
+            let old = std::mem::take(&mut own_ids);
+            for id in &old {
+                if !local0.contains_key(id) {
+                    assert!(fold.remove(id), "own remove miss");
+                }
+            }
+            let old_set: HashSet<TupleId> = old.iter().copied().collect();
+            for (id, t) in &local0 {
+                if !old_set.contains(id) {
+                    fold.insert(*id, t.clone());
+                }
+            }
+            own_ids = local0.keys().copied().collect();
+
+            // Miss-limit retraction.
+            let stale: Vec<usize> = contributions
+                .keys()
+                .copied()
+                .filter(|d| e > last_applied.get(d).copied().unwrap_or(0) + MISS_LIMIT)
+                .collect();
+            for d in stale {
+                for id in contributions.remove(&d).unwrap_or_default() {
+                    assert!(fold.remove(&id), "retraction miss");
+                }
+                needs_full.insert(d);
+            }
+
+            // Invariant: the fold equals the skyline of the union of what
+            // it applied — own local now, plus each contributing device's
+            // recorded local skyline at its last applied epoch.
+            let mut merger = SkylineMerger::new();
+            for t in local0.values() {
+                merger.insert(t.clone());
+            }
+            for &d in contributions.keys() {
+                let le = last_applied[&d];
+                for t in devs[d].truth[&le].values() {
+                    merger.insert(t.clone());
+                }
+            }
+            let mut expected: Vec<TupleId> =
+                merger.into_result().iter().map(|t| TupleId(t.x as u64, t.y as u64)).collect();
+            expected.sort_unstable();
+            assert_eq!(
+                fold.result_ids(),
+                expected,
+                "epoch {e}: fold diverged from applied-state oracle \
+                 (seed {seed:#x}, churn {churn_pct}%, loss {loss_pct}%)"
+            );
+            fold.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn quiescent_model_is_exact_per_epoch() {
+        // No churn, no loss: last applied epoch == current epoch at every
+        // step, so the invariant IS per-epoch exactness.
+        run_model(1, 0, 0);
+        run_model(0xDECAF, 0, 0);
+    }
+
+    #[test]
+    fn model_converges_under_fixed_churn_and_loss() {
+        run_model(0x5EED, 20, 10);
+        run_model(0xFEED_FACE, 20, 10);
+    }
+
+    proptest! {
+        #[test]
+        fn fold_matches_applied_oracle_under_churn_and_loss(
+            seed in any::<u64>(),
+            churn in any::<bool>(),
+            loss in any::<bool>(),
+        ) {
+            run_model(seed, if churn { 20 } else { 0 }, if loss { 10 } else { 0 });
+        }
+    }
+}

@@ -78,6 +78,28 @@ pub(crate) fn qid(key: QueryKey) -> QueryId {
     QueryId { origin: key.origin, cnt: key.cnt }
 }
 
+/// Deterministic splitmix64 jitter in `[0, max)`, keyed on the sending
+/// device, the ARQ sequence number, and the attempt counter. Shared by the
+/// one-shot runtime's ARQ and the monitoring delta protocol
+/// ([`crate::monitor`]), so both de-synchronize retransmission bursts from
+/// the same reproducible stream construction.
+pub(crate) fn splitmix_jitter(
+    device: usize,
+    seq: u64,
+    attempt: u32,
+    max: SimDuration,
+) -> SimDuration {
+    if max.0 == 0 {
+        return SimDuration(0);
+    }
+    let mut h = ((device as u64) << 40) ^ seq.rotate_left(17) ^ u64::from(attempt);
+    h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    SimDuration(h % max.0)
+}
+
 /// Best (largest) VDR in a filter bank; 0.0 when empty. Used to report
 /// filter upgrades to the trace.
 fn best_vdr(filters: &[FilterTuple]) -> f64 {
@@ -339,6 +361,16 @@ pub struct QueryRecord {
     /// [`crate::verify::score_records`]; anything above 0 is a protocol
     /// bug, not a churn artifact).
     pub spurious: u64,
+    /// Monitoring queries: number of epoch views taken (0 for one-shot
+    /// queries; see [`crate::monitor`]).
+    pub epochs: u64,
+    /// Monitoring queries: mean per-epoch completeness of the folded view
+    /// against the recorded ground truth (`None` for one-shot queries).
+    pub epoch_completeness: Option<f64>,
+    /// Monitoring queries: mean view staleness in seconds — the average age
+    /// of the freshest applied report per device at view time (`None` for
+    /// one-shot queries).
+    pub staleness_s: Option<f64>,
 }
 
 /// Deferred sends awaiting the device's simulated CPU time.
@@ -677,16 +709,7 @@ impl DeviceApp {
     /// the same coin construction as [`Self::should_rebroadcast`], so
     /// retransmission de-synchronization never costs reproducibility.
     fn arq_jitter(&self, seq: u64, attempt: u32) -> SimDuration {
-        let max = self.dist.arq.max_jitter.0;
-        if max == 0 {
-            return SimDuration(0);
-        }
-        let mut h = ((self.device.id as u64) << 40) ^ seq.rotate_left(17) ^ u64::from(attempt);
-        h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        h ^= h >> 31;
-        SimDuration(h % max)
+        splitmix_jitter(self.device.id, seq, attempt, self.dist.arq.max_jitter)
     }
 
     /// Retransmission timeout for `attempt`: exponential backoff + jitter.
@@ -962,6 +985,9 @@ impl DeviceApp {
             timeout_cause,
             completeness: None,
             spurious: 0,
+            epochs: 0,
+            epoch_completeness: None,
+            staleness_s: None,
         });
         // Ready for the next queued request.
         if self.next_request < self.requests.len() {
@@ -1401,6 +1427,9 @@ impl Application<ProtoMsg> for DeviceApp {
                 timeout_cause: Some(TimeoutCause::OriginatorCrash),
                 completeness: None,
                 spurious: 0,
+                epochs: 0,
+                epoch_completeness: None,
+                staleness_s: None,
             });
         }
         self.stash.clear();

@@ -24,8 +24,8 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use manet_sim::{
-    FinalizeKind, FrameTag, LossCause, QueryEvent, QueryId, QueryTraceLog, QueryTraceRecord,
-    TraceEvent,
+    FinalizeKind, FrameTag, FrameTraceLog, LossCause, NetStats, QueryEvent, QueryId, QueryTraceLog,
+    QueryTraceRecord, TraceEvent,
 };
 
 use crate::runtime::{qid, ManetOutcome, TimeoutCause};
@@ -181,6 +181,38 @@ fn event_fields(ev: &QueryEvent) -> (&'static str, Vec<(&'static str, Val)>) {
                 ("participants", Val::U(participants)),
             ],
         ),
+        Registered { radius_m, ttl_s, period_s } => (
+            "registered",
+            vec![
+                ("radius_m", Val::F(radius_m)),
+                ("ttl_s", Val::F(ttl_s)),
+                ("period_s", Val::F(period_s)),
+            ],
+        ),
+        DeltaSent { to, epoch, adds, removes, heartbeat, bytes, seq } => (
+            "delta_sent",
+            vec![
+                ("peer", Val::U(to as u64)),
+                ("epoch", Val::U(epoch)),
+                ("adds", Val::U(adds as u64)),
+                ("removes", Val::U(removes as u64)),
+                ("heartbeat", Val::B(heartbeat)),
+                ("bytes", Val::U(bytes as u64)),
+                ("arq_seq", Val::U(seq)),
+            ],
+        ),
+        DeltaApplied { from, epoch, adds, removes, heartbeat } => (
+            "delta_applied",
+            vec![
+                ("peer", Val::U(from as u64)),
+                ("epoch", Val::U(epoch)),
+                ("adds", Val::U(adds as u64)),
+                ("removes", Val::U(removes as u64)),
+                ("heartbeat", Val::B(heartbeat)),
+            ],
+        ),
+        LeaseExpired { epoch } => ("lease_expired", vec![("epoch", Val::U(epoch))]),
+        Cancelled { epoch } => ("cancelled", vec![("epoch", Val::U(epoch))]),
         Crashed => ("crashed", Vec::new()),
         Revived => ("revived", Vec::new()),
     }
@@ -197,6 +229,11 @@ pub fn phase_of(ev: &QueryEvent) -> &'static str {
         TokenSent { .. } | TokenSalvaged { .. } => "walk",
         ArqRetry { .. } | ArqExhausted { .. } | DeliveryFailed { .. } => "recovery",
         Finalized { .. } => "close",
+        Registered { .. }
+        | DeltaSent { .. }
+        | DeltaApplied { .. }
+        | LeaseExpired { .. }
+        | Cancelled { .. } => "monitor",
         Crashed | Revived => "fault",
     }
 }
@@ -208,7 +245,8 @@ fn bytes_of(ev: &QueryEvent) -> u64 {
         Forwarded { bytes, .. }
         | ReplySent { bytes, .. }
         | ArqRetry { bytes, .. }
-        | TokenSent { bytes, .. } => bytes as u64,
+        | TokenSent { bytes, .. }
+        | DeltaSent { bytes, .. } => bytes as u64,
         _ => 0,
     }
 }
@@ -242,7 +280,7 @@ pub fn trace_to_jsonl(log: &QueryTraceLog) -> String {
 
 /// Fixed wide-schema columns shared by every event kind (blank when a field
 /// does not apply). The prefix is stable; new columns only append.
-const CSV_COLUMNS: [&str; 26] = [
+const CSV_COLUMNS: [&str; 32] = [
     "radius_m",
     "round",
     "neighbors",
@@ -269,6 +307,13 @@ const CSV_COLUMNS: [&str; 26] = [
     "sum_unreduced",
     "sum_sent",
     "participants",
+    // Monitoring extension (append-only; the prefix above is frozen).
+    "ttl_s",
+    "period_s",
+    "epoch",
+    "adds",
+    "removes",
+    "heartbeat",
 ];
 
 /// One CSV row per record with the stable wide schema
@@ -402,8 +447,8 @@ impl QueryTimeline {
             (Some(a), Some(b)) => b.at.as_secs_f64() - a.at.as_secs_f64(),
             _ => 0.0,
         };
-        const ORDER: [&str; 8] =
-            ["issue", "flood", "local", "reply", "walk", "recovery", "close", "fault"];
+        const ORDER: [&str; 9] =
+            ["issue", "flood", "local", "reply", "walk", "recovery", "monitor", "close", "fault"];
         let mut phases: Vec<PhaseStat> =
             ORDER.iter().map(|p| PhaseStat { phase: p, events: 0, bytes: 0 }).collect();
         for r in &self.records {
@@ -535,6 +580,53 @@ pub struct TraceAggregates {
     pub reply_sent: u64,
     /// `finalized` events.
     pub finalized: u64,
+    /// `registered` events (monitoring lease installs/renewals).
+    pub registered: u64,
+    /// `delta_sent` events (epoch deltas and heartbeats).
+    pub delta_sent: u64,
+    /// The `delta_sent` subset with `heartbeat = true`.
+    pub delta_heartbeats: u64,
+    /// `delta_applied` events at the originator.
+    pub delta_applied: u64,
+    /// `lease_expired` events.
+    pub lease_expired: u64,
+    /// `cancelled` events.
+    pub cancelled: u64,
+}
+
+/// Recomputes the log-wide [`TraceAggregates`] from the event log alone.
+/// [`verify_zero_drift`] (one-shot queries) and
+/// [`verify_monitor_drift`](crate::monitor::verify_monitor_drift)
+/// (continuous monitoring) both reconcile these against runtime counters.
+pub fn trace_aggregates(log: &QueryTraceLog) -> TraceAggregates {
+    let mut agg = TraceAggregates::default();
+    for r in &log.records {
+        match r.event {
+            QueryEvent::Issued { .. } => agg.issued += 1,
+            QueryEvent::ArqRetry { .. } => agg.arq_retries += 1,
+            QueryEvent::ArqExhausted { .. } => agg.arq_exhausted += 1,
+            QueryEvent::DuplicateSuppressed { .. } => agg.duplicates_suppressed += 1,
+            QueryEvent::DeliveryFailed { .. } => agg.delivery_failures += 1,
+            QueryEvent::Crashed => agg.crashes += 1,
+            QueryEvent::Revived => agg.revivals += 1,
+            QueryEvent::Forwarded { neighbors, .. } => agg.forward_recipients += neighbors as u64,
+            QueryEvent::TokenSent { .. } => agg.token_sent += 1,
+            QueryEvent::ReplySent { .. } => agg.reply_sent += 1,
+            QueryEvent::Finalized { .. } => agg.finalized += 1,
+            QueryEvent::Registered { .. } => agg.registered += 1,
+            QueryEvent::DeltaSent { heartbeat, .. } => {
+                agg.delta_sent += 1;
+                if heartbeat {
+                    agg.delta_heartbeats += 1;
+                }
+            }
+            QueryEvent::DeltaApplied { .. } => agg.delta_applied += 1,
+            QueryEvent::LeaseExpired { .. } => agg.lease_expired += 1,
+            QueryEvent::Cancelled { .. } => agg.cancelled += 1,
+            _ => {}
+        }
+    }
+    agg
 }
 
 #[derive(Debug, Default, Clone)]
@@ -567,7 +659,7 @@ pub fn verify_zero_drift(out: &ManetOutcome) -> Result<TraceAggregates, String> 
         ));
     }
 
-    let mut agg = TraceAggregates::default();
+    let agg = trace_aggregates(log);
     let mut per: HashMap<QueryId, PerQuery> = HashMap::new();
     for r in &log.records {
         if let Some(q) = r.query {
@@ -582,20 +674,6 @@ pub fn verify_zero_drift(out: &ManetOutcome) -> Result<TraceAggregates, String> 
                 QueryEvent::Finalized { .. } => p.finalized.push(r.event),
                 _ => {}
             }
-        }
-        match r.event {
-            QueryEvent::Issued { .. } => agg.issued += 1,
-            QueryEvent::ArqRetry { .. } => agg.arq_retries += 1,
-            QueryEvent::ArqExhausted { .. } => agg.arq_exhausted += 1,
-            QueryEvent::DuplicateSuppressed { .. } => agg.duplicates_suppressed += 1,
-            QueryEvent::DeliveryFailed { .. } => agg.delivery_failures += 1,
-            QueryEvent::Crashed => agg.crashes += 1,
-            QueryEvent::Revived => agg.revivals += 1,
-            QueryEvent::Forwarded { neighbors, .. } => agg.forward_recipients += neighbors as u64,
-            QueryEvent::TokenSent { .. } => agg.token_sent += 1,
-            QueryEvent::ReplySent { .. } => agg.reply_sent += 1,
-            QueryEvent::Finalized { .. } => agg.finalized += 1,
-            _ => {}
         }
     }
 
@@ -721,60 +799,7 @@ pub fn verify_zero_drift(out: &ManetOutcome) -> Result<TraceAggregates, String> 
     }
 
     if let Some(frames) = out.frame_trace.as_ref() {
-        if frames.dropped > 0 {
-            errs.push(format!("frame trace dropped {} events", frames.dropped));
-        } else {
-            let (mut sent, mut bytes, mut lost) = (0u64, 0u64, 0u64);
-            let mut by_tag: HashMap<FrameTag, u64> = HashMap::new();
-            let (mut down, mut severed) = (0u64, 0u64);
-            let (mut crashed, mut revived) = (0u64, 0u64);
-            for (_, ev) in &frames.entries {
-                match *ev {
-                    TraceEvent::FrameSent { tag, bytes: b, .. } => {
-                        sent += 1;
-                        bytes += b as u64;
-                        *by_tag.entry(tag).or_insert(0) += 1;
-                    }
-                    TraceEvent::FrameLost { cause, .. } => {
-                        lost += 1;
-                        match cause {
-                            LossCause::NodeDown => down += 1,
-                            LossCause::LinkDown => severed += 1,
-                            LossCause::Radio => {}
-                        }
-                    }
-                    TraceEvent::NodeCrashed { .. } => crashed += 1,
-                    TraceEvent::NodeRevived { .. } => revived += 1,
-                    TraceEvent::FrameDelivered { .. } => {}
-                }
-            }
-            let mut fcheck = |name: &str, traced: u64, counted: u64| {
-                if traced != counted {
-                    errs.push(format!(
-                        "frames.{name}: trace says {traced}, NetStats says {counted}"
-                    ));
-                }
-            };
-            fcheck("sent", sent, out.net.frames_sent);
-            fcheck("bytes", bytes, out.net.bytes_sent);
-            fcheck("aodv", by_tag.get(&FrameTag::Aodv).copied().unwrap_or(0), out.net.aodv_frames);
-            fcheck("data", by_tag.get(&FrameTag::Data).copied().unwrap_or(0), out.net.data_frames);
-            fcheck(
-                "bcast",
-                by_tag.get(&FrameTag::Bcast).copied().unwrap_or(0),
-                out.net.bcast_frames,
-            );
-            fcheck(
-                "hello",
-                by_tag.get(&FrameTag::Hello).copied().unwrap_or(0),
-                out.net.hello_frames,
-            );
-            fcheck("lost", lost, out.net.frames_lost);
-            fcheck("lost_node_down", down, out.net.frames_dropped_node_down);
-            fcheck("lost_link_down", severed, out.net.frames_blocked_link_down);
-            fcheck("node_crashes", crashed, out.net.node_crashes);
-            fcheck("node_revivals", revived, out.net.node_revivals);
-        }
+        errs.extend(verify_frames(frames, &out.net));
     }
 
     if errs.is_empty() {
@@ -782,6 +807,60 @@ pub fn verify_zero_drift(out: &ManetOutcome) -> Result<TraceAggregates, String> 
     } else {
         Err(errs.join("; "))
     }
+}
+
+/// Reconciles the frame-level radio log against the engine's [`NetStats`]
+/// counters, returning one message per drifting quantity (empty = clean).
+/// Shared by [`verify_zero_drift`] and the monitoring checker
+/// ([`crate::monitor::verify_monitor_drift`]) — both demand exact equality
+/// and treat a dropped-ring log as a failure.
+pub(crate) fn verify_frames(frames: &FrameTraceLog, net: &NetStats) -> Vec<String> {
+    let mut errs = Vec::new();
+    if frames.dropped > 0 {
+        errs.push(format!("frame trace dropped {} events", frames.dropped));
+        return errs;
+    }
+    let (mut sent, mut bytes, mut lost) = (0u64, 0u64, 0u64);
+    let mut by_tag: HashMap<FrameTag, u64> = HashMap::new();
+    let (mut down, mut severed) = (0u64, 0u64);
+    let (mut crashed, mut revived) = (0u64, 0u64);
+    for (_, ev) in &frames.entries {
+        match *ev {
+            TraceEvent::FrameSent { tag, bytes: b, .. } => {
+                sent += 1;
+                bytes += b as u64;
+                *by_tag.entry(tag).or_insert(0) += 1;
+            }
+            TraceEvent::FrameLost { cause, .. } => {
+                lost += 1;
+                match cause {
+                    LossCause::NodeDown => down += 1,
+                    LossCause::LinkDown => severed += 1,
+                    LossCause::Radio => {}
+                }
+            }
+            TraceEvent::NodeCrashed { .. } => crashed += 1,
+            TraceEvent::NodeRevived { .. } => revived += 1,
+            TraceEvent::FrameDelivered { .. } => {}
+        }
+    }
+    let mut fcheck = |name: &str, traced: u64, counted: u64| {
+        if traced != counted {
+            errs.push(format!("frames.{name}: trace says {traced}, NetStats says {counted}"));
+        }
+    };
+    fcheck("sent", sent, net.frames_sent);
+    fcheck("bytes", bytes, net.bytes_sent);
+    fcheck("aodv", by_tag.get(&FrameTag::Aodv).copied().unwrap_or(0), net.aodv_frames);
+    fcheck("data", by_tag.get(&FrameTag::Data).copied().unwrap_or(0), net.data_frames);
+    fcheck("bcast", by_tag.get(&FrameTag::Bcast).copied().unwrap_or(0), net.bcast_frames);
+    fcheck("hello", by_tag.get(&FrameTag::Hello).copied().unwrap_or(0), net.hello_frames);
+    fcheck("lost", lost, net.frames_lost);
+    fcheck("lost_node_down", down, net.frames_dropped_node_down);
+    fcheck("lost_link_down", severed, net.frames_blocked_link_down);
+    fcheck("node_crashes", crashed, net.node_crashes);
+    fcheck("node_revivals", revived, net.node_revivals);
+    errs
 }
 
 #[cfg(test)]
@@ -929,5 +1008,103 @@ mod tests {
         assert!(text.contains("reply_accepted"));
         assert!(text.contains("-- duration"));
         assert!(text.contains("-- replies 1 matched"));
+    }
+
+    fn monitor_log() -> QueryTraceLog {
+        QueryTraceLog {
+            records: vec![
+                rec(
+                    0,
+                    1_000_000,
+                    4,
+                    Some((0, 0)),
+                    QueryEvent::Registered { radius_m: 400.0, ttl_s: 60.0, period_s: 10.0 },
+                ),
+                rec(
+                    1,
+                    2_000_000,
+                    4,
+                    Some((0, 0)),
+                    QueryEvent::DeltaSent {
+                        to: 0,
+                        epoch: 1,
+                        adds: 2,
+                        removes: 1,
+                        heartbeat: false,
+                        bytes: 77,
+                        seq: 3,
+                    },
+                ),
+                rec(
+                    2,
+                    2_100_000,
+                    0,
+                    Some((0, 0)),
+                    QueryEvent::DeltaApplied {
+                        from: 4,
+                        epoch: 1,
+                        adds: 2,
+                        removes: 1,
+                        heartbeat: false,
+                    },
+                ),
+                rec(
+                    3,
+                    3_000_000,
+                    4,
+                    Some((0, 0)),
+                    QueryEvent::DeltaSent {
+                        to: 0,
+                        epoch: 2,
+                        adds: 0,
+                        removes: 0,
+                        heartbeat: true,
+                        bytes: 30,
+                        seq: 4,
+                    },
+                ),
+                rec(4, 9_000_000, 4, Some((0, 0)), QueryEvent::LeaseExpired { epoch: 2 }),
+                rec(5, 9_500_000, 4, Some((0, 0)), QueryEvent::Cancelled { epoch: 2 }),
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn monitor_events_export_and_aggregate() {
+        let log = monitor_log();
+        let agg = trace_aggregates(&log);
+        assert_eq!(agg.registered, 1);
+        assert_eq!(agg.delta_sent, 2);
+        assert_eq!(agg.delta_heartbeats, 1);
+        assert_eq!(agg.delta_applied, 1);
+        assert_eq!(agg.lease_expired, 1);
+        assert_eq!(agg.cancelled, 1);
+        // The wide CSV schema absorbs the new events without ragged rows.
+        let c = trace_to_csv(&log);
+        for l in c.lines() {
+            assert_eq!(l.split(',').count(), 6 + CSV_COLUMNS.len(), "ragged row: {l}");
+        }
+        let j = trace_to_jsonl(&log);
+        assert!(j.lines().next().unwrap().contains("\"event\":\"registered\""));
+        assert!(j.contains("\"heartbeat\":true"));
+        // Monitoring events land in their own timeline phase.
+        let tl = timeline_for(&log, QueryId { origin: 0, cnt: 0 });
+        let s = tl.summary();
+        let m = s.phases.iter().find(|p| p.phase == "monitor").unwrap();
+        assert_eq!(m.events, 6);
+        assert_eq!(m.bytes, 107);
+    }
+
+    #[test]
+    fn csv_prefix_is_byte_identical_to_pre_monitor_schema() {
+        // The pre-monitoring header prefix is frozen verbatim: new columns
+        // only append after `participants`.
+        let header = trace_to_csv(&QueryTraceLog::default());
+        let frozen = "seq,t_us,node,origin,cnt,event,radius_m,round,neighbors,filters,bytes,\
+                      unreduced,reply,skipped,vdr,old_vdr,new_vdr,peer,tuples,participated,\
+                      retries,arq_seq,attempt,backtrack,outcome,responded,result_len,duplicates,\
+                      reissues,sum_unreduced,sum_sent,participants";
+        assert!(header.lines().next().unwrap().starts_with(frozen));
     }
 }

@@ -7,7 +7,7 @@
 
 use device_storage::DeviceRelation;
 use skyline_core::region::QueryRegion;
-use skyline_core::{SkylineMerger, Tuple};
+use skyline_core::{SkylineMerger, Tuple, TupleId};
 
 use crate::config::StrategyConfig;
 use crate::static_net::StaticGridNetwork;
@@ -106,6 +106,21 @@ pub fn score_records(records: &mut [crate::runtime::QueryRecord], partitions: &[
     }
 }
 
+/// Scores one monitoring epoch: the folded view's skyline ids against the
+/// oracle ids recomputed from the devices' recorded ground truth. Returns
+/// `(completeness, spurious)` with the same semantics as
+/// [`score_records`] — completeness is oracle coverage (1.0 when the
+/// oracle is empty), spurious counts view members the oracle rejects.
+/// Both inputs are id sets; order is irrelevant.
+pub fn score_epoch(view: &[TupleId], oracle: &[TupleId]) -> (f64, u64) {
+    let o: std::collections::HashSet<&TupleId> = oracle.iter().collect();
+    let v: std::collections::HashSet<&TupleId> = view.iter().collect();
+    let covered = oracle.iter().filter(|id| v.contains(id)).count();
+    let spurious = view.iter().filter(|id| !o.contains(id)).count() as u64;
+    let completeness = if oracle.is_empty() { 1.0 } else { covered as f64 / oracle.len() as f64 };
+    (completeness, spurious)
+}
+
 /// Runs a query on a static network and verifies it in one call.
 pub fn verify_static_query<R: DeviceRelation>(
     net: &StaticGridNetwork<R>,
@@ -202,6 +217,9 @@ mod tests {
             timeout_cause: None,
             completeness: None,
             spurious: 0,
+            epochs: 0,
+            epoch_completeness: None,
+            staleness_s: None,
         };
         // Device 1 crashed: its tuple is missing. That halves completeness
         // but is NOT spurious — the contributing oracle (device 0 only)
@@ -219,6 +237,21 @@ mod tests {
         score_records(&mut recs, &partitions);
         assert_eq!(recs[0].completeness, Some(1.0));
         assert_eq!(recs[0].spurious, 1);
+    }
+
+    #[test]
+    fn score_epoch_separates_coverage_from_spurious() {
+        let a = TupleId(1, 0);
+        let b = TupleId(2, 1);
+        let c = TupleId(3, 0);
+        // Perfect view.
+        assert_eq!(score_epoch(&[a, b], &[b, a]), (1.0, 0));
+        // Half covered, one spurious.
+        assert_eq!(score_epoch(&[a, c], &[a, b]), (0.5, 1));
+        // Empty oracle counts as fully covered; the view is all spurious.
+        assert_eq!(score_epoch(&[a], &[]), (1.0, 1));
+        // Empty view covers nothing.
+        assert_eq!(score_epoch(&[], &[a, b]), (0.0, 0));
     }
 
     #[test]

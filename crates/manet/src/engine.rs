@@ -333,6 +333,22 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         self.nodes[node].mobility.position_at(now)
     }
 
+    /// Position of `node` at an arbitrary time `t` (not after the node's
+    /// next waypoint draw would be needed *and* then re-queried in the
+    /// past; the engine clock is monotone, so forward probes are safe).
+    ///
+    /// Uses the mobility model's non-mutating
+    /// [`peek`](crate::mobility::MobilityState::peek) when `t` falls inside
+    /// the node's current leg — the common case for high-frequency range
+    /// probes — and only steps the model otherwise.
+    pub fn position_at(&mut self, node: NodeId, t: SimTime) -> Pos {
+        let m = &mut self.nodes[node].mobility;
+        match m.peek(t) {
+            Some(p) => p,
+            None => m.position_at(t),
+        }
+    }
+
     /// Schedules an application timer for `node` at absolute time `at`.
     /// This is how external workloads (query issue times) enter the system.
     /// The timer is tagged with the node's current epoch: it is silently

@@ -419,6 +419,60 @@ pub enum QueryEvent {
         /// DRR participant count.
         participants: u64,
     },
+    /// A device installed (or renewed) a continuous-monitoring lease for
+    /// the query (monitoring extension, DESIGN.md §9).
+    Registered {
+        /// Monitored range radius in metres.
+        radius_m: f64,
+        /// Lease time-to-live in seconds; the device drops the registration
+        /// when no renewal arrives within this window.
+        ttl_s: f64,
+        /// Epoch refresh period in seconds.
+        period_s: f64,
+    },
+    /// A device transmitted an epoch delta (or heartbeat) to the
+    /// originator.
+    DeltaSent {
+        /// Destination (the originator).
+        to: usize,
+        /// Epoch the delta describes.
+        epoch: u64,
+        /// Tuples added to the device's local constrained skyline.
+        adds: usize,
+        /// Tuples removed from it.
+        removes: usize,
+        /// `true` for a no-change heartbeat (`adds == removes == 0`).
+        heartbeat: bool,
+        /// Serialized message bytes.
+        bytes: usize,
+        /// ARQ sequence number (0 when ARQ is disabled).
+        seq: u64,
+    },
+    /// The originator folded a received delta into its live skyline.
+    DeltaApplied {
+        /// Contributing device.
+        from: usize,
+        /// Epoch the delta described.
+        epoch: u64,
+        /// Tuples added.
+        adds: usize,
+        /// Tuples removed.
+        removes: usize,
+        /// `true` for a no-change heartbeat.
+        heartbeat: bool,
+    },
+    /// A device's monitoring lease ran out (no renewal within TTL) and the
+    /// registration was dropped.
+    LeaseExpired {
+        /// Last epoch the device reported before expiry.
+        epoch: u64,
+    },
+    /// A device dropped a registration on an explicit cancel from the
+    /// originator.
+    Cancelled {
+        /// Last epoch the device reported before the cancel.
+        epoch: u64,
+    },
     /// The engine crashed this node (fault plan). Recorded with no query id.
     Crashed,
     /// The engine revived this node (fault plan). Recorded with no query id.
