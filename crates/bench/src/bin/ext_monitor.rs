@@ -12,7 +12,8 @@ fn main() {
     let reports = msq_bench::monitor::run(scale);
     if std::env::args().any(|a| a == "--json") {
         let path = "BENCH_monitor.json";
-        match std::fs::write(path, msq_bench::monitor::to_json(scale, &reports)) {
+        let jobs = msq_bench::sweep::jobs_from_args();
+        match std::fs::write(path, msq_bench::monitor::to_json(scale, jobs, &reports)) {
             Ok(()) => println!("[json] wrote {path}"),
             Err(e) => eprintln!("[json] failed to write {path}: {e}"),
         }

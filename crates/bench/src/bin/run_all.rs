@@ -7,8 +7,8 @@
 //! workers, default all cores; `--jobs 1` is the legacy sequential path).
 //! `--json` additionally runs the core dominance micro-benchmark and
 //! writes the machine-readable baselines `BENCH_core.json`,
-//! `BENCH_sweep.json`, `BENCH_chaos.json`, and `BENCH_monitor.json` to the
-//! current directory.
+//! `BENCH_sweep.json`, `BENCH_chaos.json`, `BENCH_monitor.json`, and
+//! `BENCH_scale.json` to the current directory.
 
 use datagen::Distribution;
 use msq_bench::manet_figs::Metric;
@@ -52,17 +52,22 @@ fn main() {
     println!();
     let monitor = msq_bench::monitor::run(scale);
 
+    println!();
+    let scalebench = msq_bench::scalebench::run(scale);
+
     let total = t0.elapsed();
     println!("\nall figures regenerated in {total:.1?} ({jobs} jobs)");
 
     if json {
         let stages = sweep::take_stage_records();
         write_file("BENCH_sweep.json", &sweep_json(jobs, total.as_secs_f64(), &stages));
-        write_file("BENCH_chaos.json", &msq_bench::chaos::to_json(scale, &chaos));
-        write_file("BENCH_monitor.json", &msq_bench::monitor::to_json(scale, &monitor));
+        write_file("BENCH_chaos.json", &msq_bench::chaos::to_json(scale, jobs, &chaos));
+        write_file("BENCH_monitor.json", &msq_bench::monitor::to_json(scale, jobs, &monitor));
+        write_file("BENCH_scale.json", &msq_bench::scalebench::to_json(scale, jobs, &scalebench));
 
         let records = msq_bench::corebench::run(20_000);
-        write_file("BENCH_core.json", &core_json(&records));
+        let neighbors = msq_bench::corebench::neighbor_discovery();
+        write_file("BENCH_core.json", &core_json(&records, &neighbors));
     }
 }
 
@@ -101,8 +106,12 @@ fn sweep_json(jobs: usize, total_seconds: f64, stages: &[StageRecord]) -> String
 }
 
 /// `BENCH_core.json`: the contiguous-kernel vs pointer-chasing comparison
-/// with dominance test counts.
-fn core_json(records: &[msq_bench::corebench::KernelRecord]) -> String {
+/// with dominance test counts, plus the grid-vs-scan neighbour-discovery
+/// micro-benchmark.
+fn core_json(
+    records: &[msq_bench::corebench::KernelRecord],
+    neighbors: &[msq_bench::corebench::NeighborRecord],
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"core\",\n");
     out.push_str("  \"algorithm\": \"bnl\",\n");
@@ -113,6 +122,16 @@ fn core_json(records: &[msq_bench::corebench::KernelRecord]) -> String {
             out,
             "    {{\"dims\": {}, \"tuples\": {}, \"tuple_ms\": {:.3}, \"block_ms\": {:.3}, \"dominance_tests\": {}, \"skyline_len\": {}}}{sep}",
             r.dims, r.tuples, r.tuple_ms, r.block_ms, r.dominance_tests, r.skyline_len,
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"neighbor_discovery\": [\n");
+    for (i, r) in neighbors.iter().enumerate() {
+        let sep = if i + 1 < neighbors.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"nodes\": {}, \"queries\": {}, \"grid_ms\": {:.3}, \"scan_ms\": {:.3}, \"neighbors\": {}}}{sep}",
+            r.nodes, r.queries, r.grid_ms, r.scan_ms, r.neighbors,
         );
     }
     out.push_str("  ]\n}\n");

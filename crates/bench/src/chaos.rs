@@ -266,10 +266,14 @@ pub fn run(scale: Scale) -> Vec<CellReport> {
 }
 
 /// Renders the scorecard as the `BENCH_chaos.json` machine baseline.
-pub fn to_json(scale: Scale, reports: &[CellReport]) -> String {
+///
+/// `jobs` records the worker count the sweep actually ran with; cell
+/// contents are bit-identical across job counts.
+pub fn to_json(scale: Scale, jobs: usize, reports: &[CellReport]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"chaos\",\n");
     let _ = writeln!(out, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(out, "  \"jobs\": {jobs},");
     let _ = writeln!(out, "  \"devices\": {},", GRID * GRID);
     let _ = writeln!(out, "  \"cardinality\": {},", scale.chaos_cardinality());
     let _ = writeln!(out, "  \"sim_seconds\": {},", scale.chaos_sim_seconds());
@@ -384,10 +388,11 @@ mod tests {
             node_crashes: 3,
             mean_response_seconds: None,
         };
-        let json = to_json(Scale::Quick, &[r]);
+        let json = to_json(Scale::Quick, 2, &[r]);
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));
         assert!(json.contains("\"bench\": \"chaos\""));
+        assert!(json.contains("\"jobs\": 2"));
         assert!(json.contains("\"mean_response_seconds\": null"));
         assert!(json.contains("\"spurious\": 0"));
         // Balanced braces — the hand-rolled writer must not mismatch.

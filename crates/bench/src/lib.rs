@@ -16,6 +16,7 @@ pub mod manet_figs;
 pub mod messages;
 pub mod monitor;
 pub mod scale;
+pub mod scalebench;
 pub mod static_drr;
 pub mod sweep;
 pub mod table;

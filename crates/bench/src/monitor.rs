@@ -280,10 +280,15 @@ pub fn run(scale: Scale) -> Vec<CellReport> {
 }
 
 /// Renders the sweep as the `BENCH_monitor.json` machine baseline.
-pub fn to_json(scale: Scale, reports: &[CellReport]) -> String {
+///
+/// `jobs` records the worker count the sweep actually ran with; cell
+/// contents are bit-identical across job counts (CI diffs them with the
+/// `jobs` line stripped).
+pub fn to_json(scale: Scale, jobs: usize, reports: &[CellReport]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"monitor\",\n");
     let _ = writeln!(out, "  \"scale\": \"{scale:?}\",");
+    let _ = writeln!(out, "  \"jobs\": {jobs},");
     let _ = writeln!(out, "  \"devices\": {},", scale.monitor_grid() * scale.monitor_grid());
     let _ = writeln!(out, "  \"duration_seconds\": {},", scale.monitor_duration_seconds());
     out.push_str("  \"cells\": [\n");
@@ -430,10 +435,11 @@ mod tests {
             node_crashes: 3,
             energy_j: 1.25,
         };
-        let json = to_json(Scale::Quick, &[r]);
+        let json = to_json(Scale::Quick, 4, &[r]);
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));
         assert!(json.contains("\"bench\": \"monitor\""));
+        assert!(json.contains("\"jobs\": 4"));
         assert!(json.contains("\"mode\": \"delta\""));
         assert!(json.contains("\"heartbeats\": 25"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());

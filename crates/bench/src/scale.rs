@@ -160,6 +160,46 @@ impl Scale {
             Scale::Full => 1_800.0,
         }
     }
+
+    /// Scale bench (`scale` driver): grid sides, `m = g²` devices at
+    /// constant density (the area grows with the network). `g = 10` is the
+    /// paper's largest network (the 1× anchor); the Quick top end is a
+    /// 1024-device end-to-end query, `Full` extends to 4096.
+    pub fn scalebench_grid_sides(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![10, 18, 32],
+            Scale::Full => vec![10, 18, 32, 64],
+        }
+    }
+
+    /// Scale bench: global cardinalities (tuples spread over `g²`
+    /// devices). Modest on purpose — the axis under test is the *network*
+    /// size; the static sweeps already cover cardinality.
+    pub fn scalebench_cardinalities(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![10_000],
+            Scale::Full => vec![10_000, 50_000],
+        }
+    }
+
+    /// Scale bench: attribute dimensionalities. Quick keeps one point —
+    /// the devices axis is the expensive, interesting one; a 1024-device
+    /// cell runs minutes of single-core wall time either way.
+    pub fn scalebench_dims(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![3],
+            Scale::Full => vec![2, 4],
+        }
+    }
+
+    /// Scale bench: simulation horizon in seconds — the window queries are
+    /// issued in (the runtime adds its own 400 s drain on top).
+    pub fn scalebench_sim_seconds(self) -> f64 {
+        match self {
+            Scale::Quick => 300.0,
+            Scale::Full => 600.0,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -45,7 +45,7 @@ pub mod rtree;
 pub mod tuple;
 pub mod vdr;
 
-pub use block::{kernel_for, DomKernel, TupleBlock};
+pub use block::{kernel_for, strict_kernel_for, DomKernel, TupleBlock};
 pub use dominance::{dominates, DominanceTest};
 pub use live::{LiveSkyline, RangeDelta, RangeWatch};
 pub use merge::SkylineMerger;

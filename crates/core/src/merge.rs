@@ -13,10 +13,93 @@
 //! and uses [`LiveSkyline`](crate::LiveSkyline) instead, which parks every
 //! dominated tuple in its dominator's bucket and promotes on removal.
 
+use crate::block::kernel_for;
 use crate::dominance::dominates;
 use crate::tuple::{Tuple, TupleId};
+use std::collections::HashSet;
+
+/// What a [`sweep`] pass over the current members decided about an
+/// incoming tuple.
+enum Sweep {
+    /// The member at this row index dominates the incoming tuple.
+    Dominated(usize),
+    /// The incoming tuple dominates the member at this row index (and
+    /// possibly later ones); no earlier member dominates it.
+    EvictFrom(usize),
+    /// Incomparable with every member.
+    Clean,
+}
+
+/// One fused pass over the arena deciding an insert's fate. Tracks, per
+/// row, whether any attribute is strictly smaller (`any_lt`) or strictly
+/// larger (`any_gt`) than the candidate's; `dominates(row, t)` is then
+/// `any_lt && !any_gt` and `dominates(t, row)` is `any_gt && !any_lt` —
+/// exactly the reference test, including its NaN behaviour (a NaN pair is
+/// neither `<` nor `>`, i.e. "no worse" in both directions). Fusing both
+/// directions halves the memory passes and removes the per-row indirect
+/// kernel call of the two-kernel formulation.
+#[inline(always)]
+fn sweep<const D: usize>(arena: &[f64], t: &[f64]) -> Sweep {
+    let t: &[f64; D] = t[..D].try_into().expect("candidate narrower than sweep width");
+    for (i, row) in arena.chunks_exact(D).enumerate() {
+        let row: &[f64; D] = row.try_into().expect("arena row narrower than sweep width");
+        let mut any_lt = false;
+        let mut any_gt = false;
+        let mut k = 0;
+        while k < D {
+            any_lt |= row[k] < t[k];
+            any_gt |= row[k] > t[k];
+            k += 1;
+        }
+        if any_lt && !any_gt {
+            return Sweep::Dominated(i);
+        }
+        if any_gt && !any_lt {
+            return Sweep::EvictFrom(i);
+        }
+    }
+    Sweep::Clean
+}
+
+/// Width-generic fallback sweep for dimensionalities without a
+/// monomorphized instance.
+fn sweep_generic(arena: &[f64], t: &[f64], d: usize) -> Sweep {
+    let kernel = kernel_for(d);
+    for (i, row) in arena.chunks_exact(d.max(1)).enumerate() {
+        if kernel(row, t) {
+            return Sweep::Dominated(i);
+        }
+        if kernel(t, row) {
+            return Sweep::EvictFrom(i);
+        }
+    }
+    Sweep::Clean
+}
+
+/// Hash key reproducing [`Tuple::same_site`]'s float `==` semantics for
+/// non-NaN coordinates: `+ 0.0` collapses `-0.0` onto `+0.0` so the two
+/// bit patterns that compare equal share one key. NaN coordinates never
+/// compare equal to anything (including themselves), so NaN-sited tuples
+/// stay out of the set entirely.
+#[inline]
+fn site_key(x: f64, y: f64) -> (u64, u64) {
+    ((x + 0.0).to_bits(), (y + 0.0).to_bits())
+}
 
 /// Running merge state on the query originator.
+///
+/// Internally the members' attributes are mirrored in a row-major arena so
+/// the per-insert dominance sweep runs a fused, monomorphized pass over
+/// contiguous memory instead of chasing each member's heap-allocated
+/// `attrs`, and accepted sites are indexed in a hash set so the duplicate
+/// check is O(1). The arena's *scan order* is decoupled from the result
+/// order through the `who` mapping: whenever a member rejects an incoming
+/// tuple it is promoted halfway to the front of the scan, so frequent
+/// killers cluster at the start and most rejected inserts die within a few
+/// rows instead of halfway through the antichain. Results, result order,
+/// and the public counters are identical to the reference nested loop —
+/// only the internal visiting order changes, and dominance outcomes are
+/// order-independent over an antichain.
 ///
 /// ```
 /// use skyline_core::{SkylineMerger, Tuple};
@@ -29,6 +112,19 @@ use crate::tuple::{Tuple, TupleId};
 #[derive(Debug, Default, Clone)]
 pub struct SkylineMerger {
     current: Vec<Tuple>,
+    /// Row-major member attributes in scan order (row width `dims`);
+    /// unused once `mixed` is set.
+    arena: Vec<f64>,
+    /// `who[row]` = index into `current` of the member at that arena row.
+    who: Vec<u32>,
+    /// Attribute width the arena was built for (set by the first insert).
+    dims: usize,
+    /// Set when inserts with differing attribute widths were mixed; the
+    /// merger then falls back to the reference tuple-at-a-time path, whose
+    /// zip-based `dominates` matches the historical behaviour exactly.
+    mixed: bool,
+    /// Site index of the current members (NaN-sited members excluded).
+    sites: HashSet<(u64, u64)>,
     /// Duplicates dropped so far (for metrics: overlap between partitions).
     pub duplicates_removed: u64,
     /// Tuples rejected or evicted because they were dominated.
@@ -49,17 +145,145 @@ impl SkylineMerger {
         m
     }
 
+    /// `true` when an accepted member shares `t`'s site under float `==`.
+    #[inline]
+    fn is_duplicate(&self, t: &Tuple) -> bool {
+        !t.x.is_nan() && !t.y.is_nan() && self.sites.contains(&site_key(t.x, t.y))
+    }
+
+    /// Appends `t` as a new member, updating every index. New members
+    /// enter at the back of the scan order; they earn a front slot by
+    /// rejecting inserts.
+    fn push_member(&mut self, t: Tuple) {
+        if !t.x.is_nan() && !t.y.is_nan() {
+            self.sites.insert(site_key(t.x, t.y));
+        }
+        if !self.mixed {
+            self.who.push(self.current.len() as u32);
+            self.arena.extend_from_slice(&t.attrs);
+        }
+        self.current.push(t);
+    }
+
+    /// Promotes the arena row that just rejected an insert halfway toward
+    /// the front of the scan order.
+    fn promote(&mut self, row: usize) {
+        let to = row / 2;
+        if to == row {
+            return;
+        }
+        let d = self.dims;
+        for k in 0..d {
+            self.arena.swap(row * d + k, to * d + k);
+        }
+        self.who.swap(row, to);
+    }
+
     /// Inserts one incoming tuple. Returns `true` when the tuple was
     /// accepted into the current skyline.
     pub fn insert(&mut self, t: Tuple) -> bool {
         // Duplicate site check first: an exact copy of an already accepted
         // site must not be compared for dominance with itself.
-        if self.current.iter().any(|c| c.same_site(&t)) {
+        if self.is_duplicate(&t) {
             self.duplicates_removed += 1;
             return false;
         }
+        if self.current.is_empty() && !self.mixed {
+            self.dims = t.attrs.len();
+        }
+        if self.mixed || t.attrs.len() != self.dims {
+            return self.insert_reference(t);
+        }
+
+        let d = self.dims;
+        let ta = t.attrs.as_slice();
+
+        // Phase 1: sweep until something decides t's fate. `current` is an
+        // antichain and dominance is transitive, so a member dominating `t`
+        // and a member dominated by `t` cannot coexist — whichever is seen
+        // first settles which phase-2 arm runs.
+        let first = match match d {
+            1 => sweep::<1>(&self.arena, ta),
+            2 => sweep::<2>(&self.arena, ta),
+            3 => sweep::<3>(&self.arena, ta),
+            4 => sweep::<4>(&self.arena, ta),
+            5 => sweep::<5>(&self.arena, ta),
+            _ => sweep_generic(&self.arena, ta, d),
+        } {
+            Sweep::Dominated(row) => {
+                self.dominated_removed += 1;
+                self.promote(row);
+                return false;
+            }
+            Sweep::Clean => {
+                self.push_member(t);
+                return true;
+            }
+            Sweep::EvictFrom(first) => first,
+        };
+
+        // Phase 2: `t` is accepted and evicts the members it dominates.
+        // Scan order and result order differ, so evictions are collected as
+        // a mask over `current`, both mirrors are compacted preserving
+        // their own orders, and `who` is remapped.
+        let kernel = kernel_for(d);
+        let n_rows = self.who.len();
+        let mut dead = vec![false; self.current.len()];
+        for row in first..n_rows {
+            let r = &self.arena[row * d..(row + 1) * d];
+            if kernel(ta, r) {
+                let c = &self.current[self.who[row] as usize];
+                if !c.x.is_nan() && !c.y.is_nan() {
+                    self.sites.remove(&site_key(c.x, c.y));
+                }
+                self.dominated_removed += 1;
+                dead[self.who[row] as usize] = true;
+            }
+        }
+        // Compact the scan-ordered mirrors.
+        let mut write = first;
+        for row in first..n_rows {
+            if !dead[self.who[row] as usize] {
+                if write != row {
+                    self.arena.copy_within(row * d..(row + 1) * d, write * d);
+                    self.who[write] = self.who[row];
+                }
+                write += 1;
+            }
+        }
+        self.arena.truncate(write * d);
+        self.who.truncate(write);
+        // Compact `current` (insertion order preserved) and remap `who`.
+        let mut new_index = vec![0u32; dead.len()];
+        let mut kept = 0u32;
+        for (idx, &dd) in dead.iter().enumerate() {
+            new_index[idx] = kept;
+            kept += !dd as u32;
+        }
+        let mut idx = 0;
+        self.current.retain(|_| {
+            let keep = !dead[idx];
+            idx += 1;
+            keep
+        });
+        for w in &mut self.who {
+            *w = new_index[*w as usize];
+        }
+        self.push_member(t);
+        true
+    }
+
+    /// The reference nested-loop insert, used when attribute widths are
+    /// mixed (the arena rows would disagree on width). Semantically this is
+    /// the historical implementation verbatim; once entered, the merger
+    /// stays on this path.
+    fn insert_reference(&mut self, t: Tuple) -> bool {
+        self.mixed = true;
+        self.arena.clear();
+        self.who.clear();
         let mut dominated = false;
         let before = self.current.len();
+        let sites = &mut self.sites;
         self.current.retain(|c| {
             if dominated {
                 return true;
@@ -67,8 +291,13 @@ impl SkylineMerger {
             if dominates(&c.attrs, &t.attrs) {
                 dominated = true;
                 true
+            } else if dominates(&t.attrs, &c.attrs) {
+                if !c.x.is_nan() && !c.y.is_nan() {
+                    sites.remove(&site_key(c.x, c.y));
+                }
+                false
             } else {
-                !dominates(&t.attrs, &c.attrs)
+                true
             }
         });
         self.dominated_removed += (before - self.current.len()) as u64;
@@ -76,7 +305,7 @@ impl SkylineMerger {
             self.dominated_removed += 1;
             false
         } else {
-            self.current.push(t);
+            self.push_member(t);
             true
         }
     }
@@ -98,7 +327,24 @@ impl SkylineMerger {
     pub fn remove(&mut self, id: &TupleId) -> bool {
         let before = self.current.len();
         self.current.retain(|c| TupleId::site(c) != *id);
-        self.current.len() < before
+        let removed = self.current.len() < before;
+        if removed {
+            // Cold path: rebuild the acceleration indexes from scratch,
+            // scan order reset to insertion order.
+            self.sites.clear();
+            self.arena.clear();
+            self.who.clear();
+            for (i, c) in self.current.iter().enumerate() {
+                if !c.x.is_nan() && !c.y.is_nan() {
+                    self.sites.insert(site_key(c.x, c.y));
+                }
+                if !self.mixed {
+                    self.arena.extend_from_slice(&c.attrs);
+                    self.who.push(i as u32);
+                }
+            }
+        }
+        removed
     }
 
     /// Current merged skyline.
@@ -221,6 +467,118 @@ mod tests {
         assert!(m.remove(&TupleId::site(&a)));
         assert_eq!(m.len(), 1);
         assert!(!m.remove(&TupleId::site(&a)), "second remove finds nothing");
+    }
+
+    /// The pre-arena reference implementation, kept verbatim for
+    /// differential testing.
+    #[derive(Default)]
+    struct ReferenceMerger {
+        current: Vec<Tuple>,
+        duplicates_removed: u64,
+        dominated_removed: u64,
+    }
+
+    impl ReferenceMerger {
+        fn insert(&mut self, t: Tuple) {
+            if self.current.iter().any(|c| c.same_site(&t)) {
+                self.duplicates_removed += 1;
+                return;
+            }
+            let mut dominated = false;
+            let before = self.current.len();
+            self.current.retain(|c| {
+                if dominated {
+                    return true;
+                }
+                if dominates(&c.attrs, &t.attrs) {
+                    dominated = true;
+                    true
+                } else {
+                    !dominates(&t.attrs, &c.attrs)
+                }
+            });
+            self.dominated_removed += (before - self.current.len()) as u64;
+            if dominated {
+                self.dominated_removed += 1;
+            } else {
+                self.current.push(t);
+            }
+        }
+    }
+
+    #[test]
+    fn arena_merger_matches_reference_on_dense_stream() {
+        // A small value universe forces heavy duplication, domination, and
+        // multi-member evictions; compare states after every insert.
+        for dim in 1..=5usize {
+            let mut fast = SkylineMerger::new();
+            let mut slow = ReferenceMerger::default();
+            let mut state = 0x243f_6a88_85a3_08d3u64;
+            for i in 0..400 {
+                let mut attrs = Vec::with_capacity(dim);
+                for _ in 0..dim {
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    attrs.push(((state >> 33) % 7) as f64);
+                }
+                // Coarse site grid so same-site duplicates actually occur.
+                let x = (i % 13) as f64;
+                let y = (i % 11) as f64;
+                let t = Tuple::new(x, y, attrs);
+                fast.insert(t.clone());
+                slow.insert(t);
+                assert_eq!(fast.result(), slow.current.as_slice(), "dim {dim}, step {i}");
+                assert_eq!(fast.duplicates_removed, slow.duplicates_removed, "dim {dim}, step {i}");
+                assert_eq!(fast.dominated_removed, slow.dominated_removed, "dim {dim}, step {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_zero_site_is_a_duplicate_of_positive_zero() {
+        // same_site uses float ==, under which -0.0 == 0.0.
+        let mut m = SkylineMerger::new();
+        assert!(m.insert(Tuple::new(0.0, 0.0, vec![5.0])));
+        assert!(!m.insert(Tuple::new(-0.0, -0.0, vec![1.0])));
+        assert_eq!(m.duplicates_removed, 1);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn nan_sites_never_count_as_duplicates() {
+        // NaN == NaN is false, so two NaN-sited tuples are distinct sites.
+        let mut m = SkylineMerger::new();
+        assert!(m.insert(Tuple::new(f64::NAN, 0.0, vec![5.0, 1.0])));
+        assert!(m.insert(Tuple::new(f64::NAN, 0.0, vec![1.0, 5.0])));
+        assert_eq!(m.duplicates_removed, 0);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn remove_reindexes_for_later_inserts() {
+        let a = Tuple::new(0.0, 0.0, vec![1.0, 9.0]);
+        let b = Tuple::new(1.0, 0.0, vec![9.0, 1.0]);
+        let mut m = SkylineMerger::new();
+        m.extend(vec![a.clone(), b.clone()]);
+        assert!(m.remove(&TupleId::site(&a)));
+        // The removed site must be insertable again (not a stale duplicate),
+        // and dominance against the survivor must still work.
+        assert!(m.insert(a.clone()));
+        assert!(!m.insert(Tuple::new(2.0, 0.0, vec![9.5, 1.5])), "b still evicts");
+        assert_eq!(m.result(), &[b, a]);
+    }
+
+    #[test]
+    fn width_resets_when_merger_empties() {
+        // Draining the merger lets a new stream pick a different width
+        // without entering the mixed fallback.
+        let a = Tuple::new(0.0, 0.0, vec![1.0, 2.0]);
+        let mut m = SkylineMerger::new();
+        m.insert(a.clone());
+        assert!(m.remove(&TupleId::site(&a)));
+        assert!(m.insert(Tuple::new(1.0, 0.0, vec![3.0])));
+        assert!(m.insert(Tuple::new(2.0, 0.0, vec![2.0])), "dominance at the new width");
+        assert_eq!(m.len(), 1);
     }
 
     #[test]

@@ -1494,6 +1494,11 @@ pub struct ManetExperiment {
     /// skyline per query; assumes relations stay pinned, so keep `handoff`
     /// off when enabling this).
     pub compute_completeness: bool,
+    /// Caps how many devices originate queries (`None` = all `g²`). The
+    /// remaining devices still hold data, serve, and forward — the
+    /// scale-bench uses this to grow the *network* without growing the
+    /// *workload* proportionally.
+    pub querying_devices: Option<usize>,
     /// Master seed.
     pub seed: u64,
 }
@@ -1527,6 +1532,7 @@ impl ManetExperiment {
             dist: DistConfig::default(),
             fault_plan: None,
             compute_completeness: false,
+            querying_devices: None,
             seed,
         }
     }
@@ -1616,7 +1622,7 @@ pub fn run_experiment(exp: &ManetExperiment) -> ManetOutcome {
     let m = part.num_devices();
 
     let workload = datagen::WorkloadSpec {
-        num_devices: m,
+        num_devices: exp.querying_devices.unwrap_or(m).min(m),
         horizon_seconds: exp.sim_seconds,
         min_queries: exp.queries_per_device.0,
         max_queries: exp.queries_per_device.1,

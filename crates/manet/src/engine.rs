@@ -13,6 +13,7 @@ use rand::{Rng, SeedableRng};
 use crate::aodv::{AodvConfig, AodvState, AodvTimer, LinkCmd};
 use crate::events::EventQueue;
 use crate::fault::{FaultAction, FaultPlan};
+use crate::grid::SpatialGrid;
 use crate::mobility::{MobilityConfig, MobilityState, Pos};
 use crate::packet::{DataPacket, Frame, NodeId};
 use crate::radio::RadioConfig;
@@ -21,6 +22,12 @@ use crate::trace::{
     EventTrace, FrameTag, FrameTraceLog, LossCause, NetStats, QueryEvent, QueryId, QueryTraceLog,
     QueryTraceState, TraceEvent,
 };
+
+/// Fraction of the radio range the grid snapshot may drift before a sweep:
+/// queries widen their search box by at most this fraction of the range, so
+/// candidate sets stay within the 3×3-cell neighbourhood while sweeps remain
+/// rare (one every `0.2·range/max_speed` simulated seconds).
+const GRID_SLACK_FACTOR: f64 = 0.2;
 
 /// How nodes learn who their one-hop neighbours are.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -149,8 +156,9 @@ struct NodeEntry<P, A> {
     mobility: MobilityState,
     aodv: AodvState<P>,
     app: A,
-    /// Beacon mode: neighbour id → last-heard time.
-    heard: std::collections::HashMap<NodeId, SimTime>,
+    /// Beacon mode: (neighbour id, last-heard time), sorted by id so the
+    /// neighbour view is produced by a filter instead of a per-call sort.
+    heard: Vec<(NodeId, SimTime)>,
 }
 
 /// The simulator.
@@ -160,8 +168,24 @@ pub struct Simulator<P, A> {
     radio: RadioConfig,
     rng: StdRng,
     stats: NetStats,
-    /// Cached positions, refreshed at each event dispatch.
+    /// Lazily cached positions; entry `i` is exact when `pos_stamp[i]`
+    /// equals the current event time (see [`Self::pos_of`]).
     positions: Vec<Pos>,
+    /// Event time at which each cached position was computed.
+    pos_stamp: Vec<SimTime>,
+    /// Spatial index over bounded-staleness positions (cell = radio range).
+    grid: SpatialGrid,
+    /// When the grid snapshot was last refreshed for every node.
+    grid_last_sweep: SimTime,
+    /// Sweep cadence: `GRID_SLACK_FACTOR · range / max_speed`, keeping
+    /// snapshot drift a small fraction of the radio range.
+    grid_period: SimDuration,
+    /// Fastest speed any node can move at (0 for all-static networks).
+    max_speed: f64,
+    /// Reusable buffer for neighbour lists (avoids per-event allocation).
+    nbr_scratch: Vec<NodeId>,
+    /// Reusable buffer for grid candidate sets.
+    cand_scratch: Vec<NodeId>,
     /// Joules consumed by each node's radio (tx + rx).
     energy_j: Vec<f64>,
     /// Per-node up/down status (fault injection; all up by default).
@@ -181,6 +205,7 @@ pub struct Simulator<P, A> {
 impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
     /// Creates a simulator with the given radio model and RNG seed.
     pub fn new(radio: RadioConfig, seed: u64) -> Self {
+        let grid = SpatialGrid::new(radio.range_m);
         Simulator {
             nodes: Vec::new(),
             queue: EventQueue::new(),
@@ -188,6 +213,13 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
             rng: StdRng::seed_from_u64(seed),
             stats: NetStats::default(),
             positions: Vec::new(),
+            pos_stamp: Vec::new(),
+            grid,
+            grid_last_sweep: SimTime::ZERO,
+            grid_period: SimDuration::ZERO,
+            max_speed: 0.0,
+            nbr_scratch: Vec::new(),
+            cand_scratch: Vec::new(),
             energy_j: Vec::new(),
             up: Vec::new(),
             epochs: Vec::new(),
@@ -246,17 +278,32 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
     /// derived from `seed` and the node id, so node sets are reproducible.
     pub fn add_node(&mut self, start: Pos, mobility: MobilityConfig, app: A, seed: u64) -> NodeId {
         let id = self.nodes.len();
+        let now = self.queue.now();
+        let mut state = MobilityState::new(
+            mobility,
+            start,
+            seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        );
+        // Register the node at its position *now*, not at `start`: a node
+        // added mid-run may already be past its first waypoint pause.
+        let p0 = match state.peek(now) {
+            Some(p) => p,
+            None => state.position_at(now),
+        };
         self.nodes.push(NodeEntry {
-            mobility: MobilityState::new(
-                mobility,
-                start,
-                seed ^ (id as u64).wrapping_mul(0x9E3779B97F4A7C15),
-            ),
+            mobility: state,
             aodv: AodvState::new(id, AodvConfig::default()),
             app,
-            heard: std::collections::HashMap::new(),
+            heard: Vec::new(),
         });
-        self.positions.push(start);
+        self.positions.push(p0);
+        self.pos_stamp.push(now);
+        self.grid.insert(id, p0);
+        if mobility.max_speed() > self.max_speed {
+            self.max_speed = mobility.max_speed();
+            self.grid_period =
+                SimDuration::from_secs_f64(GRID_SLACK_FACTOR * self.radio.range_m / self.max_speed);
+        }
         self.energy_j.push(0.0);
         self.up.push(true);
         self.epochs.push(0);
@@ -389,10 +436,45 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         self.run_until(SimTime(u64::MAX))
     }
 
-    fn refresh_positions(&mut self, now: SimTime) {
-        for (i, n) in self.nodes.iter_mut().enumerate() {
-            self.positions[i] = n.mobility.position_at(now);
+    /// The exact position of `node` at event time `now`, computed at most
+    /// once per (node, event time) via the stamp cache. Random-waypoint
+    /// positions are pure functions of time for monotone queries (legs are
+    /// drawn lazily from a per-node RNG), so computing them on demand is
+    /// bit-identical to refreshing every node at every dispatch.
+    fn pos_of(&mut self, node: NodeId, now: SimTime) -> Pos {
+        if self.pos_stamp[node] != now {
+            let m = &mut self.nodes[node].mobility;
+            self.positions[node] = match m.peek(now) {
+                Some(p) => p,
+                None => m.position_at(now),
+            };
+            self.pos_stamp[node] = now;
         }
+        self.positions[node]
+    }
+
+    /// Refreshes the spatial grid once per `grid_period`. Runs before every
+    /// event, so at any query the snapshot is younger than one period and
+    /// [`Self::grid_slack`] bounds the drift.
+    fn maybe_sweep(&mut self, now: SimTime) {
+        if self.max_speed <= 0.0 {
+            return; // static network: insert-time positions never drift
+        }
+        if now.since(self.grid_last_sweep) < self.grid_period {
+            return;
+        }
+        for i in 0..self.nodes.len() {
+            let p = self.pos_of(i, now);
+            self.grid.update(i, p);
+        }
+        self.grid_last_sweep = now;
+    }
+
+    /// Upper bound on how far any node may have moved since the grid
+    /// snapshot; queries widen their radius by this much so the candidate
+    /// set is a guaranteed superset of the truly in-range nodes.
+    fn grid_slack(&self, now: SimTime) -> f64 {
+        self.max_speed * now.since(self.grid_last_sweep).as_secs_f64()
     }
 
     fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
@@ -403,42 +485,50 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         !self.severed.is_empty() && self.severed.contains(&Self::link_key(a, b))
     }
 
-    fn neighbors_of(&self, node: NodeId) -> Vec<NodeId> {
+    /// Fills `out` (cleared first) with `node`'s one-hop neighbours,
+    /// ascending by id.
+    fn neighbors_into(&mut self, node: NodeId, now: SimTime, out: &mut Vec<NodeId>) {
+        out.clear();
         match self.neighbor_mode {
             NeighborMode::Oracle => {
                 // The oracle reflects the physical truth: crashed nodes and
                 // severed links are invisible, which is how routing observes
                 // churn (forwarding toward a vanished neighbour trips the
-                // AODV link-break path).
-                let p = self.positions[node];
-                (0..self.nodes.len())
-                    .filter(|&j| {
-                        j != node
-                            && self.up[j]
-                            && !self.link_severed(node, j)
-                            && self.radio.in_range(p, self.positions[j])
-                    })
-                    .collect()
+                // AODV link-break path). The grid supplies a sorted superset
+                // of candidates; the exact in-range re-check with fresh
+                // positions reproduces the brute-force scan bit-for-bit.
+                let p = self.pos_of(node, now);
+                let mut cand = std::mem::take(&mut self.cand_scratch);
+                self.grid.query_into(p, self.radio.range_m + self.grid_slack(now), &mut cand);
+                for &j in &cand {
+                    if j == node || !self.up[j] || self.link_severed(node, j) {
+                        continue;
+                    }
+                    let pj = self.pos_of(j, now);
+                    if self.radio.in_range(p, pj) {
+                        out.push(j);
+                    }
+                }
+                self.cand_scratch = cand;
             }
             NeighborMode::Beacon { expiry, .. } => {
                 // Beacon views lag reality on purpose: a crashed neighbour
                 // stays listed until its entry expires, as it would in a
-                // real 802.11 MANET.
-                let now = self.queue.now();
-                let mut out: Vec<NodeId> = self.nodes[node]
-                    .heard
-                    .iter()
-                    .filter(|(_, &heard)| heard + expiry > now)
-                    .map(|(&n, _)| n)
-                    .collect();
-                out.sort_unstable();
-                out
+                // real 802.11 MANET. `heard` is sorted by id, so filtering
+                // preserves ascending order without a per-call sort.
+                out.extend(
+                    self.nodes[node]
+                        .heard
+                        .iter()
+                        .filter(|&&(_, heard)| heard + expiry > now)
+                        .map(|&(n, _)| n),
+                );
             }
         }
     }
 
     fn dispatch(&mut self, now: SimTime, ev: Event<P>) {
-        self.refresh_positions(now);
+        self.maybe_sweep(now);
         match ev {
             Event::Deliver { to, link_from, frame } => {
                 if !self.up[to] {
@@ -461,7 +551,11 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
                 );
                 match frame {
                     Frame::Hello => {
-                        self.nodes[to].heard.insert(link_from, now);
+                        let heard = &mut self.nodes[to].heard;
+                        match heard.binary_search_by_key(&link_from, |e| e.0) {
+                            Ok(i) => heard[i].1 = now,
+                            Err(i) => heard.insert(i, (link_from, now)),
+                        }
                     }
                     Frame::Bcast { src, payload, bytes: _ } => {
                         self.stats.app_broadcasts_received += 1;
@@ -469,11 +563,15 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
                         self.run_app(to, now, |app, ctx| app.on_message(ctx, meta, payload));
                     }
                     other => {
-                        let is_nbr_list = self.neighbors_of(to);
+                        let mut is_nbr_list = std::mem::take(&mut self.nbr_scratch);
+                        self.neighbors_into(to, now, &mut is_nbr_list);
                         let cmds = {
-                            let is_neighbor = |n: NodeId| is_nbr_list.contains(&n);
+                            let is_neighbor = |n: NodeId| is_nbr_list.binary_search(&n).is_ok();
                             self.nodes[to].aodv.on_frame(link_from, other, now, &is_neighbor)
                         };
+                        // Return the buffer before executing commands so a
+                        // nested `run_app` can reuse it.
+                        self.nbr_scratch = is_nbr_list;
                         self.execute_link_cmds(to, now, cmds);
                     }
                 }
@@ -553,11 +651,13 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         if !self.up[node] {
             return;
         }
-        let neighbors = self.neighbors_of(node);
+        let mut neighbors = std::mem::take(&mut self.nbr_scratch);
+        self.neighbors_into(node, now, &mut neighbors);
+        let position = self.pos_of(node, now);
         let mut ctx = NodeCtx {
             now,
             id: node,
-            position: self.positions[node],
+            position,
             neighbors: &neighbors,
             cmds: Vec::new(),
             qtrace: self.qtrace.as_mut(),
@@ -566,6 +666,7 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         // app out of `self.nodes` stays a disjoint field borrow.
         f(&mut self.nodes[node].app, &mut ctx);
         let cmds = ctx.cmds;
+        self.nbr_scratch = neighbors;
         for cmd in cmds {
             match cmd {
                 AppCmd::Unicast { dst, payload, bytes } => {
@@ -634,9 +735,9 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
             self.trace_lost(now, from, &frame, LossCause::LinkDown);
             return;
         }
-        if !self
-            .radio
-            .frame_received(self.positions[from], self.positions[to], &mut self.rng)
+        let pf = self.pos_of(from, now);
+        let pt = self.pos_of(to, now);
+        if !self.radio.frame_received(pf, pt, &mut self.rng)
             || self.radio.lost(&mut self.rng)
             || self.degrade_lost()
         {
@@ -669,37 +770,75 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         // node pays reception.
         self.energy_j[from] += self.radio.energy.tx_joules(frame.bytes());
         let delay = self.radio.tx_delay(frame.bytes(), &mut self.rng);
-        let p = self.positions[from];
-        for to in 0..self.nodes.len() {
-            if to == from || !self.radio.frame_received(p, self.positions[to], &mut self.rng) {
-                continue;
+        let p = self.pos_of(from, now);
+        if self.radio.deterministic_reception() {
+            // Unit disk: reception equals `in_range` and draws no RNG, so
+            // the receiver loop can be pruned to the grid's candidate set.
+            // Candidates come back sorted ascending — the same receiver
+            // order as the full 0..n scan — and loss rolls happen only for
+            // truly in-range receivers in both formulations, so the random
+            // stream is untouched.
+            let mut cand = std::mem::take(&mut self.cand_scratch);
+            self.grid.query_into(p, self.radio.range_m + self.grid_slack(now), &mut cand);
+            for &to in &cand {
+                if to == from {
+                    continue;
+                }
+                let pt = self.pos_of(to, now);
+                if !self.radio.in_range(p, pt) {
+                    continue;
+                }
+                self.deliver_broadcast_copy(from, to, now, delay, &frame);
             }
-            // Per-receiver copy losses are accounted exactly like unicast
-            // losses (counter + traced cause), so trace-derived loss counts
-            // reconstruct `NetStats` regardless of frame kind.
-            if self.link_severed(from, to) {
-                self.stats.frames_blocked_link_down += 1;
-                self.stats.frames_lost += 1;
-                self.trace_lost(now, from, &frame, LossCause::LinkDown);
-                continue;
+            self.cand_scratch = cand;
+        } else {
+            // Shadowing models roll the dice for every node, so every node
+            // must be visited to keep the RNG stream well-defined.
+            for to in 0..self.nodes.len() {
+                if to == from {
+                    continue;
+                }
+                let pt = self.pos_of(to, now);
+                if !self.radio.frame_received(p, pt, &mut self.rng) {
+                    continue;
+                }
+                self.deliver_broadcast_copy(from, to, now, delay, &frame);
             }
-            if self.radio.lost(&mut self.rng) || self.degrade_lost() {
-                self.stats.frames_lost += 1;
-                self.trace_lost(now, from, &frame, LossCause::Radio);
-                continue;
-            }
-            if !self.up[to] {
-                self.stats.frames_dropped_node_down += 1;
-                self.stats.frames_lost += 1;
-                self.trace_lost(now, from, &frame, LossCause::NodeDown);
-                continue;
-            }
-            self.energy_j[to] += self.radio.energy.rx_joules(frame.bytes());
-            self.queue.schedule(
-                now + delay,
-                Event::Deliver { to, link_from: from, frame: frame.clone() },
-            );
         }
+    }
+
+    /// Per-receiver tail of a broadcast, after the reception gate. Copy
+    /// losses are accounted exactly like unicast losses (counter + traced
+    /// cause), so trace-derived loss counts reconstruct `NetStats`
+    /// regardless of frame kind.
+    fn deliver_broadcast_copy(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        now: SimTime,
+        delay: SimDuration,
+        frame: &Frame<P>,
+    ) {
+        if self.link_severed(from, to) {
+            self.stats.frames_blocked_link_down += 1;
+            self.stats.frames_lost += 1;
+            self.trace_lost(now, from, frame, LossCause::LinkDown);
+            return;
+        }
+        if self.radio.lost(&mut self.rng) || self.degrade_lost() {
+            self.stats.frames_lost += 1;
+            self.trace_lost(now, from, frame, LossCause::Radio);
+            return;
+        }
+        if !self.up[to] {
+            self.stats.frames_dropped_node_down += 1;
+            self.stats.frames_lost += 1;
+            self.trace_lost(now, from, frame, LossCause::NodeDown);
+            return;
+        }
+        self.energy_j[to] += self.radio.energy.rx_joules(frame.bytes());
+        self.queue
+            .schedule(now + delay, Event::Deliver { to, link_from: from, frame: frame.clone() });
     }
 
     fn count_frame(&mut self, frame: &Frame<P>) {
@@ -737,5 +876,141 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         if let Some(q) = self.qtrace.as_mut() {
             q.record(at, node, None, ev);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Application that only touches its neighbour view, so timer events
+    /// exercise the grid-backed discovery path inside `dispatch`.
+    struct Idle;
+    impl Application<()> for Idle {
+        fn on_message(&mut self, _ctx: &mut NodeCtx<()>, _meta: MsgMeta, _payload: ()) {}
+        fn on_timer(&mut self, ctx: &mut NodeCtx<()>, _token: u64) {
+            let _ = ctx.neighbors().len();
+        }
+    }
+
+    /// The pre-grid oracle, verbatim: a full scan over fresh positions with
+    /// the same up/severed/range filters.
+    fn brute_oracle(sim: &mut Simulator<(), Idle>, node: NodeId, now: SimTime) -> Vec<NodeId> {
+        let p = sim.position_at(node, now);
+        let mut out = Vec::new();
+        for j in 0..sim.num_nodes() {
+            if j == node || !sim.up[j] || sim.link_severed(node, j) {
+                continue;
+            }
+            let pj = sim.position_at(j, now);
+            if sim.radio.in_range(p, pj) {
+                out.push(j);
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The spatial grid is an *index*, not a semantics change: at any
+        /// point of a run with mobility, crashes/revivals, and severed
+        /// links, grid-backed neighbour discovery returns exactly the
+        /// brute-force oracle set, in the same (ascending) order.
+        #[test]
+        fn grid_neighbors_equal_brute_force_under_churn(
+            seed in 0u64..1_000,
+            n in 4usize..20,
+            crashes in prop::collection::vec(
+                (any::<prop::sample::Index>(), 1u64..150, 5u64..60), 0..4),
+            severs in prop::collection::vec(
+                (any::<prop::sample::Index>(), any::<prop::sample::Index>(), 1u64..150, 10u64..80),
+                0..4),
+        ) {
+            // Dense-ish area relative to an 80 m range, fast waypoint
+            // turnover so the run crosses many grid sweeps and cell moves.
+            let radio = RadioConfig { range_m: 80.0, ..RadioConfig::default() };
+            let mobility = MobilityConfig {
+                width: 300.0,
+                height: 300.0,
+                pause: SimDuration::from_secs_f64(1.0),
+                ..MobilityConfig::paper()
+            };
+            let mut sim: Simulator<(), Idle> = Simulator::new(radio, seed);
+            for i in 0..n {
+                let x = 300.0 * (i as f64 * 0.37).fract();
+                let y = 300.0 * (i as f64 * 0.71).fract();
+                sim.add_node(Pos::new(x, y), mobility, Idle, seed ^ 0xA5A5);
+            }
+            let mut plan = FaultPlan::new();
+            for &(node, at, down) in &crashes {
+                let node = node.index(n);
+                plan = plan
+                    .crash_at(node, SimTime::from_secs_f64(at as f64))
+                    .revive_at(node, SimTime::from_secs_f64((at + down) as f64));
+            }
+            for &(a, b, from, len) in &severs {
+                let (a, b) = (a.index(n), b.index(n));
+                if a != b {
+                    plan = plan.sever_link(
+                        a,
+                        b,
+                        SimTime::from_secs_f64(from as f64),
+                        SimTime::from_secs_f64((from + len) as f64),
+                    );
+                }
+            }
+            sim.install_fault_plan(&plan);
+            // A steady event stream so sweeps and lazy positions are
+            // exercised between checkpoints.
+            for k in 0..200 {
+                sim.schedule_app_timer(0, SimTime::from_secs_f64(k as f64), k);
+            }
+
+            let mut got = Vec::new();
+            for checkpoint in [3.0, 17.0, 48.0, 90.0, 151.0, 199.0] {
+                sim.run_until(SimTime::from_secs_f64(checkpoint));
+                let now = sim.now();
+                for i in 0..n {
+                    sim.neighbors_into(i, now, &mut got);
+                    let want = brute_oracle(&mut sim, i, now);
+                    prop_assert_eq!(
+                        &got, &want,
+                        "node {} diverged at t={:?} (checkpoint {})", i, now, checkpoint
+                    );
+                    // Re-querying must be idempotent (pure index read).
+                    let first = got.clone();
+                    sim.neighbors_into(i, now, &mut got);
+                    prop_assert_eq!(&got, &first);
+                }
+            }
+        }
+    }
+
+    /// Beacon mode keeps `heard` sorted: the neighbour view needs no
+    /// per-call sort and still expires entries.
+    #[test]
+    fn beacon_heard_vec_stays_sorted_and_expires() {
+        let mut sim: Simulator<(), Idle> = Simulator::new(RadioConfig::default(), 3);
+        sim.set_neighbor_mode(NeighborMode::Beacon {
+            period: SimDuration::from_secs_f64(1.0),
+            expiry: SimDuration::from_secs_f64(2.5),
+        });
+        for x in [0.0, 100.0, 200.0, 900.0] {
+            sim.add_node(Pos::new(x, 0.0), MobilityConfig::frozen(), Idle, 5);
+        }
+        sim.run_until(SimTime::from_secs_f64(4.0));
+        let now = sim.now();
+        let mut nbrs = Vec::new();
+        // Node 1 hears 0 and 2 (within 250 m); node 3 is isolated.
+        sim.neighbors_into(1, now, &mut nbrs);
+        assert_eq!(nbrs, vec![0, 2]);
+        assert!(sim.nodes[1].heard.windows(2).all(|w| w[0].0 < w[1].0));
+        sim.neighbors_into(3, now, &mut nbrs);
+        assert!(nbrs.is_empty());
+        // Far in the future every entry has expired.
+        sim.neighbors_into(1, SimTime::from_secs_f64(1.0e6), &mut nbrs);
+        assert!(nbrs.is_empty());
     }
 }

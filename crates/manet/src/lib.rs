@@ -13,6 +13,8 @@
 //!   paper's Table 7);
 //! * [`radio`] — unit-disk connectivity, bandwidth + latency + jitter
 //!   delays, optional random loss;
+//! * [`grid`] — the bounded-staleness spatial hash grid behind O(degree)
+//!   neighbour discovery at scale;
 //! * [`aodv`] — on-demand route discovery (RFC 3561 core);
 //! * [`engine`] — the simulator: applications implement
 //!   [`engine::Application`] and exchange typed payloads via
@@ -51,6 +53,7 @@ pub mod aodv;
 pub mod engine;
 pub mod events;
 pub mod fault;
+pub mod grid;
 pub mod mobility;
 pub mod packet;
 pub mod radio;

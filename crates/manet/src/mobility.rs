@@ -77,6 +77,17 @@ impl MobilityConfig {
     pub fn frozen() -> Self {
         MobilityConfig { frozen: true, ..Self::paper() }
     }
+
+    /// The fastest speed this configuration can ever produce (0 when
+    /// frozen). The engine uses the network-wide maximum as the drift
+    /// bound for its spatial-grid staleness window.
+    pub fn max_speed(&self) -> f64 {
+        if self.frozen {
+            0.0
+        } else {
+            self.speed_max
+        }
+    }
 }
 
 /// One movement leg: pause at `from` until `depart`, then travel to `to`

@@ -127,6 +127,14 @@ impl RadioConfig {
         self.loss_probability > 0.0 && rng.random_range(0.0..1.0) < self.loss_probability
     }
 
+    /// `true` when [`frame_received`](Self::frame_received) is a pure
+    /// function of the two positions — equal to `in_range`, drawing no
+    /// randomness per candidate. Only then may broadcast receiver sets be
+    /// pruned spatially without perturbing the deterministic RNG stream.
+    pub fn deterministic_reception(&self) -> bool {
+        matches!(self.propagation, Propagation::UnitDisk)
+    }
+
     /// Per-frame reception decision between two positions, under the
     /// configured propagation model. Neighbour *discovery* keeps using the
     /// deterministic [`RadioConfig::in_range`]; this gate applies to actual

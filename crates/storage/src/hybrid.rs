@@ -21,12 +21,42 @@
 //! sorted scan with inline spatial filtering → post-scan filter application
 //! and best-VDR candidate pick.
 
+use std::sync::Mutex;
+
 use skyline_core::region::{Mbr, Point};
 use skyline_core::vdr::{select_filter, FilterTuple};
-use skyline_core::{DominanceTest, Tuple};
+use skyline_core::{kernel_for, strict_kernel_for, DomKernel, DominanceTest, Tuple};
 
 use crate::domain_index::{AttributeDomain, IdArray};
 use crate::traits::{DeviceRelation, LocalQuery, LocalSkylineOutcome, LocalStats, StorageModel};
+
+/// One memoized window scan: the surviving row indices plus the exact
+/// [`LocalStats`] the scan accumulated, replayed verbatim on every hit so
+/// cached and fresh evaluations are indistinguishable to any caller
+/// (including cost models that turn stats into simulated CPU time).
+#[derive(Debug, Clone)]
+struct CachedScan {
+    window: Vec<usize>,
+    stats: LocalStats,
+}
+
+/// Per-relation scan memo for *unbounded* regions, one slot per dominance
+/// test. The Fig. 4 window depends only on (region, dominance) — filters are
+/// applied after the scan — so with an infinite radius the window is a pure
+/// function of the dominance test and can be reused across every repeated
+/// `Q_ds` evaluation (`run_all_origins` asks each device the same unbounded
+/// scan once per origin × strategy). Finite regions bypass the cache.
+#[derive(Debug, Default)]
+struct WindowCache {
+    slots: [Option<CachedScan>; 2],
+}
+
+fn cache_slot(test: DominanceTest) -> usize {
+    match test {
+        DominanceTest::Full => 0,
+        DominanceTest::PaperStrict => 1,
+    }
+}
 
 /// A local relation in the paper's hybrid storage model.
 ///
@@ -43,7 +73,7 @@ use crate::traits::{DeviceRelation, LocalQuery, LocalSkylineOutcome, LocalStats,
 /// assert_eq!(out.skyline.len(), 2);
 /// assert_eq!(rel.lower_bounds().unwrap(), vec![20.0, 5.0]); // O(1) domain minima
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct HybridRelation {
     /// Site locations in row (sorted) order.
     locs: Vec<Point>,
@@ -57,6 +87,37 @@ pub struct HybridRelation {
     sort_attr: usize,
     rows: usize,
     dim: usize,
+    /// Row-major scan arena: every row's attribute IDs widened to `f64`
+    /// (u32 → f64 is exact), with the columns permuted so the sorted
+    /// attribute sits **last**. The Fig. 4 scan then runs the contiguous
+    /// [`TupleBlock`](skyline_core::TupleBlock)-style kernels over plain
+    /// slices — full dominance over the whole row, the paper's strict test
+    /// over the first `dim - 1` entries — instead of dispatching on the
+    /// packed column width per comparison. IDs compare exactly like the
+    /// packed integers, so results are bit-identical to [`Self::id_dominates`].
+    arena: Vec<f64>,
+    /// Memoized unbounded-region windows (see [`WindowCache`]). Interior
+    /// mutability keeps [`DeviceRelation::local_skyline`]'s `&self`
+    /// signature; the mutex is uncontended (relations are per-device).
+    cache: Mutex<WindowCache>,
+}
+
+impl Clone for HybridRelation {
+    fn clone(&self) -> Self {
+        HybridRelation {
+            locs: self.locs.clone(),
+            columns: self.columns.clone(),
+            domains: self.domains.clone(),
+            mbr: self.mbr,
+            sort_attr: self.sort_attr,
+            rows: self.rows,
+            dim: self.dim,
+            arena: self.arena.clone(),
+            // The memo is derived state; a clone starts cold and re-earns
+            // identical entries on first use.
+            cache: Mutex::new(WindowCache::default()),
+        }
+    }
 }
 
 impl HybridRelation {
@@ -96,7 +157,31 @@ impl HybridRelation {
             .collect();
         let mbr = Mbr::of_points(locs.iter().copied());
 
-        HybridRelation { locs, columns, domains, mbr, sort_attr, rows, dim }
+        // Scan arena: non-sorted attributes first, the sorted attribute
+        // last, so the strict test is a prefix comparison.
+        let perm: Vec<usize> = (0..dim)
+            .filter(|&j| j != sort_attr)
+            .chain(std::iter::once(sort_attr))
+            .take(dim)
+            .collect();
+        let mut arena = Vec::with_capacity(rows * dim);
+        for r in 0..rows {
+            for &j in &perm {
+                arena.push(f64::from(columns[j].get(r)));
+            }
+        }
+
+        HybridRelation {
+            locs,
+            columns,
+            domains,
+            mbr,
+            sort_attr,
+            rows,
+            dim,
+            arena,
+            cache: Mutex::new(WindowCache::default()),
+        }
     }
 
     /// The relation's MBR.
@@ -130,8 +215,67 @@ impl HybridRelation {
         Tuple::new(self.locs[r].x, self.locs[r].y, attrs)
     }
 
+    /// Materializes row `r`'s attribute values into `out` (reused scratch).
+    fn attrs_into(&self, r: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            self.columns
+                .iter()
+                .zip(&self.domains)
+                .map(|(col, dom)| dom.value_of(col.get(r))),
+        );
+    }
+
+    /// The scan kernel and comparison width for a dominance test: full
+    /// dominance runs over the whole permuted row; the paper's strict test
+    /// skips the sorted attribute, i.e. compares the `dim - 1` prefix (a
+    /// 1-attribute relation falls back to a strict test on the sorted
+    /// attribute itself, exactly as [`Self::id_dominates`] does).
+    fn scan_kernel(&self, test: DominanceTest) -> (DomKernel, usize) {
+        match test {
+            DominanceTest::Full => (kernel_for(self.dim), self.dim),
+            DominanceTest::PaperStrict if self.dim == 1 => (strict_kernel_for(1), 1),
+            DominanceTest::PaperStrict => (strict_kernel_for(self.dim - 1), self.dim - 1),
+        }
+    }
+
+    /// The Fig. 4 window scan over the presorted arena: returns the
+    /// surviving row indices and the stats the scan accumulated.
+    fn scan_window(&self, region: &skyline_core::QueryRegion, test: DominanceTest) -> CachedScan {
+        let mut stats = LocalStats::default();
+        let unbounded = region.radius.is_infinite();
+        let r2 = region.radius * region.radius;
+        let center = region.center;
+        let dim = self.dim;
+        let (kernel, width) = if dim > 0 { self.scan_kernel(test) } else { (kernel_for(0), 0) };
+        let mut window: Vec<usize> = Vec::new();
+        for row in 0..self.rows {
+            stats.tuples_scanned += 1;
+            if !unbounded && self.locs[row].dist2(center) > r2 {
+                continue;
+            }
+            stats.in_range += 1;
+            let cand = &self.arena[row * dim..row * dim + width];
+            let mut dominated = false;
+            for &w in &window {
+                stats.id_comparisons += 1;
+                if kernel(&self.arena[w * dim..w * dim + width], cand) {
+                    dominated = true;
+                    break;
+                }
+            }
+            if !dominated {
+                window.push(row);
+            }
+        }
+        CachedScan { window, stats }
+    }
+
     /// `a` dominates `b` in ID space under the given test. IDs are rank
     /// positions in sorted domains, so ID dominance ⟺ value dominance.
+    /// The production scan runs the equivalent arena kernels; this per-pair
+    /// form is kept as the reference the tests compare against.
+    #[cfg(test)]
     #[inline]
     fn id_dominates(&self, a: usize, b: usize, test: DominanceTest) -> bool {
         match test {
@@ -204,6 +348,9 @@ impl DeviceRelation for HybridRelation {
     }
 
     fn storage_bytes(&self) -> usize {
+        // The paper's storage model: packed IDs + domains + locations. The
+        // scan arena is a derived acceleration structure (recomputable from
+        // the columns) and is deliberately excluded, like any other cache.
         let locs = self.locs.len() * 16;
         let ids: usize = self.columns.iter().map(IdArray::storage_bytes).sum();
         let domains: usize = self.domains.iter().map(AttributeDomain::storage_bytes).sum();
@@ -229,42 +376,48 @@ impl DeviceRelation for HybridRelation {
             }
         }
 
-        // ID-based SFS scan in the presorted row order.
-        let r2 = query.region.radius * query.region.radius;
-        let center = query.region.center;
-        let mut window: Vec<usize> = Vec::new();
-        for row in 0..self.rows {
-            stats.tuples_scanned += 1;
-            if !query.region.radius.is_infinite() && self.locs[row].dist2(center) > r2 {
-                continue;
-            }
-            stats.in_range += 1;
-            let mut dominated = false;
-            for &w in &window {
-                stats.id_comparisons += 1;
-                if self.id_dominates(w, row, query.dominance) {
-                    dominated = true;
-                    break;
+        // ID-based SFS scan in the presorted row order, over the contiguous
+        // kernel arena. Unbounded regions (the static `Q_ds` evaluations)
+        // memoize the window per dominance test: the scan ignores filters,
+        // so repeated queries replay the stored indices — and the stored
+        // stats, byte for byte — instead of rescanning.
+        let scan = if query.region.radius.is_infinite() {
+            let slot = cache_slot(query.dominance);
+            let mut cache = self.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            match &cache.slots[slot] {
+                Some(hit) => hit.clone(),
+                None => {
+                    let fresh = self.scan_window(&query.region, query.dominance);
+                    cache.slots[slot] = Some(fresh.clone());
+                    fresh
                 }
             }
-            if !dominated {
-                window.push(row);
-            }
-        }
-
-        let unreduced: Vec<Tuple> = window.iter().map(|&r| self.materialize(r)).collect();
-        let unreduced_len = unreduced.len();
-
-        let reduced: Vec<Tuple> = if query.has_filters() {
-            unreduced
-                .into_iter()
-                .filter(|t| {
-                    stats.value_comparisons += 1;
-                    !query.eliminates(&t.attrs)
-                })
-                .collect()
         } else {
-            unreduced
+            self.scan_window(&query.region, query.dominance)
+        };
+        let CachedScan { window, stats: scan_stats } = scan;
+        stats.tuples_scanned += scan_stats.tuples_scanned;
+        stats.in_range += scan_stats.in_range;
+        stats.value_comparisons += scan_stats.value_comparisons;
+        stats.id_comparisons += scan_stats.id_comparisons;
+        stats.pointer_hops += scan_stats.pointer_hops;
+
+        // Filter *before* materializing: eliminated rows never allocate a
+        // tuple. The comparison count is unchanged — one per unreduced row.
+        let unreduced_len = window.len();
+        let reduced: Vec<Tuple> = if query.has_filters() {
+            let mut scratch: Vec<f64> = Vec::with_capacity(self.dim);
+            let mut out = Vec::with_capacity(unreduced_len);
+            for &r in &window {
+                stats.value_comparisons += 1;
+                self.attrs_into(r, &mut scratch);
+                if !query.eliminates(&scratch) {
+                    out.push(Tuple::new(self.locs[r].x, self.locs[r].y, scratch.clone()));
+                }
+            }
+            out
+        } else {
+            window.iter().map(|&r| self.materialize(r)).collect()
         };
         let filter_candidate: Option<FilterTuple> =
             query.vdr_bounds.as_ref().and_then(|b| select_filter(&reduced, b));
@@ -488,6 +641,120 @@ mod tests {
                 assert_eq!(h.domain(j).value_of(id), t.attrs[j]);
             }
         }
+    }
+
+    /// Pseudo-random tuples with controllable duplication (ties exercise
+    /// the strict/full divergence).
+    fn mixed_data(n: usize, dim: usize, modulo: u64, seed: u64) -> Vec<Tuple> {
+        (0..n as u64)
+            .map(|i| {
+                let mut h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed;
+                let attrs = (0..dim)
+                    .map(|_| {
+                        h ^= h >> 13;
+                        h = h.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                        (h % modulo) as f64
+                    })
+                    .collect();
+                Tuple::new((i % 50) as f64, (i / 50) as f64, attrs)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn arena_kernel_scan_matches_id_dominates_reference() {
+        // The production scan runs contiguous f64 kernels over widened IDs;
+        // the reference pairwise test dispatches on the packed columns.
+        // They must agree pair-for-pair and window-for-window.
+        for dim in 1..=5 {
+            for test in [DominanceTest::Full, DominanceTest::PaperStrict] {
+                let h = HybridRelation::new(mixed_data(300, dim, 7, dim as u64));
+                let (kernel, width) = h.scan_kernel(test);
+                for a in 0..h.len() {
+                    for b in 0..h.len() {
+                        let via_kernel = kernel(
+                            &h.arena[a * dim..a * dim + width],
+                            &h.arena[b * dim..b * dim + width],
+                        );
+                        // The strict test is only sound when the scan order
+                        // guarantees a's sort ID ≤ b's; compare all pairs
+                        // anyway — the predicates must agree unconditionally.
+                        assert_eq!(
+                            via_kernel,
+                            h.id_dominates(a, b, test),
+                            "dim {dim} {test:?} rows {a},{b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_window_cache_replays_identical_results_and_stats() {
+        let h = HybridRelation::new(mixed_data(500, 3, 11, 0xCAFE));
+        let mut q = LocalQuery::plain(QueryRegion::unbounded());
+        for test in [DominanceTest::Full, DominanceTest::PaperStrict] {
+            q.dominance = test;
+            let first = h.local_skyline(&q);
+            let second = h.local_skyline(&q);
+            assert_eq!(sorted_attrs(first.skyline.clone()), sorted_attrs(second.skyline));
+            assert_eq!(first.unreduced_len, second.unreduced_len);
+            assert_eq!(first.stats, second.stats, "cached stats must replay exactly");
+        }
+    }
+
+    #[test]
+    fn cache_does_not_leak_across_dominance_tests_or_regions() {
+        let h = HybridRelation::new(mixed_data(400, 2, 5, 7));
+        let mut q = LocalQuery::plain(QueryRegion::unbounded());
+        q.dominance = DominanceTest::Full;
+        let full = h.local_skyline(&q).skyline.len();
+        q.dominance = DominanceTest::PaperStrict;
+        let strict = h.local_skyline(&q).skyline.len();
+        assert!(strict >= full, "strict keeps dominated ties");
+
+        // A finite region after the unbounded queries must rescan, not
+        // replay: only near sites qualify.
+        let finite = h.local_skyline(&LocalQuery {
+            dominance: DominanceTest::Full,
+            ..LocalQuery::plain(QueryRegion::new(Point::new(0.0, 0.0), 3.0))
+        });
+        assert!(finite.stats.in_range < h.len() as u64);
+        for t in &finite.skyline {
+            assert!(t.location().dist(Point::new(0.0, 0.0)) <= 3.0);
+        }
+    }
+
+    #[test]
+    fn cloned_relation_answers_identically_with_cold_cache() {
+        let h = HybridRelation::new(mixed_data(200, 4, 9, 3));
+        let q = LocalQuery::plain(QueryRegion::unbounded());
+        let warm = h.local_skyline(&q); // warms h's cache
+        let c = h.clone();
+        let cold = c.local_skyline(&q);
+        assert_eq!(sorted_attrs(warm.skyline), sorted_attrs(cold.skyline));
+        assert_eq!(warm.stats, cold.stats);
+    }
+
+    #[test]
+    fn filtered_queries_share_the_cached_window() {
+        // Filters are applied after the scan, so a filtered query both uses
+        // and seeds the unbounded window cache.
+        let h = HybridRelation::new(mixed_data(300, 2, 6, 21));
+        let bounds = UpperBounds::new(vec![10.0, 10.0]);
+        let plain = LocalQuery::plain(QueryRegion::unbounded());
+        let filtered = LocalQuery {
+            filter: Some(FilterTuple::new(vec![1.0, 1.0], &bounds)),
+            filter_test: FilterTest::StrictAll,
+            ..LocalQuery::plain(QueryRegion::unbounded())
+        };
+        let a = h.local_skyline(&filtered);
+        let b = h.local_skyline(&plain);
+        assert_eq!(a.unreduced_len, b.unreduced_len, "same window under the filter");
+        assert!(a.skyline.len() <= b.skyline.len());
+        assert_eq!(a.stats.id_comparisons, b.stats.id_comparisons);
+        assert!(a.stats.value_comparisons > b.stats.value_comparisons);
     }
 
     #[test]
