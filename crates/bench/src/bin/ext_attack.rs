@@ -1,0 +1,21 @@
+//! **Extension experiment**: adversarial chaos grid — see
+//! [`msq_bench::attack`] for the experiment design.
+//!
+//! Usage: `cargo run --release -p msq-bench --bin ext_attack [--full]
+//! [--jobs N] [--json]`
+//!
+//! `--json` additionally writes `BENCH_attack.json` to the current
+//! directory.
+
+fn main() {
+    let scale = msq_bench::Scale::from_args();
+    let reports = msq_bench::attack::run(scale);
+    if std::env::args().any(|a| a == "--json") {
+        let path = "BENCH_attack.json";
+        let jobs = msq_bench::sweep::jobs_from_args();
+        match std::fs::write(path, msq_bench::attack::to_json(scale, jobs, &reports)) {
+            Ok(()) => println!("[json] wrote {path}"),
+            Err(e) => eprintln!("[json] failed to write {path}: {e}"),
+        }
+    }
+}

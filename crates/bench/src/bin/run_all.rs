@@ -7,8 +7,8 @@
 //! workers, default all cores; `--jobs 1` is the legacy sequential path).
 //! `--json` additionally runs the core dominance micro-benchmark and
 //! writes the machine-readable baselines `BENCH_core.json`,
-//! `BENCH_sweep.json`, `BENCH_chaos.json`, `BENCH_monitor.json`, and
-//! `BENCH_scale.json` to the current directory.
+//! `BENCH_sweep.json`, `BENCH_chaos.json`, `BENCH_attack.json`,
+//! `BENCH_monitor.json`, and `BENCH_scale.json` to the current directory.
 
 use datagen::Distribution;
 use msq_bench::manet_figs::Metric;
@@ -50,6 +50,9 @@ fn main() {
     let chaos = msq_bench::chaos::run(scale);
 
     println!();
+    let attack = msq_bench::attack::run(scale);
+
+    println!();
     let monitor = msq_bench::monitor::run(scale);
 
     println!();
@@ -62,6 +65,7 @@ fn main() {
         let stages = sweep::take_stage_records();
         write_file("BENCH_sweep.json", &sweep_json(jobs, total.as_secs_f64(), &stages));
         write_file("BENCH_chaos.json", &msq_bench::chaos::to_json(scale, jobs, &chaos));
+        write_file("BENCH_attack.json", &msq_bench::attack::to_json(scale, jobs, &attack));
         write_file("BENCH_monitor.json", &msq_bench::monitor::to_json(scale, jobs, &monitor));
         write_file("BENCH_scale.json", &msq_bench::scalebench::to_json(scale, jobs, &scalebench));
 

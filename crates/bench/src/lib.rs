@@ -8,6 +8,7 @@
 //! Output is a plain text table per figure panel, mirroring the paper's
 //! series.
 
+pub mod attack;
 pub mod chaos;
 pub mod cli;
 pub mod corebench;

@@ -143,6 +143,23 @@ impl Scale {
         }
     }
 
+    /// Adversarial grid (`ext_attack`): global cardinality. Modest like
+    /// the chaos grid — every cell is oracle-scored and the grid is wide.
+    pub fn attack_cardinality(self) -> usize {
+        match self {
+            Scale::Quick => 5_000,
+            Scale::Full => 50_000,
+        }
+    }
+
+    /// Adversarial grid: simulation horizon in seconds.
+    pub fn attack_sim_seconds(self) -> f64 {
+        match self {
+            Scale::Quick => 600.0,
+            Scale::Full => 1_800.0,
+        }
+    }
+
     /// Monitoring sweep (`ext_monitor`): grid side (`m = g²` devices).
     pub fn monitor_grid(self) -> usize {
         match self {

@@ -187,6 +187,72 @@ impl TraceConfig {
     }
 }
 
+/// Lightweight defenses against adversarial participants (DESIGN.md §11).
+/// Everything defaults to **off** so honest runs are bit-identical to the
+/// pre-adversarial runtime; `DefenseConfig::all()` is the hardened profile
+/// the `ext_attack` grid benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DefenseConfig {
+    /// Per-originator token-bucket rate limiting of query floods: a *fresh*
+    /// query whose originator's bucket is empty is dropped (and the
+    /// originator penalised). Buckets key on the query's origin, not the
+    /// relaying neighbour — honest relays must not be blamed for floods
+    /// they forward — and duplicate copies charge nobody.
+    pub rate_limit: bool,
+    /// Token-bucket refill rate, fresh queries per second per originator.
+    pub rate_per_s: f64,
+    /// Token-bucket capacity (burst allowance), in queries.
+    pub rate_burst: f64,
+    /// Reject filter tuples and reply tuples whose attributes fall outside
+    /// the plausible data domain (or are non-finite), and reject whole
+    /// replies that carry such tuples.
+    pub sanity: bool,
+    /// Domain floor for the sanity check: no honest attribute is below
+    /// this. The paper's generator draws attributes from [1, 1000].
+    pub min_attr: f64,
+    /// Reject replies whose claimed responder identity contradicts the
+    /// routing-layer source or names an impossible device.
+    pub identity: bool,
+    /// Track per-peer penalties and isolate repeat offenders: drop their
+    /// frames and skip them in DF next-hop selection.
+    pub reputation: bool,
+    /// Penalties before a peer is isolated.
+    pub reputation_threshold: u64,
+}
+
+impl Default for DefenseConfig {
+    fn default() -> Self {
+        DefenseConfig {
+            rate_limit: false,
+            rate_per_s: 0.5,
+            rate_burst: 6.0,
+            sanity: false,
+            min_attr: 1.0,
+            identity: false,
+            reputation: false,
+            reputation_threshold: 3,
+        }
+    }
+}
+
+impl DefenseConfig {
+    /// All defenses on with default thresholds.
+    pub fn all() -> Self {
+        DefenseConfig {
+            rate_limit: true,
+            sanity: true,
+            identity: true,
+            reputation: true,
+            ..Self::default()
+        }
+    }
+
+    /// `true` when any defense is active.
+    pub fn any(&self) -> bool {
+        self.rate_limit || self.sanity || self.identity || self.reputation
+    }
+}
+
 /// Every timer constant of the MANET runtime in one place. Defaults match
 /// the values the runtime used when they were inline literals, so existing
 /// experiments are unchanged.
@@ -216,6 +282,8 @@ pub struct DistConfig {
     pub arq: ArqConfig,
     /// Per-query tracing (off by default; zero-cost when off).
     pub trace: TraceConfig,
+    /// Defenses against adversarial participants (all off by default).
+    pub defense: DefenseConfig,
 }
 
 impl Default for DistConfig {
@@ -232,6 +300,7 @@ impl Default for DistConfig {
             locality_sample_period: SimDuration::from_secs_f64(60.0),
             arq: ArqConfig::default(),
             trace: TraceConfig::default(),
+            defense: DefenseConfig::default(),
         }
     }
 }
@@ -265,6 +334,19 @@ mod tests {
         assert!(d.arq.enabled);
         assert!(!d.trace.enabled, "tracing must be opt-in");
         assert!(!d.trace.frames);
+        assert!(!d.defense.any(), "defenses must be opt-in");
+    }
+
+    #[test]
+    fn hardened_defense_profile_enables_every_check() {
+        let d = DefenseConfig::all();
+        assert!(d.rate_limit && d.sanity && d.identity && d.reputation);
+        assert!(d.any());
+        // Thresholds stay at the documented defaults.
+        assert_eq!(d.rate_per_s, 0.5);
+        assert_eq!(d.rate_burst, 6.0);
+        assert_eq!(d.min_attr, 1.0);
+        assert_eq!(d.reputation_threshold, 3);
     }
 
     #[test]

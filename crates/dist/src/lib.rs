@@ -27,7 +27,9 @@ pub mod static_net;
 pub mod trace;
 pub mod verify;
 
-pub use config::{ArqConfig, DistConfig, FilterStrategy, Forwarding, StrategyConfig, TraceConfig};
+pub use config::{
+    ArqConfig, DefenseConfig, DistConfig, FilterStrategy, Forwarding, StrategyConfig, TraceConfig,
+};
 pub use device::Device;
 pub use metrics::{DrrAccumulator, QueryMetrics};
 pub use monitor::{
@@ -41,5 +43,6 @@ pub use trace::{
     PhaseStat, QueryTimeline, TimelineSummary, TraceAggregates,
 };
 pub use verify::{
-    diff_against_truth, score_epoch, score_records, verify_static_query, VerificationReport,
+    diff_against_truth, score_epoch, score_records, verify_static_query, SpuriousSite,
+    VerificationReport,
 };

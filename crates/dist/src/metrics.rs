@@ -134,7 +134,7 @@ pub fn records_to_csv(records: &[crate::runtime::QueryRecord]) -> String {
         "origin,cnt,issued_s,completed_s,timed_out,responded,result_len,\
          sum_unreduced,sum_sent,participants,response_s,\
          completeness,spurious,retries,duplicates,reissues,timeout_cause,\
-         epochs,epoch_completeness,staleness_s\n",
+         epochs,epoch_completeness,staleness_s,spurious_from\n",
     );
     for r in records {
         let cause = match r.timeout_cause {
@@ -143,8 +143,24 @@ pub fn records_to_csv(records: &[crate::runtime::QueryRecord]) -> String {
             Some(crate::runtime::TimeoutCause::NoResponses) => "no_responses",
             Some(crate::runtime::TimeoutCause::PartialResponses) => "partial_responses",
         };
+        // Spurious-cause attribution: each offending site with the device
+        // whose reply first carried it (`?` = unattributable). Semicolon-
+        // joined so the cell stays comma-free.
+        let spurious_from = r
+            .spurious_sites
+            .iter()
+            .map(|s| {
+                let who = if s.first_from == usize::MAX {
+                    "?".to_string()
+                } else {
+                    s.first_from.to_string()
+                };
+                format!("{who}@{:?}/{:?}", s.x, s.y)
+            })
+            .collect::<Vec<_>>()
+            .join(";");
         out.push_str(&format!(
-            "{},{},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{:.6},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             r.key.origin,
             r.key.cnt,
             r.issued.as_secs_f64(),
@@ -165,6 +181,7 @@ pub fn records_to_csv(records: &[crate::runtime::QueryRecord]) -> String {
             r.epochs,
             r.epoch_completeness.map_or(String::new(), |c| format!("{c:.6}")),
             r.staleness_s.map_or(String::new(), |s| format!("{s:.6}")),
+            spurious_from,
         ));
     }
     out
@@ -201,6 +218,8 @@ mod csv_tests {
             epochs: 0,
             epoch_completeness: None,
             staleness_s: None,
+            result_sources: Vec::new(),
+            spurious_sites: Vec::new(),
         }
     }
 
@@ -235,7 +254,7 @@ mod csv_tests {
         // … and the scorecard + monitoring columns append after it.
         assert_eq!(
             lines[1],
-            "3,1,10.000000,12.500000,false,7,4,10,6,1,2.500000,0.750000,0,2,1,1,,0,,"
+            "3,1,10.000000,12.500000,false,7,4,10,6,1,2.500000,0.750000,0,2,1,1,,0,,,"
         );
     }
 
@@ -276,6 +295,21 @@ mod csv_tests {
         };
         let row_owner = records_to_csv(&[rec]);
         let row = row_owner.lines().nth(1).unwrap();
-        assert!(row.ends_with(",12,0.937500,17.250000"), "{row}");
+        assert!(row.ends_with(",12,0.937500,17.250000,"), "{row}");
+    }
+
+    #[test]
+    fn spurious_attribution_column_names_the_offender() {
+        let rec = QueryRecord {
+            spurious: 2,
+            spurious_sites: vec![
+                crate::verify::SpuriousSite { x: 10.0, y: 20.5, first_from: 7 },
+                crate::verify::SpuriousSite { x: 1.0, y: 2.0, first_from: usize::MAX },
+            ],
+            ..blank_record()
+        };
+        let row_owner = records_to_csv(&[rec]);
+        let row = row_owner.lines().nth(1).unwrap();
+        assert!(row.ends_with(",7@10.0/20.5;?@1.0/2.0"), "{row}");
     }
 }

@@ -670,6 +670,8 @@ impl MonitorApp {
             epochs: self.views.len() as u64,
             epoch_completeness: None,
             staleness_s: None,
+            result_sources: Vec::new(),
+            spurious_sites: Vec::new(),
         }
     }
 
@@ -1394,6 +1396,8 @@ pub fn run_monitor_experiment(exp: &MonitorExperiment) -> MonitorOutcome {
         epochs: 0,
         epoch_completeness: None,
         staleness_s: None,
+        result_sources: Vec::new(),
+        spurious_sites: Vec::new(),
     });
 
     let mean = |xs: &[f64]| {

@@ -51,16 +51,33 @@ impl QuerySpec {
     }
 }
 
-/// The per-device duplicate-suppression log (Section 3.4): maps originator
-/// id → last seen `cnt`. O(1) checks, O(m) worst-case space.
+/// How many recent `cnt` values [`QueryLog`] remembers per originator.
 ///
-/// The paper assumes a device only cares about its *latest* query, so a
-/// query is fresh exactly when its `cnt` differs from the logged value.
-/// (Counters wrap at 256 and "can be reset at regular intervals"; inequality
-/// rather than greater-than makes wrap-around harmless.)
+/// The paper's log keeps only the *latest* `cnt` ("a device only cares
+/// about its latest query"), but that single slot is a broadcast-storm
+/// amplifier: an originator issuing queries faster than one flood settles
+/// (AODV discovery plus ARQ backoff can keep copies of a query circulating
+/// for ~15 s) makes every still-circulating copy of its *previous* query
+/// look fresh again the moment the slot moves on, and each re-freshened
+/// copy is re-served and re-broadcast — the `ext_attack` query-flood role
+/// turned this into an unbounded event cascade. A window deep enough to
+/// cover every cnt that can plausibly still be in flight (settle time ×
+/// flood rate, with margin) keeps stale copies recognized until they die
+/// out. Honest workloads never notice: their cnts are sparse in time.
+const QUERY_LOG_WINDOW: usize = 32;
+
+/// The per-device duplicate-suppression log (Section 3.4): maps originator
+/// id → a bounded ring of recently seen `cnt`s. O(window) checks, O(m ·
+/// window) worst-case space.
+///
+/// A query is fresh exactly when its `cnt` is not in its originator's
+/// window (see [`QUERY_LOG_WINDOW`] for why a window rather than the
+/// paper's single latest value). Counters wrap at 256 and "can be reset at
+/// regular intervals"; membership rather than greater-than makes
+/// wrap-around harmless.
 #[derive(Debug, Default, Clone)]
 pub struct QueryLog {
-    last: std::collections::HashMap<usize, u8>,
+    recent: std::collections::HashMap<usize, std::collections::VecDeque<u8>>,
 }
 
 impl QueryLog {
@@ -71,32 +88,37 @@ impl QueryLog {
 
     /// Returns `true` when `key` has not been processed yet, and logs it.
     pub fn check_and_record(&mut self, key: QueryKey) -> bool {
-        match self.last.insert(key.origin, key.cnt) {
-            Some(prev) => prev != key.cnt,
-            None => true,
+        let window = self.recent.entry(key.origin).or_default();
+        if window.contains(&key.cnt) {
+            return false;
         }
+        if window.len() == QUERY_LOG_WINDOW {
+            window.pop_front();
+        }
+        window.push_back(key.cnt);
+        true
     }
 
     /// `true` when `key` has already been processed (no logging).
     pub fn seen(&self, key: QueryKey) -> bool {
-        self.last.get(&key.origin) == Some(&key.cnt)
+        self.recent.get(&key.origin).is_some_and(|w| w.contains(&key.cnt))
     }
 
     /// Number of originators tracked (bounded by `m`).
     pub fn len(&self) -> usize {
-        self.last.len()
+        self.recent.len()
     }
 
     /// `true` when nothing has been logged.
     pub fn is_empty(&self) -> bool {
-        self.last.is_empty()
+        self.recent.is_empty()
     }
 
     /// Clears the log — the paper's periodic reset ("The count can be reset
-    /// at regular intervals, e.g., each day"), which also bounds the O(m)
-    /// space against originator churn.
+    /// at regular intervals, e.g., each day"), which also bounds the
+    /// worst-case space against originator churn.
     pub fn reset(&mut self) {
-        self.last.clear();
+        self.recent.clear();
     }
 }
 
@@ -128,14 +150,31 @@ mod tests {
     }
 
     #[test]
-    fn log_tracks_latest_query_per_originator() {
+    fn log_remembers_recent_queries_per_originator() {
         let mut log = QueryLog::new();
         assert!(log.check_and_record(QueryKey { origin: 7, cnt: 1 }));
         assert!(log.check_and_record(QueryKey { origin: 7, cnt: 2 }));
-        // The old query is no longer recognized — the paper's "latest query
-        // only" assumption.
-        assert!(!log.seen(QueryKey { origin: 7, cnt: 1 }));
+        // A stale copy of the previous query must STAY recognized — the
+        // paper's latest-only slot re-freshens circulating copies as soon
+        // as the counter moves on, which a rapid-fire originator (the
+        // query-flood attack) amplifies into a rebroadcast storm.
+        assert!(log.seen(QueryKey { origin: 7, cnt: 1 }));
+        assert!(!log.check_and_record(QueryKey { origin: 7, cnt: 1 }));
         assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn log_window_is_bounded_and_evicts_oldest_first() {
+        let mut log = QueryLog::new();
+        for cnt in 0..=QUERY_LOG_WINDOW as u8 {
+            assert!(log.check_and_record(QueryKey { origin: 3, cnt }));
+        }
+        // One past the window: cnt 0 fell out, everything newer is kept.
+        assert!(!log.seen(QueryKey { origin: 3, cnt: 0 }));
+        for cnt in 1..=QUERY_LOG_WINDOW as u8 {
+            assert!(log.seen(QueryKey { origin: 3, cnt }), "cnt {cnt} evicted too early");
+        }
+        assert_eq!(log.len(), 1, "window is per-originator, not global");
     }
 
     #[test]

@@ -59,11 +59,11 @@ use manet_sim::engine::{Application, MsgMeta, NeighborMode, NodeCtx, Simulator};
 use manet_sim::mobility::MobilityConfig;
 use manet_sim::radio::RadioConfig;
 use manet_sim::{
-    FinalizeKind, FrameTraceLog, NetStats, NodeId, Pos, QueryEvent, QueryId, QueryTraceLog,
-    SimDuration, SimTime,
+    AttackKind, AttackRole, DropCause, FinalizeKind, FrameTraceLog, NetStats, NodeId, Pos,
+    QueryEvent, QueryId, QueryTraceLog, SimDuration, SimTime,
 };
 use skyline_core::region::Point;
-use skyline_core::vdr::FilterTuple;
+use skyline_core::vdr::{FilterTuple, UpperBounds};
 use skyline_core::{SkylineMerger, Tuple};
 
 use crate::config::{DistConfig, Forwarding, StrategyConfig};
@@ -124,6 +124,11 @@ pub enum ProtoMsg {
     BfResult {
         /// Which query this answers.
         key: QueryKey,
+        /// The responder identity the sender *claims*. Honest devices set
+        /// their own id (and the routing layer's source matches); a Sybil
+        /// forger fabricates ids here. The identity-plausibility defense
+        /// cross-checks it against the routing source.
+        claimed: NodeId,
         /// `SK'_i`.
         tuples: Vec<Tuple>,
         /// `|SK_i|` for DRR accounting.
@@ -202,7 +207,8 @@ impl ProtoMsg {
                 spec.wire_size() + filters.iter().map(FilterTuple::wire_size).sum::<usize>() + 1
             }
             ProtoMsg::BfResult { tuples, .. } => {
-                5 + 8 + 12 + skyline_core::tuple::batch_wire_size(tuples)
+                // key + claimed id + DRR terms + ARQ seq/retries + batch.
+                5 + 4 + 8 + 12 + skyline_core::tuple::batch_wire_size(tuples)
             }
             ProtoMsg::DfToken(t) => {
                 t.spec.wire_size()
@@ -277,6 +283,7 @@ mod token {
     pub const LOCALITY_SAMPLE: u64 = 6 << 56;
     pub const ARQ: u64 = 7 << 56;
     pub const REISSUE: u64 = 8 << 56;
+    pub const ATTACK_TICK: u64 = 9 << 56;
     pub const KIND_MASK: u64 = 0xFF << 56;
 }
 
@@ -304,6 +311,11 @@ struct ActiveQuery {
     retries: u64,
     /// Duplicate replies suppressed for this query.
     duplicates: u64,
+    /// First claimed responder to report each tuple site (key =
+    /// `(x.to_bits(), y.to_bits())`) — the raw material for spurious-cause
+    /// attribution. DF token merges record `usize::MAX` (the walk folds
+    /// contributions before the originator sees them).
+    first_seen: HashMap<(u64, u64), NodeId>,
 }
 
 /// Why a query was closed by its safety timeout.
@@ -371,6 +383,16 @@ pub struct QueryRecord {
     /// of the freshest applied report per device at view time (`None` for
     /// one-shot queries).
     pub staleness_s: Option<f64>,
+    /// Per-result-tuple provenance, parallel to `result`: the claimed
+    /// responder that first reported each tuple (`usize::MAX` when unknown
+    /// — locally seeded sites keep the originator's id, DF merges are
+    /// folded anonymously by the walking token).
+    pub result_sources: Vec<NodeId>,
+    /// The spurious tuples themselves, with first-seen provenance (filled
+    /// by [`crate::verify::score_records`]; `spurious` is this list's
+    /// length). Makes a poisoned-filter breach attributable instead of a
+    /// bare count.
+    pub spurious_sites: Vec<crate::verify::SpuriousSite>,
 }
 
 /// Deferred sends awaiting the device's simulated CPU time.
@@ -444,6 +466,25 @@ pub struct DeviceApp {
     pub locality_sum_m: f64,
     /// Number of locality samples taken.
     pub locality_samples: u64,
+    /// Adversarial role from the attack plan (None = honest device).
+    attack: Option<AttackRole>,
+    /// Fake-query counter for the flood spammer, kept in a cnt range the
+    /// real workload never reaches.
+    attack_cnt: u8,
+    /// Rate-limit defense: per-source token buckets, (last refill, tokens).
+    /// Volatile — dies with a crash.
+    buckets: HashMap<NodeId, (SimTime, f64)>,
+    /// Reputation defense: penalties accumulated per peer. Volatile.
+    reputation: HashMap<NodeId, u64>,
+    /// Attack frames this device transmitted (spam, poison, forgeries).
+    pub attack_frames_sent: u64,
+    /// Delivered frames this device refused to process (defensive decode
+    /// or an active defense).
+    pub attack_frames_dropped: u64,
+    /// Filter tuples stripped by the sanity check.
+    pub filters_rejected: u64,
+    /// Reputation penalties this device handed out.
+    pub reputation_penalties: u64,
 }
 
 impl DeviceApp {
@@ -490,9 +531,22 @@ impl DeviceApp {
             centroid: None,
             locality_sum_m: 0.0,
             locality_samples: 0,
+            attack: None,
+            attack_cnt: 0,
+            buckets: HashMap::new(),
+            reputation: HashMap::new(),
+            attack_frames_sent: 0,
+            attack_frames_dropped: 0,
+            filters_rejected: 0,
+            reputation_penalties: 0,
         };
         app.recompute_centroid();
         app
+    }
+
+    /// Assigns (or clears) this device's adversarial role.
+    pub fn set_attack_role(&mut self, role: Option<AttackRole>) {
+        self.attack = role;
     }
 
     /// Installs this device's workload (must be sorted by time).
@@ -791,6 +845,255 @@ impl DeviceApp {
     }
 
     // ------------------------------------------------------------------
+    // Adversarial roles and lightweight defenses (DESIGN.md §11)
+    // ------------------------------------------------------------------
+
+    /// `true` while this device plays `kind` and the role window is open.
+    fn is_attacking(&self, now: SimTime, kind: AttackKind) -> bool {
+        self.attack.is_some_and(|r| r.kind == kind && r.active_at(now))
+    }
+
+    /// Books a refused frame: counter, engine stat, trace. Every defensive
+    /// drop goes through here so zero-drift can reconcile all three.
+    fn drop_frame(
+        &mut self,
+        ctx: &mut NodeCtx<ProtoMsg>,
+        query: Option<QueryId>,
+        from: NodeId,
+        cause: DropCause,
+    ) {
+        self.attack_frames_dropped += 1;
+        ctx.reject_frame();
+        ctx.trace(query, QueryEvent::AttackFrameDropped { from, cause });
+    }
+
+    /// Reputation defense: charges `offender` one penalty.
+    fn penalize(&mut self, ctx: &mut NodeCtx<ProtoMsg>, query: Option<QueryId>, offender: NodeId) {
+        if !self.dist.defense.reputation {
+            return;
+        }
+        let score = self.reputation.entry(offender).or_insert(0);
+        *score += 1;
+        let score = *score;
+        self.reputation_penalties += 1;
+        ctx.trace(query, QueryEvent::ReputationPenalty { offender, score });
+    }
+
+    /// `true` when `peer` has enough penalties to be shunned.
+    fn is_isolated(&self, peer: NodeId) -> bool {
+        self.dist.defense.reputation
+            && self.reputation.get(&peer).copied().unwrap_or(0)
+                >= self.dist.defense.reputation_threshold
+    }
+
+    /// Token-bucket admission for a query broadcast from `src`; `false`
+    /// means the frame must be dropped (bucket empty).
+    fn bucket_allows(&mut self, now: SimTime, src: NodeId) -> bool {
+        let d = &self.dist.defense;
+        let (last, tokens) = self.buckets.entry(src).or_insert((now, d.rate_burst));
+        let elapsed = now.since(*last).as_secs_f64();
+        *tokens = (*tokens + elapsed * d.rate_per_s).min(d.rate_burst);
+        *last = now;
+        if *tokens >= 1.0 {
+            *tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Domain plausibility of a reply tuple: finite, and no attribute
+    /// below the configured floor (nothing honest can dominate the floor).
+    fn sane_tuple(&self, t: &Tuple) -> bool {
+        t.x.is_finite()
+            && t.y.is_finite()
+            && t.attrs.iter().all(|a| a.is_finite() && *a >= self.dist.defense.min_attr)
+    }
+
+    /// Same plausibility test for a filter tuple.
+    fn sane_filter(&self, f: &FilterTuple) -> bool {
+        f.vdr.is_finite()
+            && f.attrs.iter().all(|a| a.is_finite() && *a >= self.dist.defense.min_attr)
+    }
+
+    /// Sanity defense: strips implausible filters from an incoming bank,
+    /// tracing and penalising each rejection. Honest filters pass
+    /// untouched.
+    fn sanitize_filters(
+        &mut self,
+        ctx: &mut NodeCtx<ProtoMsg>,
+        query: QueryId,
+        from: NodeId,
+        filters: Vec<FilterTuple>,
+    ) -> Vec<FilterTuple> {
+        if !self.dist.defense.sanity || filters.iter().all(|f| self.sane_filter(f)) {
+            return filters;
+        }
+        let mut kept = Vec::with_capacity(filters.len());
+        for f in filters {
+            if self.sane_filter(&f) {
+                kept.push(f);
+            } else {
+                self.filters_rejected += 1;
+                ctx.trace(Some(query), QueryEvent::FilterRejected { from, vdr: f.vdr });
+                self.penalize(ctx, Some(query), from);
+            }
+        }
+        kept
+    }
+
+    /// Defensive decode (always on): structural validity of a delivered
+    /// frame, before any protocol handler touches it. Attacker-controlled
+    /// input exists now; a malformed frame is counted and dropped, never
+    /// trusted.
+    fn well_formed(&self, msg: &ProtoMsg) -> bool {
+        let finite = |ts: &[Tuple]| {
+            ts.iter().all(|t| {
+                t.x.is_finite() && t.y.is_finite() && t.attrs.iter().all(|a| a.is_finite())
+            })
+        };
+        match msg {
+            ProtoMsg::BfQuery { spec, filters, .. } => {
+                spec.pos.x.is_finite()
+                    && spec.pos.y.is_finite()
+                    && !spec.d.is_nan()
+                    && filters.iter().all(|f| f.attrs.iter().all(|a| a.is_finite()))
+            }
+            ProtoMsg::BfResult { claimed, tuples, .. } => *claimed < self.m && finite(tuples),
+            ProtoMsg::DfToken(t) => finite(&t.partial),
+            ProtoMsg::HandoffTransfer { tuples } => finite(tuples),
+            _ => true,
+        }
+    }
+
+    /// The query a frame belongs to, for attributing a defensive drop.
+    fn query_key_of(msg: &ProtoMsg) -> Option<QueryKey> {
+        match msg {
+            ProtoMsg::BfQuery { spec, .. } => Some(spec.key),
+            ProtoMsg::BfResult { key, .. } => Some(*key),
+            ProtoMsg::DfToken(t) => Some(t.spec.key),
+            _ => None,
+        }
+    }
+
+    /// Query-flood spammer: broadcast a fake query, then re-arm the tick
+    /// while the role window is open.
+    fn attack_tick(&mut self, ctx: &mut NodeCtx<ProtoMsg>) {
+        let Some(role) = self.attack else { return };
+        if role.kind != AttackKind::QueryFlood || ctx.now >= role.until {
+            return;
+        }
+        if role.active_at(ctx.now) {
+            // Fake ids live in a cnt range the real workload never uses, so
+            // honest duplicate suppression treats each flood as a fresh
+            // query (maximum amplification) without colliding with real
+            // keys.
+            let cnt = 100 + (self.attack_cnt % 156);
+            self.attack_cnt = self.attack_cnt.wrapping_add(1);
+            let spec = QuerySpec::new(
+                ctx.id,
+                cnt,
+                Point::new(ctx.position.x, ctx.position.y),
+                f64::INFINITY,
+            );
+            // Mark the fake key as seen so flood echoes die here; replies
+            // are simply ignored (the spammer has no active query).
+            self.device.log.check_and_record(spec.key);
+            let msg = ProtoMsg::BfQuery { spec, filters: Vec::new(), round: 0 };
+            let bytes = msg.wire_size();
+            self.attack_frames_sent += 1;
+            ctx.trace(
+                Some(qid(spec.key)),
+                QueryEvent::AttackFrameSent { kind: AttackKind::QueryFlood, bytes },
+            );
+            ctx.broadcast(msg, bytes);
+        }
+        ctx.set_timer(role.period, token::ATTACK_TICK);
+    }
+
+    /// Poisoned-filter injector: answer someone else's fresh query with a
+    /// fabricated filter that falsely dominates the whole domain (starving
+    /// every device downstream of the rebroadcast) and a fabricated result
+    /// tuple at the query point that poisons the originator's merge.
+    fn poison_reply(&mut self, ctx: &mut NodeCtx<ProtoMsg>, spec: QuerySpec, round: u8) {
+        let dim = match self.device.relation.dim() {
+            0 => 2,
+            d => d,
+        };
+        // Below any honest attribute (the paper's generator draws from
+        // [1, 1000]): dominates everything, including real skyline tuples.
+        let attrs = vec![1e-3; dim];
+        let poison = FilterTuple::new(attrs.clone(), &UpperBounds::new(vec![1000.0; dim]));
+        let fake = Tuple::new(spec.pos.x, spec.pos.y, attrs);
+        let seq = if self.dist.arq.enabled { self.alloc_seq() } else { 0 };
+        let reply = ProtoMsg::BfResult {
+            key: spec.key,
+            claimed: ctx.id,
+            tuples: vec![fake],
+            unreduced: 1,
+            participated: true,
+            seq,
+            retries: 0,
+        };
+        self.count_result(spec.key);
+        self.attack_frames_sent += 1;
+        ctx.trace(
+            Some(qid(spec.key)),
+            QueryEvent::AttackFrameSent {
+                kind: AttackKind::FilterPoison,
+                bytes: reply.wire_size(),
+            },
+        );
+        // No processing cost: the attacker does no real work.
+        self.send_tracked(ctx, spec.key.origin, reply);
+        if self.should_rebroadcast(spec.key) {
+            let fwd = ProtoMsg::BfQuery { spec, filters: vec![poison], round };
+            let bytes = fwd.wire_size();
+            self.attack_frames_sent += 1;
+            ctx.trace(
+                Some(qid(spec.key)),
+                QueryEvent::AttackFrameSent { kind: AttackKind::FilterPoison, bytes },
+            );
+            ctx.broadcast(fwd, bytes);
+        }
+    }
+
+    /// Sybil forger: after its honest reply, answer the same query another
+    /// `k` times under fabricated identities so the originator's responder
+    /// count fills up with ghosts and it finalizes before honest
+    /// stragglers arrive.
+    fn sybil_replies(&mut self, ctx: &mut NodeCtx<ProtoMsg>, key: QueryKey, k: usize) {
+        let mut forged = 0;
+        for step in 1..self.m {
+            if forged >= k {
+                break;
+            }
+            let claimed = (ctx.id + step) % self.m;
+            if claimed == ctx.id || claimed == key.origin {
+                continue;
+            }
+            let seq = if self.dist.arq.enabled { self.alloc_seq() } else { 0 };
+            let reply = ProtoMsg::BfResult {
+                key,
+                claimed,
+                tuples: Vec::new(),
+                unreduced: 0,
+                participated: false,
+                seq,
+                retries: 0,
+            };
+            self.count_result(key);
+            self.attack_frames_sent += 1;
+            ctx.trace(
+                Some(qid(key)),
+                QueryEvent::AttackFrameSent { kind: AttackKind::Sybil, bytes: reply.wire_size() },
+            );
+            self.send_tracked(ctx, key.origin, reply);
+            forged += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Query origination
     // ------------------------------------------------------------------
 
@@ -833,6 +1136,11 @@ impl DeviceApp {
                 ctx.trace(Some(qid(spec.key)), QueryEvent::FilterAttached { vdr: f.vdr });
             }
         }
+        // Locally seeded sites are attributed to the originator itself.
+        let mut first_seen = HashMap::new();
+        for t in &sk_org {
+            first_seen.insert((t.x.to_bits(), t.y.to_bits()), ctx.id);
+        }
         let mut aq = ActiveQuery {
             key: spec.key,
             spec,
@@ -848,6 +1156,7 @@ impl DeviceApp {
             reissues: 0,
             retries: 0,
             duplicates: 0,
+            first_seen,
         };
         ctx.set_timer(self.dist.query_timeout, token::TIMEOUT | u64::from(cnt));
 
@@ -947,6 +1256,15 @@ impl DeviceApp {
         contributors.sort_unstable();
         contributors.dedup();
         let result = aq.merger.into_result();
+        let result_sources: Vec<NodeId> = result
+            .iter()
+            .map(|t| {
+                aq.first_seen
+                    .get(&(t.x.to_bits(), t.y.to_bits()))
+                    .copied()
+                    .unwrap_or(usize::MAX)
+            })
+            .collect();
         let outcome = match timeout_cause {
             None => FinalizeKind::Completed,
             Some(TimeoutCause::NoResponses) => FinalizeKind::TimedOutNoResponses,
@@ -988,6 +1306,8 @@ impl DeviceApp {
             epochs: 0,
             epoch_completeness: None,
             staleness_s: None,
+            result_sources,
+            spurious_sites: Vec::new(),
         });
         // Ready for the next queued request.
         if self.next_request < self.requests.len() {
@@ -1002,13 +1322,37 @@ impl DeviceApp {
     fn on_bf_query(
         &mut self,
         ctx: &mut NodeCtx<ProtoMsg>,
+        from: NodeId,
         spec: QuerySpec,
         filters: Vec<FilterTuple>,
         round: u8,
     ) {
+        // Defenses fire before the duplicate log records the key, so a
+        // query dropped here can still be served from a later re-flood.
+        if self.is_isolated(from) || self.is_isolated(spec.key.origin) {
+            self.drop_frame(ctx, Some(qid(spec.key)), from, DropCause::Reputation);
+            return;
+        }
+        // Rate-limit fresh keys against the *originator's* bucket. Duplicate
+        // copies are already inert (the log drops them below) and must not
+        // charge anyone; charging the relaying neighbor would isolate honest
+        // nodes for forwarding a flood they didn't start.
+        if self.dist.defense.rate_limit
+            && !self.device.log.seen(spec.key)
+            && !self.bucket_allows(ctx.now, spec.key.origin)
+        {
+            self.penalize(ctx, Some(qid(spec.key)), spec.key.origin);
+            self.drop_frame(ctx, Some(qid(spec.key)), spec.key.origin, DropCause::RateLimit);
+            return;
+        }
         if self.device.log.check_and_record(spec.key) {
             // Fresh query: process and answer.
             self.bf_rounds.insert(spec.key, round);
+            if self.is_attacking(ctx.now, AttackKind::FilterPoison) && spec.key.origin != ctx.id {
+                self.poison_reply(ctx, spec, round);
+                return;
+            }
+            let filters = self.sanitize_filters(ctx, qid(spec.key), from, filters);
             let vdr_in = best_vdr(&filters);
             let out = self.device.process(&spec, &filters, &self.cfg);
             ctx.trace(
@@ -1029,6 +1373,7 @@ impl DeviceApp {
             let seq = if self.dist.arq.enabled { self.alloc_seq() } else { 0 };
             let reply = ProtoMsg::BfResult {
                 key: spec.key,
+                claimed: ctx.id,
                 tuples: out.reply,
                 unreduced: out.unreduced_len,
                 participated: out.participated,
@@ -1042,6 +1387,10 @@ impl DeviceApp {
                 sends.push(Stashed::Broadcast(fwd));
             }
             self.send_after_cost(ctx, &out.stats, sends);
+            if self.is_attacking(ctx.now, AttackKind::Sybil) && spec.key.origin != ctx.id {
+                let k = self.attack.map(|r| r.sybil_k).unwrap_or(0);
+                self.sybil_replies(ctx, spec.key, k);
+            }
             return;
         }
         // Duplicate query. A higher round is an originator re-issue: relay
@@ -1051,6 +1400,8 @@ impl DeviceApp {
         if prev.is_some_and(|p| round > p) {
             self.bf_rounds.insert(spec.key, round);
             if self.should_rebroadcast(spec.key) && spec.key.origin != ctx.id {
+                // Never relay a filter we would not accept ourselves.
+                let filters = self.sanitize_filters(ctx, qid(spec.key), from, filters);
                 self.count_forward_per_neighbor(spec.key, ctx.neighbors().len());
                 let msg = ProtoMsg::BfQuery { spec, filters, round };
                 let bytes = msg.wire_size();
@@ -1091,26 +1442,52 @@ impl DeviceApp {
         ctx: &mut NodeCtx<ProtoMsg>,
         from: NodeId,
         key: QueryKey,
+        claimed: NodeId,
         tuples: Vec<Tuple>,
         unreduced: usize,
         participated: bool,
         seq: u64,
         retries: u32,
     ) {
-        // Ack unconditionally — even duplicates and stale replies — so the
-        // sender stops retransmitting.
+        // Ack unconditionally — even duplicates, stale replies, and frames
+        // a defense is about to refuse — so the sender stops
+        // retransmitting.
         if seq != 0 {
             self.send_ack(ctx, from, seq);
+        }
+        // Identity plausibility: in this simulator the routing layer's
+        // end-to-end source is authentic (the in-sim stand-in for
+        // beacon-verified identities), so a claimed id that contradicts it
+        // is a forgery. The sender — not the ghost it named — is penalised.
+        if self.dist.defense.identity && claimed != from {
+            self.penalize(ctx, Some(qid(key)), from);
+            self.drop_frame(ctx, Some(qid(key)), from, DropCause::Identity);
+            return;
+        }
+        if self.is_isolated(from) {
+            self.drop_frame(ctx, Some(qid(key)), from, DropCause::Reputation);
+            return;
+        }
+        // Reply sanity: a tuple below the domain floor falsely dominates
+        // everything — refuse the whole reply and keep its sender out of
+        // the contributor set (its "contribution" is a lie).
+        if self.dist.defense.sanity && !tuples.iter().all(|t| self.sane_tuple(t)) {
+            self.penalize(ctx, Some(qid(key)), from);
+            self.drop_frame(ctx, Some(qid(key)), from, DropCause::Sanity);
+            return;
         }
         let Some(aq) = self.active.as_mut() else { return };
         if aq.key != key {
             return; // stale reply for an earlier query
         }
-        if !aq.responders.insert(from) {
+        // Responder accounting keys on the *claimed* identity: without the
+        // identity defense the originator trusts it (which is exactly what
+        // a Sybil forger exploits); with the defense on, claimed == from.
+        if !aq.responders.insert(claimed) {
             // A retransmitted reply whose first copy already counted.
             aq.duplicates += 1;
             self.duplicates_suppressed += 1;
-            ctx.trace(Some(qid(key)), QueryEvent::DuplicateSuppressed { from, seq });
+            ctx.trace(Some(qid(key)), QueryEvent::DuplicateSuppressed { from: claimed, seq });
             return;
         }
         aq.retries += u64::from(retries);
@@ -1120,7 +1497,7 @@ impl DeviceApp {
         ctx.trace(
             Some(qid(key)),
             QueryEvent::ReplyAccepted {
-                from,
+                from: claimed,
                 tuples: tuples.len(),
                 unreduced,
                 participated,
@@ -1128,6 +1505,9 @@ impl DeviceApp {
                 seq,
             },
         );
+        for t in &tuples {
+            aq.first_seen.entry((t.x.to_bits(), t.y.to_bits())).or_insert(claimed);
+        }
         aq.merger.insert_batch(tuples);
         aq.responded = aq.responders.len();
         // The 80 % rule stamps the response time …
@@ -1166,6 +1546,14 @@ impl DeviceApp {
         }
         // First visit: process locally, merge into the token.
         self.device.log.check_and_record(token.spec.key);
+        // Strip implausible filters before they starve the local scan; the
+        // previous hop carried them, so it takes the penalty.
+        token.filters = self.sanitize_filters(
+            ctx,
+            qid(token.spec.key),
+            from,
+            std::mem::take(&mut token.filters),
+        );
         let vdr_in = best_vdr(&token.filters);
         let out = self.device.process(&token.spec, &token.filters, &self.cfg);
         ctx.trace(
@@ -1218,8 +1606,14 @@ impl DeviceApp {
             token.path.push(ctx.id);
         }
 
-        // Forward to an unvisited physical neighbour, if any.
-        let next = ctx.neighbors().iter().copied().find(|n| !token.visited.contains(n));
+        // Forward to an unvisited physical neighbour, if any. A neighbour
+        // this device has isolated for repeat offenses is never chosen as
+        // the next token carrier.
+        let next = ctx
+            .neighbors()
+            .iter()
+            .copied()
+            .find(|n| !token.visited.contains(n) && !self.is_isolated(*n));
         if let Some(n) = next {
             self.count_forward(token.spec.key);
             if self.dist.arq.enabled {
@@ -1259,6 +1653,12 @@ impl DeviceApp {
         if token.spec.key.origin == ctx.id {
             if let Some(aq) = self.active.as_mut() {
                 if aq.key == token.spec.key {
+                    // Token merges blend every visited device's tuples, so
+                    // per-tuple provenance is lost — attribute to the
+                    // sentinel "unknown" source.
+                    for t in &token.partial {
+                        aq.first_seen.entry((t.x.to_bits(), t.y.to_bits())).or_insert(usize::MAX);
+                    }
                     aq.merger.insert_batch(token.partial);
                     aq.drr.merge(&token.drr);
                     for &v in &token.visited {
@@ -1280,12 +1680,31 @@ impl DeviceApp {
 
 impl Application<ProtoMsg> for DeviceApp {
     fn on_message(&mut self, ctx: &mut NodeCtx<ProtoMsg>, meta: MsgMeta, payload: ProtoMsg) {
+        // Defensive decode: a frame that could not have been produced by a
+        // conforming peer is counted and dropped before any handler runs.
+        // This gate is always on — it models basic wire validation, not a
+        // tunable defense.
+        if !self.well_formed(&payload) {
+            let key = Self::query_key_of(&payload);
+            self.drop_frame(ctx, key.map(qid), meta.src, DropCause::Malformed);
+            return;
+        }
         match payload {
             ProtoMsg::BfQuery { spec, filters, round } => {
-                self.on_bf_query(ctx, spec, filters, round)
+                self.on_bf_query(ctx, meta.src, spec, filters, round)
             }
-            ProtoMsg::BfResult { key, tuples, unreduced, participated, seq, retries } => {
-                self.on_bf_result(ctx, meta.src, key, tuples, unreduced, participated, seq, retries)
+            ProtoMsg::BfResult { key, claimed, tuples, unreduced, participated, seq, retries } => {
+                self.on_bf_result(
+                    ctx,
+                    meta.src,
+                    key,
+                    claimed,
+                    tuples,
+                    unreduced,
+                    participated,
+                    seq,
+                    retries,
+                )
             }
             ProtoMsg::DfToken(t) => self.on_df_token(ctx, meta.src, t),
             ProtoMsg::Ack { seq } => {
@@ -1317,6 +1736,7 @@ impl Application<ProtoMsg> for DeviceApp {
                 let cnt = (tok & 0xFF) as u8;
                 self.maybe_reissue(ctx, cnt);
             }
+            token::ATTACK_TICK => self.attack_tick(ctx),
             token::TIMEOUT => {
                 // The safety timer closes whatever is still open — also
                 // queries past their 80 % stamp that keep waiting for
@@ -1430,6 +1850,8 @@ impl Application<ProtoMsg> for DeviceApp {
                 epochs: 0,
                 epoch_completeness: None,
                 staleness_s: None,
+                result_sources: Vec::new(),
+                spurious_sites: Vec::new(),
             });
         }
         self.stash.clear();
@@ -1438,6 +1860,11 @@ impl Application<ProtoMsg> for DeviceApp {
         self.seen_transfers.clear();
         self.device.log.reset();
         self.handoff_state = HandoffState::Idle;
+        // Defense state is volatile too: a rebooted device forgets who it
+        // had rate-limited or isolated (attackers get a fresh start — a
+        // deliberate, documented weakness of per-node-memory defenses).
+        self.buckets.clear();
+        self.reputation.clear();
     }
 
     fn on_revive(&mut self, ctx: &mut NodeCtx<ProtoMsg>) {
@@ -1449,6 +1876,12 @@ impl Application<ProtoMsg> for DeviceApp {
         ctx.set_timer(self.dist.locality_sample_period, token::LOCALITY_SAMPLE);
         if let Some(cfg) = self.handoff {
             ctx.set_timer(cfg.interval, token::HANDOFF_TICK);
+        }
+        // A reviving spammer resumes its flood if its window is still open.
+        if let Some(role) = self.attack {
+            if role.kind == AttackKind::QueryFlood && ctx.now < role.until {
+                ctx.set_timer(role.period, token::ATTACK_TICK);
+            }
         }
     }
 }
@@ -1490,6 +1923,8 @@ pub struct ManetExperiment {
     pub dist: DistConfig,
     /// Scripted/seeded faults injected into the engine (none by default).
     pub fault_plan: Option<manet_sim::FaultPlan>,
+    /// Seeded adversarial roles assigned to devices (none by default).
+    pub attack_plan: Option<manet_sim::AttackPlan>,
     /// Score every record against the sequential oracle (costs one oracle
     /// skyline per query; assumes relations stay pinned, so keep `handoff`
     /// off when enabling this).
@@ -1531,6 +1966,7 @@ impl ManetExperiment {
             neighbor_mode: NeighborMode::Oracle,
             dist: DistConfig::default(),
             fault_plan: None,
+            attack_plan: None,
             compute_completeness: false,
             querying_devices: None,
             seed,
@@ -1583,6 +2019,16 @@ pub struct ManetOutcome {
     pub duplicates_suppressed: u64,
     /// Routing-level delivery failures reported to applications.
     pub delivery_failures: u64,
+    /// Frames originated by adversarial roles (flood queries, poisoned
+    /// replies/rebroadcasts, Sybil forgeries).
+    pub attack_frames_sent: u64,
+    /// Frames refused by a defensive gate (rate limit, identity, sanity,
+    /// reputation isolation, malformed decode).
+    pub attack_frames_dropped: u64,
+    /// Individual filter tuples stripped by the sanity check.
+    pub filters_rejected: u64,
+    /// Reputation penalties recorded across all devices.
+    pub reputation_penalties: u64,
     /// BF re-floods performed.
     pub reissues: u64,
     /// Timed-out queries whose originator crashed mid-query.
@@ -1691,6 +2137,18 @@ pub fn run_experiment(exp: &ManetExperiment) -> ManetOutcome {
     if let Some(plan) = &exp.fault_plan {
         sim.install_fault_plan(plan);
     }
+    if let Some(plan) = &exp.attack_plan {
+        for role in plan.roles() {
+            if role.node >= m {
+                continue; // plan drawn for a larger network
+            }
+            sim.app_mut(role.node).set_attack_role(Some(*role));
+            // Flooding is timer-driven; the other roles react to traffic.
+            if role.kind == AttackKind::QueryFlood {
+                sim.schedule_app_timer(role.node, role.from, token::ATTACK_TICK);
+            }
+        }
+    }
 
     // Run past the horizon so in-flight queries can drain.
     sim.run_until(SimTime::from_secs_f64(exp.sim_seconds + 400.0));
@@ -1773,12 +2231,18 @@ fn collect_outcome(
 
     let (mut arq_retries, mut arq_exhausted, mut duplicates_suppressed, mut delivery_failures) =
         (0u64, 0u64, 0u64, 0u64);
+    let (mut attack_frames_sent, mut attack_frames_dropped) = (0u64, 0u64);
+    let (mut filters_rejected, mut reputation_penalties) = (0u64, 0u64);
     for i in 0..m {
         let app = sim.app(i);
         arq_retries += app.arq_retries;
         arq_exhausted += app.arq_exhausted;
         duplicates_suppressed += app.duplicates_suppressed;
         delivery_failures += app.delivery_failures;
+        attack_frames_sent += app.attack_frames_sent;
+        attack_frames_dropped += app.attack_frames_dropped;
+        filters_rejected += app.filters_rejected;
+        reputation_penalties += app.reputation_penalties;
     }
     let reissues = records.iter().map(|r| u64::from(r.reissues)).sum();
     let count_cause = |c: TimeoutCause| -> u64 {
@@ -1804,6 +2268,10 @@ fn collect_outcome(
         arq_exhausted,
         duplicates_suppressed,
         delivery_failures,
+        attack_frames_sent,
+        attack_frames_dropped,
+        filters_rejected,
+        reputation_penalties,
         reissues,
         timeouts_originator_crash: count_cause(TimeoutCause::OriginatorCrash),
         timeouts_no_responses: count_cause(TimeoutCause::NoResponses),
@@ -1840,6 +2308,7 @@ mod tests {
     fn result_wire_size_scales_with_tuples() {
         let empty = ProtoMsg::BfResult {
             key: QueryKey { origin: 0, cnt: 0 },
+            claimed: 0,
             tuples: Vec::new(),
             unreduced: 0,
             participated: false,
@@ -1849,6 +2318,7 @@ mod tests {
         .wire_size();
         let two = ProtoMsg::BfResult {
             key: QueryKey { origin: 0, cnt: 0 },
+            claimed: 0,
             tuples: vec![
                 Tuple::new(0.0, 0.0, vec![1.0, 2.0]),
                 Tuple::new(1.0, 0.0, vec![3.0, 4.0]),
@@ -1859,7 +2329,7 @@ mod tests {
             retries: 1,
         }
         .wire_size();
-        assert_eq!(empty, 5 + 8 + 12, "key + drr terms + ARQ seq/retries");
+        assert_eq!(empty, 5 + 4 + 8 + 12, "key + claimed id + drr terms + ARQ seq/retries");
         assert_eq!(two, empty + 2 * 32);
     }
 
@@ -1967,6 +2437,7 @@ mod tests {
     fn arq_seq_is_read_from_tracked_messages_only() {
         let bf = ProtoMsg::BfResult {
             key: QueryKey { origin: 0, cnt: 0 },
+            claimed: 0,
             tuples: Vec::new(),
             unreduced: 0,
             participated: false,
@@ -2000,6 +2471,7 @@ mod tests {
         assert_eq!(exp.data.attr_max, 1000.0);
         assert!(exp.handoff.is_none());
         assert!(exp.fault_plan.is_none(), "faults are opt-in");
+        assert!(exp.attack_plan.is_none(), "adversaries are opt-in");
         assert!(!exp.compute_completeness);
         assert_eq!(exp.dist, DistConfig::default());
     }

@@ -213,6 +213,21 @@ fn event_fields(ev: &QueryEvent) -> (&'static str, Vec<(&'static str, Val)>) {
         ),
         LeaseExpired { epoch } => ("lease_expired", vec![("epoch", Val::U(epoch))]),
         Cancelled { epoch } => ("cancelled", vec![("epoch", Val::U(epoch))]),
+        AttackFrameSent { kind, bytes } => (
+            "attack_frame_sent",
+            vec![("kind", Val::S(kind.name())), ("bytes", Val::U(bytes as u64))],
+        ),
+        AttackFrameDropped { from, cause } => (
+            "attack_frame_dropped",
+            vec![("peer", Val::U(from as u64)), ("cause", Val::S(cause.name()))],
+        ),
+        ReputationPenalty { offender, score } => (
+            "reputation_penalty",
+            vec![("peer", Val::U(offender as u64)), ("score", Val::U(score))],
+        ),
+        FilterRejected { from, vdr } => {
+            ("filter_rejected", vec![("peer", Val::U(from as u64)), ("vdr", Val::F(vdr))])
+        }
         Crashed => ("crashed", Vec::new()),
         Revived => ("revived", Vec::new()),
     }
@@ -234,6 +249,8 @@ pub fn phase_of(ev: &QueryEvent) -> &'static str {
         | DeltaApplied { .. }
         | LeaseExpired { .. }
         | Cancelled { .. } => "monitor",
+        AttackFrameSent { .. } => "attack",
+        AttackFrameDropped { .. } | ReputationPenalty { .. } | FilterRejected { .. } => "defense",
         Crashed | Revived => "fault",
     }
 }
@@ -246,7 +263,8 @@ fn bytes_of(ev: &QueryEvent) -> u64 {
         | ReplySent { bytes, .. }
         | ArqRetry { bytes, .. }
         | TokenSent { bytes, .. }
-        | DeltaSent { bytes, .. } => bytes as u64,
+        | DeltaSent { bytes, .. }
+        | AttackFrameSent { bytes, .. } => bytes as u64,
         _ => 0,
     }
 }
@@ -280,7 +298,7 @@ pub fn trace_to_jsonl(log: &QueryTraceLog) -> String {
 
 /// Fixed wide-schema columns shared by every event kind (blank when a field
 /// does not apply). The prefix is stable; new columns only append.
-const CSV_COLUMNS: [&str; 32] = [
+const CSV_COLUMNS: [&str; 35] = [
     "radius_m",
     "round",
     "neighbors",
@@ -314,6 +332,10 @@ const CSV_COLUMNS: [&str; 32] = [
     "adds",
     "removes",
     "heartbeat",
+    // Adversarial-chaos extension (append-only).
+    "kind",
+    "cause",
+    "score",
 ];
 
 /// One CSV row per record with the stable wide schema
@@ -447,8 +469,10 @@ impl QueryTimeline {
             (Some(a), Some(b)) => b.at.as_secs_f64() - a.at.as_secs_f64(),
             _ => 0.0,
         };
-        const ORDER: [&str; 9] =
-            ["issue", "flood", "local", "reply", "walk", "recovery", "monitor", "close", "fault"];
+        const ORDER: [&str; 11] = [
+            "issue", "flood", "local", "reply", "walk", "recovery", "monitor", "attack", "defense",
+            "close", "fault",
+        ];
         let mut phases: Vec<PhaseStat> =
             ORDER.iter().map(|p| PhaseStat { phase: p, events: 0, bytes: 0 }).collect();
         for r in &self.records {
@@ -592,6 +616,14 @@ pub struct TraceAggregates {
     pub lease_expired: u64,
     /// `cancelled` events.
     pub cancelled: u64,
+    /// `attack_frame_sent` events (adversarial roles only).
+    pub attack_frames_sent: u64,
+    /// `attack_frame_dropped` events (any defensive refusal).
+    pub attack_frames_dropped: u64,
+    /// `filter_rejected` events (individual filters stripped).
+    pub filters_rejected: u64,
+    /// `reputation_penalty` events.
+    pub reputation_penalties: u64,
 }
 
 /// Recomputes the log-wide [`TraceAggregates`] from the event log alone.
@@ -623,6 +655,10 @@ pub fn trace_aggregates(log: &QueryTraceLog) -> TraceAggregates {
             QueryEvent::DeltaApplied { .. } => agg.delta_applied += 1,
             QueryEvent::LeaseExpired { .. } => agg.lease_expired += 1,
             QueryEvent::Cancelled { .. } => agg.cancelled += 1,
+            QueryEvent::AttackFrameSent { .. } => agg.attack_frames_sent += 1,
+            QueryEvent::AttackFrameDropped { .. } => agg.attack_frames_dropped += 1,
+            QueryEvent::FilterRejected { .. } => agg.filters_rejected += 1,
+            QueryEvent::ReputationPenalty { .. } => agg.reputation_penalties += 1,
             _ => {}
         }
     }
@@ -688,6 +724,14 @@ pub fn verify_zero_drift(out: &ManetOutcome) -> Result<TraceAggregates, String> 
     check("delivery_failures", agg.delivery_failures, out.delivery_failures);
     check("node_crashes", agg.crashes, out.net.node_crashes);
     check("node_revivals", agg.revivals, out.net.node_revivals);
+    // Adversarial traffic and its defensive refusals are counted in three
+    // places — the app counters, the engine's NetStats, and the trace —
+    // and all three must agree exactly.
+    check("attack_frames_sent", agg.attack_frames_sent, out.attack_frames_sent);
+    check("attack_frames_dropped", agg.attack_frames_dropped, out.attack_frames_dropped);
+    check("app_frames_rejected", agg.attack_frames_dropped, out.net.app_frames_rejected);
+    check("filters_rejected", agg.filters_rejected, out.filters_rejected);
+    check("reputation_penalties", agg.reputation_penalties, out.reputation_penalties);
     // Every BF flood counts one message per recipient; every DF transfer
     // counts one. Emission and counter bump share a callback, so equality
     // is exact even across crashes.

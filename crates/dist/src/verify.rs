@@ -41,6 +41,22 @@ impl VerificationReport {
     }
 }
 
+/// One spurious answer tuple with its provenance: where it sits and which
+/// device's reply first introduced it to the originator's merge. With an
+/// adversary in the network this column names the offender; `first_from ==
+/// usize::MAX` means the source was not attributable (e.g. a DF token's
+/// blended partial, or a pre-provenance record).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpuriousSite {
+    /// Site x-coordinate.
+    pub x: f64,
+    /// Site y-coordinate.
+    pub y: f64,
+    /// Device whose reply first carried this tuple (`usize::MAX` =
+    /// unknown).
+    pub first_from: usize,
+}
+
 /// Diffs a distributed `answer` against the centralized skyline of the
 /// deduplicated union of `partitions`, restricted to `region`. Sites are
 /// identified by location.
@@ -102,7 +118,23 @@ pub fn score_records(records: &mut [crate::runtime::QueryRecord], partitions: &[
             .filter(|&&i| i < partitions.len())
             .map(|&i| partitions[i].clone())
             .collect();
-        r.spurious = diff_against_truth(&r.result, &contributing, &region).spurious.len() as u64;
+        let spurious = diff_against_truth(&r.result, &contributing, &region).spurious;
+        r.spurious = spurious.len() as u64;
+        // Attribute each spurious site to the device whose reply first
+        // carried it (`result_sources` is parallel to `result`; records
+        // predating provenance tracking fall back to "unknown").
+        r.spurious_sites = spurious
+            .iter()
+            .map(|s| {
+                let idx = r
+                    .result
+                    .iter()
+                    .position(|t| t.x.to_bits() == s.x.to_bits() && t.y.to_bits() == s.y.to_bits());
+                let first_from =
+                    idx.and_then(|i| r.result_sources.get(i).copied()).unwrap_or(usize::MAX);
+                SpuriousSite { x: s.x, y: s.y, first_from }
+            })
+            .collect();
     }
 }
 
@@ -220,6 +252,8 @@ mod tests {
             epochs: 0,
             epoch_completeness: None,
             staleness_s: None,
+            result_sources: Vec::new(),
+            spurious_sites: Vec::new(),
         };
         // Device 1 crashed: its tuple is missing. That halves completeness
         // but is NOT spurious — the contributing oracle (device 0 only)
@@ -233,10 +267,23 @@ mod tests {
         // spurious: the protocol returned something it saw better data
         // against.
         let dominated = Tuple::new(2.0, 0.0, vec![2.0, 10.0]);
-        let mut recs = vec![mk(vec![a.clone(), b.clone(), dominated], vec![0, 1])];
+        let mut recs = vec![mk(vec![a.clone(), b.clone(), dominated.clone()], vec![0, 1])];
+        // Provenance parallel to the result: the spurious third tuple was
+        // first carried by device 7's reply.
+        recs[0].result_sources = vec![0, 1, 7];
         score_records(&mut recs, &partitions);
         assert_eq!(recs[0].completeness, Some(1.0));
         assert_eq!(recs[0].spurious, 1);
+        assert_eq!(
+            recs[0].spurious_sites,
+            vec![SpuriousSite { x: dominated.x, y: dominated.y, first_from: 7 }]
+        );
+
+        // Without provenance the site is still reported, attributed to the
+        // unknown sentinel.
+        let mut recs = vec![mk(vec![a.clone(), b.clone(), dominated.clone()], vec![0, 1])];
+        score_records(&mut recs, &partitions);
+        assert_eq!(recs[0].spurious_sites[0].first_from, usize::MAX);
     }
 
     #[test]

@@ -88,6 +88,7 @@ enum AppCmd<P> {
     Unicast { dst: NodeId, payload: P, bytes: usize },
     Broadcast { payload: P, bytes: usize },
     Timer { delay: SimDuration, token: u64 },
+    RejectFrame,
 }
 
 /// The application's window into the simulation during a callback.
@@ -138,6 +139,15 @@ impl<'a, P> NodeCtx<'a, P> {
     /// Arms an application timer delivering `token` after `delay`.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
         self.cmds.push(AppCmd::Timer { delay, token });
+    }
+
+    /// Counts a delivered frame the application refused to process
+    /// (defensive decode or an active defense —
+    /// [`NetStats::app_frames_rejected`]). Pair every call with a
+    /// [`QueryEvent::AttackFrameDropped`] trace so zero-drift can
+    /// reconcile the books.
+    pub fn reject_frame(&mut self) {
+        self.cmds.push(AppCmd::RejectFrame);
     }
 }
 
@@ -684,6 +694,9 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
                         now + delay,
                         Event::AppTimer { node, token, epoch: self.epochs[node] },
                     );
+                }
+                AppCmd::RejectFrame => {
+                    self.stats.app_frames_rejected += 1;
                 }
             }
         }

@@ -178,6 +178,166 @@ impl FaultPlan {
     }
 }
 
+/// Adversarial behaviours a node can be assigned (DESIGN.md §11).
+///
+/// Roles change what the *application* does while the node is otherwise a
+/// normal participant: an attacker still owns its storage partition, still
+/// crashes and revives under the fault plan, and still routes frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Issues fake queries at a configured rate, dragging every honest
+    /// node through flood relay + reply + route discovery for nothing.
+    QueryFlood,
+    /// Answers other nodes' queries with a fabricated filter tuple that
+    /// falsely dominates the whole data domain (suppressing true skyline
+    /// tuples downstream) and a fabricated result tuple that poisons the
+    /// merged answer.
+    FilterPoison,
+    /// Answers each query several times under fabricated identities,
+    /// inflating the originator's responder count so it finalizes before
+    /// honest stragglers arrive.
+    Sybil,
+}
+
+impl AttackKind {
+    /// Stable lowercase name used in traces and bench tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::QueryFlood => "query_flood",
+            AttackKind::FilterPoison => "filter_poison",
+            AttackKind::Sybil => "sybil",
+        }
+    }
+}
+
+/// One node's adversarial assignment with its active window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackRole {
+    /// The compromised node.
+    pub node: NodeId,
+    /// What it does.
+    pub kind: AttackKind,
+    /// Start of the active window (inclusive).
+    pub from: SimTime,
+    /// End of the active window (exclusive).
+    pub until: SimTime,
+    /// [`AttackKind::QueryFlood`]: seconds between fake queries.
+    /// Ignored by the other kinds.
+    pub period: SimDuration,
+    /// [`AttackKind::Sybil`]: forged identities per answered query.
+    /// Ignored by the other kinds.
+    pub sybil_k: usize,
+}
+
+impl AttackRole {
+    /// `true` while the role's window covers `now`.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        now >= self.from && now < self.until
+    }
+}
+
+/// Parameters for [`AttackPlan::random`]: seeded-random assignment of one
+/// attack kind to a fraction of the population, mirroring
+/// [`ChurnConfig`] so attack runs replay bit-identically.
+#[derive(Debug, Clone)]
+pub struct AttackConfig {
+    /// Population size; node ids `0..nodes` are candidates.
+    pub nodes: usize,
+    /// The behaviour every selected attacker gets.
+    pub kind: AttackKind,
+    /// Fraction of candidate nodes compromised (rounded to nearest).
+    pub fraction: f64,
+    /// Start of every attacker's active window.
+    pub from: SimTime,
+    /// End of every attacker's active window.
+    pub until: SimTime,
+    /// Flood period ([`AttackKind::QueryFlood`] only).
+    pub period: SimDuration,
+    /// Forged identities per reply ([`AttackKind::Sybil`] only).
+    pub sybil_k: usize,
+    /// Nodes that are never compromised (e.g. the originator under test).
+    pub protect: Vec<NodeId>,
+    /// Seed for the plan's own RNG (independent of the engine seed).
+    pub seed: u64,
+}
+
+/// A deterministic set of adversarial role assignments, replayable across
+/// runs. Sorted by node id; at most one role per node.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AttackPlan {
+    roles: Vec<AttackRole>,
+}
+
+impl AttackPlan {
+    /// An empty plan (no attackers).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The assigned roles, sorted by node id.
+    pub fn roles(&self) -> &[AttackRole] {
+        &self.roles
+    }
+
+    /// Number of compromised nodes.
+    pub fn len(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// `true` when no node is compromised.
+    pub fn is_empty(&self) -> bool {
+        self.roles.is_empty()
+    }
+
+    /// The role assigned to `node`, if any.
+    pub fn role_of(&self, node: NodeId) -> Option<&AttackRole> {
+        self.roles.iter().find(|r| r.node == node)
+    }
+
+    /// Assigns `role`, replacing any previous assignment for the node.
+    ///
+    /// # Panics
+    /// Panics when the active window is empty.
+    pub fn assign(mut self, role: AttackRole) -> Self {
+        assert!(role.until > role.from, "attack window must be non-empty");
+        self.roles.retain(|r| r.node != role.node);
+        self.roles.push(role);
+        self.roles.sort_by_key(|r| r.node);
+        self
+    }
+
+    /// Compromises a random subset of nodes, fully determined by
+    /// `cfg.seed`: the same config always yields the same plan (same
+    /// partial Fisher–Yates sampling as [`FaultPlan::random_churn`]).
+    ///
+    /// # Panics
+    /// Panics when the active window is empty.
+    pub fn random(cfg: &AttackConfig) -> Self {
+        assert!(cfg.until > cfg.from, "attack window must be non-empty");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut candidates: Vec<NodeId> =
+            (0..cfg.nodes).filter(|n| !cfg.protect.contains(n)).collect();
+        let picks = ((candidates.len() as f64) * cfg.fraction).round() as usize;
+        let picks = picks.min(candidates.len());
+        for i in 0..picks {
+            let j = rng.random_range(i..candidates.len());
+            candidates.swap(i, j);
+        }
+        let mut plan = AttackPlan::new();
+        for &node in &candidates[..picks] {
+            plan = plan.assign(AttackRole {
+                node,
+                kind: cfg.kind,
+                from: cfg.from,
+                until: cfg.until,
+                period: cfg.period,
+                sybil_k: cfg.sybil_k,
+            });
+        }
+        plan
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,5 +421,141 @@ mod tests {
     fn zero_fraction_yields_empty_plan() {
         let cfg = ChurnConfig { churn_fraction: 0.0, ..churn_cfg(1) };
         assert!(FaultPlan::random_churn(&cfg).is_empty());
+    }
+
+    fn attack_cfg(seed: u64) -> AttackConfig {
+        AttackConfig {
+            nodes: 16,
+            kind: AttackKind::FilterPoison,
+            fraction: 0.25,
+            from: SimTime::from_secs_f64(5.0),
+            until: SimTime::from_secs_f64(500.0),
+            period: SimDuration::from_secs_f64(30.0),
+            sybil_k: 4,
+            protect: vec![0],
+            seed,
+        }
+    }
+
+    #[test]
+    fn random_attack_plan_is_deterministic() {
+        let a = AttackPlan::random(&attack_cfg(7));
+        let b = AttackPlan::random(&attack_cfg(7));
+        assert_eq!(a, b);
+        let c = AttackPlan::random(&attack_cfg(8));
+        assert_ne!(a, c, "different seeds should (virtually always) differ");
+    }
+
+    #[test]
+    fn random_attack_plan_respects_fraction_and_protection() {
+        let cfg = attack_cfg(3);
+        let plan = AttackPlan::random(&cfg);
+        // 15 candidates (node 0 protected) × 0.25 → 4 attackers.
+        assert_eq!(plan.len(), 4);
+        let mut last = None;
+        for r in plan.roles() {
+            assert_ne!(r.node, 0, "protected node compromised");
+            assert!(r.node < cfg.nodes);
+            assert_eq!(r.kind, AttackKind::FilterPoison);
+            assert!(last < Some(r.node), "roles must be sorted by node, unique");
+            last = Some(r.node);
+        }
+        assert!(plan.role_of(plan.roles()[0].node).is_some());
+    }
+
+    #[test]
+    fn assign_replaces_previous_role_for_node() {
+        let base = AttackRole {
+            node: 3,
+            kind: AttackKind::QueryFlood,
+            from: SimTime::from_secs_f64(0.0),
+            until: SimTime::from_secs_f64(10.0),
+            period: SimDuration::from_secs_f64(1.0),
+            sybil_k: 0,
+        };
+        let plan = AttackPlan::new().assign(base).assign(AttackRole {
+            kind: AttackKind::Sybil,
+            sybil_k: 5,
+            ..base
+        });
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.role_of(3).unwrap().kind, AttackKind::Sybil);
+    }
+
+    #[test]
+    fn role_window_is_half_open() {
+        let role = AttackRole {
+            node: 1,
+            kind: AttackKind::QueryFlood,
+            from: SimTime::from_secs_f64(10.0),
+            until: SimTime::from_secs_f64(20.0),
+            period: SimDuration::from_secs_f64(1.0),
+            sybil_k: 0,
+        };
+        assert!(!role.active_at(SimTime::from_secs_f64(9.9)));
+        assert!(role.active_at(SimTime::from_secs_f64(10.0)));
+        assert!(role.active_at(SimTime::from_secs_f64(19.9)));
+        assert!(!role.active_at(SimTime::from_secs_f64(20.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_attack_window_rejected() {
+        let t = SimTime::from_secs_f64(5.0);
+        let _ = AttackPlan::random(&AttackConfig { from: t, until: t, ..attack_cfg(1) });
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Seeded attack plans are bit-identical functions of their
+            /// config across the whole parameter space: same inputs → the
+            /// exact same role list, and every invariant (fraction count,
+            /// protection, sorted unique nodes, config'd window) holds.
+            #[test]
+            fn seeded_attack_plans_are_bit_identical(
+                seed in any::<u64>(),
+                nodes in 1usize..64,
+                fraction in 0.0f64..1.0,
+                kind_ix in 0usize..3,
+                protect_ix in any::<prop::sample::Index>(),
+                sybil_k in 0usize..8,
+            ) {
+                let kind = [AttackKind::QueryFlood, AttackKind::FilterPoison,
+                            AttackKind::Sybil][kind_ix];
+                let cfg = AttackConfig {
+                    nodes,
+                    kind,
+                    fraction,
+                    from: SimTime::from_secs_f64(1.0),
+                    until: SimTime::from_secs_f64(100.0),
+                    period: SimDuration::from_secs_f64(2.0),
+                    sybil_k,
+                    protect: vec![protect_ix.index(nodes)],
+                    seed,
+                };
+                let a = AttackPlan::random(&cfg);
+                let b = AttackPlan::random(&cfg);
+                prop_assert_eq!(&a, &b, "same config must replay bit-identically");
+
+                let candidates = nodes - 1; // one protected node
+                let want = ((candidates as f64) * fraction).round() as usize;
+                prop_assert_eq!(a.len(), want.min(candidates));
+                let mut last = None;
+                for r in a.roles() {
+                    prop_assert!(r.node < nodes);
+                    prop_assert_ne!(r.node, cfg.protect[0]);
+                    prop_assert_eq!(r.kind, kind);
+                    prop_assert_eq!(r.sybil_k, sybil_k);
+                    prop_assert_eq!((r.from, r.until), (cfg.from, cfg.until));
+                    prop_assert!(last < Some(r.node), "sorted, unique");
+                    last = Some(r.node);
+                }
+            }
+        }
     }
 }

@@ -61,14 +61,17 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Application, MsgMeta, NeighborMode, NodeCtx, Simulator};
-pub use fault::{ChurnConfig, FaultAction, FaultEvent, FaultPlan};
+pub use fault::{
+    AttackConfig, AttackKind, AttackPlan, AttackRole, ChurnConfig, FaultAction, FaultEvent,
+    FaultPlan,
+};
 pub use mobility::{MobilityConfig, Pos};
 pub use packet::NodeId;
 pub use radio::{EnergyConfig, RadioConfig};
 pub use time::{SimDuration, SimTime};
 pub use trace::{
-    FinalizeKind, FrameTag, FrameTraceLog, LossCause, NetStats, QueryEvent, QueryId, QueryTraceLog,
-    QueryTraceRecord, TraceEvent,
+    DropCause, FinalizeKind, FrameTag, FrameTraceLog, LossCause, NetStats, QueryEvent, QueryId,
+    QueryTraceLog, QueryTraceRecord, TraceEvent,
 };
 
 // Experiment descriptions embed these configs and cross thread boundaries

@@ -41,6 +41,13 @@ pub struct NetStats {
     pub frames_dropped_node_down: u64,
     /// Frames blocked by a severed link.
     pub frames_blocked_link_down: u64,
+    /// Frames the application delivered but refused to process — rejected
+    /// by defensive decode or an active defense (rate limit, identity or
+    /// sanity check, reputation isolation). Counted via
+    /// [`NodeCtx::reject_frame`](crate::engine::NodeCtx::reject_frame) and
+    /// reconciled against the trace's `AttackFrameDropped` events by
+    /// zero-drift verification.
+    pub app_frames_rejected: u64,
 }
 
 impl NetStats {
@@ -272,6 +279,36 @@ pub enum FinalizeKind {
     TimedOutPartial,
 }
 
+/// Why a device refused to process a delivered frame (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropCause {
+    /// Per-neighbour token bucket was empty.
+    RateLimit,
+    /// The frame's claimed identity contradicted the routing-layer source
+    /// or named an impossible device id.
+    Identity,
+    /// The source had accumulated enough penalties to be isolated.
+    Reputation,
+    /// A reply carried tuples outside the plausible data domain.
+    Sanity,
+    /// Defensive decode: structurally invalid payload (non-finite
+    /// coordinates/attributes, impossible field values).
+    Malformed,
+}
+
+impl DropCause {
+    /// Stable lowercase name used in traces and bench tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropCause::RateLimit => "rate_limit",
+            DropCause::Identity => "identity",
+            DropCause::Reputation => "reputation",
+            DropCause::Sanity => "sanity",
+            DropCause::Malformed => "malformed",
+        }
+    }
+}
+
 /// One structured protocol-level event in a query's life. Application code
 /// records these through [`NodeCtx::trace`](crate::engine::NodeCtx::trace);
 /// the engine itself records [`QueryEvent::Crashed`] / [`QueryEvent::Revived`]
@@ -472,6 +509,39 @@ pub enum QueryEvent {
     Cancelled {
         /// Last epoch the device reported before the cancel.
         epoch: u64,
+    },
+    /// An adversarial node transmitted an attack frame (fake query,
+    /// poisoned reply, or forged-identity reply) — DESIGN.md §11.
+    AttackFrameSent {
+        /// Which attack behaviour produced the frame.
+        kind: crate::fault::AttackKind,
+        /// Serialized frame bytes.
+        bytes: usize,
+    },
+    /// A device refused to process a delivered frame: defensive decode or
+    /// an active defense dropped it. Always paired with a
+    /// [`NetStats::app_frames_rejected`] bump.
+    AttackFrameDropped {
+        /// End-to-end source the frame claimed to come from.
+        from: usize,
+        /// Which check rejected it.
+        cause: DropCause,
+    },
+    /// A defense penalised a peer; enough penalties isolate the offender
+    /// from forwarding and reply acceptance.
+    ReputationPenalty {
+        /// The penalised peer.
+        offender: usize,
+        /// The offender's accumulated penalty count after this one.
+        score: u64,
+    },
+    /// A filter tuple failed the carrier's sanity checks (out-of-domain
+    /// attributes or impossible dominance) and was stripped before use.
+    FilterRejected {
+        /// One-hop/end-to-end source that shipped the filter.
+        from: usize,
+        /// The rejected filter's claimed VDR volume.
+        vdr: f64,
     },
     /// The engine crashed this node (fault plan). Recorded with no query id.
     Crashed,
