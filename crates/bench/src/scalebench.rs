@@ -8,9 +8,11 @@
 //! local skyline — under random-waypoint mobility. It is the
 //! macro-benchmark for the engine's spatial-hash neighbour discovery: per
 //! event, neighbour work is O(degree), not O(n), so wall time tracks the
-//! protocol's frame count (itself ~quadratic in devices for a flooding
-//! protocol with per-replier route discovery) instead of picking up an
-//! extra O(n) engine factor on top.
+//! protocol's frame count instead of picking up an extra O(n) engine
+//! factor on top. With reply-path reuse (replies ride the query flood's
+//! reverse tree instead of each paying an AODV discovery), AODV control
+//! traffic per device must stay sub-linear in devices — i.e. total
+//! control frames sub-quadratic — which the smoke grid asserts.
 //!
 //! Only a fixed handful of devices *originate* queries
 //! ([`QUERYING_DEVICES`]); the rest hold data, serve, and forward. That
@@ -39,10 +41,9 @@ use crate::Scale;
 const SEED: u64 = 0x5CA1E;
 
 /// Devices that originate queries, regardless of network size. Two is
-/// deliberate: each unbounded-radius query already costs O(n²) frames
-/// (the BF flood plus one AODV route discovery per replier), so the
-/// originator count is the wall-clock lever that keeps the Quick grid in
-/// minutes.
+/// deliberate: each unbounded-radius query floods the whole network and
+/// collects a reply from every device, so the originator count is the
+/// wall-clock lever that keeps the Quick grid in minutes.
 pub const QUERYING_DEVICES: usize = 2;
 
 /// One `(g, cardinality, dim)` point of the grid.
@@ -133,6 +134,10 @@ pub struct CellMetrics {
     pub frames_sent: u64,
     /// AODV control frames.
     pub aodv_frames: u64,
+    /// AODV control frames divided by devices — the routing overhead each
+    /// device pays. Must stay sub-linear in devices (total sub-quadratic)
+    /// now that replies reuse the query flood's reverse paths.
+    pub aodv_frames_per_device: f64,
     /// Total radio energy (joules).
     pub energy_j: f64,
 }
@@ -162,6 +167,7 @@ fn report(cell: &ScaleCell, out: &ManetOutcome, seconds: f64) -> CellReport {
             result_messages: out.total_result_messages,
             frames_sent: out.net.frames_sent,
             aodv_frames: out.net.aodv_frames,
+            aodv_frames_per_device: out.net.aodv_frames as f64 / (cell.g * cell.g) as f64,
             energy_j: out.total_energy_joules,
         },
         seconds,
@@ -183,14 +189,23 @@ pub fn compute(grid: &[ScaleCell], jobs: usize, stage: &str) -> Vec<CellReport> 
 pub fn run(scale: Scale) -> Vec<CellReport> {
     println!("== Scale: constant-density networks, unbounded-radius queries ==\n");
     println!(
-        "{:>6} {:>8} {:>7} {:>4} {:>8} {:>6} {:>9} {:>12} {:>10}",
-        "g", "devices", "tuples", "dim", "queries", "drr", "timeout", "frames_sent", "seconds"
+        "{:>6} {:>8} {:>7} {:>4} {:>8} {:>6} {:>9} {:>12} {:>10} {:>10}",
+        "g",
+        "devices",
+        "tuples",
+        "dim",
+        "queries",
+        "drr",
+        "timeout",
+        "frames_sent",
+        "aodv/dev",
+        "seconds"
     );
     let reports = compute(&cells(scale), sweep::jobs_from_args(), "scale_devices");
     for r in &reports {
         let m = &r.metrics;
         println!(
-            "{:>6} {:>8} {:>7} {:>4} {:>8} {:>6.3} {:>9.3} {:>12} {:>10.2}",
+            "{:>6} {:>8} {:>7} {:>4} {:>8} {:>6.3} {:>9.3} {:>12} {:>10.1} {:>10.2}",
             m.g,
             m.devices,
             m.cardinality,
@@ -199,14 +214,17 @@ pub fn run(scale: Scale) -> Vec<CellReport> {
             m.drr,
             m.timeout_fraction,
             m.frames_sent,
+            m.aodv_frames_per_device,
             r.seconds,
         );
     }
-    println!("\nexpected shape: frames grow ~quadratically with devices — the BF");
-    println!("flood visits everyone and every replier runs a route discovery —");
-    println!("and wall time tracks frames, not devices²·events: the spatial grid");
-    println!("keeps the engine's per-event neighbour work O(degree). drr and");
-    println!("timeout fraction stay flat — bigger networks answer, not degrade.");
+    println!("\nexpected shape: the BF flood still visits everyone, but replies");
+    println!("reuse the flood's reverse paths, so AODV control frames per device");
+    println!("(aodv/dev) grow sub-linearly with devices instead of the old");
+    println!("per-replier-discovery blowup. Wall time tracks frames, not");
+    println!("devices²·events: the spatial grid keeps per-event neighbour work");
+    println!("O(degree). drr and timeout fraction stay flat — bigger networks");
+    println!("answer, not degrade.");
     reports
 }
 
@@ -236,7 +254,7 @@ pub fn to_json(scale: Scale, jobs: usize, reports: &[CellReport]) -> String {
              \"queries\": {}, \"drr\": {:.6}, \"timeout_fraction\": {:.6}, \
              \"mean_response_s\": {resp}, \"forward_messages\": {}, \
              \"result_messages\": {}, \"frames_sent\": {}, \"aodv_frames\": {}, \
-             \"energy_j\": {:.3}}}{sep}",
+             \"aodv_frames_per_device\": {:.4}, \"energy_j\": {:.3}}}{sep}",
             m.g,
             m.devices,
             m.cardinality,
@@ -248,6 +266,7 @@ pub fn to_json(scale: Scale, jobs: usize, reports: &[CellReport]) -> String {
             m.result_messages,
             m.frames_sent,
             m.aodv_frames,
+            m.aodv_frames_per_device,
             m.energy_j,
         );
     }
@@ -299,6 +318,31 @@ mod tests {
     }
 
     #[test]
+    fn aodv_control_traffic_grows_sub_quadratically() {
+        // The per-replier rediscovery storm made total AODV frames grow
+        // ~quadratically in devices (per-device frames ~linear). With
+        // reply-path reuse the per-device overhead must grow strictly
+        // slower than the device count between the smoke cells.
+        let grid = smoke_cells();
+        let reports = compute(&grid, 1, "scale_subquad");
+        sweep::take_stage_records();
+        assert_eq!(reports.len(), 2);
+        let (small, big) = (&reports[0].metrics, &reports[1].metrics);
+        assert!(small.devices < big.devices);
+        let device_ratio = big.devices as f64 / small.devices as f64;
+        // Sub-quadratic total ⇔ sub-linear per device. `max(1)` keeps the
+        // bound meaningful even if the small cell needs no AODV at all.
+        let per_dev_ratio = big.aodv_frames_per_device / small.aodv_frames_per_device.max(1.0);
+        assert!(
+            per_dev_ratio < device_ratio,
+            "aodv frames/device grew {per_dev_ratio:.2}x across a {device_ratio:.2}x \
+             device jump ({} -> {} frames): the rediscovery storm is back",
+            small.aodv_frames,
+            big.aodv_frames
+        );
+    }
+
+    #[test]
     fn parallel_scale_grid_is_bit_identical_to_sequential() {
         let grid = smoke_cells();
         let seq = compute(&grid, 1, "scale_jobs1");
@@ -326,6 +370,7 @@ mod tests {
                 result_messages: 4096,
                 frames_sent: 100_000,
                 aodv_frames: 50_000,
+                aodv_frames_per_device: 48.828,
                 energy_j: 123.0,
             },
             seconds: 9.87,

@@ -284,6 +284,12 @@ pub struct DistConfig {
     pub trace: TraceConfig,
     /// Defenses against adversarial participants (all off by default).
     pub defense: DefenseConfig,
+    /// Reply-path reuse: devices that relay a BF query flood prime the
+    /// routing layer with the flood's reverse path, so the unicast reply
+    /// rides the flood tree instead of paying a per-replier AODV
+    /// discovery. On by default; `false` reproduces the
+    /// rediscovery-storm baseline for ablation.
+    pub prime_routes: bool,
 }
 
 impl Default for DistConfig {
@@ -301,6 +307,7 @@ impl Default for DistConfig {
             arq: ArqConfig::default(),
             trace: TraceConfig::default(),
             defense: DefenseConfig::default(),
+            prime_routes: true,
         }
     }
 }
@@ -335,6 +342,7 @@ mod tests {
         assert!(!d.trace.enabled, "tracing must be opt-in");
         assert!(!d.trace.frames);
         assert!(!d.defense.any(), "defenses must be opt-in");
+        assert!(d.prime_routes, "reply-path reuse is the default protocol");
     }
 
     #[test]

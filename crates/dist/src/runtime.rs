@@ -119,6 +119,11 @@ pub enum ProtoMsg {
         /// Re-issue round (0 = the original flood). A device that already
         /// answered relays a higher round without reprocessing.
         round: u8,
+        /// Broadcast hops from the originator (0 = the originator's own
+        /// transmission). Receivers prime the AODV reverse route toward
+        /// `spec.key.origin` with `hops + 1`, turning the flood tree into
+        /// warm reply paths.
+        hops: u8,
     },
     /// BF: a device's local result, unicast to the originator.
     BfResult {
@@ -204,7 +209,8 @@ impl ProtoMsg {
     pub fn wire_size(&self) -> usize {
         match self {
             ProtoMsg::BfQuery { spec, filters, .. } => {
-                spec.wire_size() + filters.iter().map(FilterTuple::wire_size).sum::<usize>() + 1
+                // Spec + filter bank + round byte + hop byte.
+                spec.wire_size() + filters.iter().map(FilterTuple::wire_size).sum::<usize>() + 2
             }
             ProtoMsg::BfResult { tuples, .. } => {
                 // key + claimed id + DRR terms + ARQ seq/retries + batch.
@@ -999,7 +1005,7 @@ impl DeviceApp {
             // Mark the fake key as seen so flood echoes die here; replies
             // are simply ignored (the spammer has no active query).
             self.device.log.check_and_record(spec.key);
-            let msg = ProtoMsg::BfQuery { spec, filters: Vec::new(), round: 0 };
+            let msg = ProtoMsg::BfQuery { spec, filters: Vec::new(), round: 0, hops: 0 };
             let bytes = msg.wire_size();
             self.attack_frames_sent += 1;
             ctx.trace(
@@ -1015,7 +1021,7 @@ impl DeviceApp {
     /// fabricated filter that falsely dominates the whole domain (starving
     /// every device downstream of the rebroadcast) and a fabricated result
     /// tuple at the query point that poisons the originator's merge.
-    fn poison_reply(&mut self, ctx: &mut NodeCtx<ProtoMsg>, spec: QuerySpec, round: u8) {
+    fn poison_reply(&mut self, ctx: &mut NodeCtx<ProtoMsg>, spec: QuerySpec, round: u8, hops: u8) {
         let dim = match self.device.relation.dim() {
             0 => 2,
             d => d,
@@ -1047,7 +1053,12 @@ impl DeviceApp {
         // No processing cost: the attacker does no real work.
         self.send_tracked(ctx, spec.key.origin, reply);
         if self.should_rebroadcast(spec.key) {
-            let fwd = ProtoMsg::BfQuery { spec, filters: vec![poison], round };
+            let fwd = ProtoMsg::BfQuery {
+                spec,
+                filters: vec![poison],
+                round,
+                hops: hops.saturating_add(1),
+            };
             let bytes = fwd.wire_size();
             self.attack_frames_sent += 1;
             ctx.trace(
@@ -1165,7 +1176,7 @@ impl DeviceApp {
             // low-probability gossip query could die instantly).
             Forwarding::BreadthFirst | Forwarding::Gossip { .. } => {
                 self.count_forward_per_neighbor(spec.key, ctx.neighbors().len());
-                let msg = ProtoMsg::BfQuery { spec, filters, round: 0 };
+                let msg = ProtoMsg::BfQuery { spec, filters, round: 0, hops: 0 };
                 let bytes = msg.wire_size();
                 ctx.trace(
                     Some(qid(spec.key)),
@@ -1220,7 +1231,7 @@ impl DeviceApp {
         let round = aq.round;
         self.bf_rounds.insert(key, round);
         self.count_forward_per_neighbor(key, ctx.neighbors().len());
-        let msg = ProtoMsg::BfQuery { spec, filters, round };
+        let msg = ProtoMsg::BfQuery { spec, filters, round, hops: 0 };
         let bytes = msg.wire_size();
         ctx.trace(
             Some(qid(key)),
@@ -1326,6 +1337,7 @@ impl DeviceApp {
         spec: QuerySpec,
         filters: Vec<FilterTuple>,
         round: u8,
+        hops: u8,
     ) {
         // Defenses fire before the duplicate log records the key, so a
         // query dropped here can still be served from a later re-flood.
@@ -1345,11 +1357,19 @@ impl DeviceApp {
             self.drop_frame(ctx, Some(qid(spec.key)), spec.key.origin, DropCause::RateLimit);
             return;
         }
+        // Reverse-path reuse: the flood that carried this query traces a
+        // path back to its originator; cache it so the unicast reply rides
+        // the flood tree instead of paying an AODV discovery. Duplicate
+        // copies prime too — the route layer only re-points on a strictly
+        // shorter path, so the cheapest copy wins.
+        if self.dist.prime_routes && spec.key.origin != ctx.id {
+            ctx.prime_route(spec.key.origin, from, u32::from(hops) + 1);
+        }
         if self.device.log.check_and_record(spec.key) {
             // Fresh query: process and answer.
             self.bf_rounds.insert(spec.key, round);
             if self.is_attacking(ctx.now, AttackKind::FilterPoison) && spec.key.origin != ctx.id {
-                self.poison_reply(ctx, spec, round);
+                self.poison_reply(ctx, spec, round, hops);
                 return;
             }
             let filters = self.sanitize_filters(ctx, qid(spec.key), from, filters);
@@ -1383,7 +1403,12 @@ impl DeviceApp {
             self.count_result(spec.key);
             let mut sends = vec![Stashed::Unicast(spec.key.origin, reply)];
             if self.should_rebroadcast(spec.key) {
-                let fwd = ProtoMsg::BfQuery { spec, filters: out.forward_filters, round };
+                let fwd = ProtoMsg::BfQuery {
+                    spec,
+                    filters: out.forward_filters,
+                    round,
+                    hops: hops.saturating_add(1),
+                };
                 sends.push(Stashed::Broadcast(fwd));
             }
             self.send_after_cost(ctx, &out.stats, sends);
@@ -1403,7 +1428,7 @@ impl DeviceApp {
                 // Never relay a filter we would not accept ourselves.
                 let filters = self.sanitize_filters(ctx, qid(spec.key), from, filters);
                 self.count_forward_per_neighbor(spec.key, ctx.neighbors().len());
-                let msg = ProtoMsg::BfQuery { spec, filters, round };
+                let msg = ProtoMsg::BfQuery { spec, filters, round, hops: hops.saturating_add(1) };
                 let bytes = msg.wire_size();
                 ctx.trace(
                     Some(qid(spec.key)),
@@ -1690,8 +1715,8 @@ impl Application<ProtoMsg> for DeviceApp {
             return;
         }
         match payload {
-            ProtoMsg::BfQuery { spec, filters, round } => {
-                self.on_bf_query(ctx, meta.src, spec, filters, round)
+            ProtoMsg::BfQuery { spec, filters, round, hops } => {
+                self.on_bf_query(ctx, meta.src, spec, filters, round, hops)
             }
             ProtoMsg::BfResult { key, claimed, tuples, unreduced, participated, seq, retries } => {
                 self.on_bf_result(
@@ -2298,9 +2323,10 @@ mod tests {
     #[test]
     fn bf_query_wire_size_counts_filters() {
         let spec = QuerySpec::new(0, 0, Point::new(0.0, 0.0), 100.0);
-        let bare = ProtoMsg::BfQuery { spec, filters: Vec::new(), round: 0 }.wire_size();
-        let with2 = ProtoMsg::BfQuery { spec, filters: sample_filters(2), round: 0 }.wire_size();
-        assert_eq!(bare, spec.wire_size() + 1, "spec plus the round byte");
+        let bare = ProtoMsg::BfQuery { spec, filters: Vec::new(), round: 0, hops: 0 }.wire_size();
+        let with2 =
+            ProtoMsg::BfQuery { spec, filters: sample_filters(2), round: 0, hops: 0 }.wire_size();
+        assert_eq!(bare, spec.wire_size() + 2, "spec plus the round and hop bytes");
         assert_eq!(with2, bare + 2 * 24, "two 2-attr filters at 24 B each");
     }
 
@@ -2449,7 +2475,12 @@ mod tests {
         assert_eq!(DeviceApp::arq_seq_of(&ProtoMsg::HandoffAccept), None);
         let spec = QuerySpec::new(0, 0, Point::new(0.0, 0.0), 100.0);
         assert_eq!(
-            DeviceApp::arq_seq_of(&ProtoMsg::BfQuery { spec, filters: Vec::new(), round: 0 }),
+            DeviceApp::arq_seq_of(&ProtoMsg::BfQuery {
+                spec,
+                filters: Vec::new(),
+                round: 0,
+                hops: 0
+            }),
             None,
             "floods are never ARQ'd"
         );

@@ -868,6 +868,7 @@ pub(crate) fn verify_frames(frames: &FrameTraceLog, net: &NetStats) -> Vec<Strin
     let mut by_tag: HashMap<FrameTag, u64> = HashMap::new();
     let (mut down, mut severed) = (0u64, 0u64);
     let (mut crashed, mut revived) = (0u64, 0u64);
+    let mut fwd_dropped = 0u64;
     for (_, ev) in &frames.entries {
         match *ev {
             TraceEvent::FrameSent { tag, bytes: b, .. } => {
@@ -883,6 +884,7 @@ pub(crate) fn verify_frames(frames: &FrameTraceLog, net: &NetStats) -> Vec<Strin
                     LossCause::Radio => {}
                 }
             }
+            TraceEvent::ForwardDropped { .. } => fwd_dropped += 1,
             TraceEvent::NodeCrashed { .. } => crashed += 1,
             TraceEvent::NodeRevived { .. } => revived += 1,
             TraceEvent::FrameDelivered { .. } => {}
@@ -904,6 +906,7 @@ pub(crate) fn verify_frames(frames: &FrameTraceLog, net: &NetStats) -> Vec<Strin
     fcheck("lost_link_down", severed, net.frames_blocked_link_down);
     fcheck("node_crashes", crashed, net.node_crashes);
     fcheck("node_revivals", revived, net.node_revivals);
+    fcheck("forward_drops", fwd_dropped, net.data_drops_forwarded);
     errs
 }
 

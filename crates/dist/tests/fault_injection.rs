@@ -205,16 +205,38 @@ fn energy_accounting_tracks_traffic() {
     light.queries_per_device = (1, 1);
     let mut heavy = base(Forwarding::BreadthFirst);
     heavy.queries_per_device = (1, 1);
+    // The storm baseline: every BF replier pays a full AODV discovery
+    // flood for its unicast reply.
+    heavy.dist.prime_routes = false;
     let l = run_experiment(&light);
     let h = run_experiment(&heavy);
     assert!(l.total_energy_joules > 0.0);
     assert!(h.total_energy_joules > 0.0);
-    // Flooding moves more frames → more radio energy.
+    // Flooding + per-replier rediscovery moves more frames → more radio
+    // energy than DF's single token walk.
     assert!(
         h.total_energy_joules > l.total_energy_joules,
         "BF {} J vs DF {} J",
         h.total_energy_joules,
         l.total_energy_joules
+    );
+    // Reply-path reuse must claw that storm back: same BF workload with
+    // primed reverse routes spends strictly less energy and strictly
+    // fewer AODV control frames.
+    let mut primed = base(Forwarding::BreadthFirst);
+    primed.queries_per_device = (1, 1);
+    let p = run_experiment(&primed);
+    assert!(
+        p.total_energy_joules < h.total_energy_joules,
+        "primed BF {} J must undercut the rediscovery storm {} J",
+        p.total_energy_joules,
+        h.total_energy_joules
+    );
+    assert!(
+        p.net.aodv_frames < h.net.aodv_frames,
+        "primed BF sent {} AODV frames vs {} unprimed",
+        p.net.aodv_frames,
+        h.net.aodv_frames
     );
 }
 

@@ -4,20 +4,31 @@
 //! Implemented behaviour:
 //!
 //! * on-demand route discovery: RREQ flooding with (origin, rreq_id)
-//!   duplicate suppression, reverse-route setup at every forwarder, RREP
-//!   unicast back along the reverse path (destination-only reply);
-//! * destination sequence numbers with freshest-route-wins updates;
+//!   duplicate suppression (TTL'd per RFC PATH_DISCOVERY_TIME),
+//!   reverse-route setup at every forwarder, RREP unicast back along the
+//!   reverse path (destination-only reply);
+//! * destination sequence numbers with freshest-route-wins updates and
+//!   the §6.2 unknown-sequence-number distinction, so opportunistic
+//!   routes (overheard neighbours, application-primed reply paths,
+//!   gratuitous refresh from forwarded data) never downgrade a known
+//!   `dst_seq`;
 //! * hop-count metric;
 //! * active-route timeout with lazy expiry;
 //! * RREQ retries with exponential back-off, then delivery-failure
 //!   reporting to the application;
-//! * link-break handling at forwarding time: route invalidation plus a
-//!   one-hop RERR broadcast so neighbours drop the stale route too.
+//! * link-break handling at forwarding time: route invalidation with a
+//!   §6.11 sequence bump, a one-hop RERR broadcast so neighbours drop
+//!   the stale route too, and salvage — the in-flight packet is
+//!   re-buffered behind a targeted rediscovery instead of dropped;
+//! * application route priming ([`AodvState::offer_app_route`]): upper
+//!   layers that flood their own queries can install the flood tree as
+//!   reverse routes, RREQ-style, so replies find warm paths and RREQ
+//!   floods become the churn-only fallback.
 //!
-//! Omitted (not needed for the paper's workloads): gratuitous RREPs,
-//! intermediate-node replies, precursor lists with targeted RERR delivery,
-//! local repair, and hello messages (neighbourhood sensing is physical —
-//! the engine answers "is X in range" directly, modelling an idealized
+//! Omitted (not needed for the paper's workloads): intermediate-node
+//! RREP replies, precursor lists with targeted RERR delivery, local
+//! repair, and hello messages (neighbourhood sensing is physical — the
+//! engine answers "is X in range" directly, modelling an idealized
 //! beacon protocol).
 //!
 //! The state machine is engine-agnostic: every handler returns
@@ -25,10 +36,13 @@
 //! application up-calls. That keeps AODV unit-testable without a radio.
 
 use std::collections::HashMap;
-use std::collections::HashSet;
 
 use crate::packet::{AodvMessage, DataPacket, Frame, NodeId};
 use crate::time::{SimDuration, SimTime};
+
+/// Forwarding cap for data packets: a salvaged packet that keeps finding
+/// new routes must still die eventually (the IP TTL's job in real AODV).
+const MAX_DATA_HOPS: u32 = 64;
 
 /// AODV tunables.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +53,9 @@ pub struct AodvConfig {
     pub rreq_timeout: SimDuration,
     /// Total RREQ attempts before giving up (RFC: RREQ_RETRIES + 1 = 3).
     pub max_rreq_attempts: u32,
+    /// How long an (origin, rreq_id) pair stays in the duplicate cache
+    /// (RFC 3561 PATH_DISCOVERY_TIME = 2 × NET_TRAVERSAL_TIME = 5.6 s).
+    pub path_discovery_time: SimDuration,
 }
 
 impl Default for AodvConfig {
@@ -47,6 +64,7 @@ impl Default for AodvConfig {
             active_route_timeout: SimDuration::from_secs_f64(3.0),
             rreq_timeout: SimDuration::from_millis(200),
             max_rreq_attempts: 3,
+            path_discovery_time: SimDuration::from_secs_f64(5.6),
         }
     }
 }
@@ -57,6 +75,11 @@ struct Route {
     next_hop: NodeId,
     hop_count: u32,
     dst_seq: u64,
+    /// RFC 3561 §6.2: is `dst_seq` a real destination sequence number
+    /// (learned from an RREQ/RREP/RERR) or a placeholder? Opportunistic
+    /// updates may replace the path of an entry but never erase a known
+    /// sequence number — that floor is what keeps stale RREPs out.
+    seq_known: bool,
     expires: SimTime,
     valid: bool,
 }
@@ -86,6 +109,11 @@ pub enum LinkCmd<P> {
     DeliverUp(DataPacket<P>),
     /// The packet is undeliverable: tell the application it failed.
     DropFailed(DataPacket<P>),
+    /// A packet this node was only *forwarding* is undeliverable. The
+    /// engine counts it (zero-drift accounting) but must not run the
+    /// originator's failure callback here — this node does not own the
+    /// message; the sender's own ARQ/timeout machinery recovers.
+    DropForwarded(DataPacket<P>),
 }
 
 /// Per-node AODV state.
@@ -97,7 +125,13 @@ pub struct AodvState<P> {
     next_rreq_id: u64,
     next_packet_id: u64,
     routes: HashMap<NodeId, Route>,
-    seen_rreq: HashSet<(NodeId, u64)>,
+    /// RREQ duplicate cache: (origin, rreq_id) → expiry. Entries outlive
+    /// their usefulness by at most one purge period, so the cache is
+    /// bounded by the RREQ arrival rate × 2 × PATH_DISCOVERY_TIME
+    /// instead of growing for the life of the node.
+    seen_rreq: HashMap<(NodeId, u64), SimTime>,
+    /// Next deterministic sweep of expired `seen_rreq` entries.
+    seen_rreq_purge_at: SimTime,
     /// Packets waiting for a route, per destination.
     pending: HashMap<NodeId, Vec<DataPacket<P>>>,
     /// Statistics: control messages originated or forwarded by this node.
@@ -114,7 +148,8 @@ impl<P: Clone> AodvState<P> {
             next_rreq_id: 0,
             next_packet_id: 0,
             routes: HashMap::new(),
-            seen_rreq: HashSet::new(),
+            seen_rreq: HashMap::new(),
+            seen_rreq_purge_at: SimTime::ZERO,
             pending: HashMap::new(),
             control_messages: 0,
         }
@@ -148,8 +183,13 @@ impl<P: Clone> AodvState<P> {
         }
     }
 
-    /// Installs/updates a route if it is fresher (higher seq) or equally
-    /// fresh but shorter.
+    /// Installs/updates a route carrying a *known* destination sequence
+    /// number (from an RREQ origin_seq or an RREP dst_seq). Freshness
+    /// rules per RFC 3561 §6.2: higher seq always wins; an equal seq wins
+    /// only when the existing entry is dead or the new path is shorter; a
+    /// *lower* seq never replaces a known one — even when the existing
+    /// entry is expired or invalidated, its sequence number remains the
+    /// floor a stale RREP must beat.
     fn offer_route(
         &mut self,
         dst: NodeId,
@@ -158,23 +198,104 @@ impl<P: Clone> AodvState<P> {
         dst_seq: u64,
         now: SimTime,
     ) {
+        if dst == self.me {
+            return;
+        }
         let expires = now + self.cfg.active_route_timeout;
-        let candidate = Route { next_hop, hop_count, dst_seq, expires, valid: true };
-        match self.routes.get(&dst) {
-            Some(r) if r.valid && r.expires > now => {
-                if dst_seq > r.dst_seq || (dst_seq == r.dst_seq && hop_count < r.hop_count) {
-                    self.routes.insert(dst, candidate);
+        let candidate =
+            Route { next_hop, hop_count, dst_seq, seq_known: true, expires, valid: true };
+        match self.routes.get_mut(&dst) {
+            Some(r) if r.seq_known => {
+                let alive = r.valid && r.expires > now;
+                if dst_seq > r.dst_seq
+                    || (dst_seq == r.dst_seq && (!alive || hop_count < r.hop_count))
+                {
+                    *r = candidate;
+                } else if dst_seq == r.dst_seq && next_hop == r.next_hop {
+                    // Same information from the same path: keep it warm.
+                    r.expires = expires;
                 }
             }
-            _ => {
+            Some(r) => *r = candidate, // known seq beats a placeholder
+            None => {
                 self.routes.insert(dst, candidate);
             }
         }
     }
 
+    /// Installs/updates a route learned *without* a destination sequence
+    /// number: an overheard neighbour, an application-primed reply path,
+    /// or gratuitous refresh from forwarded data. These may re-point or
+    /// revive an entry but always carry the old `dst_seq` forward, so a
+    /// later stale RREP still has to beat the real floor.
+    fn offer_unknown_seq(&mut self, dst: NodeId, next_hop: NodeId, hop_count: u32, now: SimTime) {
+        if dst == self.me {
+            return;
+        }
+        let expires = now + self.cfg.active_route_timeout;
+        match self.routes.get_mut(&dst) {
+            Some(r) if r.valid && r.expires > now => {
+                if next_hop == r.next_hop {
+                    r.expires = expires;
+                    r.hop_count = r.hop_count.min(hop_count);
+                } else if hop_count < r.hop_count {
+                    r.next_hop = next_hop;
+                    r.hop_count = hop_count;
+                    r.expires = expires;
+                }
+            }
+            Some(r) => {
+                // Dead entry: revive through the new path, keeping the
+                // last known sequence number.
+                r.next_hop = next_hop;
+                r.hop_count = hop_count;
+                r.expires = expires;
+                r.valid = true;
+            }
+            None => {
+                self.routes.insert(
+                    dst,
+                    Route {
+                        next_hop,
+                        hop_count,
+                        dst_seq: 0,
+                        seq_known: false,
+                        expires,
+                        valid: true,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Application route priming: the upper layer saw traffic from `dst`
+    /// arriving via neighbour `via` (`hops` hops out) — typically while
+    /// relaying its own query flood — and installs the reverse path so
+    /// replies skip route discovery. RREQ-style reverse-route setup, but
+    /// driven by application broadcasts the AODV layer never parses.
+    pub fn offer_app_route(&mut self, dst: NodeId, via: NodeId, hops: u32, now: SimTime) {
+        self.offer_unknown_seq(dst, via, hops.max(1), now);
+    }
+
+    /// Is this (origin, rreq_id) flood already in the duplicate cache?
+    /// Inserts/refreshes the entry either way, and sweeps expired entries
+    /// at a deterministic cadence so the cache stays bounded.
+    fn check_seen_rreq(&mut self, origin: NodeId, rreq_id: u64, now: SimTime) -> bool {
+        if now >= self.seen_rreq_purge_at {
+            self.seen_rreq.retain(|_, &mut expiry| expiry > now);
+            self.seen_rreq_purge_at = now + self.cfg.path_discovery_time;
+        }
+        let expiry = now + self.cfg.path_discovery_time;
+        match self.seen_rreq.insert((origin, rreq_id), expiry) {
+            Some(prev) => prev > now, // expired entries do not suppress
+            None => false,
+        }
+    }
+
     /// Application entry point: send `payload` of `bytes` bytes to `dst`.
     pub fn send(&mut self, dst: NodeId, payload: P, bytes: usize, now: SimTime) -> Vec<LinkCmd<P>> {
-        let pkt = DataPacket { src: self.me, dst, id: self.next_packet_id, payload, bytes };
+        let pkt =
+            DataPacket { src: self.me, dst, id: self.next_packet_id, hops: 0, payload, bytes };
         self.next_packet_id += 1;
         if dst == self.me {
             return vec![LinkCmd::DeliverUp(pkt)];
@@ -189,14 +310,14 @@ impl<P: Clone> AodvState<P> {
         if discovering {
             return Vec::new();
         }
-        self.start_discovery(dst, 1)
+        self.start_discovery(dst, 1, now)
     }
 
-    fn start_discovery(&mut self, dst: NodeId, attempt: u32) -> Vec<LinkCmd<P>> {
+    fn start_discovery(&mut self, dst: NodeId, attempt: u32, now: SimTime) -> Vec<LinkCmd<P>> {
         self.seq += 1;
         let rreq_id = self.next_rreq_id;
         self.next_rreq_id += 1;
-        self.seen_rreq.insert((self.me, rreq_id));
+        self.seen_rreq.insert((self.me, rreq_id), now + self.cfg.path_discovery_time);
         self.control_messages += 1;
         let msg =
             AodvMessage::Rreq { rreq_id, origin: self.me, origin_seq: self.seq, dst, hop_count: 0 };
@@ -218,10 +339,10 @@ impl<P: Clone> AodvState<P> {
         is_neighbor: &dyn Fn(NodeId) -> bool,
     ) -> Vec<LinkCmd<P>> {
         // Hearing any frame from a neighbour is evidence of a 1-hop route.
-        self.offer_route(link_from, link_from, 1, 0, now);
+        self.offer_unknown_seq(link_from, link_from, 1, now);
         match frame {
             Frame::Aodv(msg) => self.on_aodv(link_from, msg, now),
-            Frame::Data(pkt) => self.on_data(pkt, now, is_neighbor),
+            Frame::Data(pkt) => self.on_data(link_from, pkt, now, is_neighbor),
             Frame::Bcast { .. } | Frame::Hello => {
                 unreachable!("broadcasts and beacons are delivered by the engine, not AODV")
             }
@@ -231,7 +352,7 @@ impl<P: Clone> AodvState<P> {
     fn on_aodv(&mut self, from: NodeId, msg: AodvMessage, now: SimTime) -> Vec<LinkCmd<P>> {
         match msg {
             AodvMessage::Rreq { rreq_id, origin, origin_seq, dst, hop_count } => {
-                if origin == self.me || !self.seen_rreq.insert((origin, rreq_id)) {
+                if origin == self.me || self.check_seen_rreq(origin, rreq_id, now) {
                     return Vec::new(); // my own flood, or already processed
                 }
                 // Reverse route toward the origin.
@@ -286,12 +407,21 @@ impl<P: Clone> AodvState<P> {
 
     fn on_data(
         &mut self,
-        pkt: DataPacket<P>,
+        link_from: NodeId,
+        mut pkt: DataPacket<P>,
         now: SimTime,
         is_neighbor: &dyn Fn(NodeId) -> bool,
     ) -> Vec<LinkCmd<P>> {
+        // Gratuitous-RREP-style refresh: the packet's journey so far is a
+        // working reverse path toward its source.
+        pkt.hops += 1;
+        self.offer_unknown_seq(pkt.src, link_from, pkt.hops, now);
         if pkt.dst == self.me {
             return vec![LinkCmd::DeliverUp(pkt)];
+        }
+        if pkt.hops >= MAX_DATA_HOPS {
+            // Routing-loop fuse (IP TTL in real AODV).
+            return vec![self.drop_at_relay(pkt)];
         }
         // Forward along the route; detect broken links at forwarding time
         // (modelling link-layer feedback).
@@ -300,19 +430,57 @@ impl<P: Clone> AodvState<P> {
                 self.refresh(pkt.dst, now);
                 return vec![LinkCmd::SendTo(nh, Frame::Data(pkt))];
             }
-            // Link break: invalidate, warn neighbours, drop the packet.
-            let seq = self.routes.get(&pkt.dst).map_or(0, |r| r.dst_seq);
-            if let Some(r) = self.routes.get_mut(&pkt.dst) {
-                r.valid = false;
+            // Link break: invalidate with a bumped sequence number (RFC
+            // §6.11) so the RERR also kills neighbours' equally-fresh
+            // copies of the route, then salvage the packet behind a
+            // targeted rediscovery instead of dropping it.
+            let mut cmds = vec![self.break_route(pkt.dst, now)];
+            let dst = pkt.dst;
+            let discovering = self.pending.contains_key(&dst);
+            self.pending.entry(dst).or_default().push(pkt);
+            if !discovering {
+                cmds.extend(self.start_discovery(dst, 1, now));
             }
-            self.control_messages += 1;
-            return vec![LinkCmd::Broadcast(Frame::Aodv(AodvMessage::Rerr {
-                dst: pkt.dst,
-                dst_seq: seq,
-            }))];
+            return cmds;
         }
-        // No route at an intermediate hop (expired underway): drop.
-        Vec::new()
+        // No route at an intermediate hop (expired underway): tell the
+        // neighbourhood and surface the drop instead of losing the packet
+        // silently.
+        let mut cmds = Vec::new();
+        if let Some(r) = self.routes.get_mut(&pkt.dst) {
+            if r.seq_known {
+                r.dst_seq += 1;
+            }
+            let dst_seq = r.dst_seq;
+            self.control_messages += 1;
+            cmds.push(LinkCmd::Broadcast(Frame::Aodv(AodvMessage::Rerr { dst: pkt.dst, dst_seq })));
+        }
+        cmds.push(self.drop_at_relay(pkt));
+        cmds
+    }
+
+    /// Invalidates the route to `dst` after link-layer failure, bumping
+    /// its sequence number (RFC 3561 §6.11), and builds the RERR
+    /// broadcast advertising the bumped number.
+    fn break_route(&mut self, dst: NodeId, _now: SimTime) -> LinkCmd<P> {
+        let r = self.routes.get_mut(&dst).expect("break_route follows next_hop()");
+        r.valid = false;
+        if r.seq_known {
+            r.dst_seq += 1;
+        }
+        let dst_seq = r.dst_seq;
+        self.control_messages += 1;
+        LinkCmd::Broadcast(Frame::Aodv(AodvMessage::Rerr { dst, dst_seq }))
+    }
+
+    /// The undeliverable-packet command for this node: the originator
+    /// gets the failure callback, a mere relay only gets it counted.
+    fn drop_at_relay(&self, pkt: DataPacket<P>) -> LinkCmd<P> {
+        if pkt.src == self.me {
+            LinkCmd::DropFailed(pkt)
+        } else {
+            LinkCmd::DropForwarded(pkt)
+        }
     }
 
     /// Handles an AODV timer.
@@ -323,11 +491,12 @@ impl<P: Clone> AodvState<P> {
                     return Vec::new(); // discovery succeeded (or nothing waits)
                 }
                 if attempt < self.cfg.max_rreq_attempts {
-                    return self.start_discovery(dst, attempt + 1);
+                    return self.start_discovery(dst, attempt + 1, now);
                 }
-                // Give up: fail every buffered packet.
+                // Give up: fail own packets to the application, count
+                // salvaged third-party ones.
                 let pkts = self.pending.remove(&dst).unwrap_or_default();
-                pkts.into_iter().map(LinkCmd::DropFailed).collect()
+                pkts.into_iter().map(|p| self.drop_at_relay(p)).collect()
             }
         }
     }
@@ -452,13 +621,111 @@ mod tests {
         // Install a route to 5 via 3.
         let rrep = Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, dst_seq: 2, hop_count: 0 });
         i.on_frame(3, rrep, SimTime::ZERO, &ALWAYS);
-        let pkt = DataPacket { src: 0, dst: 5, id: 0, payload: 1u32, bytes: 10 };
-        let cmds = i.on_data(pkt, SimTime::ZERO, &NEVER);
+        let pkt = DataPacket { src: 0, dst: 5, id: 0, hops: 1, payload: 1u32, bytes: 10 };
+        let cmds = i.on_data(1, pkt, SimTime::ZERO, &NEVER);
         assert!(matches!(
             cmds[0],
             LinkCmd::Broadcast(Frame::Aodv(AodvMessage::Rerr { dst: 5, .. }))
         ));
         assert!(!i.has_route(5, SimTime::ZERO));
+    }
+
+    #[test]
+    fn link_break_rerr_bumps_dst_seq_and_invalidates_equally_fresh_neighbors() {
+        // RFC 3561 §6.11: the RERR must advertise seq+1, otherwise a
+        // neighbour holding the same seq through us would keep its route.
+        let mut i = state(2);
+        let rrep = Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, dst_seq: 7, hop_count: 0 });
+        i.on_frame(3, rrep, SimTime::ZERO, &ALWAYS);
+        let pkt = DataPacket { src: 0, dst: 5, id: 0, hops: 1, payload: 1u32, bytes: 10 };
+        let cmds = i.on_data(1, pkt, SimTime::ZERO, &NEVER);
+        let LinkCmd::Broadcast(Frame::Aodv(AodvMessage::Rerr { dst: 5, dst_seq })) = cmds[0] else {
+            panic!("expected RERR, got {:?}", cmds[0]);
+        };
+        assert_eq!(dst_seq, 8, "link-break RERR must bump the sequence number");
+
+        // A neighbour whose route to 5 runs through node 2 with the same
+        // pre-break seq must invalidate on hearing it.
+        let mut n = state(9);
+        let rrep = Frame::Aodv(AodvMessage::Rrep { origin: 9, dst: 5, dst_seq: 7, hop_count: 1 });
+        n.on_frame(2, rrep, SimTime::ZERO, &ALWAYS);
+        assert!(n.has_route(5, SimTime::ZERO));
+        n.on_frame(2, Frame::Aodv(AodvMessage::Rerr { dst: 5, dst_seq }), SimTime::ZERO, &ALWAYS);
+        assert!(!n.has_route(5, SimTime::ZERO), "equally-fresh stale route must die");
+    }
+
+    #[test]
+    fn link_break_salvages_packet_behind_targeted_rediscovery() {
+        let mut i = state(2);
+        let rrep = Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, dst_seq: 2, hop_count: 0 });
+        i.on_frame(3, rrep, SimTime::ZERO, &ALWAYS);
+        let pkt = DataPacket { src: 0, dst: 5, id: 0, hops: 1, payload: 42u32, bytes: 10 };
+        let cmds = i.on_data(1, pkt, SimTime::ZERO, &NEVER);
+        // RERR, then a fresh RREQ for the same destination plus its timer.
+        assert!(matches!(cmds[0], LinkCmd::Broadcast(Frame::Aodv(AodvMessage::Rerr { .. }))));
+        assert!(matches!(
+            cmds[1],
+            LinkCmd::Broadcast(Frame::Aodv(AodvMessage::Rreq { dst: 5, .. }))
+        ));
+        assert!(matches!(cmds[2], LinkCmd::SetTimer(_, AodvTimer::RreqTimeout { dst: 5, .. })));
+        // Rediscovery succeeds: the salvaged packet flows via the new hop.
+        let rrep = Frame::Aodv(AodvMessage::Rrep { origin: 2, dst: 5, dst_seq: 9, hop_count: 0 });
+        let cmds = i.on_frame(4, rrep, SimTime::ZERO, &ALWAYS);
+        assert!(
+            matches!(&cmds[0], LinkCmd::SendTo(4, Frame::Data(p)) if p.payload == 42),
+            "salvaged packet must be re-sent, got {cmds:?}"
+        );
+    }
+
+    #[test]
+    fn intermediate_no_route_drop_emits_rerr_and_is_counted() {
+        // A relay with no route at all must not lose the packet silently.
+        let mut i = state(2);
+        let pkt = DataPacket { src: 0, dst: 5, id: 0, hops: 1, payload: 1u32, bytes: 10 };
+        let cmds = i.on_data(0, pkt, SimTime::ZERO, &ALWAYS);
+        assert!(
+            matches!(&cmds[0], LinkCmd::DropForwarded(p) if p.src == 0),
+            "relay drop must be DropForwarded (no app callback), got {cmds:?}"
+        );
+
+        // With an expired entry the RERR goes out too, seq bumped.
+        let mut j = state(2);
+        let rrep = Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, dst_seq: 4, hop_count: 0 });
+        j.on_frame(3, rrep, SimTime::ZERO, &ALWAYS);
+        let later = SimTime::ZERO + SimDuration::from_secs_f64(10.0);
+        let pkt = DataPacket { src: 0, dst: 5, id: 1, hops: 1, payload: 1u32, bytes: 10 };
+        let cmds = j.on_data(0, pkt, later, &ALWAYS);
+        assert!(matches!(
+            cmds[0],
+            LinkCmd::Broadcast(Frame::Aodv(AodvMessage::Rerr { dst: 5, dst_seq: 5 }))
+        ));
+        assert!(matches!(cmds[1], LinkCmd::DropForwarded(_)));
+    }
+
+    #[test]
+    fn give_up_partitions_own_vs_forwarded_packets() {
+        let mut i = state(2);
+        // Own packet buffered by discovery.
+        i.send(5, 1, 10, SimTime::ZERO);
+        // A forwarded packet salvaged into the same pending queue.
+        let rrep = Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, dst_seq: 2, hop_count: 0 });
+        i.on_frame(3, rrep, SimTime::ZERO, &ALWAYS);
+        let pkt = DataPacket { src: 0, dst: 5, id: 0, hops: 1, payload: 2u32, bytes: 10 };
+        i.on_data(1, pkt, SimTime::ZERO, &NEVER);
+        let cmds = i.on_timer(
+            AodvTimer::RreqTimeout { dst: 5, attempt: 3 },
+            SimTime::ZERO + SimDuration::from_secs_f64(10.0),
+        );
+        let failed: Vec<_> = cmds
+            .iter()
+            .filter(|c| matches!(c, LinkCmd::DropFailed(p) if p.src == 2))
+            .collect();
+        let forwarded: Vec<_> = cmds
+            .iter()
+            .filter(|c| matches!(c, LinkCmd::DropForwarded(p) if p.src == 0))
+            .collect();
+        assert_eq!(failed.len(), 1, "own packet fails to the app: {cmds:?}");
+        assert_eq!(forwarded.len(), 1, "relayed packet is only counted: {cmds:?}");
     }
 
     #[test]
@@ -534,5 +801,97 @@ mod tests {
             &ALWAYS,
         );
         assert_eq!(a.next_hop(7, SimTime::ZERO), Some(7));
+    }
+
+    #[test]
+    fn seen_rreq_expires_and_stays_bounded() {
+        let mut i = state(2);
+        let rreq = AodvMessage::Rreq { rreq_id: 7, origin: 0, origin_seq: 1, dst: 5, hop_count: 0 };
+        let c1 = i.on_frame(0, Frame::Aodv(rreq.clone()), SimTime::ZERO, &ALWAYS);
+        assert!(matches!(c1[0], LinkCmd::Broadcast(_)));
+        // Within PATH_DISCOVERY_TIME: suppressed.
+        let just_before = SimTime::ZERO + SimDuration::from_secs_f64(5.0);
+        assert!(i.on_frame(1, Frame::Aodv(rreq.clone()), just_before, &ALWAYS).is_empty());
+        // After expiry the same flood id is processed again (a rebooted
+        // origin reusing ids must not be deaf-spotted forever)...
+        let after = SimTime::ZERO + SimDuration::from_secs_f64(12.0);
+        let c2 = i.on_frame(1, Frame::Aodv(rreq), after, &ALWAYS);
+        assert!(matches!(c2[0], LinkCmd::Broadcast(_)), "expired entry must not suppress");
+        // ...and the periodic sweep keeps the cache bounded: feed one
+        // flood per second for a while; live entries span at most
+        // 2 × PATH_DISCOVERY_TIME regardless of how many were seen.
+        let mut j = state(3);
+        for k in 0..200u64 {
+            let at = SimTime(k * 1_000_000);
+            let rreq =
+                AodvMessage::Rreq { rreq_id: k, origin: 9, origin_seq: 1, dst: 5, hop_count: 0 };
+            j.on_frame(1, Frame::Aodv(rreq), at, &ALWAYS);
+        }
+        assert!(
+            j.seen_rreq.len() <= 2 * 6 + 4,
+            "duplicate cache must stay bounded, holds {}",
+            j.seen_rreq.len()
+        );
+    }
+
+    #[test]
+    fn stale_rrep_cannot_beat_expired_fresher_route() {
+        // Satellite regression: a "heard a neighbour" placeholder used to
+        // clobber an expired-but-fresher entry wholesale (seq included),
+        // after which a stale RREP with a *lower* dst_seq won. The known
+        // sequence number must survive both steps.
+        let mut a = state(0);
+        let rrep = Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, dst_seq: 9, hop_count: 1 });
+        a.on_frame(3, rrep, SimTime::ZERO, &ALWAYS);
+        // Route to 5 expires…
+        let later = SimTime::ZERO + SimDuration::from_secs_f64(5.0);
+        assert!(!a.has_route(5, later));
+        // …then we overhear node 5 directly: revives the entry as 1-hop.
+        a.on_frame(5, Frame::Aodv(AodvMessage::Rerr { dst: 99, dst_seq: 0 }), later, &ALWAYS);
+        assert_eq!(a.next_hop(5, later), Some(5));
+        // A stale RREP (seq 4 < 9) must not win, now or ever.
+        let stale = Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, dst_seq: 4, hop_count: 3 });
+        a.on_frame(7, stale, later, &ALWAYS);
+        assert_eq!(a.next_hop(5, later), Some(5), "stale RREP must not replace the route");
+        // A genuinely fresher RREP still wins.
+        let fresh = Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, dst_seq: 10, hop_count: 3 });
+        a.on_frame(7, fresh, later, &ALWAYS);
+        assert_eq!(a.next_hop(5, later), Some(7));
+    }
+
+    #[test]
+    fn app_primed_route_skips_discovery() {
+        // The BF-flood reverse path: the app primes a route toward the
+        // originator; a subsequent send uses it instead of flooding.
+        let mut a = state(4);
+        a.offer_app_route(0, 3, 2, SimTime::ZERO);
+        let cmds = a.send(0, 42, 10, SimTime::ZERO);
+        assert_eq!(cmds.len(), 1);
+        assert!(matches!(&cmds[0], LinkCmd::SendTo(3, Frame::Data(p)) if p.payload == 42));
+    }
+
+    #[test]
+    fn forwarded_data_installs_reverse_route_to_source() {
+        // Gratuitous-RREP-style: relaying (or receiving) data teaches the
+        // reverse path toward its source.
+        let mut d = state(5);
+        let pkt = DataPacket { src: 0, dst: 5, id: 0, hops: 2, payload: 1u32, bytes: 10 };
+        let cmds = d.on_data(3, pkt, SimTime::ZERO, &ALWAYS);
+        assert!(matches!(cmds[0], LinkCmd::DeliverUp(_)));
+        assert_eq!(d.next_hop(0, SimTime::ZERO), Some(3), "reverse route to src via relay");
+    }
+
+    #[test]
+    fn priming_never_downgrades_a_known_seq() {
+        let mut a = state(0);
+        let rrep = Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, dst_seq: 9, hop_count: 2 });
+        a.on_frame(3, rrep, SimTime::ZERO, &ALWAYS);
+        // Priming a shorter path re-points the route…
+        a.offer_app_route(5, 8, 1, SimTime::ZERO);
+        assert_eq!(a.next_hop(5, SimTime::ZERO), Some(8));
+        // …but the seq floor survives: a stale RREP still loses.
+        let stale = Frame::Aodv(AodvMessage::Rrep { origin: 0, dst: 5, dst_seq: 8, hop_count: 1 });
+        a.on_frame(7, stale, SimTime::ZERO, &ALWAYS);
+        assert_eq!(a.next_hop(5, SimTime::ZERO), Some(8));
     }
 }

@@ -89,6 +89,7 @@ enum AppCmd<P> {
     Broadcast { payload: P, bytes: usize },
     Timer { delay: SimDuration, token: u64 },
     RejectFrame,
+    PrimeRoute { dst: NodeId, via: NodeId, hops: u32 },
 }
 
 /// The application's window into the simulation during a callback.
@@ -148,6 +149,17 @@ impl<'a, P> NodeCtx<'a, P> {
     /// reconcile the books.
     pub fn reject_frame(&mut self) {
         self.cmds.push(AppCmd::RejectFrame);
+    }
+
+    /// Primes this node's AODV table with a reverse route: `dst` is
+    /// reachable via neighbour `via` in `hops` hops. Applications that
+    /// relay their own query floods call this with the flood's last hop
+    /// (RREQ-style reverse-path setup), so unicast replies find warm
+    /// routes instead of each replier flooding its own RREQ. The offer
+    /// carries no destination sequence number and can never downgrade
+    /// routing state AODV learned for itself.
+    pub fn prime_route(&mut self, dst: NodeId, via: NodeId, hops: u32) {
+        self.cmds.push(AppCmd::PrimeRoute { dst, via, hops });
     }
 }
 
@@ -698,6 +710,9 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
                 AppCmd::RejectFrame => {
                     self.stats.app_frames_rejected += 1;
                 }
+                AppCmd::PrimeRoute { dst, via, hops } => {
+                    self.nodes[node].aodv.offer_app_route(dst, via, hops, now);
+                }
             }
         }
     }
@@ -722,6 +737,16 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
                     self.stats.app_unicasts_failed += 1;
                     let DataPacket { dst, payload, .. } = pkt;
                     self.run_app(node, now, |app, ctx| app.on_delivery_failed(ctx, dst, payload));
+                }
+                LinkCmd::DropForwarded(pkt) => {
+                    // A relay abandoned someone else's packet: count it
+                    // (and trace it) but run no app callback — the
+                    // originator's own timeout machinery recovers.
+                    self.stats.data_drops_forwarded += 1;
+                    self.trace_event(
+                        now,
+                        TraceEvent::ForwardDropped { at: node, src: pkt.src, dst: pkt.dst },
+                    );
                 }
             }
         }

@@ -13,6 +13,11 @@ pub struct DataPacket<P> {
     pub dst: NodeId,
     /// Per-source packet id (diagnostics).
     pub id: u64,
+    /// Hops travelled so far (incremented at each receiving node). Lets
+    /// relays install gratuitous reverse routes toward `src` with an
+    /// honest metric, and caps routing loops; rides in the existing
+    /// link-layer header (the IP TTL slot), so it adds no wire bytes.
+    pub hops: u32,
     /// The application payload.
     pub payload: P,
     /// Payload size on the wire (bytes).
@@ -117,7 +122,7 @@ mod tests {
         });
         assert_eq!(f.bytes(), 44);
         let d: Frame<()> =
-            Frame::Data(DataPacket { src: 0, dst: 1, id: 0, payload: (), bytes: 100 });
+            Frame::Data(DataPacket { src: 0, dst: 1, id: 0, hops: 0, payload: (), bytes: 100 });
         assert_eq!(d.bytes(), 120);
         let b: Frame<()> = Frame::Bcast { src: 0, payload: (), bytes: 50 };
         assert_eq!(b.bytes(), 70);

@@ -48,6 +48,13 @@ pub struct NetStats {
     /// reconciled against the trace's `AttackFrameDropped` events by
     /// zero-drift verification.
     pub app_frames_rejected: u64,
+    /// Data packets a *relay* had to abandon: no route (and rediscovery,
+    /// where attempted, exhausted its retries) or the hop cap tripped.
+    /// The originator is not told — it isn't this node's message — so the
+    /// sender's ARQ recovers; this counter plus the trace's
+    /// `ForwardDropped` events keep the loss visible to zero-drift
+    /// verification instead of silent.
+    pub data_drops_forwarded: u64,
 }
 
 impl NetStats {
@@ -112,6 +119,17 @@ pub enum TraceEvent {
         tag: FrameTag,
         /// Why the frame never arrived.
         cause: LossCause,
+    },
+    /// A relay abandoned a data packet it was forwarding (no route after
+    /// salvage, or hop cap) — the per-event twin of
+    /// [`NetStats::data_drops_forwarded`].
+    ForwardDropped {
+        /// The relay that dropped the packet.
+        at: usize,
+        /// The packet's end-to-end source.
+        src: usize,
+        /// The packet's unreachable destination.
+        dst: usize,
     },
     /// A fault plan crashed a node.
     NodeCrashed {

@@ -1,10 +1,13 @@
 //! Property tests of AODV over random static topologies: delivery succeeds
-//! exactly on connected source–destination pairs, and failure reporting
-//! fires otherwise.
+//! exactly on connected source–destination pairs, failure reporting fires
+//! otherwise, and application-primed reply paths (the BF-flood reverse
+//! tree) only ever produce routes the brute-force connectivity oracle
+//! agrees are reachable.
 
 use proptest::prelude::*;
 
 use manet_sim::engine::{Application, MsgMeta, NodeCtx, Simulator};
+use manet_sim::fault::FaultPlan;
 use manet_sim::mobility::{MobilityConfig, Pos};
 use manet_sim::radio::RadioConfig;
 use manet_sim::{NodeId, SimTime};
@@ -110,5 +113,151 @@ proptest! {
         sim.run_to_completion();
         prop_assert_eq!(sim.app(hops).received.len(), sends);
         prop_assert!(sim.app(0).failed.is_empty());
+    }
+}
+
+/// The BF query pattern distilled: node 0 floods a broadcast; every
+/// receiver relays it once and unicasts a reply back to node 0. With
+/// `prime` on, relays install the flood's reverse path into AODV
+/// (`NodeCtx::prime_route`), exactly like the dist runtime does.
+struct FloodReply {
+    prime: bool,
+    seen_flood: bool,
+    /// Repliers whose unicast reached the originator (node 0 only).
+    replies: Vec<NodeId>,
+    failed: Vec<NodeId>,
+}
+
+impl FloodReply {
+    fn new(prime: bool) -> Self {
+        FloodReply { prime, seen_flood: false, replies: Vec::new(), failed: Vec::new() }
+    }
+}
+
+const REPLY_BIT: u64 = 1 << 63;
+
+impl Application<u64> for FloodReply {
+    fn on_message(&mut self, ctx: &mut NodeCtx<u64>, meta: MsgMeta, payload: u64) {
+        if meta.broadcast {
+            let hops = payload as u32;
+            if self.seen_flood {
+                return;
+            }
+            self.seen_flood = true;
+            if self.prime {
+                ctx.prime_route(0, meta.link_from, hops + 1);
+            }
+            if ctx.id != 0 {
+                ctx.broadcast(u64::from(hops + 1), 64);
+                ctx.send_unicast(0, REPLY_BIT | ctx.id as u64, 32);
+            }
+        } else {
+            self.replies.push((payload & !REPLY_BIT) as NodeId);
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut NodeCtx<u64>, _token: u64) {
+        self.seen_flood = true;
+        ctx.broadcast(0, 64);
+    }
+    fn on_delivery_failed(&mut self, _ctx: &mut NodeCtx<u64>, dst: NodeId, _payload: u64) {
+        self.failed.push(dst);
+    }
+}
+
+fn run_flood(
+    positions: &[(f64, f64)],
+    prime: bool,
+    crashes: &[(NodeId, SimTime)],
+) -> (Vec<NodeId>, Vec<NodeId>, u64) {
+    let mut sim: Simulator<u64, FloodReply> = Simulator::new(RadioConfig::default(), 11);
+    for &(x, y) in positions {
+        sim.add_node(Pos::new(x, y), MobilityConfig::frozen(), FloodReply::new(prime), 3);
+    }
+    let mut plan = FaultPlan::new();
+    for &(node, at) in crashes {
+        plan = plan.crash_at(node, at);
+    }
+    sim.install_fault_plan(&plan);
+    sim.schedule_app_timer(0, SimTime::ZERO, 0);
+    sim.run_to_completion();
+    let mut replies = sim.app(0).replies.clone();
+    replies.sort_unstable();
+    (replies, sim.app(0).failed.clone(), sim.stats().aodv_frames)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On a static topology the primed reverse tree is exactly the oracle's
+    /// connected component: every reachable node's reply arrives over
+    /// cached routes with ZERO AODV control frames, no node outside the
+    /// component sneaks in, and turning priming off pays at least one
+    /// discovery flood per replier for the same outcome.
+    #[test]
+    fn primed_reply_paths_match_connectivity_oracle(
+        raw in prop::collection::vec((0.0f64..1000.0, 0.0f64..400.0), 3..14),
+    ) {
+        let positions: Vec<(f64, f64)> = raw;
+        let component: Vec<NodeId> = (1..positions.len())
+            .filter(|&i| connected(&positions, 250.0, 0, i))
+            .collect();
+
+        let (primed, failed_p, aodv_primed) = run_flood(&positions, true, &[]);
+        prop_assert_eq!(
+            &primed, &component,
+            "primed replies must be exactly the oracle's component"
+        );
+        prop_assert!(failed_p.is_empty(), "cached routes must never fail on a static net");
+        prop_assert_eq!(
+            aodv_primed, 0,
+            "warm reverse routes must make RREQ discovery unnecessary"
+        );
+
+        let (unprimed, failed_u, aodv_unprimed) = run_flood(&positions, false, &[]);
+        prop_assert_eq!(&unprimed, &component);
+        prop_assert!(failed_u.is_empty());
+        if !component.is_empty() {
+            prop_assert!(
+                aodv_unprimed as usize >= component.len(),
+                "without priming every replier floods at least one RREQ \
+                 ({} aodv frames for {} repliers)",
+                aodv_unprimed, component.len()
+            );
+        }
+    }
+
+    /// Under churn (relays crashing mid-exchange) priming must stay safe:
+    /// no reply is accepted from outside the oracle's component, nothing
+    /// panics, and every loss is visible as a failure callback, a counted
+    /// forward-drop, or an in-flight frame to a dead node — never a
+    /// phantom delivery.
+    #[test]
+    fn primed_reply_paths_stay_sound_under_churn(
+        raw in prop::collection::vec((0.0f64..900.0, 0.0f64..300.0), 4..12),
+        crash_sel in any::<prop::sample::Index>(),
+        crash_us in 100u64..5_000,
+    ) {
+        let positions: Vec<(f64, f64)> = raw;
+        let n = positions.len();
+        // Crash one non-originator node somewhere inside the exchange.
+        let victim = 1 + crash_sel.index(n - 1);
+        let crashes = [(victim, SimTime(crash_us))];
+        let component: Vec<NodeId> = (1..n)
+            .filter(|&i| connected(&positions, 250.0, 0, i))
+            .collect();
+
+        let (primed, _failed, _aodv) = run_flood(&positions, true, &crashes);
+        for r in &primed {
+            prop_assert!(
+                component.contains(r),
+                "reply from {r} accepted but the oracle calls it unreachable"
+            );
+        }
+        // The crashed node's reply may or may not have made it out in
+        // time; every *other* component member is still only reachable
+        // through live physics, so duplicates are impossible.
+        let mut dedup = primed.clone();
+        dedup.dedup();
+        prop_assert_eq!(dedup, primed, "each replier delivers at most once");
     }
 }
