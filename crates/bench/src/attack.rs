@@ -34,7 +34,9 @@ use manet_sim::{
 };
 use skyline_core::vdr::BoundsMode;
 use std::fmt::Write as _;
+use std::time::Instant;
 
+use crate::provenance::Provenance;
 use crate::sweep;
 use crate::Scale;
 
@@ -221,8 +223,12 @@ pub struct CellReport {
     pub defense_effectiveness: f64,
     /// Mean response time of protocol-completed queries.
     pub mean_response_seconds: Option<f64>,
+    /// Wall seconds this cell took (volatile; lives in the `timings`
+    /// section of the baseline, never in `grid`).
+    pub seconds: f64,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn report(
     arm: &Arm,
     attack: Option<AttackKind>,
@@ -231,6 +237,7 @@ fn report(
     loss: f64,
     exp: &ManetExperiment,
     out: &ManetOutcome,
+    seconds: f64,
 ) -> CellReport {
     let attackers: Vec<usize> = exp
         .attack_plan
@@ -267,6 +274,7 @@ fn report(
         defense_effectiveness: out.attack_frames_dropped as f64
             / (out.attack_frames_sent.max(1)) as f64,
         mean_response_seconds: out.mean_response_seconds,
+        seconds,
     }
 }
 
@@ -302,14 +310,15 @@ pub fn compute(scale: Scale, jobs: usize, stage: &str) -> Vec<CellReport> {
     let cells = cells();
     let outs = sweep::run_stage(stage, jobs, &cells, |(churn, loss, arm, attack, defense)| {
         let exp = experiment(scale, *churn, *loss, arm, *attack, *defense);
+        let t0 = Instant::now();
         let out = run_experiment(&exp);
-        (exp, out)
+        (exp, out, t0.elapsed().as_secs_f64())
     });
     cells
         .iter()
         .zip(&outs)
-        .map(|((churn, loss, arm, attack, defense), (exp, out))| {
-            report(arm, *attack, *defense, *churn, *loss, exp, out)
+        .map(|((churn, loss, arm, attack, defense), (exp, out, secs))| {
+            report(arm, *attack, *defense, *churn, *loss, exp, out, *secs)
         })
         .collect()
 }
@@ -363,20 +372,20 @@ pub fn run(scale: Scale) -> Vec<CellReport> {
     reports
 }
 
-/// Renders the scorecard as the `BENCH_attack.json` machine baseline.
-///
-/// `jobs` records the worker count the sweep actually ran with; cell
-/// contents are bit-identical across job counts.
-pub fn to_json(scale: Scale, jobs: usize, reports: &[CellReport]) -> String {
+/// Renders the scorecard as the `BENCH_attack.json` machine baseline:
+/// provenance header, deterministic `grid` rows (bit-identical across job
+/// counts), then volatile wall-clock `timings` rows keyed by the same cell
+/// coordinates.
+pub fn to_json(prov: &Provenance, reports: &[CellReport]) -> String {
+    let scale = prov.scale;
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"attack\",\n");
-    let _ = writeln!(out, "  \"scale\": \"{scale:?}\",");
-    let _ = writeln!(out, "  \"jobs\": {jobs},");
+    out.push_str(&prov.header());
     let _ = writeln!(out, "  \"devices\": {},", GRID * GRID);
     let _ = writeln!(out, "  \"cardinality\": {},", scale.attack_cardinality());
     let _ = writeln!(out, "  \"sim_seconds\": {},", scale.attack_sim_seconds());
     let _ = writeln!(out, "  \"attack_fraction\": {ATTACK_FRACTION},");
-    out.push_str("  \"cells\": [\n");
+    out.push_str("  \"grid\": [\n");
     for (i, r) in reports.iter().enumerate() {
         let sep = if i + 1 < reports.len() { "," } else { "" };
         let resp = r.mean_response_seconds.map_or("null".to_string(), |s| format!("{s:.3}"));
@@ -415,6 +424,17 @@ pub fn to_json(scale: Scale, jobs: usize, reports: &[CellReport]) -> String {
             r.filters_rejected,
             r.reputation_penalties,
             r.defense_effectiveness,
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"timings\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let sep = if i + 1 < reports.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"arm\": \"{}\", \"attack\": \"{}\", \"defense\": {}, \"churn\": {}, \
+             \"loss\": {}, \"seconds\": {:.3}}}{sep}",
+            r.arm, r.attack, r.defense, r.churn, r.loss, r.seconds,
         );
     }
     out.push_str("  ]\n}\n");
@@ -461,7 +481,7 @@ mod tests {
         verify_zero_drift(&out).unwrap_or_else(|e| {
             panic!("zero drift violated ({:?} defense={defense}): {e}", attack_name(attack))
         });
-        report(arm, attack, defense, churn, loss, &exp, &out)
+        report(arm, attack, defense, churn, loss, &exp, &out, 0.0)
     }
 
     #[test]
@@ -641,14 +661,24 @@ mod tests {
             reputation_penalties: 12,
             defense_effectiveness: 1.375,
             mean_response_seconds: None,
+            seconds: 2.5,
         };
-        let json = to_json(Scale::Quick, 2, &[r]);
+        let prov = Provenance {
+            scale: Scale::Quick,
+            jobs: 2,
+            git_commit: "abc1234".to_string(),
+            rustc: "rustc 1.80.0".to_string(),
+        };
+        let json = to_json(&prov, &[r]);
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));
         assert!(json.contains("\"bench\": \"attack\""));
+        assert!(json.contains("\"grid_rev\""));
         assert!(json.contains("\"jobs\": 2"));
         assert!(json.contains("\"defense_effectiveness\": 1.375000"));
         assert!(json.contains("\"mean_response_seconds\": null"));
+        assert!(json.contains("\"grid\": [\n"));
+        assert!(json.contains("\"timings\": [\n"));
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
         assert_eq!(opens, closes);

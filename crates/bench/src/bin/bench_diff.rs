@@ -1,0 +1,88 @@
+//! Compares two `BENCH_*.json` baselines — see [`msq_bench::benchdiff`]
+//! for the comparison rules.
+//!
+//! Usage: `cargo run --release -p msq-bench --bin bench_diff -- \
+//! <baseline.json> <candidate.json> [--tol FRAC]`
+//!
+//! Exit codes: 0 = pass (deterministic rows identical, wall clock inside
+//! the tolerance band), 1 = drift or regression, 2 = the files are not
+//! comparable (different bench/scale/grid_rev, missing header, unreadable
+//! or unparseable input).
+
+use msq_bench::benchdiff;
+
+/// Default relative tolerance on wall-clock fields: ±50 % absorbs
+/// machine-to-machine and load variance; order-of-magnitude regressions
+/// still fail.
+const DEFAULT_TOL: f64 = 0.5;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut tol = DEFAULT_TOL;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--tol" {
+            let Some(v) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                eprintln!("--tol expects a non-negative number");
+                std::process::exit(2);
+            };
+            if v < 0.0 {
+                eprintln!("--tol expects a non-negative number");
+                std::process::exit(2);
+            }
+            tol = v;
+            i += 2;
+        } else {
+            paths.push(&args[i]);
+            i += 1;
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: bench_diff <baseline.json> <candidate.json> [--tol FRAC]");
+        std::process::exit(2);
+    }
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let baseline = read(paths[0]);
+    let candidate = read(paths[1]);
+
+    match benchdiff::diff_texts(&baseline, &candidate, tol) {
+        Err(refusal) => {
+            eprintln!("{refusal}");
+            std::process::exit(2);
+        }
+        Ok(report) => {
+            for d in &report.drift {
+                println!("DRIFT: {d}");
+            }
+            for r in &report.regressions {
+                println!("REGRESSION: {r}");
+            }
+            if report.passed() {
+                println!(
+                    "bench_diff: {} vs {}: OK (deterministic rows identical, wall clock \
+                     within {:.0}%)",
+                    paths[0],
+                    paths[1],
+                    tol * 100.0
+                );
+            } else {
+                println!(
+                    "bench_diff: {} vs {}: {} drift, {} regression(s)",
+                    paths[0],
+                    paths[1],
+                    report.drift.len(),
+                    report.regressions.len()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}

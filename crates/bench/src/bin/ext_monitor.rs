@@ -13,7 +13,8 @@ fn main() {
     if std::env::args().any(|a| a == "--json") {
         let path = "BENCH_monitor.json";
         let jobs = msq_bench::sweep::jobs_from_args();
-        match std::fs::write(path, msq_bench::monitor::to_json(scale, jobs, &reports)) {
+        let prov = msq_bench::provenance::Provenance::collect(scale, jobs);
+        match std::fs::write(path, msq_bench::monitor::to_json(&prov, &reports)) {
             Ok(()) => println!("[json] wrote {path}"),
             Err(e) => eprintln!("[json] failed to write {path}: {e}"),
         }

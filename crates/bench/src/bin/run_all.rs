@@ -12,8 +12,8 @@
 
 use datagen::Distribution;
 use msq_bench::manet_figs::Metric;
-use msq_bench::sweep::{self, StageRecord};
-use std::fmt::Write as _;
+use msq_bench::provenance::Provenance;
+use msq_bench::sweep;
 
 fn main() {
     let scale = msq_bench::Scale::from_args();
@@ -62,16 +62,17 @@ fn main() {
     println!("\nall figures regenerated in {total:.1?} ({jobs} jobs)");
 
     if json {
+        let prov = Provenance::collect(scale, jobs);
         let stages = sweep::take_stage_records();
-        write_file("BENCH_sweep.json", &sweep_json(jobs, total.as_secs_f64(), &stages));
-        write_file("BENCH_chaos.json", &msq_bench::chaos::to_json(scale, jobs, &chaos));
-        write_file("BENCH_attack.json", &msq_bench::attack::to_json(scale, jobs, &attack));
-        write_file("BENCH_monitor.json", &msq_bench::monitor::to_json(scale, jobs, &monitor));
-        write_file("BENCH_scale.json", &msq_bench::scalebench::to_json(scale, jobs, &scalebench));
+        write_file("BENCH_sweep.json", &sweep::to_json(&prov, total.as_secs_f64(), &stages));
+        write_file("BENCH_chaos.json", &msq_bench::chaos::to_json(&prov, &chaos));
+        write_file("BENCH_attack.json", &msq_bench::attack::to_json(&prov, &attack));
+        write_file("BENCH_monitor.json", &msq_bench::monitor::to_json(&prov, &monitor));
+        write_file("BENCH_scale.json", &msq_bench::scalebench::to_json(&prov, &scalebench));
 
         let records = msq_bench::corebench::run(20_000);
         let neighbors = msq_bench::corebench::neighbor_discovery();
-        write_file("BENCH_core.json", &core_json(&records, &neighbors));
+        write_file("BENCH_core.json", &msq_bench::corebench::to_json(&prov, &records, &neighbors));
     }
 }
 
@@ -80,84 +81,4 @@ fn write_file(path: &str, content: &str) {
         Ok(()) => println!("[json] wrote {path}"),
         Err(e) => eprintln!("[json] failed to write {path}: {e}"),
     }
-}
-
-/// `BENCH_sweep.json`: per-stage wall time, cell counts, throughput, and
-/// the job count used.
-fn sweep_json(jobs: usize, total_seconds: f64, stages: &[StageRecord]) -> String {
-    let cells: usize = stages.iter().map(|s| s.cells).sum();
-    let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"bench\": \"sweep\",");
-    let _ = writeln!(out, "  \"jobs\": {jobs},");
-    let _ = writeln!(out, "  \"total_seconds\": {total_seconds:.3},");
-    let _ = writeln!(out, "  \"cells\": {cells},");
-    let _ = writeln!(out, "  \"cells_per_sec\": {:.3},", cells as f64 / total_seconds.max(1e-9));
-    out.push_str("  \"stages\": [\n");
-    for (i, s) in stages.iter().enumerate() {
-        let sep = if i + 1 < stages.len() { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"name\": {}, \"cells\": {}, \"seconds\": {:.3}, \"cells_per_sec\": {:.3}, \"jobs\": {}}}{sep}",
-            json_string(&s.name),
-            s.cells,
-            s.seconds,
-            s.cells as f64 / s.seconds.max(1e-9),
-            s.jobs,
-        );
-    }
-    out.push_str("  ]\n}\n");
-    out
-}
-
-/// `BENCH_core.json`: the contiguous-kernel vs pointer-chasing comparison
-/// with dominance test counts, plus the grid-vs-scan neighbour-discovery
-/// micro-benchmark.
-fn core_json(
-    records: &[msq_bench::corebench::KernelRecord],
-    neighbors: &[msq_bench::corebench::NeighborRecord],
-) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"core\",\n");
-    out.push_str("  \"algorithm\": \"bnl\",\n");
-    out.push_str("  \"kernels\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        let sep = if i + 1 < records.len() { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"dims\": {}, \"tuples\": {}, \"tuple_ms\": {:.3}, \"block_ms\": {:.3}, \"dominance_tests\": {}, \"skyline_len\": {}}}{sep}",
-            r.dims, r.tuples, r.tuple_ms, r.block_ms, r.dominance_tests, r.skyline_len,
-        );
-    }
-    out.push_str("  ],\n");
-    out.push_str("  \"neighbor_discovery\": [\n");
-    for (i, r) in neighbors.iter().enumerate() {
-        let sep = if i + 1 < neighbors.len() { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"nodes\": {}, \"queries\": {}, \"grid_ms\": {:.3}, \"scan_ms\": {:.3}, \"neighbors\": {}}}{sep}",
-            r.nodes, r.queries, r.grid_ms, r.scan_ms, r.neighbors,
-        );
-    }
-    out.push_str("  ]\n}\n");
-    out
-}
-
-/// Minimal JSON string escaping (the stage names are ASCII identifiers,
-/// but quote/backslash safety is cheap).
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }

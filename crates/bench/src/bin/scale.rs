@@ -23,7 +23,8 @@ fn main() {
     };
     if std::env::args().any(|a| a == "--json") {
         let path = "BENCH_scale.json";
-        match std::fs::write(path, scalebench::to_json(scale, jobs, &reports)) {
+        let prov = msq_bench::provenance::Provenance::collect(scale, jobs);
+        match std::fs::write(path, scalebench::to_json(&prov, &reports)) {
             Ok(()) => println!("[json] wrote {path}"),
             Err(e) => eprintln!("[json] failed to write {path}: {e}"),
         }

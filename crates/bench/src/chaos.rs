@@ -27,7 +27,9 @@ use dist_skyline::runtime::{run_experiment, ManetExperiment, ManetOutcome};
 use manet_sim::{ChurnConfig, FaultPlan, SimDuration, SimTime};
 use skyline_core::vdr::BoundsMode;
 use std::fmt::Write as _;
+use std::time::Instant;
 
+use crate::provenance::Provenance;
 use crate::sweep;
 use crate::Scale;
 
@@ -173,9 +175,12 @@ pub struct CellReport {
     pub node_crashes: u64,
     /// Mean response time of protocol-completed queries.
     pub mean_response_seconds: Option<f64>,
+    /// Wall seconds this cell took (volatile; lives in the `timings`
+    /// section of the baseline, never in `grid`).
+    pub seconds: f64,
 }
 
-fn report(arm: &Arm, churn: f64, loss: f64, out: &ManetOutcome) -> CellReport {
+fn report(arm: &Arm, churn: f64, loss: f64, out: &ManetOutcome, seconds: f64) -> CellReport {
     CellReport {
         arm: arm.name,
         churn,
@@ -196,6 +201,7 @@ fn report(arm: &Arm, churn: f64, loss: f64, out: &ManetOutcome) -> CellReport {
         reissues: out.reissues,
         node_crashes: out.net.node_crashes,
         mean_response_seconds: out.mean_response_seconds,
+        seconds,
     }
 }
 
@@ -213,12 +219,14 @@ pub fn compute(scale: Scale, jobs: usize, stage: &str) -> Vec<CellReport> {
         }
     }
     let outs = sweep::run_stage(stage, jobs, &cells, |(churn, loss, arm)| {
-        run_experiment(&experiment(scale, *churn, *loss, arm))
+        let t0 = Instant::now();
+        let out = run_experiment(&experiment(scale, *churn, *loss, arm));
+        (out, t0.elapsed().as_secs_f64())
     });
     cells
         .iter()
         .zip(&outs)
-        .map(|((churn, loss, arm), out)| report(arm, *churn, *loss, out))
+        .map(|((churn, loss, arm), (out, secs))| report(arm, *churn, *loss, out, *secs))
         .collect()
 }
 
@@ -265,19 +273,19 @@ pub fn run(scale: Scale) -> Vec<CellReport> {
     reports
 }
 
-/// Renders the scorecard as the `BENCH_chaos.json` machine baseline.
-///
-/// `jobs` records the worker count the sweep actually ran with; cell
-/// contents are bit-identical across job counts.
-pub fn to_json(scale: Scale, jobs: usize, reports: &[CellReport]) -> String {
+/// Renders the scorecard as the `BENCH_chaos.json` machine baseline:
+/// provenance header, deterministic `grid` rows (bit-identical across job
+/// counts), then volatile wall-clock `timings` rows keyed by the same cell
+/// coordinates.
+pub fn to_json(prov: &Provenance, reports: &[CellReport]) -> String {
+    let scale = prov.scale;
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"chaos\",\n");
-    let _ = writeln!(out, "  \"scale\": \"{scale:?}\",");
-    let _ = writeln!(out, "  \"jobs\": {jobs},");
+    out.push_str(&prov.header());
     let _ = writeln!(out, "  \"devices\": {},", GRID * GRID);
     let _ = writeln!(out, "  \"cardinality\": {},", scale.chaos_cardinality());
     let _ = writeln!(out, "  \"sim_seconds\": {},", scale.chaos_sim_seconds());
-    out.push_str("  \"cells\": [\n");
+    out.push_str("  \"grid\": [\n");
     for (i, r) in reports.iter().enumerate() {
         let sep = if i + 1 < reports.len() { "," } else { "" };
         let resp = r.mean_response_seconds.map_or("null".to_string(), |s| format!("{s:.3}"));
@@ -308,6 +316,16 @@ pub fn to_json(scale: Scale, jobs: usize, reports: &[CellReport]) -> String {
             r.delivery_failures,
             r.reissues,
             r.node_crashes,
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"timings\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let sep = if i + 1 < reports.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"arm\": \"{}\", \"churn\": {}, \"loss\": {}, \"seconds\": {:.3}}}{sep}",
+            r.arm, r.churn, r.loss, r.seconds,
         );
     }
     out.push_str("  ]\n}\n");
@@ -387,14 +405,31 @@ mod tests {
             reissues: 1,
             node_crashes: 3,
             mean_response_seconds: None,
+            seconds: 1.25,
         };
-        let json = to_json(Scale::Quick, 2, &[r]);
+        let prov = Provenance {
+            scale: Scale::Quick,
+            jobs: 2,
+            git_commit: "abc1234".to_string(),
+            rustc: "rustc 1.80.0".to_string(),
+        };
+        let json = to_json(&prov, &[r]);
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));
         assert!(json.contains("\"bench\": \"chaos\""));
+        assert!(json.contains("\"grid_rev\""));
         assert!(json.contains("\"jobs\": 2"));
         assert!(json.contains("\"mean_response_seconds\": null"));
         assert!(json.contains("\"spurious\": 0"));
+        assert!(json.contains("\"grid\": [\n"));
+        assert!(json.contains("\"timings\": [\n"));
+        // Volatile wall-clock never shares a line with deterministic cell
+        // data: `"seconds"` keys appear only in `timings` rows.
+        for line in json.lines() {
+            if line.contains("\"seconds\":") {
+                assert!(!line.contains("completeness"), "mixed line: {line}");
+            }
+        }
         // Balanced braces — the hand-rolled writer must not mismatch.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();

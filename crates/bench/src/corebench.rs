@@ -13,7 +13,10 @@ use manet_sim::Pos;
 use skyline_core::algo::bnl;
 use skyline_core::dominance::dominates;
 use skyline_core::{Tuple, TupleBlock};
+use std::fmt::Write as _;
 use std::time::Instant;
+
+use crate::provenance::Provenance;
 
 /// One `(dims, representation)` comparison.
 #[derive(Debug, Clone)]
@@ -159,6 +162,68 @@ pub fn neighbor_discovery() -> Vec<NeighborRecord> {
             NeighborRecord { nodes: n, queries, grid_ms, scan_ms, neighbors: grid_neighbors }
         })
         .collect()
+}
+
+/// Renders both micro-benchmarks as the `BENCH_core.json` machine
+/// baseline: provenance header, deterministic `grid` rows tagged with a
+/// `kind` (dominance-test counts and skyline/neighbour sizes are
+/// seed-determined), then volatile wall-clock `timings` rows keyed by the
+/// same coordinates.
+pub fn to_json(
+    prov: &Provenance,
+    records: &[KernelRecord],
+    neighbors: &[NeighborRecord],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"core\",\n");
+    out.push_str(&prov.header());
+    out.push_str("  \"algorithm\": \"bnl\",\n");
+    let write_rows = |out: &mut String, rows: Vec<String>| {
+        for (i, row) in rows.iter().enumerate() {
+            let sep = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(out, "    {row}{sep}");
+        }
+    };
+    out.push_str("  \"grid\": [\n");
+    let mut rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"kind\": \"kernel\", \"dims\": {}, \"tuples\": {}, \
+                 \"dominance_tests\": {}, \"skyline_len\": {}}}",
+                r.dims, r.tuples, r.dominance_tests, r.skyline_len,
+            )
+        })
+        .collect();
+    rows.extend(neighbors.iter().map(|r| {
+        format!(
+            "{{\"kind\": \"neighbors\", \"nodes\": {}, \"queries\": {}, \"neighbors\": {}}}",
+            r.nodes, r.queries, r.neighbors,
+        )
+    }));
+    write_rows(&mut out, rows);
+    out.push_str("  ],\n");
+    out.push_str("  \"timings\": [\n");
+    let mut rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"kind\": \"kernel\", \"dims\": {}, \"tuples\": {}, \
+                 \"tuple_ms\": {:.3}, \"block_ms\": {:.3}}}",
+                r.dims, r.tuples, r.tuple_ms, r.block_ms,
+            )
+        })
+        .collect();
+    rows.extend(neighbors.iter().map(|r| {
+        format!(
+            "{{\"kind\": \"neighbors\", \"nodes\": {}, \"queries\": {}, \
+             \"grid_ms\": {:.3}, \"scan_ms\": {:.3}}}",
+            r.nodes, r.queries, r.grid_ms, r.scan_ms,
+        )
+    }));
+    write_rows(&mut out, rows);
+    out.push_str("  ]\n}\n");
+    out
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@
 //! series.
 
 pub mod attack;
+pub mod benchdiff;
 pub mod chaos;
 pub mod cli;
 pub mod corebench;
@@ -16,6 +17,8 @@ pub mod fig5;
 pub mod manet_figs;
 pub mod messages;
 pub mod monitor;
+pub mod perf_report;
+pub mod provenance;
 pub mod scale;
 pub mod scalebench;
 pub mod static_drr;

@@ -27,7 +27,9 @@ use dist_skyline::monitor::{
 };
 use manet_sim::{ChurnConfig, FaultPlan, SimDuration, SimTime};
 use std::fmt::Write as _;
+use std::time::Instant;
 
+use crate::provenance::Provenance;
 use crate::sweep;
 use crate::Scale;
 
@@ -135,6 +137,10 @@ pub struct CellReport {
     pub node_crashes: u64,
     /// Total radio energy (J).
     pub energy_j: f64,
+    /// Wall seconds this cell took (volatile; lives in the `timings`
+    /// section of the baseline, never in `grid` — determinism tests
+    /// normalize it to 0 before comparing reports).
+    pub seconds: f64,
 }
 
 fn report(
@@ -143,6 +149,7 @@ fn report(
     churn: f64,
     loss: f64,
     out: &MonitorOutcome,
+    seconds: f64,
 ) -> CellReport {
     let settled: Vec<f64> = out
         .views
@@ -171,6 +178,7 @@ fn report(
         fold_remove_misses: out.fold_remove_misses,
         node_crashes: out.net.node_crashes,
         energy_j: out.total_energy_joules,
+        seconds,
     }
 }
 
@@ -190,6 +198,7 @@ pub fn compute(scale: Scale, jobs: usize, stage: &str) -> Vec<CellReport> {
         }
     }
     sweep::run_stage(stage, jobs, &cells, |(period, churn, loss, name, mode)| {
+        let t0 = Instant::now();
         let out = run_monitor_experiment(&experiment(scale, *period, *churn, *loss, *mode));
         if let Err(e) = verify_monitor_drift(&out) {
             panic!("{stage}: cell ({name}, p={period}, churn={churn}, loss={loss}) drifted: {e}");
@@ -198,7 +207,7 @@ pub fn compute(scale: Scale, jobs: usize, stage: &str) -> Vec<CellReport> {
             out.fold_remove_misses, 0,
             "{stage}: fold bucket algebra miss in ({name}, p={period}, churn={churn}, loss={loss})"
         );
-        report(name, *period, *churn, *loss, &out)
+        report(name, *period, *churn, *loss, &out, t0.elapsed().as_secs_f64())
     })
 }
 
@@ -279,19 +288,18 @@ pub fn run(scale: Scale) -> Vec<CellReport> {
     reports
 }
 
-/// Renders the sweep as the `BENCH_monitor.json` machine baseline.
-///
-/// `jobs` records the worker count the sweep actually ran with; cell
-/// contents are bit-identical across job counts (CI diffs them with the
-/// `jobs` line stripped).
-pub fn to_json(scale: Scale, jobs: usize, reports: &[CellReport]) -> String {
+/// Renders the sweep as the `BENCH_monitor.json` machine baseline:
+/// provenance header, deterministic `grid` rows (bit-identical across job
+/// counts; CI diffs them with the volatile lines stripped), then volatile
+/// wall-clock `timings` rows keyed by the same cell coordinates.
+pub fn to_json(prov: &Provenance, reports: &[CellReport]) -> String {
+    let scale = prov.scale;
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"monitor\",\n");
-    let _ = writeln!(out, "  \"scale\": \"{scale:?}\",");
-    let _ = writeln!(out, "  \"jobs\": {jobs},");
+    out.push_str(&prov.header());
     let _ = writeln!(out, "  \"devices\": {},", scale.monitor_grid() * scale.monitor_grid());
     let _ = writeln!(out, "  \"duration_seconds\": {},", scale.monitor_duration_seconds());
-    out.push_str("  \"cells\": [\n");
+    out.push_str("  \"grid\": [\n");
     for (i, r) in reports.iter().enumerate() {
         let sep = if i + 1 < reports.len() { "," } else { "" };
         let _ = writeln!(
@@ -321,6 +329,17 @@ pub fn to_json(scale: Scale, jobs: usize, reports: &[CellReport]) -> String {
             r.lease_expired,
             r.node_crashes,
             r.energy_j,
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"timings\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let sep = if i + 1 < reports.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"mode\": \"{}\", \"period_s\": {}, \"churn\": {}, \"loss\": {}, \
+             \"seconds\": {:.3}}}{sep}",
+            r.mode, r.period_s, r.churn, r.loss, r.seconds,
         );
     }
     out.push_str("  ]\n}\n");
@@ -402,7 +421,7 @@ mod tests {
         ];
         let go = |stage: &str, jobs| {
             sweep::run_stage(stage, jobs, &cells, |(p, c, l, name, mode)| {
-                report(name, *p, *c, *l, &run_monitor_experiment(&shrink(*p, *c, *l, *mode)))
+                report(name, *p, *c, *l, &run_monitor_experiment(&shrink(*p, *c, *l, *mode)), 0.0)
             })
         };
         let seq = go("monitor_det_seq", 1);
@@ -434,14 +453,24 @@ mod tests {
             fold_remove_misses: 0,
             node_crashes: 3,
             energy_j: 1.25,
+            seconds: 0.75,
         };
-        let json = to_json(Scale::Quick, 4, &[r]);
+        let prov = Provenance {
+            scale: Scale::Quick,
+            jobs: 4,
+            git_commit: "abc1234".to_string(),
+            rustc: "rustc 1.80.0".to_string(),
+        };
+        let json = to_json(&prov, &[r]);
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));
         assert!(json.contains("\"bench\": \"monitor\""));
+        assert!(json.contains("\"grid_rev\""));
         assert!(json.contains("\"jobs\": 4"));
         assert!(json.contains("\"mode\": \"delta\""));
         assert!(json.contains("\"heartbeats\": 25"));
+        assert!(json.contains("\"grid\": [\n"));
+        assert!(json.contains("\"timings\": [\n"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -181,41 +181,38 @@ impl Scale {
     /// Scale bench (`scale` driver): grid sides, `m = g²` devices at
     /// constant density (the area grows with the network). `g = 10` is the
     /// paper's largest network (the 1× anchor); the Quick top end is a
-    /// 1024-device end-to-end query, `Full` extends to 4096.
+    /// 1024-device end-to-end query, `Full` extends through 4096 to the
+    /// 10 000-device `g = 100` network. The Quick sides are a strict
+    /// prefix of the Full sides, so a Quick baseline's rows appear
+    /// verbatim in a Full baseline and `bench_diff` can compare the
+    /// overlap.
     pub fn scalebench_grid_sides(self) -> Vec<usize> {
         match self {
             Scale::Quick => vec![10, 18, 32],
-            Scale::Full => vec![10, 18, 32, 64],
+            Scale::Full => vec![10, 18, 32, 64, 100],
         }
     }
 
     /// Scale bench: global cardinalities (tuples spread over `g²`
-    /// devices). Modest on purpose — the axis under test is the *network*
-    /// size; the static sweeps already cover cardinality.
+    /// devices). One point at either scale — the axis under test is the
+    /// *network* size; the static sweeps already cover cardinality, and a
+    /// shared value keeps Quick rows a subset of Full rows.
     pub fn scalebench_cardinalities(self) -> Vec<usize> {
-        match self {
-            Scale::Quick => vec![10_000],
-            Scale::Full => vec![10_000, 50_000],
-        }
+        vec![10_000]
     }
 
-    /// Scale bench: attribute dimensionalities. Quick keeps one point —
-    /// the devices axis is the expensive, interesting one; a 1024-device
-    /// cell runs minutes of single-core wall time either way.
+    /// Scale bench: attribute dimensionalities. One point (see
+    /// [`Self::scalebench_cardinalities`] for the subset rationale) — the
+    /// devices axis is the expensive, interesting one.
     pub fn scalebench_dims(self) -> Vec<usize> {
-        match self {
-            Scale::Quick => vec![3],
-            Scale::Full => vec![2, 4],
-        }
+        vec![3]
     }
 
     /// Scale bench: simulation horizon in seconds — the window queries are
-    /// issued in (the runtime adds its own 400 s drain on top).
+    /// issued in (the runtime adds its own 400 s drain on top). Shared by
+    /// both scales so the per-cell work at a given `g` is identical.
     pub fn scalebench_sim_seconds(self) -> f64 {
-        match self {
-            Scale::Quick => 300.0,
-            Scale::Full => 600.0,
-        }
+        300.0
     }
 }
 

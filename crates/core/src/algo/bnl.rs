@@ -26,6 +26,8 @@ pub fn skyline_indices(data: &[Tuple]) -> Vec<usize> {
 /// One-pass BNL over a contiguous [`TupleBlock`]. Row indices double as
 /// relation indices.
 pub fn block_skyline_indices(block: &TupleBlock) -> Vec<usize> {
+    let mut span = sim_obs::span!("core::block_bnl");
+    span.add_units(block.len() as u64);
     let dom = block.kernel();
     let mut window: Vec<usize> = Vec::new();
     for i in 0..block.len() {

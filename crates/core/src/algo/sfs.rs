@@ -35,6 +35,8 @@ pub fn skyline_indices(data: &[Tuple]) -> Vec<usize> {
 /// SFS over a contiguous [`TupleBlock`]. Row indices double as relation
 /// indices.
 pub fn block_skyline_indices(block: &TupleBlock) -> Vec<usize> {
+    let mut span = sim_obs::span!("core::block_sfs");
+    span.add_units(block.len() as u64);
     let dom = block.kernel();
     let mut skyline: Vec<usize> = Vec::new();
     for i in sum_order(block) {

@@ -89,6 +89,8 @@ impl LiveSkyline {
     /// [`duplicates_ignored`](Self::duplicates_ignored)) — remove first to
     /// update a tuple's attributes.
     pub fn insert(&mut self, id: TupleId, t: Tuple) -> bool {
+        let mut span = sim_obs::span!("core::live_apply");
+        span.add_units(1);
         if self.index.contains_key(&id) {
             self.duplicates_ignored += 1;
             return false;
@@ -131,6 +133,8 @@ impl LiveSkyline {
     /// Removes the tuple with identity `id`, promoting displaced bucket
     /// tuples as needed. Returns `false` when the id was not live.
     pub fn remove(&mut self, id: &TupleId) -> bool {
+        let mut span = sim_obs::span!("core::live_apply");
+        span.add_units(1);
         match self.index.remove(id) {
             None => false,
             Some(Slot::Shadow(owner)) => {

@@ -187,6 +187,34 @@ impl TraceConfig {
     }
 }
 
+/// Observability switches (DESIGN.md §13). Off by default and strictly
+/// read-only: gauges sample engine state at fixed *simulated* times, so
+/// enabling them never changes event order, RNG draws, or any outcome
+/// column — only whether the time series is collected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsConfig {
+    /// Master switch for engine gauge sampling.
+    pub gauges: bool,
+    /// Sampling period in simulated seconds.
+    pub sample_period_seconds: f64,
+    /// Ring capacity (samples) per gauge series; overflow drops the
+    /// oldest samples and counts them on the exported log.
+    pub gauge_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig { gauges: false, sample_period_seconds: 10.0, gauge_capacity: 4096 }
+    }
+}
+
+impl ObsConfig {
+    /// Gauges on at the default cadence.
+    pub fn sampled() -> Self {
+        ObsConfig { gauges: true, ..Self::default() }
+    }
+}
+
 /// Lightweight defenses against adversarial participants (DESIGN.md §11).
 /// Everything defaults to **off** so honest runs are bit-identical to the
 /// pre-adversarial runtime; `DefenseConfig::all()` is the hardened profile

@@ -28,7 +28,8 @@ pub mod trace;
 pub mod verify;
 
 pub use config::{
-    ArqConfig, DefenseConfig, DistConfig, FilterStrategy, Forwarding, StrategyConfig, TraceConfig,
+    ArqConfig, DefenseConfig, DistConfig, FilterStrategy, Forwarding, ObsConfig, StrategyConfig,
+    TraceConfig,
 };
 pub use device::Device;
 pub use metrics::{DrrAccumulator, QueryMetrics};

@@ -58,6 +58,7 @@ use manet_sim::{
     FaultPlan, FrameTraceLog, NetStats, NodeId, Pos, QueryEvent, QueryTraceLog, SimDuration,
     SimTime,
 };
+use sim_obs::PowHistogram;
 use skyline_core::region::Point;
 use skyline_core::{LiveSkyline, RangeWatch, SkylineMerger, Tuple, TupleId};
 
@@ -348,6 +349,9 @@ pub struct MonitorApp {
     /// `LiveSkyline::remove` calls that found nothing — any value above 0
     /// is a fold-consistency bug.
     pub fold_remove_misses: u64,
+    /// Age of each folded delta/reply at apply time (µs since its epoch
+    /// tick) — the freshness the originator actually observes.
+    pub delta_age_us: PowHistogram,
 }
 
 impl MonitorApp {
@@ -405,6 +409,7 @@ impl MonitorApp {
             msgs_sent: 0,
             bytes_sent: 0,
             fold_remove_misses: 0,
+            delta_age_us: PowHistogram::new(),
         }
     }
 
@@ -996,6 +1001,7 @@ impl MonitorApp {
             }
             self.contributions.insert(from, ids);
             self.last_applied.insert(from, (epoch, epoch_at(&spec, epoch)));
+            self.delta_age_us.record(ctx.now.since(epoch_at(&spec, epoch)).as_micros());
             self.applied_retries += u64::from(retries);
             self.deltas_applied += 1;
             let heartbeat = adds.is_empty() && removes.is_empty() && !full;
@@ -1052,6 +1058,7 @@ impl MonitorApp {
             }
             self.contributions.insert(from, tuples.iter().map(|(id, _)| *id).collect());
             self.last_applied.insert(from, (epoch, epoch_at(&spec, epoch)));
+            self.delta_age_us.record(ctx.now.since(epoch_at(&spec, epoch)).as_micros());
             self.applied_retries += u64::from(retries);
             self.deltas_applied += 1;
             ctx.trace(
@@ -1270,6 +1277,8 @@ pub struct MonitorOutcome {
     pub query_trace: Option<QueryTraceLog>,
     /// Frame-level radio log (when frame tracing was enabled).
     pub frame_trace: Option<FrameTraceLog>,
+    /// Age of folded deltas/replies at apply time (µs since epoch tick).
+    pub delta_age_hist: PowHistogram,
 }
 
 // The bench sweep fans monitoring cells across worker threads.
@@ -1436,9 +1445,11 @@ pub fn run_monitor_experiment(exp: &MonitorExperiment) -> MonitorOutcome {
         net: *sim.stats(),
         query_trace: None,
         frame_trace: None,
+        delta_age_hist: PowHistogram::new(),
     };
     for i in 0..m {
         let a = sim.app(i);
+        out.delta_age_hist.merge(&a.delta_age_us);
         out.registered += a.registered_events;
         out.deltas_sent += a.deltas_sent;
         out.heartbeats_sent += a.heartbeats_sent;

@@ -62,11 +62,12 @@ use manet_sim::{
     AttackKind, AttackRole, DropCause, FinalizeKind, FrameTraceLog, NetStats, NodeId, Pos,
     QueryEvent, QueryId, QueryTraceLog, SimDuration, SimTime,
 };
+use sim_obs::{GaugeLog, GaugeSet, PowHistogram};
 use skyline_core::region::Point;
 use skyline_core::vdr::{FilterTuple, UpperBounds};
 use skyline_core::{SkylineMerger, Tuple};
 
-use crate::config::{DistConfig, Forwarding, StrategyConfig};
+use crate::config::{DistConfig, Forwarding, ObsConfig, StrategyConfig};
 use crate::cost_model::DeviceCostModel;
 use crate::device::Device;
 use crate::metrics::DrrAccumulator;
@@ -491,6 +492,10 @@ pub struct DeviceApp {
     pub filters_rejected: u64,
     /// Reputation penalties this device handed out.
     pub reputation_penalties: u64,
+    /// Hop counts of accepted query replies (originator side).
+    pub reply_hops: PowHistogram,
+    /// Issue-to-accepted-reply latency of each accepted reply, in µs.
+    pub reply_latency_us: PowHistogram,
 }
 
 impl DeviceApp {
@@ -545,6 +550,8 @@ impl DeviceApp {
             attack_frames_dropped: 0,
             filters_rejected: 0,
             reputation_penalties: 0,
+            reply_hops: PowHistogram::new(),
+            reply_latency_us: PowHistogram::new(),
         };
         app.recompute_centroid();
         app
@@ -597,6 +604,16 @@ impl DeviceApp {
     /// Number of tuples currently hosted (diagnostics).
     pub fn relation_len(&self) -> usize {
         self.device.relation.len()
+    }
+
+    /// ARQ-tracked messages currently awaiting an ack (gauge source).
+    pub fn arq_backlog(&self) -> usize {
+        self.pending_arq.len()
+    }
+
+    /// Whether this device currently has an open query of its own.
+    pub fn has_active_query(&self) -> bool {
+        self.active.is_some()
     }
 
     fn relation_tuples(&self) -> Vec<Tuple> {
@@ -1473,6 +1490,7 @@ impl DeviceApp {
         participated: bool,
         seq: u64,
         retries: u32,
+        hops: u32,
     ) {
         // Ack unconditionally — even duplicates, stale replies, and frames
         // a defense is about to refuse — so the sender stops
@@ -1519,6 +1537,8 @@ impl DeviceApp {
         if participated {
             aq.drr.add(unreduced, tuples.len());
         }
+        self.reply_hops.record(u64::from(hops));
+        self.reply_latency_us.record(ctx.now.since(aq.issued).as_micros());
         ctx.trace(
             Some(qid(key)),
             QueryEvent::ReplyAccepted {
@@ -1729,6 +1749,7 @@ impl Application<ProtoMsg> for DeviceApp {
                     participated,
                     seq,
                     retries,
+                    meta.hops,
                 )
             }
             ProtoMsg::DfToken(t) => self.on_df_token(ctx, meta.src, t),
@@ -1959,6 +1980,9 @@ pub struct ManetExperiment {
     /// scale-bench uses this to grow the *network* without growing the
     /// *workload* proportionally.
     pub querying_devices: Option<usize>,
+    /// Engine gauge sampling (off by default — the off path must stay
+    /// byte-identical to a build without observability).
+    pub obs: ObsConfig,
     /// Master seed.
     pub seed: u64,
 }
@@ -1994,6 +2018,7 @@ impl ManetExperiment {
             attack_plan: None,
             compute_completeness: false,
             querying_devices: None,
+            obs: ObsConfig::default(),
             seed,
         }
     }
@@ -2076,6 +2101,14 @@ pub struct ManetOutcome {
     pub query_trace: Option<QueryTraceLog>,
     /// Frame-level radio log (populated when [`TraceConfig::frames`]).
     pub frame_trace: Option<FrameTraceLog>,
+    /// Response-time histogram over protocol-completed queries (µs).
+    pub response_hist: PowHistogram,
+    /// Hop counts of accepted BF replies, merged across devices.
+    pub reply_hops_hist: PowHistogram,
+    /// Issue-to-accepted-reply latency (µs), merged across devices.
+    pub reply_latency_hist: PowHistogram,
+    /// Engine gauge series (populated when [`ObsConfig::gauges`]).
+    pub gauges: Option<GaugeLog>,
 }
 
 // The sweep harness fans experiment cells across worker threads; the
@@ -2176,7 +2209,43 @@ pub fn run_experiment(exp: &ManetExperiment) -> ManetOutcome {
     }
 
     // Run past the horizon so in-flight queries can drain.
-    sim.run_until(SimTime::from_secs_f64(exp.sim_seconds + 400.0));
+    let horizon = SimTime::from_secs_f64(exp.sim_seconds + 400.0);
+    let mut gauges = None;
+    if exp.obs.gauges {
+        // Stepping to intermediate horizons processes exactly the events a
+        // single `run_until(horizon)` would, in the same order — sampling
+        // between steps reads engine state without perturbing it.
+        let cap = exp.obs.gauge_capacity.max(1);
+        let mut set = GaugeSet::new();
+        let s_pending = set.register("wheel.pending", cap);
+        let s_slots = set.register("wheel.occupied_slots", cap);
+        let s_cells = set.register("grid.cells", cap);
+        let s_bucket = set.register("grid.max_bucket", cap);
+        let s_inflight = set.register("radio.inflight", cap);
+        let s_arq = set.register("arq.backlog", cap);
+        let s_active = set.register("query.active", cap);
+        let s_energy = set.register("energy.total_j", cap);
+        let period = SimDuration::from_secs_f64(exp.obs.sample_period_seconds.max(0.001));
+        let mut t = SimTime::ZERO;
+        while t < horizon {
+            t = (t + period).min(horizon);
+            sim.run_until(t);
+            let (cells, max_bucket) = sim.grid_stats();
+            let arq: usize = (0..m).map(|i| sim.app(i).arq_backlog()).sum();
+            let active = (0..m).filter(|&i| sim.app(i).has_active_query()).count();
+            set.push(s_pending, t.0, sim.pending_events() as f64);
+            set.push(s_slots, t.0, f64::from(sim.wheel_occupied_slots()));
+            set.push(s_cells, t.0, cells as f64);
+            set.push(s_bucket, t.0, max_bucket as f64);
+            set.push(s_inflight, t.0, sim.inflight_frames() as f64);
+            set.push(s_arq, t.0, arq as f64);
+            set.push(s_active, t.0, active as f64);
+            set.push(s_energy, t.0, sim.total_energy_joules());
+        }
+        gauges = Some(set.into_log());
+    } else {
+        sim.run_until(horizon);
+    }
 
     // Eq. 1 charges one tuple per device for the filter — only when a
     // filter was actually shipped.
@@ -2193,6 +2262,7 @@ pub fn run_experiment(exp: &ManetExperiment) -> ManetOutcome {
 
     let mut out = collect_outcome(&sim, m, charge_filter);
     out.mean_data_locality_m = mean_data_locality_m;
+    out.gauges = gauges;
     out.query_trace = sim.take_query_trace();
     out.frame_trace = sim.take_frame_trace();
     if exp.compute_completeness {
@@ -2258,6 +2328,10 @@ fn collect_outcome(
         (0u64, 0u64, 0u64, 0u64);
     let (mut attack_frames_sent, mut attack_frames_dropped) = (0u64, 0u64);
     let (mut filters_rejected, mut reputation_penalties) = (0u64, 0u64);
+    // Histogram merges run in device order, but bucket-wise addition is
+    // order-free, so any merge order yields the same bytes.
+    let mut reply_hops_hist = PowHistogram::new();
+    let mut reply_latency_hist = PowHistogram::new();
     for i in 0..m {
         let app = sim.app(i);
         arq_retries += app.arq_retries;
@@ -2268,6 +2342,14 @@ fn collect_outcome(
         attack_frames_dropped += app.attack_frames_dropped;
         filters_rejected += app.filters_rejected;
         reputation_penalties += app.reputation_penalties;
+        reply_hops_hist.merge(&app.reply_hops);
+        reply_latency_hist.merge(&app.reply_latency_us);
+    }
+    let mut response_hist = PowHistogram::new();
+    for r in &completed {
+        if let Some(s) = r.response_seconds {
+            response_hist.record(SimDuration::from_secs_f64(s).as_micros());
+        }
     }
     let reissues = records.iter().map(|r| u64::from(r.reissues)).sum();
     let count_cause = |c: TimeoutCause| -> u64 {
@@ -2306,6 +2388,10 @@ fn collect_outcome(
         net: *sim.stats(),
         query_trace: None, // filled by run_experiment (needs &mut sim)
         frame_trace: None,
+        response_hist,
+        reply_hops_hist,
+        reply_latency_hist,
+        gauges: None, // filled by run_experiment (owns the sampler)
         records,
     }
 }

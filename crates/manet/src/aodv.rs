@@ -174,6 +174,8 @@ impl<P: Clone> AodvState<P> {
 
     /// Next hop toward `dst`, when a live route exists.
     pub fn next_hop(&self, dst: NodeId, now: SimTime) -> Option<NodeId> {
+        let mut span = sim_obs::span!("aodv::route_lookup");
+        span.add_units(1);
         self.routes.get(&dst).filter(|r| r.valid && r.expires > now).map(|r| r.next_hop)
     }
 
@@ -294,6 +296,8 @@ impl<P: Clone> AodvState<P> {
 
     /// Application entry point: send `payload` of `bytes` bytes to `dst`.
     pub fn send(&mut self, dst: NodeId, payload: P, bytes: usize, now: SimTime) -> Vec<LinkCmd<P>> {
+        let mut span = sim_obs::span!("aodv::send");
+        span.add_bytes(bytes as u64);
         let pkt =
             DataPacket { src: self.me, dst, id: self.next_packet_id, hops: 0, payload, bytes };
         self.next_packet_id += 1;
@@ -338,6 +342,9 @@ impl<P: Clone> AodvState<P> {
         now: SimTime,
         is_neighbor: &dyn Fn(NodeId) -> bool,
     ) -> Vec<LinkCmd<P>> {
+        let mut span = sim_obs::span!("aodv::on_frame");
+        span.add_bytes(frame.bytes() as u64);
+        span.add_units(1);
         // Hearing any frame from a neighbour is evidence of a 1-hop route.
         self.offer_unknown_seq(link_from, link_from, 1, now);
         match frame {

@@ -57,6 +57,9 @@ pub struct MsgMeta {
     pub link_from: NodeId,
     /// `true` when the message arrived as a one-hop broadcast.
     pub broadcast: bool,
+    /// Radio hops travelled: 1 for a one-hop broadcast, the routed hop
+    /// count for a unicast (0 for a self-send).
+    pub hops: u32,
 }
 
 /// The application running on every node. One type per simulation;
@@ -218,6 +221,9 @@ pub struct Simulator<P, A> {
     severed: std::collections::HashSet<(NodeId, NodeId)>,
     /// Extra per-frame loss probability from an active radio degradation.
     extra_loss: f64,
+    /// Frames currently in the air: scheduled `Deliver` events not yet
+    /// dispatched (a gauge input).
+    inflight_frames: u64,
     neighbor_mode: NeighborMode,
     beacons_started: bool,
     trace: Option<EventTrace>,
@@ -247,6 +253,7 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
             epochs: Vec::new(),
             severed: std::collections::HashSet::new(),
             extra_loss: 0.0,
+            inflight_frames: 0,
             neighbor_mode: NeighborMode::Oracle,
             beacons_started: false,
             trace: None,
@@ -380,6 +387,28 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         self.energy_j[node]
     }
 
+    /// Number of pending events in the queue (a gauge input).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Occupied timer-wheel slots across all levels (a gauge input).
+    pub fn wheel_occupied_slots(&self) -> u32 {
+        self.queue.occupied_slots()
+    }
+
+    /// Spatial-grid shape: `(occupied_cells, max_bucket_len)` over the
+    /// current bounded-staleness snapshot (a gauge input).
+    pub fn grid_stats(&self) -> (usize, usize) {
+        (self.grid.occupied_cells(), self.grid.max_bucket_len())
+    }
+
+    /// Frames currently in the air — `Deliver` events scheduled but not
+    /// yet dispatched (a gauge input).
+    pub fn inflight_frames(&self) -> u64 {
+        self.inflight_frames
+    }
+
     /// Total radio energy (joules) across all nodes.
     pub fn total_energy_joules(&self) -> f64 {
         self.energy_j.iter().sum()
@@ -485,6 +514,8 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         if now.since(self.grid_last_sweep) < self.grid_period {
             return;
         }
+        let mut span = sim_obs::span!("grid::sweep");
+        span.add_units(self.nodes.len() as u64);
         for i in 0..self.nodes.len() {
             let p = self.pos_of(i, now);
             self.grid.update(i, p);
@@ -553,6 +584,10 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         self.maybe_sweep(now);
         match ev {
             Event::Deliver { to, link_from, frame } => {
+                self.inflight_frames -= 1;
+                let mut span = sim_obs::span!("radio::deliver");
+                span.add_bytes(frame.bytes() as u64);
+                span.add_units(1);
                 if !self.up[to] {
                     // Crashed mid-flight: the frame dies on a silent radio.
                     self.stats.frames_dropped_node_down += 1;
@@ -581,7 +616,7 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
                     }
                     Frame::Bcast { src, payload, bytes: _ } => {
                         self.stats.app_broadcasts_received += 1;
-                        let meta = MsgMeta { src, link_from, broadcast: true };
+                        let meta = MsgMeta { src, link_from, broadcast: true, hops: 1 };
                         self.run_app(to, now, |app, ctx| app.on_message(ctx, meta, payload));
                     }
                     other => {
@@ -730,7 +765,8 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
                 }
                 LinkCmd::DeliverUp(pkt) => {
                     self.stats.app_unicasts_delivered += 1;
-                    let meta = MsgMeta { src: pkt.src, link_from: node, broadcast: false };
+                    let meta =
+                        MsgMeta { src: pkt.src, link_from: node, broadcast: false, hops: pkt.hops };
                     self.run_app(node, now, |app, ctx| app.on_message(ctx, meta, pkt.payload));
                 }
                 LinkCmd::DropFailed(pkt) => {
@@ -761,6 +797,9 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         if !self.up[from] {
             return; // a dead node's queued commands transmit nothing
         }
+        let mut span = sim_obs::span!("radio::tx");
+        span.add_bytes(frame.bytes() as u64);
+        span.add_units(1);
         self.count_frame(&frame);
         self.trace_event(
             now,
@@ -792,6 +831,7 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         }
         self.energy_j[to] += self.radio.energy.rx_joules(frame.bytes());
         let delay = self.radio.tx_delay(frame.bytes(), &mut self.rng);
+        self.inflight_frames += 1;
         self.queue.schedule(now + delay, Event::Deliver { to, link_from: from, frame });
     }
 
@@ -799,6 +839,9 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
         if !self.up[from] {
             return;
         }
+        let mut span = sim_obs::span!("radio::tx");
+        span.add_bytes(frame.bytes() as u64);
+        span.add_units(1);
         self.count_frame(&frame);
         self.trace_event(
             now,
@@ -875,6 +918,7 @@ impl<P: Clone + 'static, A: Application<P>> Simulator<P, A> {
             return;
         }
         self.energy_j[to] += self.radio.energy.rx_joules(frame.bytes());
+        self.inflight_frames += 1;
         self.queue
             .schedule(now + delay, Event::Deliver { to, link_from: from, frame: frame.clone() });
     }
@@ -1024,6 +1068,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The gauge accessors read engine state without touching it: the
+    /// in-flight count returns to zero once the air clears, and grid
+    /// stats reflect the node layout.
+    #[test]
+    fn gauge_accessors_reflect_engine_state() {
+        let mut sim: Simulator<(), Idle> = Simulator::new(RadioConfig::default(), 7);
+        for x in [0.0, 100.0, 900.0] {
+            sim.add_node(Pos::new(x, 0.0), MobilityConfig::frozen(), Idle, 9);
+        }
+        let (cells, max_bucket) = sim.grid_stats();
+        assert_eq!(cells, 2, "two occupied cells: x in [0,250) and [750,1000)");
+        assert_eq!(max_bucket, 2);
+        sim.set_neighbor_mode(NeighborMode::Beacon {
+            period: SimDuration::from_secs_f64(1.0),
+            expiry: SimDuration::from_secs_f64(2.5),
+        });
+        // Stop between beacon ticks: transmissions from the last tick have
+        // landed, nothing is mid-flight, and the pending count is exactly
+        // the beacon chain.
+        sim.run_until(SimTime::from_secs_f64(10.5));
+        assert_eq!(sim.inflight_frames(), 0);
+        assert_eq!(sim.pending_events(), 3);
+        assert!(sim.wheel_occupied_slots() >= 1);
     }
 
     /// Beacon mode keeps `heard` sorted: the neighbour view needs no

@@ -135,8 +135,13 @@ impl<E> EventQueue<E> {
     /// keeps `at >= cur` for everything still pending: the drained slot
     /// was the earliest occupied one, so no event lives below its window.
     fn cascade(&mut self) {
+        if self.occ[0] != 0 {
+            return; // common case: the current window already has events
+        }
+        let mut span = sim_obs::span!("wheel::cascade");
+        let mut refiled = 0u64;
         while self.occ[0] == 0 {
-            let Some(level) = (1..LEVELS).find(|&l| self.occ[l] != 0) else { return };
+            let Some(level) = (1..LEVELS).find(|&l| self.occ[l] != 0) else { break };
             let slot = self.occ[level].trailing_zeros() as usize;
             let width = SLOT_BITS * level as u32;
             let above = match width + SLOT_BITS {
@@ -146,12 +151,14 @@ impl<E> EventQueue<E> {
             self.cur = above | ((slot as u64) << width);
             self.occ[level] &= !(1u64 << slot);
             let mut drained = std::mem::take(&mut self.slots[level * SLOTS + slot]);
+            refiled += drained.len() as u64;
             for s in drained.drain(..) {
                 self.file(s);
             }
             // Hand the allocation back for the slot's next tenant.
             self.slots[level * SLOTS + slot] = drained;
         }
+        span.add_units(refiled);
     }
 
     /// Pops the earliest event, advancing the clock to its timestamp.
@@ -205,6 +212,12 @@ impl<E> EventQueue<E> {
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.len
+    }
+
+    /// Number of occupied wheel slots across all levels — how spread-out
+    /// the pending events are (a gauge input; one popcount per level).
+    pub fn occupied_slots(&self) -> u32 {
+        self.occ.iter().map(|b| b.count_ones()).sum()
     }
 
     /// `true` when nothing is scheduled.
@@ -267,6 +280,20 @@ mod tests {
         assert!(q.is_empty());
         q.schedule(SimTime(1), ());
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn occupied_slots_tracks_spread() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.occupied_slots(), 0);
+        q.schedule(SimTime(1), ());
+        q.schedule(SimTime(1), ()); // same slot
+        assert_eq!(q.occupied_slots(), 1);
+        q.schedule(SimTime(2), ()); // second level-0 slot
+        q.schedule(SimTime(1 << 30), ()); // a high-level slot
+        assert_eq!(q.occupied_slots(), 3);
+        while q.pop().is_some() {}
+        assert_eq!(q.occupied_slots(), 0);
     }
 
     #[test]

@@ -97,6 +97,7 @@ impl SpatialGrid {
     /// superset of the Euclidean ball; callers re-filter with exact
     /// positions.
     pub fn query_into(&self, center: Pos, radius: f64, out: &mut Vec<NodeId>) {
+        let mut span = sim_obs::span!("grid::query");
         out.clear();
         let lo = self.cell_of(Pos::new(center.x - radius, center.y - radius));
         let hi = self.cell_of(Pos::new(center.x + radius, center.y + radius));
@@ -108,6 +109,18 @@ impl SpatialGrid {
             }
         }
         out.sort_unstable();
+        span.add_units(out.len() as u64);
+    }
+
+    /// Number of non-empty cells (a gauge input).
+    pub fn occupied_cells(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Largest bucket's population — the local-density hotspot a query
+    /// pays for (a gauge input).
+    pub fn max_bucket_len(&self) -> usize {
+        self.buckets.values().map(Vec::len).max().unwrap_or(0)
     }
 }
 

@@ -56,6 +56,11 @@ impl SimDuration {
         SimDuration(us)
     }
 
+    /// Whole microseconds in this span.
+    pub fn as_micros(self) -> u64 {
+        self.0
+    }
+
     /// Seconds in this span.
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e6

@@ -1,0 +1,284 @@
+//! Engine time-series gauges: periodic sim-time samples of engine state
+//! (wheel occupancy, grid cell stats, in-flight frames, ARQ backlog, …)
+//! in fixed-capacity ring buffers with stable JSONL/CSV export.
+//!
+//! Sampling is driven by the experiment loop *in simulated time*, so the
+//! sample points — and therefore every exported row — are pure functions
+//! of the scenario and bit-identical across `--jobs` values. Wall-clock
+//! never enters a gauge. When a ring fills, the oldest samples are
+//! dropped and counted, so exports are honest about truncation.
+
+use std::fmt::Write as _;
+
+/// One named time series of `(sim_us, value)` samples in a bounded ring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSeries {
+    /// Series name (convention: `subsystem.metric`, e.g. `wheel.pending`).
+    pub name: String,
+    capacity: usize,
+    /// Samples in arrival order once the ring is compacted; stored with a
+    /// start offset while live.
+    samples: Vec<(u64, f64)>,
+    start: usize,
+    /// Oldest samples evicted because the ring was full.
+    pub dropped: u64,
+}
+
+impl GaugeSeries {
+    /// An empty series holding at most `capacity` samples.
+    pub fn new(name: &str, capacity: usize) -> GaugeSeries {
+        assert!(capacity > 0, "gauge ring capacity must be positive");
+        GaugeSeries { name: name.to_string(), capacity, samples: Vec::new(), start: 0, dropped: 0 }
+    }
+
+    /// Appends a sample at simulated time `sim_us`; evicts the oldest
+    /// sample (counting it in [`dropped`](Self::dropped)) when full.
+    pub fn push(&mut self, sim_us: u64, value: f64) {
+        if self.samples.len() < self.capacity {
+            self.samples.push((sim_us, value));
+        } else {
+            self.samples[self.start] = (sim_us, value);
+            self.start = (self.start + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained samples, oldest first.
+    pub fn samples(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::with_capacity(self.samples.len());
+        for i in 0..self.samples.len() {
+            out.push(self.samples[(self.start + i) % self.samples.len()]);
+        }
+        out
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Largest retained value, or `None` when empty.
+    pub fn max_value(&self) -> Option<f64> {
+        self.samples.iter().map(|&(_, v)| v).fold(None, |m, v| {
+            Some(match m {
+                Some(m) if m >= v => m,
+                _ => v,
+            })
+        })
+    }
+
+    /// Last retained value, or `None` when empty.
+    pub fn last_value(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else if self.samples.len() < self.capacity {
+            self.samples.last().map(|&(_, v)| v)
+        } else {
+            let i = (self.start + self.capacity - 1) % self.capacity;
+            Some(self.samples[i].1)
+        }
+    }
+}
+
+/// Formats a gauge value without float noise: integral values print as
+/// integers, everything else with six decimal places.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+/// A set of named series sharing one sampling clock.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GaugeSet {
+    /// Member series, in registration order.
+    pub series: Vec<GaugeSeries>,
+}
+
+impl GaugeSet {
+    /// An empty set.
+    pub fn new() -> GaugeSet {
+        GaugeSet::default()
+    }
+
+    /// Registers a series and returns its handle index.
+    pub fn register(&mut self, name: &str, capacity: usize) -> usize {
+        self.series.push(GaugeSeries::new(name, capacity));
+        self.series.len() - 1
+    }
+
+    /// Appends a sample to the series registered as `idx`.
+    pub fn push(&mut self, idx: usize, sim_us: u64, value: f64) {
+        self.series[idx].push(sim_us, value);
+    }
+
+    /// The series named `name`, if registered.
+    pub fn get(&self, name: &str) -> Option<&GaugeSeries> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Freezes into an exportable [`GaugeLog`] with rows sorted by
+    /// `(sim_us, series)` — a total order independent of registration or
+    /// sampling interleave.
+    pub fn into_log(self) -> GaugeLog {
+        let mut rows = Vec::new();
+        let mut dropped = Vec::new();
+        for s in self.series {
+            if s.dropped > 0 {
+                dropped.push((s.name.clone(), s.dropped));
+            }
+            for (sim_us, value) in s.samples() {
+                rows.push(GaugeRow { sim_us, series: s.name.clone(), value });
+            }
+        }
+        rows.sort_by(|a, b| a.sim_us.cmp(&b.sim_us).then_with(|| a.series.cmp(&b.series)));
+        dropped.sort();
+        GaugeLog { rows, dropped }
+    }
+}
+
+/// One exported gauge sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeRow {
+    /// Simulated time of the sample, microseconds.
+    pub sim_us: u64,
+    /// Series name.
+    pub series: String,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// A frozen, export-ready gauge log: rows totally ordered by
+/// `(sim_us, series)`, plus per-series eviction counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GaugeLog {
+    /// Samples, ordered by `(sim_us, series)`.
+    pub rows: Vec<GaugeRow>,
+    /// `(series, evicted_count)` for every series that overflowed.
+    pub dropped: Vec<(String, u64)>,
+}
+
+impl GaugeLog {
+    /// JSONL export: one `{"t_us": …, "series": …, "value": …}` object
+    /// per line, preceded by one `drops` line per overflowed series.
+    /// Byte-stable for identical logs.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, n) in &self.dropped {
+            let _ = writeln!(out, "{{\"drops\": {{\"series\": \"{name}\", \"evicted\": {n}}}}}");
+        }
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{{\"t_us\": {}, \"series\": \"{}\", \"value\": {}}}",
+                r.sim_us,
+                r.series,
+                fmt_value(r.value)
+            );
+        }
+        out
+    }
+
+    /// CSV export with a `t_us,series,value` header. Byte-stable for
+    /// identical logs.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_us,series,value\n");
+        for r in &self.rows {
+            let _ = writeln!(out, "{},{},{}", r.sim_us, r.series, fmt_value(r.value));
+        }
+        out
+    }
+
+    /// Last value of `series`, if any sample survived.
+    pub fn last_value(&self, series: &str) -> Option<f64> {
+        self.rows.iter().rev().find(|r| r.series == series).map(|r| r.value)
+    }
+
+    /// Maximum value of `series`, if any sample survived.
+    pub fn max_value(&self, series: &str) -> Option<f64> {
+        self.rows
+            .iter()
+            .filter(|r| r.series == series)
+            .map(|r| r.value)
+            .fold(None, |m, v| {
+                Some(match m {
+                    Some(m) if m >= v => m,
+                    _ => v,
+                })
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut s = GaugeSeries::new("wheel.pending", 3);
+        for i in 0..5u64 {
+            s.push(i * 100, i as f64);
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.samples(), vec![(200, 2.0), (300, 3.0), (400, 4.0)]);
+        assert_eq!(s.last_value(), Some(4.0));
+        assert_eq!(s.max_value(), Some(4.0));
+    }
+
+    #[test]
+    fn log_rows_sort_by_time_then_series() {
+        let mut set = GaugeSet::new();
+        let b = set.register("b.metric", 8);
+        let a = set.register("a.metric", 8);
+        set.push(b, 200, 2.0);
+        set.push(a, 200, 1.0);
+        set.push(b, 100, 9.0);
+        let log = set.into_log();
+        let order: Vec<(u64, &str)> =
+            log.rows.iter().map(|r| (r.sim_us, r.series.as_str())).collect();
+        assert_eq!(order, vec![(100, "b.metric"), (200, "a.metric"), (200, "b.metric")]);
+    }
+
+    #[test]
+    fn exports_are_byte_stable() {
+        let build = || {
+            let mut set = GaugeSet::new();
+            let g = set.register("grid.occupied_cells", 2);
+            set.push(g, 0, 4.0);
+            set.push(g, 1_000_000, 5.5);
+            set.push(g, 2_000_000, 6.0); // evicts t=0
+            set.into_log()
+        };
+        let (l1, l2) = (build(), build());
+        assert_eq!(l1.to_jsonl(), l2.to_jsonl());
+        assert_eq!(l1.to_csv(), l2.to_csv());
+        assert!(l1
+            .to_jsonl()
+            .starts_with("{\"drops\": {\"series\": \"grid.occupied_cells\", \"evicted\": 1}}\n"));
+        assert!(l1.to_jsonl().contains(
+            "{\"t_us\": 1000000, \"series\": \"grid.occupied_cells\", \"value\": 5.500000}"
+        ));
+        assert!(l1.to_csv().contains("2000000,grid.occupied_cells,6\n"));
+    }
+
+    #[test]
+    fn log_accessors_find_last_and_max() {
+        let mut set = GaugeSet::new();
+        let g = set.register("arq.backlog", 8);
+        set.push(g, 0, 3.0);
+        set.push(g, 10, 7.0);
+        set.push(g, 20, 1.0);
+        let log = set.into_log();
+        assert_eq!(log.last_value("arq.backlog"), Some(1.0));
+        assert_eq!(log.max_value("arq.backlog"), Some(7.0));
+        assert_eq!(log.last_value("missing"), None);
+    }
+}
