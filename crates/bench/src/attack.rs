@@ -121,6 +121,7 @@ pub fn attack_plan(
         until: SimTime::from_secs_f64(until),
         period: SimDuration::from_secs_f64(period),
         sybil_k: SYBIL_K,
+        spoof: false,
         protect: Vec::new(),
         seed: attack_seed(kind, churn, loss),
     }))
@@ -576,6 +577,69 @@ mod tests {
         assert!(
             on.mean_honest_completeness > 0.9,
             "honest queries must survive the defended flood: {on:?}"
+        );
+    }
+
+    /// The PR 7 residual (DESIGN §11.5), closed: a query-flood spammer
+    /// that *spoofs* its claimed originator — rotating across its honest
+    /// neighbors — spreads the charge over many per-origin buckets so no
+    /// single one fills, evading the rate limiter that blocks a plain
+    /// flood. The identity-plausibility verdict (a zero-hop frame whose
+    /// routing source contradicts its claimed origin is a forgery) must
+    /// re-route the charge into the *spoofer's* bucket, restoring the
+    /// block without taxing the victims.
+    #[test]
+    fn spoofed_flood_evades_buckets_until_identity_reroutes_the_charge() {
+        use manet_sim::AttackRole;
+        let bf = &arms()[0];
+        let base = run_cell(0.0, 0.0, bf, None, false);
+
+        let run_spoofed = |identity: bool| {
+            let mut exp = shrink(0.0, 0.0, bf, Some(AttackKind::QueryFlood), true);
+            exp.attack_plan = exp.attack_plan.as_ref().map(|plan| {
+                plan.roles()
+                    .iter()
+                    .fold(AttackPlan::new(), |p, r| p.assign(AttackRole { spoof: true, ..*r }))
+            });
+            exp.dist.defense.identity = identity;
+            let out = run_experiment(&exp);
+            verify_zero_drift(&out).unwrap_or_else(|e| {
+                panic!("zero drift violated (spoofed flood, identity={identity}): {e}")
+            });
+            report(bf, Some(AttackKind::QueryFlood), true, 0.0, 0.0, &exp, &out, 0.0)
+        };
+
+        // Residual reproduced: per-origin buckets alone barely engage
+        // against rotated spoofed origins, and the flood inflates traffic
+        // like an undefended one.
+        let evaded = run_spoofed(false);
+        assert!(evaded.attack_frames_sent > 0);
+        assert!(
+            evaded.frames_sent > base.frames_sent * 2,
+            "rotated spoofing must evade per-origin buckets: {} vs baseline {}",
+            evaded.frames_sent,
+            base.frames_sent
+        );
+
+        // The fix: spoofed frames land in the spoofer's bucket, the flood
+        // is blocked, and honest service survives.
+        let fixed = run_spoofed(true);
+        assert!(
+            fixed.attack_frames_dropped > evaded.attack_frames_dropped,
+            "identity verdict must engage the limiter: {} vs {}",
+            fixed.attack_frames_dropped,
+            evaded.attack_frames_dropped
+        );
+        assert!(
+            fixed.frames_sent < evaded.frames_sent,
+            "blocking the spoofed flood must deflate traffic: {} vs {}",
+            fixed.frames_sent,
+            evaded.frames_sent
+        );
+        assert_eq!(fixed.spurious, 0);
+        assert!(
+            fixed.mean_honest_completeness > 0.9,
+            "honest victims' queries must survive the defended spoofed flood: {fixed:?}"
         );
     }
 

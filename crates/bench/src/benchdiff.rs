@@ -21,6 +21,15 @@
 //!   `jobs` and `cells_per_sec` in timings rows are ignored (derived or
 //!   environment-bound).
 //!
+//! **Prefix mode** ([`diff_with`] with `prefix = true`, the binary's
+//! `--prefix` flag) adapts the rules for CI's quick-vs-committed gate: a
+//! Quick re-run's grid is a strict prefix of the committed Full grid
+//! (same cells, same seeds, fewer rows), so prefix mode exempts `scale`
+//! from the identity check, compares grid and timings rows index-wise
+//! over the candidate's length (candidate rows beyond the baseline are
+//! drift), and skips the top-level wall-clock fields (a subset run's
+//! total is incomparable).
+//!
 //! The `bench_diff` binary maps these to exit codes: 0 pass, 1
 //! drift/regression, 2 refusal.
 
@@ -95,7 +104,23 @@ fn render(v: &JsonValue) -> String {
 /// Compares two parsed baselines. `Err` is a refusal (not comparable);
 /// `Ok` carries the drift/regression findings.
 pub fn diff(baseline: &JsonValue, candidate: &JsonValue, tol: f64) -> Result<DiffReport, String> {
+    diff_with(baseline, candidate, tol, false)
+}
+
+/// [`diff`] with an explicit mode: `prefix = true` accepts a candidate
+/// whose grid is a prefix of the baseline's (a Quick re-run gated against
+/// the committed Full baseline) — see the module docs for the exact
+/// relaxations.
+pub fn diff_with(
+    baseline: &JsonValue,
+    candidate: &JsonValue,
+    tol: f64,
+    prefix: bool,
+) -> Result<DiffReport, String> {
     for field in IDENTITY_FIELDS {
+        if prefix && field == "scale" {
+            continue;
+        }
         let b = baseline.get(field);
         let c = candidate.get(field);
         match (b, c) {
@@ -127,7 +152,18 @@ pub fn diff(baseline: &JsonValue, candidate: &JsonValue, tol: f64) -> Result<Dif
         .get("grid")
         .and_then(JsonValue::as_array)
         .ok_or("refusing to compare: candidate has no `grid` array")?;
-    if b_grid.len() != c_grid.len() {
+    if prefix {
+        if c_grid.is_empty() {
+            report.drift.push("candidate grid is empty (nothing to gate)".to_string());
+        }
+        if c_grid.len() > b_grid.len() {
+            report.drift.push(format!(
+                "candidate has {} grid rows beyond the baseline's {} (not a prefix)",
+                c_grid.len(),
+                b_grid.len()
+            ));
+        }
+    } else if b_grid.len() != c_grid.len() {
         report.drift.push(format!(
             "grid row count changed: {} -> {} (same grid_rev — emitter bug?)",
             b_grid.len(),
@@ -182,7 +218,12 @@ pub fn diff(baseline: &JsonValue, candidate: &JsonValue, tol: f64) -> Result<Dif
         }
     }
 
-    // Top-level wall-clock (e.g. sweep's total_seconds) gets the same band.
+    // Top-level wall-clock (e.g. sweep's total_seconds) gets the same
+    // band — except in prefix mode, where the candidate ran a subset and
+    // its total is incomparable by construction.
+    if prefix {
+        return Ok(report);
+    }
     if let Some(members) = baseline.as_object() {
         for (key, bv) in members {
             if !is_wall_clock(key) {
@@ -207,9 +248,19 @@ pub fn diff(baseline: &JsonValue, candidate: &JsonValue, tol: f64) -> Result<Dif
 
 /// Parses and compares two baseline documents.
 pub fn diff_texts(baseline: &str, candidate: &str, tol: f64) -> Result<DiffReport, String> {
+    diff_texts_with(baseline, candidate, tol, false)
+}
+
+/// [`diff_texts`] with the prefix mode switch.
+pub fn diff_texts_with(
+    baseline: &str,
+    candidate: &str,
+    tol: f64,
+    prefix: bool,
+) -> Result<DiffReport, String> {
     let b = JsonValue::parse(baseline).map_err(|e| format!("baseline does not parse: {e}"))?;
     let c = JsonValue::parse(candidate).map_err(|e| format!("candidate does not parse: {e}"))?;
-    diff(&b, &c, tol)
+    diff_with(&b, &c, tol, prefix)
 }
 
 #[cfg(test)]
@@ -285,6 +336,60 @@ mod tests {
         assert!(diff_texts(&base, &other, 0.5).unwrap_err().contains("`bench`"));
         let headerless = base.replace("  \"grid_rev\": 2,\n", "");
         assert!(diff_texts(&base, &headerless, 0.5).unwrap_err().contains("grid_rev"));
+    }
+
+    #[test]
+    fn prefix_mode_gates_a_quick_rerun_against_the_full_baseline() {
+        let full = doc(
+            2,
+            r#"{"g": 10, "frames": 5}, {"g": 18, "frames": 9}, {"g": 32, "frames": 20}"#,
+            r#"{"g": 10, "seconds": 1.0}, {"g": 18, "seconds": 4.0}, {"g": 32, "seconds": 40.0}"#,
+        );
+        let quick = doc(
+            2,
+            r#"{"g": 10, "frames": 5}, {"g": 18, "frames": 9}"#,
+            r#"{"g": 10, "seconds": 1.2}, {"g": 18, "seconds": 4.1}"#,
+        );
+        let full = full.replace("\"scale\": \"Quick\"", "\"scale\": \"Full\"");
+        // Exact mode refuses on scale; prefix mode compares the prefix.
+        assert!(diff_texts(&full, &quick, 0.5).unwrap_err().contains("scale"));
+        let rep = diff_texts_with(&full, &quick, 0.5, true).unwrap();
+        assert!(rep.passed(), "{rep:?}");
+
+        // A drifted row inside the prefix still fails.
+        let drifted = quick.replace("\"frames\": 9", "\"frames\": 10");
+        let rep = diff_texts_with(&full, &drifted, 0.5, true).unwrap();
+        assert_eq!(rep.drift.len(), 1);
+        assert!(rep.drift[0].contains("`frames`: 9 -> 10"), "{}", rep.drift[0]);
+
+        // A slow prefix row still regresses (40 s baseline row unused).
+        let slow = quick.replace("\"seconds\": 4.1", "\"seconds\": 9.0");
+        let rep = diff_texts_with(&full, &slow, 0.5, true).unwrap();
+        assert_eq!(rep.regressions.len(), 1, "{rep:?}");
+    }
+
+    #[test]
+    fn prefix_mode_rejects_non_prefix_and_empty_candidates() {
+        let base = doc(2, r#"{"g": 10}"#, "");
+        let longer = doc(2, r#"{"g": 10}, {"g": 18}"#, "");
+        let rep = diff_texts_with(&base, &longer, 0.5, true).unwrap();
+        assert!(rep.drift[0].contains("not a prefix"), "{}", rep.drift[0]);
+        let empty = doc(2, "", "");
+        let rep = diff_texts_with(&base, &empty, 0.5, true).unwrap();
+        assert!(rep.drift[0].contains("empty"), "{}", rep.drift[0]);
+        // grid_rev identity still refuses in prefix mode.
+        let rev3 = doc(3, r#"{"g": 10}"#, "");
+        assert!(diff_texts_with(&base, &rev3, 0.5, true).unwrap_err().contains("grid_rev"));
+    }
+
+    #[test]
+    fn prefix_mode_skips_incomparable_top_level_wall_clock() {
+        let base = doc(2, r#"{"g": 10}"#, "")
+            .replace("  \"jobs\"", "  \"total_seconds\": 100.0,\n  \"jobs\"");
+        let cand = doc(2, r#"{"g": 10}"#, "")
+            .replace("  \"jobs\"", "  \"total_seconds\": 900.0,\n  \"jobs\"");
+        assert!(!diff_texts(&base, &cand, 0.5).unwrap().passed());
+        assert!(diff_texts_with(&base, &cand, 0.5, true).unwrap().passed());
     }
 
     #[test]

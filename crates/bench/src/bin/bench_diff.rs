@@ -2,7 +2,11 @@
 //! for the comparison rules.
 //!
 //! Usage: `cargo run --release -p msq-bench --bin bench_diff -- \
-//! <baseline.json> <candidate.json> [--tol FRAC]`
+//! <baseline.json> <candidate.json> [--tol FRAC] [--prefix]`
+//!
+//! `--prefix` gates a Quick re-run against a committed Full baseline:
+//! the candidate grid must be an exact prefix of the baseline grid (the
+//! `scale` header and the top-level totals are exempted).
 //!
 //! Exit codes: 0 = pass (deterministic rows identical, wall clock inside
 //! the tolerance band), 1 = drift or regression, 2 = the files are not
@@ -20,9 +24,13 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<&String> = Vec::new();
     let mut tol = DEFAULT_TOL;
+    let mut prefix = false;
     let mut i = 0;
     while i < args.len() {
-        if args[i] == "--tol" {
+        if args[i] == "--prefix" {
+            prefix = true;
+            i += 1;
+        } else if args[i] == "--tol" {
             let Some(v) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
                 eprintln!("--tol expects a non-negative number");
                 std::process::exit(2);
@@ -39,7 +47,7 @@ fn main() {
         }
     }
     if paths.len() != 2 {
-        eprintln!("usage: bench_diff <baseline.json> <candidate.json> [--tol FRAC]");
+        eprintln!("usage: bench_diff <baseline.json> <candidate.json> [--tol FRAC] [--prefix]");
         std::process::exit(2);
     }
 
@@ -53,7 +61,7 @@ fn main() {
     let baseline = read(paths[0]);
     let candidate = read(paths[1]);
 
-    match benchdiff::diff_texts(&baseline, &candidate, tol) {
+    match benchdiff::diff_texts_with(&baseline, &candidate, tol, prefix) {
         Err(refusal) => {
             eprintln!("{refusal}");
             std::process::exit(2);
@@ -67,10 +75,10 @@ fn main() {
             }
             if report.passed() {
                 println!(
-                    "bench_diff: {} vs {}: OK (deterministic rows identical, wall clock \
-                     within {:.0}%)",
+                    "bench_diff: {} vs {}: OK ({} rows identical, wall clock within {:.0}%)",
                     paths[0],
                     paths[1],
+                    if prefix { "deterministic prefix" } else { "deterministic" },
                     tol * 100.0
                 );
             } else {

@@ -1,0 +1,40 @@
+//! **Core-kernel driver**: regenerates `BENCH_core.json` (the dominance
+//! kernel + neighbour-discovery micro-benchmarks) without the rest of
+//! `run_all` — see [`msq_bench::corebench`] for the design.
+//!
+//! The grid is scale-independent (the committed baseline carries
+//! `"scale": "Quick"`), so this binary is what CI's perf gate runs to
+//! diff a fresh candidate against the committed baseline in seconds.
+//!
+//! Usage: `cargo run --release -p msq-bench --bin core_bench [--json]`
+
+use msq_bench::provenance::Provenance;
+
+fn main() {
+    let records = msq_bench::corebench::run(20_000);
+    let neighbors = msq_bench::corebench::neighbor_discovery();
+    println!("== Core: dominance kernels ==");
+    println!(
+        "{:>5} {:>8} {:>12} {:>10} {:>10} {:>12}",
+        "dims", "tuples", "dom_tests", "tuple_ms", "block_ms", "skyline_len"
+    );
+    for r in &records {
+        println!(
+            "{:>5} {:>8} {:>12} {:>10.3} {:>10.3} {:>12}",
+            r.dims, r.tuples, r.dominance_tests, r.tuple_ms, r.block_ms, r.skyline_len
+        );
+    }
+    println!("\n== Core: neighbour discovery ==");
+    println!("{:>7} {:>9} {:>10} {:>10}", "nodes", "neighbors", "grid_ms", "scan_ms");
+    for r in &neighbors {
+        println!("{:>7} {:>9} {:>10.3} {:>10.3}", r.nodes, r.neighbors, r.grid_ms, r.scan_ms);
+    }
+    if std::env::args().any(|a| a == "--json") {
+        let path = "BENCH_core.json";
+        let prov = Provenance::collect(msq_bench::Scale::Quick, 1);
+        match std::fs::write(path, msq_bench::corebench::to_json(&prov, &records, &neighbors)) {
+            Ok(()) => println!("[json] wrote {path}"),
+            Err(e) => eprintln!("[json] failed to write {path}: {e}"),
+        }
+    }
+}

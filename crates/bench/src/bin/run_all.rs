@@ -8,7 +8,8 @@
 //! `--json` additionally runs the core dominance micro-benchmark and
 //! writes the machine-readable baselines `BENCH_core.json`,
 //! `BENCH_sweep.json`, `BENCH_chaos.json`, `BENCH_attack.json`,
-//! `BENCH_monitor.json`, and `BENCH_scale.json` to the current directory.
+//! `BENCH_monitor.json`, `BENCH_scale.json`, and `BENCH_serve.json` to
+//! the current directory.
 
 use datagen::Distribution;
 use msq_bench::manet_figs::Metric;
@@ -58,6 +59,9 @@ fn main() {
     println!();
     let scalebench = msq_bench::scalebench::run(scale);
 
+    println!();
+    let serve = msq_bench::servebench::run(scale);
+
     let total = t0.elapsed();
     println!("\nall figures regenerated in {total:.1?} ({jobs} jobs)");
 
@@ -69,6 +73,7 @@ fn main() {
         write_file("BENCH_attack.json", &msq_bench::attack::to_json(&prov, &attack));
         write_file("BENCH_monitor.json", &msq_bench::monitor::to_json(&prov, &monitor));
         write_file("BENCH_scale.json", &msq_bench::scalebench::to_json(&prov, &scalebench));
+        write_file("BENCH_serve.json", &msq_bench::servebench::to_json(&prov, &serve));
 
         let records = msq_bench::corebench::run(20_000);
         let neighbors = msq_bench::corebench::neighbor_discovery();

@@ -21,6 +21,7 @@ pub mod perf_report;
 pub mod provenance;
 pub mod scale;
 pub mod scalebench;
+pub mod servebench;
 pub mod static_drr;
 pub mod sweep;
 pub mod table;

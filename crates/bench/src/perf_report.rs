@@ -5,9 +5,11 @@
 //! The scenario is a single [`crate::scalebench`] cell (cardinality
 //! 10 000, 3 attributes, 300 s query window — the scale grid's shared
 //! point) at a caller-chosen grid side, so its numbers sit on the same
-//! axis as `BENCH_scale.json` rows. Spans attribute wall time to
-//! subsystems (`wheel::cascade`, `grid::query`, `aodv::*`,
-//! `radio::deliver`, `core::*`); the report names the
+//! axis as `BENCH_scale.json` rows, followed by one serving smoke cell so
+//! the front end profiles alongside the engine. Spans attribute wall time
+//! to subsystems (`wheel::cascade`, `grid::query`, `aodv::*`,
+//! `radio::deliver`, `core::*`, `serve::lookup`, `diagram::materialize`,
+//! `diagram::invalidate`); the report names the
 //! top subsystems by wall share, prints the full hotspot table, the query
 //! latency histograms, and the engine gauge summary.
 //!
@@ -26,6 +28,7 @@ use dist_skyline::runtime::{run_experiment, ManetOutcome};
 use sim_obs::{PowHistogram, ProfileReport};
 
 use crate::scalebench::{self, ScaleCell};
+use crate::servebench;
 
 /// Default grid side: the Quick scale grid's largest network (1024
 /// devices) — big enough that subsystem costs separate, small enough for
@@ -47,8 +50,19 @@ pub struct PerfRun {
     pub outcome: ManetOutcome,
     /// Span profile collected across the run.
     pub profile: ProfileReport,
+    /// Deterministic counters from the serving segment.
+    pub serve: servebench::CellMetrics,
     /// End-to-end wall seconds (volatile).
     pub wall_seconds: f64,
+}
+
+/// A small serving workload run inside the span window, so the hotspot
+/// table covers the front end too (`serve::lookup`,
+/// `diagram::materialize`, `diagram::invalidate`): one smoke cell of the
+/// serve grid — cold pass, cached repeats, churn invalidation — proven
+/// exact by [`servebench::run_cell`] before it reports.
+pub fn serve_segment() -> servebench::CellMetrics {
+    servebench::run_cell(&servebench::smoke_cells()[0]).metrics
 }
 
 /// Runs the pinned scenario with full instrumentation: spans enabled
@@ -63,10 +77,11 @@ pub fn run(g: usize) -> PerfRun {
     let _ = ProfileReport::collect_and_reset();
     let t0 = Instant::now();
     let outcome = run_experiment(&exp);
+    let serve = serve_segment();
     let wall_seconds = t0.elapsed().as_secs_f64();
     sim_obs::set_enabled(false);
     let profile = ProfileReport::collect_and_reset();
-    PerfRun { cell, outcome, profile, wall_seconds }
+    PerfRun { cell, outcome, profile, serve, wall_seconds }
 }
 
 /// One sentence naming the top `n` subsystems by attributed wall share.
@@ -114,6 +129,14 @@ pub fn render(run: &PerfRun) -> String {
     );
     let _ = writeln!(out, "{}\n", narrative(&run.profile, 3));
     out.push_str(&run.profile.render());
+
+    let s = &run.serve;
+    let _ = writeln!(
+        out,
+        "\nserving segment (one serve-smoke cell, proven exact): lookups={} \
+         hit_ratio={:.3} misses={} invalidations={} evictions={}",
+        s.lookups, s.hit_ratio, s.misses, s.invalidations, s.evictions
+    );
 
     out.push_str("\nlatency histograms (simulated time):\n");
     out.push_str(&hist_line("query response", &run.outcome.response_hist, "us"));
@@ -200,6 +223,24 @@ mod tests {
         assert!(radio < wheel && wheel < grid, "{n}");
         assert!(!n.contains("kernel::block_scan"), "top-3 only: {n}");
         assert!(n.contains("59.4%"), "600/1010 wall share: {n}");
+    }
+
+    #[test]
+    fn serve_segment_emits_front_end_spans() {
+        sim_obs::set_enabled(true);
+        let _ = ProfileReport::collect_and_reset();
+        let metrics = serve_segment();
+        sim_obs::set_enabled(false);
+        let profile = ProfileReport::collect_and_reset();
+        assert!(metrics.lookups > 0 && metrics.misses > 0);
+        // Spans from concurrent tests may also land here; presence is
+        // what matters.
+        for name in ["serve::lookup", "diagram::materialize", "diagram::invalidate"] {
+            assert!(
+                profile.rows.iter().any(|r| r.name == name),
+                "span `{name}` missing from the serve segment profile"
+            );
+        }
     }
 
     #[test]

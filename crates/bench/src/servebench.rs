@@ -1,0 +1,500 @@
+//! **Serve benchmark**: the diagram-cache serving front end under a
+//! repeated-client workload — feeds `BENCH_serve.json`.
+//!
+//! Each cell drives one [`ServeEngine`] over a fixed site relation: a
+//! pool of `clients` query points (seeded LCG walk over the paper's
+//! 1000 × 1000 m extent) is served once **cold** (epoch 0 — every
+//! distinct diagram cell pays a real BF/EXT flood through the backend),
+//! then repeatedly **cached** across the remaining epochs, with
+//! `churn` sites added/retired per epoch through
+//! [`ServeEngine::ingest_epoch`] so invalidation, TTL eviction, and
+//! staleness all exercise on the hot path.
+//!
+//! Everything but wall time is deterministic: the engine's worker count
+//! is fixed by [`ServeConfig`] (never by `--jobs`), counters settle in
+//! cell order, and every cell run ends with
+//! [`ServeEngine::check_invariants`] (each cached answer equals a fresh
+//! recompute) plus [`verify_serve_drift`] (trace events reconcile with
+//! the counters exactly). The JSON separates the deterministic `grid`
+//! rows from the volatile `timings` rows — which carry the headline
+//! numbers: cold vs cached queries/sec and their ratio.
+//!
+//! Usage: `cargo run --release -p msq-bench --bin serve [--full]
+//! [--jobs N] [--json] [--smoke]`
+
+use datagen::{DataSpec, Distribution};
+use dist_skyline::{verify_serve_drift, ServeConfig, ServeEngine, ServeStats};
+use skyline_core::diagram::SkyDelta;
+use skyline_core::region::Point;
+use skyline_core::{Tuple, TupleId};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::provenance::Provenance;
+use crate::sweep;
+use crate::Scale;
+
+/// Master seed; per-cell seeds derive from it plus the cell coordinates.
+const SEED: u64 = 0x5E27E;
+
+/// One `(clients, churn)` point of the serve grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeCell {
+    /// Distinct client query points served every epoch.
+    pub clients: usize,
+    /// Sites added (and, two epochs later, retired) per epoch.
+    pub churn: usize,
+    /// Serving epochs, including the cold epoch 0.
+    pub epochs: u64,
+    /// Site-relation cardinality.
+    pub sites: usize,
+    /// Attribute dimensionality.
+    pub dim: usize,
+}
+
+/// The full grid for a scale (clients-major, then churn).
+pub fn cells(scale: Scale) -> Vec<ServeCell> {
+    let (client_axis, churn_axis, epochs, sites): (&[usize], &[usize], u64, usize) = match scale {
+        Scale::Quick => (&[16, 64, 256], &[0, 8], 24, 2_000),
+        Scale::Full => (&[64, 256, 1024], &[0, 32], 48, 4_000),
+    };
+    let mut out = Vec::new();
+    for &clients in client_axis {
+        for &churn in churn_axis {
+            out.push(ServeCell { clients, churn, epochs, sites, dim: 3 });
+        }
+    }
+    out
+}
+
+/// A trimmed grid for CI smoke runs (`--smoke`): seconds of wall time,
+/// same code path (cold epoch, cached epochs, churn, TTL).
+pub fn smoke_cells() -> Vec<ServeCell> {
+    [16usize, 64]
+        .iter()
+        .map(|&clients| ServeCell { clients, churn: 4, epochs: 8, sites: 800, dim: 3 })
+        .collect()
+}
+
+/// The engine configuration for one cell: default diagram quantization,
+/// a snapshot ring sized to the horizon, a cold backend at the paper's
+/// full device count (an 8 × 8 grid — cold misses pay a real flood), and
+/// the TTL backstop short enough to fire inside the longer grids.
+pub fn engine_config(cell: &ServeCell) -> ServeConfig {
+    ServeConfig { slots: cell.epochs as usize + 2, backend_g: 8, ..ServeConfig::default() }
+}
+
+/// The deterministic part of a cell's outcome — bit-identical across
+/// `--jobs` values (the engine's thread pool is fixed by config).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellMetrics {
+    /// Client pool size.
+    pub clients: usize,
+    /// Churn sites per epoch.
+    pub churn: usize,
+    /// Serving epochs.
+    pub epochs: u64,
+    /// Site-relation cardinality.
+    pub sites: usize,
+    /// Attribute dimensionality.
+    pub dim: usize,
+    /// Requests answered.
+    pub lookups: u64,
+    /// Requests served from a cached (or group-shared) answer.
+    pub hits: u64,
+    /// Cold computes — real backend floods.
+    pub misses: u64,
+    /// hits / lookups.
+    pub hit_ratio: f64,
+    /// Cached cell answers changed by churn deltas.
+    pub invalidations: u64,
+    /// `(site, cell)` intersection-test hits across all ingests.
+    pub cells_touched: u64,
+    /// Cells evicted by the TTL backstop.
+    pub evictions: u64,
+    /// Cold keys back-filled into the diagram.
+    pub backfills: u64,
+    /// Σ answer sizes over all requests.
+    pub tuples_served: u64,
+    /// Staleness histogram: p50 upper bound (epochs).
+    pub stale_p50: u64,
+    /// Staleness histogram: p99 upper bound (epochs).
+    pub stale_p99: u64,
+    /// Oldest answer served (epochs).
+    pub stale_max: u64,
+    /// Σ staleness over all requests (epochs).
+    pub stale_sum: u64,
+}
+
+/// One cell's report: deterministic metrics plus the volatile wall-clock
+/// split into the cold first pass and the cached remainder.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// The jobs-invariant outcome.
+    pub metrics: CellMetrics,
+    /// Wall seconds for the whole cell (volatile).
+    pub seconds: f64,
+    /// Wall seconds of the epoch-0 (all-cold) batch.
+    pub cold_seconds: f64,
+    /// Wall seconds of the cached batches (epochs 1..).
+    pub cached_seconds: f64,
+    /// Requests in the cold batch.
+    pub cold_requests: u64,
+    /// Requests across the cached batches.
+    pub cached_requests: u64,
+}
+
+impl CellReport {
+    /// Cold-path throughput (requests/sec of the all-cold first batch).
+    pub fn cold_qps(&self) -> f64 {
+        self.cold_requests as f64 / self.cold_seconds.max(1e-9)
+    }
+
+    /// Cached-path throughput (requests/sec of the repeat batches).
+    pub fn cached_qps(&self) -> f64 {
+        self.cached_requests as f64 / self.cached_seconds.max(1e-9)
+    }
+
+    /// cached_qps / cold_qps — the headline serving speedup.
+    pub fn speedup(&self) -> f64 {
+        self.cached_qps() / self.cold_qps().max(1e-9)
+    }
+}
+
+/// Splitmix-style step shared by the pool and churn generators.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+/// The fixed client pool for a cell: `clients` query points scattered
+/// over the paper extent with radii cycling through the diagram's bands.
+fn client_pool(cell: &ServeCell, seed: u64) -> Vec<(Point, f64)> {
+    let mut state = seed | 1;
+    (0..cell.clients)
+        .map(|i| {
+            let x = (lcg(&mut state) % 1_000) as f64;
+            let y = (lcg(&mut state) % 1_000) as f64;
+            let radius = [90.0, 180.0, 400.0][i % 3];
+            (Point::new(x, y), radius)
+        })
+        .collect()
+}
+
+/// One churn site: fresh position and attributes off the cell's stream.
+fn churn_site(state: &mut u64, dim: usize) -> Tuple {
+    let x = (lcg(state) % 1_000_000) as f64 / 1_000.0;
+    let y = (lcg(state) % 1_000_000) as f64 / 1_000.0;
+    let attrs = (0..dim).map(|_| (lcg(state) % 100_000) as f64 / 1_000.0).collect();
+    Tuple::new(x, y, attrs)
+}
+
+/// Runs one cell end to end and proves it exact: serves the pool cold,
+/// then cached under churn, and finishes with the invariant check and
+/// the trace/counter reconciliation.
+pub fn run_cell(cell: &ServeCell) -> CellReport {
+    let seed = SEED ^ ((cell.clients as u64) << 32) ^ ((cell.churn as u64) << 16) ^ cell.epochs;
+    let relation =
+        DataSpec::manet_experiment(cell.sites, cell.dim, Distribution::Independent, seed)
+            .generate();
+    let engine = ServeEngine::new(engine_config(cell), relation);
+    let pool = client_pool(cell, seed ^ 0xC11E);
+
+    let t_cell = Instant::now();
+    let t0 = Instant::now();
+    engine.serve_batch(&pool);
+    let cold_seconds = t0.elapsed().as_secs_f64();
+
+    // The cached phase times *serving only*: the writer-side ingest
+    // (delta apply + snapshot publish) runs between batches off the
+    // clock, exactly as it would off the read path in an embedding.
+    let mut churn_state = seed ^ 0xC4u64;
+    let mut retire: VecDeque<TupleId> = VecDeque::new();
+    let mut cached_seconds = 0.0;
+    for _ in 1..cell.epochs {
+        let mut delta = SkyDelta::default();
+        for _ in 0..cell.churn {
+            let site = churn_site(&mut churn_state, cell.dim);
+            let id = TupleId::site(&site);
+            delta.adds.push((id, site));
+            retire.push_back(id);
+        }
+        while retire.len() > 2 * cell.churn {
+            delta.removes.push(retire.pop_front().expect("non-empty"));
+        }
+        engine.ingest_epoch(&delta);
+        let t0 = Instant::now();
+        engine.serve_batch(&pool);
+        cached_seconds += t0.elapsed().as_secs_f64();
+    }
+    let seconds = t_cell.elapsed().as_secs_f64();
+
+    engine
+        .check_invariants()
+        .expect("every cached cell answer equals a fresh recompute");
+    let stats = engine.stats();
+    let log = engine.take_trace();
+    verify_serve_drift(&log, &stats).expect("serve trace reconciles with the counters");
+
+    CellReport {
+        metrics: metrics(cell, &stats),
+        seconds,
+        cold_seconds,
+        cached_seconds,
+        cold_requests: cell.clients as u64,
+        cached_requests: cell.clients as u64 * (cell.epochs - 1),
+    }
+}
+
+fn metrics(cell: &ServeCell, s: &ServeStats) -> CellMetrics {
+    CellMetrics {
+        clients: cell.clients,
+        churn: cell.churn,
+        epochs: cell.epochs,
+        sites: cell.sites,
+        dim: cell.dim,
+        lookups: s.lookups,
+        hits: s.hits,
+        misses: s.misses,
+        hit_ratio: s.hits as f64 / (s.lookups as f64).max(1.0),
+        invalidations: s.invalidations,
+        cells_touched: s.cells_touched,
+        evictions: s.evictions,
+        backfills: s.backfills,
+        tuples_served: s.tuples_served,
+        stale_p50: s.staleness.quantile_bound(0.5).unwrap_or(0),
+        stale_p99: s.staleness.quantile_bound(0.99).unwrap_or(0),
+        stale_max: s.staleness.max().unwrap_or(0),
+        stale_sum: s.staleness.sum(),
+    }
+}
+
+/// Runs a cell list through the sweep harness. Reports come back in
+/// input order, so metrics are byte-identical for any `--jobs`.
+pub fn compute(grid: &[ServeCell], jobs: usize, stage: &str) -> Vec<CellReport> {
+    sweep::run_stage(stage, jobs, grid, run_cell)
+}
+
+/// Runs the grid, prints the serving table, and returns the reports
+/// (shared by the `serve` binary and `run_all`).
+pub fn run(scale: Scale) -> Vec<CellReport> {
+    println!("== Serve: diagram-cache front end, cold vs cached throughput ==\n");
+    let reports = compute(&cells(scale), sweep::jobs_from_args(), "serve_grid");
+    print_table(&reports);
+    println!("\nexpected shape: the cold pass pays one real BF/EXT flood per distinct");
+    println!("diagram cell; every repeat epoch is a lock-free snapshot lookup, so");
+    println!("cached_qps sits orders of magnitude above cold_qps. Churn rows show");
+    println!("invalidations (answers refreshed in place, still served cached) and");
+    println!("the TTL backstop shows up as periodic evictions + re-misses in the");
+    println!("churn-free rows. Every cell run is proven exact before it reports.");
+    reports
+}
+
+/// Prints the per-cell serving table (shared by the full grid and the
+/// `--smoke` grid, which is too small to warrant its own layout).
+pub fn print_table(reports: &[CellReport]) {
+    println!(
+        "{:>8} {:>6} {:>7} {:>8} {:>7} {:>7} {:>7} {:>6} {:>11} {:>11} {:>9}",
+        "clients",
+        "churn",
+        "epochs",
+        "lookups",
+        "hit%",
+        "misses",
+        "invald",
+        "p99age",
+        "cold_qps",
+        "cached_qps",
+        "speedup"
+    );
+    for r in reports {
+        let m = &r.metrics;
+        println!(
+            "{:>8} {:>6} {:>7} {:>8} {:>7.3} {:>7} {:>7} {:>6} {:>11.0} {:>11.0} {:>9.1}",
+            m.clients,
+            m.churn,
+            m.epochs,
+            m.lookups,
+            m.hit_ratio,
+            m.misses,
+            m.invalidations,
+            m.stale_p99,
+            r.cold_qps(),
+            r.cached_qps(),
+            r.speedup(),
+        );
+    }
+}
+
+/// Renders the reports as the `BENCH_serve.json` machine baseline.
+///
+/// Deterministic cell metrics live under `"grid"`; wall-clock data
+/// (`"jobs"`, `"total_seconds"`, throughput) sits on separate lines so CI
+/// can strip it and byte-compare the rest across job counts.
+pub fn to_json(prov: &Provenance, reports: &[CellReport]) -> String {
+    let total: f64 = reports.iter().map(|r| r.seconds).sum();
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"serve\",\n");
+    out.push_str(&prov.header());
+    let _ = writeln!(out, "  \"total_seconds\": {total:.3},");
+    let _ = writeln!(out, "  \"cells\": {},", reports.len());
+    out.push_str("  \"grid\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let sep = if i + 1 < reports.len() { "," } else { "" };
+        let m = &r.metrics;
+        let _ = writeln!(
+            out,
+            "    {{\"clients\": {}, \"churn\": {}, \"epochs\": {}, \"sites\": {}, \
+             \"dim\": {}, \"lookups\": {}, \"hits\": {}, \"misses\": {}, \
+             \"hit_ratio\": {:.6}, \"invalidations\": {}, \"cells_touched\": {}, \
+             \"evictions\": {}, \"backfills\": {}, \"tuples_served\": {}, \
+             \"stale_p50\": {}, \"stale_p99\": {}, \"stale_max\": {}, \"stale_sum\": {}}}{sep}",
+            m.clients,
+            m.churn,
+            m.epochs,
+            m.sites,
+            m.dim,
+            m.lookups,
+            m.hits,
+            m.misses,
+            m.hit_ratio,
+            m.invalidations,
+            m.cells_touched,
+            m.evictions,
+            m.backfills,
+            m.tuples_served,
+            m.stale_p50,
+            m.stale_p99,
+            m.stale_max,
+            m.stale_sum,
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"timings\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let sep = if i + 1 < reports.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"clients\": {}, \"churn\": {}, \"seconds\": {:.3}, \
+             \"cold_ms\": {:.3}, \"cached_ms\": {:.3}, \"cold_qps\": {:.0}, \
+             \"cached_qps\": {:.0}, \"speedup\": {:.1}}}{sep}",
+            r.metrics.clients,
+            r.metrics.churn,
+            r.seconds,
+            r.cold_seconds * 1e3,
+            r.cached_seconds * 1e3,
+            r.cold_qps(),
+            r.cached_qps(),
+            r.speedup(),
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_clients_major_and_rings_cover_the_horizon() {
+        for scale in [Scale::Quick, Scale::Full] {
+            let grid = cells(scale);
+            assert!(grid.windows(2).all(|w| w[0].clients <= w[1].clients), "clients-major");
+            assert!(grid.iter().any(|c| c.churn > 0), "covers churn");
+            assert!(grid.iter().any(|c| c.churn == 0), "covers the TTL-only path");
+            for c in &grid {
+                let cfg = engine_config(c);
+                assert!(cfg.slots as u64 > c.epochs, "snapshot ring must cover the horizon");
+                assert!(cfg.ttl_epochs < c.epochs, "TTL backstop must fire inside the run");
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_cells_serve_mostly_cached_and_reconcile() {
+        let reports = compute(&smoke_cells(), 1, "serve_smoke");
+        sweep::take_stage_records();
+        for r in &reports {
+            let m = &r.metrics;
+            assert_eq!(m.lookups, m.clients as u64 * m.epochs);
+            assert_eq!(m.hits + m.misses, m.lookups);
+            assert!(m.misses > 0, "the cold pass must issue real queries");
+            assert!(m.hit_ratio > 0.8, "repeat epochs must serve cached (got {})", m.hit_ratio);
+            assert!(m.invalidations > 0, "churn must invalidate cached answers");
+            assert!(m.tuples_served > 0);
+            assert!(m.stale_max >= 1, "cached answers age across epochs");
+            assert_eq!(r.cold_requests, m.clients as u64);
+            assert_eq!(r.cached_requests, m.clients as u64 * (m.epochs - 1));
+        }
+    }
+
+    #[test]
+    fn parallel_serve_grid_is_bit_identical_to_sequential() {
+        let grid = smoke_cells();
+        let seq = compute(&grid, 1, "serve_jobs1");
+        let par = compute(&grid, 4, "serve_jobs4");
+        sweep::take_stage_records();
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.metrics, p.metrics, "jobs must not change any metric bit");
+        }
+    }
+
+    #[test]
+    fn json_separates_deterministic_grid_from_volatile_timings() {
+        let r = CellReport {
+            metrics: CellMetrics {
+                clients: 64,
+                churn: 8,
+                epochs: 24,
+                sites: 2_000,
+                dim: 3,
+                lookups: 1_536,
+                hits: 1_500,
+                misses: 36,
+                hit_ratio: 0.9766,
+                invalidations: 40,
+                cells_touched: 200,
+                evictions: 3,
+                backfills: 39,
+                tuples_served: 30_000,
+                stale_p50: 2,
+                stale_p99: 8,
+                stale_max: 15,
+                stale_sum: 3_000,
+            },
+            seconds: 1.5,
+            cold_seconds: 0.9,
+            cached_seconds: 0.6,
+            cold_requests: 64,
+            cached_requests: 1_472,
+        };
+        let prov = Provenance {
+            scale: Scale::Quick,
+            jobs: 4,
+            git_commit: "abc1234".to_string(),
+            rustc: "rustc 1.80.0".to_string(),
+        };
+        let json = to_json(&prov, &[r]);
+        assert!(json.starts_with("{\n") && json.ends_with("}\n"));
+        assert!(json.contains("\"bench\": \"serve\""));
+        assert!(json.contains("\"grid_rev\""));
+        assert!(json.contains("\"hit_ratio\": 0.976600"));
+        assert!(json.contains("\"speedup\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Volatile wall-clock data never shares a line with grid metrics,
+        // so CI can `grep -v` it and byte-compare the rest.
+        for line in json.lines() {
+            let volatile = line.contains("seconds")
+                || line.contains("jobs\"")
+                || line.contains("_ms")
+                || line.contains("qps");
+            assert!(
+                !(volatile && line.contains("hit_ratio")),
+                "volatile and deterministic data share a line: {line}"
+            );
+        }
+    }
+}

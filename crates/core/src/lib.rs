@@ -37,6 +37,7 @@
 pub mod algo;
 pub mod block;
 pub mod constrained;
+pub mod diagram;
 pub mod dominance;
 pub mod live;
 pub mod merge;
@@ -46,6 +47,9 @@ pub mod tuple;
 pub mod vdr;
 
 pub use block::{kernel_for, strict_kernel_for, DomKernel, TupleBlock};
+pub use diagram::{
+    ApplyReport, CellAnswer, CellKey, DiagramConfig, DiagramStats, SkyDelta, SkylineDiagram,
+};
 pub use dominance::{dominates, DominanceTest};
 pub use live::{LiveSkyline, RangeDelta, RangeWatch};
 pub use merge::SkylineMerger;

@@ -23,6 +23,7 @@ pub mod metrics;
 pub mod monitor;
 pub mod query;
 pub mod runtime;
+pub mod serve;
 pub mod static_net;
 pub mod trace;
 pub mod verify;
@@ -39,6 +40,7 @@ pub use monitor::{
 };
 pub use query::{QueryKey, QuerySpec};
 pub use runtime::{QueryRecord, TimeoutCause};
+pub use serve::{verify_serve_drift, ServeConfig, ServeEngine, ServeStats, ServedAnswer};
 pub use trace::{
     query_ids, timeline_for, trace_to_csv, trace_to_jsonl, verify_zero_drift, LatencyStats,
     PhaseStat, QueryTimeline, TimelineSummary, TraceAggregates,

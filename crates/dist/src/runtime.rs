@@ -1012,9 +1012,24 @@ impl DeviceApp {
             // query (maximum amplification) without colliding with real
             // keys.
             let cnt = 100 + (self.attack_cnt % 156);
+            // Origin-spoofed variant (DESIGN §11.5): claim a rotating
+            // honest neighbor as the originator so per-origin buckets
+            // charge the victim. The frame still leaves at hops == 0,
+            // which is exactly what the identity-plausibility check
+            // keys on to re-route the charge to this spoofer.
+            let claimed = if role.spoof {
+                let n = ctx.neighbors();
+                if n.is_empty() {
+                    ctx.id
+                } else {
+                    n[(self.attack_cnt as usize) % n.len()]
+                }
+            } else {
+                ctx.id
+            };
             self.attack_cnt = self.attack_cnt.wrapping_add(1);
             let spec = QuerySpec::new(
-                ctx.id,
+                claimed,
                 cnt,
                 Point::new(ctx.position.x, ctx.position.y),
                 f64::INFINITY,
@@ -1365,14 +1380,21 @@ impl DeviceApp {
         // Rate-limit fresh keys against the *originator's* bucket. Duplicate
         // copies are already inert (the log drops them below) and must not
         // charge anyone; charging the relaying neighbor would isolate honest
-        // nodes for forwarding a flood they didn't start.
-        if self.dist.defense.rate_limit
-            && !self.device.log.seen(spec.key)
-            && !self.bucket_allows(ctx.now, spec.key.origin)
-        {
-            self.penalize(ctx, Some(qid(spec.key)), spec.key.origin);
-            self.drop_frame(ctx, Some(qid(spec.key)), spec.key.origin, DropCause::RateLimit);
-            return;
+        // nodes for forwarding a flood they didn't start. One exception —
+        // the identity-plausibility verdict: an originator's own broadcast
+        // arrives at hop zero with the routing source equal to its claimed
+        // origin (relays always rebroadcast at hops >= 1), so a zero-hop
+        // frame whose sender contradicts its claimed origin is a spoofed
+        // flood, and its tokens come out of the *spoofer's* bucket — the
+        // victim's budget stays untouched (DESIGN §11.5).
+        if self.dist.defense.rate_limit && !self.device.log.seen(spec.key) {
+            let spoofed = self.dist.defense.identity && hops == 0 && from != spec.key.origin;
+            let charge = if spoofed { from } else { spec.key.origin };
+            if !self.bucket_allows(ctx.now, charge) {
+                self.penalize(ctx, Some(qid(spec.key)), charge);
+                self.drop_frame(ctx, Some(qid(spec.key)), charge, DropCause::RateLimit);
+                return;
+            }
         }
         // Reverse-path reuse: the flood that carried this query traces a
         // path back to its originator; cache it so the unicast reply rides

@@ -99,11 +99,12 @@ impl<R: DeviceRelation> StaticGridNetwork<R> {
     fn walk_query(
         &self,
         origin: usize,
+        pos: Point,
         d: f64,
         cfg: &StrategyConfig,
         sink: &mut dyn FnMut(Vec<Tuple>),
     ) -> QueryMetrics {
-        let spec = QuerySpec::new(origin, 0, self.positions[origin], d);
+        let spec = QuerySpec::new(origin, 0, pos, d);
         let (sk_org, mut filters) = self.devices[origin].originate(&spec, cfg);
         sink(sk_org);
 
@@ -146,9 +147,40 @@ impl<R: DeviceRelation> StaticGridNetwork<R> {
     /// Runs one query from `origin` with distance `d` (use
     /// `f64::INFINITY` to ignore the constraint, as the pre-tests do).
     pub fn run_query(&self, origin: usize, d: f64, cfg: &StrategyConfig) -> StaticQueryOutcome {
+        self.run_query_at(origin, self.positions[origin], d, cfg)
+    }
+
+    /// Runs one query issued by device `origin` but centred at an
+    /// arbitrary position `pos` — the serving layer's cold path, where the
+    /// query centre is a diagram cell's canonical point rather than any
+    /// device's location. The BFS still reaches every device, so the
+    /// merged answer equals the centralized constrained skyline for
+    /// `(pos, d)`.
+    pub fn run_query_at(
+        &self,
+        origin: usize,
+        pos: Point,
+        d: f64,
+        cfg: &StrategyConfig,
+    ) -> StaticQueryOutcome {
         let mut merger = SkylineMerger::new();
-        let metrics = self.walk_query(origin, d, cfg, &mut |batch| merger.insert_batch(batch));
+        let metrics = self.walk_query(origin, pos, d, cfg, &mut |batch| merger.insert_batch(batch));
         StaticQueryOutcome { result: merger.into_result(), metrics }
+    }
+
+    /// The device closest to `p` (ties break on the lower index) — the
+    /// natural proxy originator for a query centred off-device.
+    pub fn nearest_device(&self, p: Point) -> usize {
+        let mut best = 0usize;
+        let mut best_d2 = f64::INFINITY;
+        for (i, pos) in self.positions.iter().enumerate() {
+            let d2 = pos.dist2(p);
+            if d2 < best_d2 {
+                best_d2 = d2;
+                best = i;
+            }
+        }
+        best
     }
 
     /// Like [`StaticGridNetwork::run_query`] but walking the grid
@@ -210,7 +242,8 @@ impl<R: DeviceRelation> StaticGridNetwork<R> {
             // DRR is a pure data metric — it never reads the assembled
             // skyline — so the originator-side merge is skipped entirely.
             // At anti-correlated d=5 the merge is ~97% of the walk's cost.
-            let metrics = self.walk_query(origin, f64::INFINITY, cfg, &mut |_| {});
+            let metrics =
+                self.walk_query(origin, self.positions[origin], f64::INFINITY, cfg, &mut |_| {});
             total.merge(&metrics.drr);
         }
         total
@@ -219,7 +252,13 @@ impl<R: DeviceRelation> StaticGridNetwork<R> {
     /// The centralized ground truth for a query from `origin` — skyline of
     /// the deduplicated union restricted to the region.
     pub fn ground_truth(&self, origin: usize, d: f64) -> Vec<Tuple> {
-        let spec = QuerySpec::new(origin, 0, self.positions[origin], d);
+        self.ground_truth_at(origin, self.positions[origin], d)
+    }
+
+    /// Centralized ground truth for a query centred at an arbitrary
+    /// position (the serving layer's canonical cell centres).
+    pub fn ground_truth_at(&self, origin: usize, pos: Point, d: f64) -> Vec<Tuple> {
+        let spec = QuerySpec::new(origin, 0, pos, d);
         let mut merger = SkylineMerger::new();
         for dev in &self.devices {
             for i in 0..dev.relation.len() {

@@ -230,6 +230,16 @@ fn event_fields(ev: &QueryEvent) -> (&'static str, Vec<(&'static str, Val)>) {
         }
         Crashed => ("crashed", Vec::new()),
         Revived => ("revived", Vec::new()),
+        CacheHit { epoch, age, tuples } => (
+            "cache_hit",
+            vec![("epoch", Val::U(epoch)), ("age", Val::U(age)), ("tuples", Val::U(tuples as u64))],
+        ),
+        CacheMiss { epoch, tuples } => {
+            ("cache_miss", vec![("epoch", Val::U(epoch)), ("tuples", Val::U(tuples as u64))])
+        }
+        CellInvalidated { epoch, band } => {
+            ("cell_invalidated", vec![("epoch", Val::U(epoch)), ("band", Val::U(band as u64))])
+        }
     }
 }
 
@@ -252,6 +262,7 @@ pub fn phase_of(ev: &QueryEvent) -> &'static str {
         AttackFrameSent { .. } => "attack",
         AttackFrameDropped { .. } | ReputationPenalty { .. } | FilterRejected { .. } => "defense",
         Crashed | Revived => "fault",
+        CacheHit { .. } | CacheMiss { .. } | CellInvalidated { .. } => "serve",
     }
 }
 
@@ -298,7 +309,7 @@ pub fn trace_to_jsonl(log: &QueryTraceLog) -> String {
 
 /// Fixed wide-schema columns shared by every event kind (blank when a field
 /// does not apply). The prefix is stable; new columns only append.
-const CSV_COLUMNS: [&str; 35] = [
+const CSV_COLUMNS: [&str; 37] = [
     "radius_m",
     "round",
     "neighbors",
@@ -336,6 +347,9 @@ const CSV_COLUMNS: [&str; 35] = [
     "kind",
     "cause",
     "score",
+    // Serving extension (append-only).
+    "age",
+    "band",
 ];
 
 /// One CSV row per record with the stable wide schema
@@ -469,9 +483,9 @@ impl QueryTimeline {
             (Some(a), Some(b)) => b.at.as_secs_f64() - a.at.as_secs_f64(),
             _ => 0.0,
         };
-        const ORDER: [&str; 11] = [
+        const ORDER: [&str; 12] = [
             "issue", "flood", "local", "reply", "walk", "recovery", "monitor", "attack", "defense",
-            "close", "fault",
+            "close", "fault", "serve",
         ];
         let mut phases: Vec<PhaseStat> =
             ORDER.iter().map(|p| PhaseStat { phase: p, events: 0, bytes: 0 }).collect();
@@ -624,6 +638,12 @@ pub struct TraceAggregates {
     pub filters_rejected: u64,
     /// `reputation_penalty` events.
     pub reputation_penalties: u64,
+    /// `cache_hit` events (serving front end only).
+    pub cache_hits: u64,
+    /// `cache_miss` events (serving front end only).
+    pub cache_misses: u64,
+    /// `cell_invalidated` events (serving front end only).
+    pub cells_invalidated: u64,
 }
 
 /// Recomputes the log-wide [`TraceAggregates`] from the event log alone.
@@ -659,6 +679,9 @@ pub fn trace_aggregates(log: &QueryTraceLog) -> TraceAggregates {
             QueryEvent::AttackFrameDropped { .. } => agg.attack_frames_dropped += 1,
             QueryEvent::FilterRejected { .. } => agg.filters_rejected += 1,
             QueryEvent::ReputationPenalty { .. } => agg.reputation_penalties += 1,
+            QueryEvent::CacheHit { .. } => agg.cache_hits += 1,
+            QueryEvent::CacheMiss { .. } => agg.cache_misses += 1,
+            QueryEvent::CellInvalidated { .. } => agg.cells_invalidated += 1,
             _ => {}
         }
     }
@@ -732,6 +755,12 @@ pub fn verify_zero_drift(out: &ManetOutcome) -> Result<TraceAggregates, String> 
     check("app_frames_rejected", agg.attack_frames_dropped, out.net.app_frames_rejected);
     check("filters_rejected", agg.filters_rejected, out.filters_rejected);
     check("reputation_penalties", agg.reputation_penalties, out.reputation_penalties);
+    // Serving events are recorded only by `serve::ServeEngine` (which
+    // reconciles them via `verify_serve_drift`); an engine run must not
+    // have produced any.
+    check("cache_hits (engine run)", agg.cache_hits, 0);
+    check("cache_misses (engine run)", agg.cache_misses, 0);
+    check("cells_invalidated (engine run)", agg.cells_invalidated, 0);
     // Every BF flood counts one message per recipient; every DF transfer
     // counts one. Emission and counter bump share a callback, so equality
     // is exact even across crashes.

@@ -227,6 +227,11 @@ pub struct AttackRole {
     /// [`AttackKind::Sybil`]: forged identities per answered query.
     /// Ignored by the other kinds.
     pub sybil_k: usize,
+    /// [`AttackKind::QueryFlood`]: when `true`, fake queries claim a
+    /// rotating honest neighbor as their originator instead of the
+    /// attacker's own id — the origin-spoofed flood of DESIGN §11.5.
+    /// Ignored by the other kinds.
+    pub spoof: bool,
 }
 
 impl AttackRole {
@@ -255,6 +260,9 @@ pub struct AttackConfig {
     pub period: SimDuration,
     /// Forged identities per reply ([`AttackKind::Sybil`] only).
     pub sybil_k: usize,
+    /// Spoof the claimed originator of fake queries
+    /// ([`AttackKind::QueryFlood`] only).
+    pub spoof: bool,
     /// Nodes that are never compromised (e.g. the originator under test).
     pub protect: Vec<NodeId>,
     /// Seed for the plan's own RNG (independent of the engine seed).
@@ -332,6 +340,7 @@ impl AttackPlan {
                 until: cfg.until,
                 period: cfg.period,
                 sybil_k: cfg.sybil_k,
+                spoof: cfg.spoof,
             });
         }
         plan
@@ -432,6 +441,7 @@ mod tests {
             until: SimTime::from_secs_f64(500.0),
             period: SimDuration::from_secs_f64(30.0),
             sybil_k: 4,
+            spoof: false,
             protect: vec![0],
             seed,
         }
@@ -472,6 +482,7 @@ mod tests {
             until: SimTime::from_secs_f64(10.0),
             period: SimDuration::from_secs_f64(1.0),
             sybil_k: 0,
+            spoof: false,
         };
         let plan = AttackPlan::new().assign(base).assign(AttackRole {
             kind: AttackKind::Sybil,
@@ -491,6 +502,7 @@ mod tests {
             until: SimTime::from_secs_f64(20.0),
             period: SimDuration::from_secs_f64(1.0),
             sybil_k: 0,
+            spoof: false,
         };
         assert!(!role.active_at(SimTime::from_secs_f64(9.9)));
         assert!(role.active_at(SimTime::from_secs_f64(10.0)));
@@ -535,6 +547,7 @@ mod tests {
                     until: SimTime::from_secs_f64(100.0),
                     period: SimDuration::from_secs_f64(2.0),
                     sybil_k,
+                    spoof: false,
                     protect: vec![protect_ix.index(nodes)],
                     seed,
                 };

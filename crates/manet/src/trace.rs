@@ -565,6 +565,34 @@ pub enum QueryEvent {
     Crashed,
     /// The engine revived this node (fault plan). Recorded with no query id.
     Revived,
+    /// The serving front end answered a query from a cached diagram cell
+    /// (`dist::serve`, DESIGN §14). `node` is the serving originator.
+    CacheHit {
+        /// Snapshot epoch the answer was served from.
+        epoch: u64,
+        /// Staleness in epochs: snapshot epoch minus the cell's last
+        /// answer refresh.
+        age: u64,
+        /// Skyline tuples in the served answer.
+        tuples: usize,
+    },
+    /// The serving front end had no materialized cell and fell back to a
+    /// real engine query, back-filling the diagram.
+    CacheMiss {
+        /// Snapshot epoch the cold compute ran against.
+        epoch: u64,
+        /// Skyline tuples in the computed answer.
+        tuples: usize,
+    },
+    /// A site delta changed a materialized diagram cell's cached answer
+    /// (the dominance-region intersection test fired and the skyline
+    /// moved).
+    CellInvalidated {
+        /// Epoch of the delta that invalidated the cell.
+        epoch: u64,
+        /// Radius band index of the invalidated cell.
+        band: usize,
+    },
 }
 
 /// One recorded query-trace event: where, when, which query, what happened.
